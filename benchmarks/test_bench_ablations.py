@@ -1,0 +1,46 @@
+"""Benchmarks for the design-choice ablations called out in DESIGN.md.
+
+Each ablation sweeps one knob the paper fixes by construction (GRNG width and
+stride, SPU count, DRAM bandwidth) and prints its table next to the timing.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    run_bandwidth_sensitivity_ablation,
+    run_grng_quality_ablation,
+    run_spu_scaling_ablation,
+)
+
+
+def test_bench_ablation_grng_quality(benchmark):
+    def run():
+        result = run_grng_quality_ablation(sample_count=4096)
+        print()
+        print(result.to_table())
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(result.rows) == 12  # 4 widths x 3 strides
+
+
+def test_bench_ablation_spu_scaling(benchmark):
+    def run():
+        result = run_spu_scaling_ablation()
+        print()
+        print(result.to_table())
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(result.rows) == 5
+
+
+def test_bench_ablation_bandwidth_sensitivity(benchmark):
+    def run():
+        result = run_bandwidth_sensitivity_ablation()
+        print()
+        print(result.to_table())
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(result.rows) == 4

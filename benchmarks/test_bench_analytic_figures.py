@@ -1,0 +1,87 @@
+"""Benchmarks that regenerate every analytic figure of the paper's evaluation.
+
+Each benchmark runs the corresponding experiment module end to end (all five
+models on the analytic simulator), reports its wall-clock cost through
+pytest-benchmark, and prints the regenerated table so a benchmark run doubles
+as a reproduction run:
+
+* Fig. 2  -- BNN vs DNN training cost versus sample count
+* Fig. 3  -- off-chip traffic breakdown by tensor class
+* Fig. 10 -- normalised training energy of the four accelerators
+* Fig. 11 -- speedup of the four accelerators
+* Fig. 12 -- energy efficiency including the P100 GPU reference
+* Fig. 13 -- scalability with the Monte-Carlo sample count
+* Fig. 14 -- DRAM accesses and memory footprint
+* Table 2 -- per-SPU FPGA resources
+* DSE     -- the mapping design-space exploration of Section 5
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    run_dse,
+    run_fig2,
+    run_fig3,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    run_fig13,
+    run_fig14,
+    run_table2,
+)
+
+
+def _run_and_print(experiment):
+    result = experiment()
+    print()
+    print(result.to_table())
+    return result
+
+
+def test_bench_fig2_bnn_vs_dnn(benchmark):
+    result = benchmark.pedantic(lambda: _run_and_print(run_fig2), rounds=1, iterations=1)
+    assert len(result.rows) == 25  # 5 models x 5 sample counts
+
+
+def test_bench_fig3_traffic_breakdown(benchmark):
+    result = benchmark(lambda: run_fig3())
+    assert len(result.rows) == 5
+    print()
+    print(result.to_table())
+
+
+def test_bench_fig10_energy(benchmark):
+    result = benchmark.pedantic(lambda: _run_and_print(run_fig10), rounds=1, iterations=1)
+    assert len(result.rows) == 5
+
+
+def test_bench_fig11_speedup(benchmark):
+    result = benchmark.pedantic(lambda: _run_and_print(run_fig11), rounds=1, iterations=1)
+    assert len(result.rows) == 5
+
+
+def test_bench_fig12_efficiency(benchmark):
+    result = benchmark.pedantic(lambda: _run_and_print(run_fig12), rounds=1, iterations=1)
+    assert len(result.rows) == 5
+
+
+def test_bench_fig13_scalability(benchmark):
+    result = benchmark.pedantic(lambda: _run_and_print(run_fig13), rounds=1, iterations=1)
+    assert len(result.rows) == 18  # 3 models x 6 sample counts
+
+
+def test_bench_fig14_dram_footprint(benchmark):
+    result = benchmark.pedantic(lambda: _run_and_print(run_fig14), rounds=1, iterations=1)
+    assert len(result.rows) == 20  # 5 models x 4 accelerators
+
+
+def test_bench_table2_resources(benchmark):
+    result = benchmark(lambda: run_table2())
+    assert len(result.rows) == 5
+    print()
+    print(result.to_table())
+
+
+def test_bench_dse_mappings(benchmark):
+    result = benchmark.pedantic(lambda: _run_and_print(run_dse), rounds=1, iterations=1)
+    assert len(result.rows) == 4

@@ -1,0 +1,47 @@
+"""Benchmarks for the functional training experiments (Fig. 9 and Table 1).
+
+These actually train the reduced Bayesian models on synthetic data, so they
+run once per benchmark (``pedantic`` mode) and use CPU-scale settings.  The
+regenerated tables are printed alongside the timing.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig9, run_table1
+
+
+def test_bench_fig9_training_equivalence(benchmark):
+    def run():
+        outcome = run_fig9(
+            epochs=3, n_train=128, n_test=64, n_samples=2, batch_size=32, grng_stride=64
+        )
+        print()
+        print(outcome.result.to_table())
+        return outcome
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    # the reproduction's equivalence is bit-exact
+    assert outcome.max_loss_difference == 0.0
+    assert outcome.max_parameter_difference == 0.0
+
+
+def test_bench_table1_precision_study(benchmark):
+    def run():
+        result = run_table1(
+            model_names=("B-MLP", "B-LeNet"),
+            bit_widths=(8, 16, 32),
+            epochs=4,
+            n_train=160,
+            n_test=64,
+            n_samples=2,
+            grng_stride=64,
+        )
+        print()
+        print(result.to_table())
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(result.rows) == 2
+    for row in result.rows:
+        values = dict(zip(result.headers, row))
+        assert values["val_acc_32b"] >= values["val_acc_8b"] - 1e-9

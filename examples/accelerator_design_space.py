@@ -1,0 +1,121 @@
+"""Architect's view: explore the accelerator design space for BNN training.
+
+This example exercises the analytic simulator the way Sections 5-7 of the
+paper do:
+
+1. characterise where the off-chip traffic of BNN training goes (Fig. 3),
+2. compare the four accelerator designs and the P100 GPU reference on energy,
+   latency and energy efficiency (Figs. 10-12),
+3. run the mapping design-space exploration that selects RC (Section 5), and
+4. show how to evaluate a *custom* configuration (e.g. more SPUs or a wider
+   datapath) against the stock Shift-BNN design.
+
+Run with::
+
+    python examples/accelerator_design_space.py
+"""
+
+from __future__ import annotations
+
+from repro.accel import (
+    compute_traffic,
+    mn_accelerator,
+    shift_bnn_accelerator,
+    simulate_gpu_training_iteration,
+    simulate_training_iteration,
+    standard_comparison_set,
+    tesla_p100,
+)
+from repro.analysis import format_table
+from repro.experiments import run_dse
+from repro.models import paper_models
+
+SAMPLES = 16
+
+
+def characterise_traffic(models) -> None:
+    print("=== Where does the off-chip traffic go? (baseline accelerator, S=16) ===")
+    rows = []
+    baseline = mn_accelerator()
+    for name, spec in models.items():
+        _, breakdown = compute_traffic(spec, SAMPLES, baseline.traffic_config())
+        ratios = breakdown.ratios
+        rows.append(
+            [
+                name,
+                breakdown.total_bytes / 1e9,
+                100 * ratios["epsilon"],
+                100 * ratios["weight"],
+                100 * ratios["io"],
+            ]
+        )
+    print(format_table(["model", "total_GB", "epsilon_%", "weight_%", "io_%"], rows))
+    print()
+
+
+def compare_accelerators(models) -> None:
+    print("=== Accelerator comparison (normalised to MN-Acc, S=16) ===")
+    gpu = tesla_p100()
+    rows = []
+    for name, spec in models.items():
+        sims = {
+            accel.name: simulate_training_iteration(accel, spec, SAMPLES)
+            for accel in standard_comparison_set()
+        }
+        gpu_sim = simulate_gpu_training_iteration(gpu, spec, SAMPLES)
+        baseline = sims["MN-Acc"]
+        rows.append(
+            [
+                name,
+                sims["Shift-BNN"].energy_joules / baseline.energy_joules,
+                baseline.latency_seconds / sims["Shift-BNN"].latency_seconds,
+                sims["Shift-BNN"].energy_efficiency_gops_per_watt
+                / baseline.energy_efficiency_gops_per_watt,
+                sims["Shift-BNN"].energy_efficiency_gops_per_watt
+                / gpu_sim.energy_efficiency_gops_per_watt,
+            ]
+        )
+    print(
+        format_table(
+            ["model", "energy_vs_MN", "speedup_vs_MN", "efficiency_vs_MN", "efficiency_vs_GPU"],
+            rows,
+        )
+    )
+    print()
+
+
+def explore_mappings() -> None:
+    print("=== Mapping design-space exploration (Section 5) ===")
+    print(run_dse().to_table())
+    print()
+
+
+def evaluate_custom_design(models) -> None:
+    print("=== Custom configuration: 32 SPUs and a wider DRAM interface ===")
+    stock = shift_bnn_accelerator()
+    custom = shift_bnn_accelerator(name="Shift-BNN-32SPU", n_spus=32)
+    rows = []
+    for name, spec in models.items():
+        base = simulate_training_iteration(stock, spec, 32)
+        scaled = simulate_training_iteration(custom, spec, 32)
+        rows.append(
+            [
+                name,
+                base.latency_seconds * 1e3,
+                scaled.latency_seconds * 1e3,
+                base.latency_seconds / scaled.latency_seconds,
+            ]
+        )
+    print(
+        format_table(
+            ["model", "stock_latency_ms", "32spu_latency_ms", "speedup"], rows
+        )
+    )
+
+
+if __name__ == "__main__":
+    models = paper_models()
+    characterise_traffic(models)
+    compare_accelerators(models)
+    explore_mappings()
+    evaluate_custom_design(models)

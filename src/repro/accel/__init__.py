@@ -1,0 +1,97 @@
+"""Analytic accelerator simulator: mappings, traffic, energy, latency, resources."""
+
+from .accelerator import (
+    AcceleratorConfig,
+    bm_shift_accelerator,
+    k_shift_accelerator,
+    mn_accelerator,
+    mnshift_accelerator,
+    rc_accelerator,
+    shift_bnn_accelerator,
+    standard_comparison_set,
+)
+from .energy import EnergyModel
+from .gpu_model import (
+    GPUModel,
+    GPUSimulationResult,
+    simulate_gpu_training_iteration,
+    tesla_p100,
+)
+from .layer_workload import LayerWorkload, TrainingStage, model_workloads
+from .mapping import (
+    ALL_MAPPINGS,
+    BM_MAPPING,
+    K_MAPPING,
+    MN_MAPPING,
+    RC_MAPPING,
+    MappingModel,
+    get_mapping,
+)
+from .memory import BufferSpec, DramChannel, OnChipMemory
+from .resources import (
+    PUBLISHED_TABLE_2,
+    ComponentResources,
+    SPUResourceReport,
+    estimate_spu_resources,
+)
+from .simulator import (
+    EnergyBreakdown,
+    LayerStageResult,
+    SimulationResult,
+    simulate_dnn_training_iteration,
+    simulate_memory_footprint,
+    simulate_training_iteration,
+)
+from .traffic import (
+    FootprintBreakdown,
+    LayerStageTraffic,
+    TrafficBreakdown,
+    TrafficConfig,
+    compute_memory_footprint,
+    compute_traffic,
+)
+
+__all__ = [
+    "AcceleratorConfig",
+    "mn_accelerator",
+    "rc_accelerator",
+    "mnshift_accelerator",
+    "shift_bnn_accelerator",
+    "k_shift_accelerator",
+    "bm_shift_accelerator",
+    "standard_comparison_set",
+    "EnergyModel",
+    "GPUModel",
+    "GPUSimulationResult",
+    "tesla_p100",
+    "simulate_gpu_training_iteration",
+    "LayerWorkload",
+    "TrainingStage",
+    "model_workloads",
+    "MappingModel",
+    "MN_MAPPING",
+    "RC_MAPPING",
+    "K_MAPPING",
+    "BM_MAPPING",
+    "ALL_MAPPINGS",
+    "get_mapping",
+    "DramChannel",
+    "BufferSpec",
+    "OnChipMemory",
+    "ComponentResources",
+    "SPUResourceReport",
+    "estimate_spu_resources",
+    "PUBLISHED_TABLE_2",
+    "EnergyBreakdown",
+    "LayerStageResult",
+    "SimulationResult",
+    "simulate_training_iteration",
+    "simulate_dnn_training_iteration",
+    "simulate_memory_footprint",
+    "TrafficConfig",
+    "TrafficBreakdown",
+    "LayerStageTraffic",
+    "FootprintBreakdown",
+    "compute_traffic",
+    "compute_memory_footprint",
+]

@@ -1,0 +1,141 @@
+"""Accelerator configurations: the four designs the paper compares.
+
+* **MN-Acc** -- the Diannao-like baseline with MN-dimension mapping and no
+  LFSR reversal (the accelerator used for the Section 3 characterisation);
+* **RC-Acc** -- the same storage policy on the ShiDianNao-like RC mapping;
+* **MNShift-Acc** -- MN mapping with LFSR reversal bolted on through the
+  duplicated-adder-tree workaround of Fig. 7(c);
+* **Shift-BNN** -- the proposed design: RC mapping, LFSR reversal, 16 Sample
+  Processing Units of 4x4 PEs each.
+
+All four share PE count, clock frequency, buffer capacity and the DRAM
+subsystem, exactly as the paper's "fair comparison" setup prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .energy import EnergyModel
+from .mapping import BM_MAPPING, K_MAPPING, MN_MAPPING, RC_MAPPING, MappingModel
+from .memory import DramChannel, OnChipMemory
+from .traffic import TrafficConfig
+
+__all__ = [
+    "AcceleratorConfig",
+    "mn_accelerator",
+    "rc_accelerator",
+    "mnshift_accelerator",
+    "shift_bnn_accelerator",
+    "k_shift_accelerator",
+    "bm_shift_accelerator",
+    "standard_comparison_set",
+]
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """A complete accelerator instance the simulator can evaluate."""
+
+    name: str
+    mapping: MappingModel
+    lfsr_reversal: bool
+    n_spus: int = 16
+    pes_per_spu: int = 16
+    frequency_hz: float = 200e6
+    bytes_per_value: int = 2
+    lfsr_bits: int = 256
+    grngs_per_spu: int = 16
+    energy: EnergyModel = EnergyModel()
+    dram: DramChannel = DramChannel()
+    onchip: OnChipMemory = OnChipMemory.default()
+
+    def __post_init__(self) -> None:
+        if self.n_spus < 1 or self.pes_per_spu < 1:
+            raise ValueError("the PE organisation must have at least one unit")
+        if self.frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        if self.bytes_per_value not in (1, 2, 4):
+            raise ValueError("bytes_per_value must be 1, 2 or 4")
+
+    # ------------------------------------------------------------------
+    @property
+    def total_pes(self) -> int:
+        """Total multiply-accumulate units across all SPUs."""
+        return self.n_spus * self.pes_per_spu
+
+    @property
+    def pe_array_width(self) -> int:
+        """Width of the square PE tile inside one SPU (4 for a 4x4 tile)."""
+        width = int(round(self.pes_per_spu**0.5))
+        return max(width, 1)
+
+    def traffic_config(self, bayesian: bool = True) -> TrafficConfig:
+        """Traffic-model configuration implied by this accelerator."""
+        return TrafficConfig(
+            bayesian=bayesian,
+            lfsr_reversal=self.lfsr_reversal,
+            bytes_per_value=self.bytes_per_value,
+        )
+
+    def with_samples_per_pass(self, n_samples: int) -> int:
+        """Number of serial passes needed to process ``n_samples`` samples."""
+        if n_samples < 1:
+            raise ValueError("n_samples must be at least 1")
+        return -(-n_samples // self.n_spus)
+
+    def scaled(self, **overrides) -> "AcceleratorConfig":
+        """A copy of this configuration with selected fields replaced."""
+        return replace(self, **overrides)
+
+
+def mn_accelerator(**overrides) -> AcceleratorConfig:
+    """The MN-mapping baseline without LFSR reversal (Section 3's accelerator)."""
+    return AcceleratorConfig(
+        name="MN-Acc", mapping=MN_MAPPING, lfsr_reversal=False
+    ).scaled(**overrides)
+
+
+def rc_accelerator(**overrides) -> AcceleratorConfig:
+    """The RC-mapping accelerator without LFSR reversal."""
+    return AcceleratorConfig(
+        name="RC-Acc", mapping=RC_MAPPING, lfsr_reversal=False
+    ).scaled(**overrides)
+
+
+def mnshift_accelerator(**overrides) -> AcceleratorConfig:
+    """MN mapping plus LFSR reversal (Fig. 7(c) duplicated-adder-tree design)."""
+    return AcceleratorConfig(
+        name="MNShift-Acc", mapping=MN_MAPPING, lfsr_reversal=True
+    ).scaled(**overrides)
+
+
+def shift_bnn_accelerator(**overrides) -> AcceleratorConfig:
+    """The proposed Shift-BNN accelerator: RC mapping plus LFSR reversal."""
+    return AcceleratorConfig(
+        name="Shift-BNN", mapping=RC_MAPPING, lfsr_reversal=True
+    ).scaled(**overrides)
+
+
+def k_shift_accelerator(**overrides) -> AcceleratorConfig:
+    """K mapping plus LFSR reversal (needs epsilon swapping; DSE candidate only)."""
+    return AcceleratorConfig(
+        name="KShift-Acc", mapping=K_MAPPING, lfsr_reversal=True
+    ).scaled(**overrides)
+
+
+def bm_shift_accelerator(**overrides) -> AcceleratorConfig:
+    """BM mapping plus LFSR reversal (extra adder trees and buffers; DSE candidate)."""
+    return AcceleratorConfig(
+        name="BMShift-Acc", mapping=BM_MAPPING, lfsr_reversal=True
+    ).scaled(**overrides)
+
+
+def standard_comparison_set() -> tuple[AcceleratorConfig, ...]:
+    """The four accelerators of Figs. 10-14, in the paper's plotting order."""
+    return (
+        mn_accelerator(),
+        rc_accelerator(),
+        mnshift_accelerator(),
+        shift_bnn_accelerator(),
+    )

@@ -1,0 +1,95 @@
+"""Per-operation energy constants for the analytic accelerator model.
+
+The original paper reports post-synthesis FPGA numbers from the Xilinx Power
+Estimator; those tools are not available offline, so this module provides a
+technology model in the style of the standard architecture-community numbers
+(Horowitz, ISSCC'14; Eyeriss, ISCA'16): off-chip DRAM accesses cost two to
+three orders of magnitude more energy per byte than a 16-bit MAC, and on-chip
+SRAM sits in between.  Only *relative* energies matter for reproducing the
+paper's comparisons, and those relations are preserved.
+
+All values are in picojoules and refer to the 16-bit datapath the accelerators
+use (Section 7.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EnergyModel"]
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Energy per elementary operation, in picojoules.
+
+    Attributes
+    ----------
+    dram_per_byte:
+        Off-chip DRAM access energy per byte (DDR3, including I/O).
+    sram_per_access:
+        One 16-bit on-chip buffer (BRAM) access.
+    register_per_access:
+        One 16-bit register-file / FIFO access inside a PE.
+    mac_16bit:
+        One 16-bit multiply-accumulate.
+    adder_16bit:
+        One extra 16-bit addition (used by duplicated adder trees in the
+        modified mappings of Fig. 7).
+    grng_per_sample:
+        Generating (or re-generating) one Gaussian variable: one LFSR shift
+        plus the incremental sum update.
+    static_power_watts:
+        Leakage plus clock-tree power of the whole accelerator; multiplied by
+        execution time to obtain static energy.
+    """
+
+    dram_per_byte: float = 480.0
+    sram_per_access: float = 2.5
+    register_per_access: float = 0.8
+    mac_16bit: float = 0.8
+    adder_16bit: float = 0.3
+    grng_per_sample: float = 0.6
+    static_power_watts: float = 0.15
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "dram_per_byte",
+            "sram_per_access",
+            "register_per_access",
+            "mac_16bit",
+            "adder_16bit",
+            "grng_per_sample",
+        ):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} must be non-negative")
+        if self.static_power_watts < 0:
+            raise ValueError("static_power_watts must be non-negative")
+        if self.dram_per_byte < self.sram_per_access:
+            raise ValueError(
+                "a DRAM byte must cost at least as much as an SRAM access; "
+                "the paper's argument rests on this ordering"
+            )
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    def dram_energy(self, n_bytes: float) -> float:
+        """Energy (pJ) of moving ``n_bytes`` to or from DRAM."""
+        return n_bytes * self.dram_per_byte
+
+    def sram_energy(self, n_accesses: float) -> float:
+        """Energy (pJ) of ``n_accesses`` 16-bit buffer accesses."""
+        return n_accesses * self.sram_per_access
+
+    def mac_energy(self, n_macs: float) -> float:
+        """Energy (pJ) of ``n_macs`` 16-bit multiply-accumulates."""
+        return n_macs * self.mac_16bit
+
+    def grng_energy(self, n_samples: float) -> float:
+        """Energy (pJ) of generating ``n_samples`` Gaussian variables."""
+        return n_samples * self.grng_per_sample
+
+    def static_energy(self, seconds: float) -> float:
+        """Static energy (pJ) burned over ``seconds`` of execution."""
+        return self.static_power_watts * seconds * 1e12

@@ -1,0 +1,131 @@
+"""Roofline-style GPU reference model (the Tesla P100 column of Fig. 12).
+
+The paper profiles BNN training on an Nvidia Tesla P100 with nvprof; offline
+we model the GPU with a roofline: each (layer, stage) takes the larger of its
+arithmetic time at a derated peak throughput and its memory time at the HBM2
+bandwidth, and energy is average board power times execution time.  Crucially
+-- and this is the paper's point -- the Gaussian random variables still have
+to make the round trip to device memory between the forward and backward
+stages, so the GPU pays the same epsilon traffic as the baseline accelerators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..models.specs import ModelSpec
+from .layer_workload import model_workloads
+from .traffic import TrafficConfig, layer_stage_traffic
+
+__all__ = ["GPUModel", "GPUSimulationResult", "tesla_p100", "simulate_gpu_training_iteration"]
+
+
+@dataclass(frozen=True)
+class GPUModel:
+    """A GPU described by its roofline parameters."""
+
+    name: str
+    peak_flops: float
+    memory_bandwidth: float
+    average_power_watts: float
+    achieved_compute_fraction: float = 0.35
+    achieved_bandwidth_fraction: float = 0.60
+    kernel_launch_overhead_s: float = 5e-6
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0 or self.memory_bandwidth <= 0:
+            raise ValueError("peak throughput and bandwidth must be positive")
+        if not 0 < self.achieved_compute_fraction <= 1:
+            raise ValueError("achieved_compute_fraction must be in (0, 1]")
+        if not 0 < self.achieved_bandwidth_fraction <= 1:
+            raise ValueError("achieved_bandwidth_fraction must be in (0, 1]")
+
+    @property
+    def effective_flops(self) -> float:
+        """Sustained arithmetic throughput for training kernels."""
+        return self.peak_flops * self.achieved_compute_fraction
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Sustained device-memory bandwidth."""
+        return self.memory_bandwidth * self.achieved_bandwidth_fraction
+
+
+def tesla_p100() -> GPUModel:
+    """The Tesla P100 (16 GB) the paper compares against.
+
+    The peak-throughput figure blends the card's FP32 and FP16 rates because
+    BNN training kernels use mixed precision; the achieved fractions are
+    typical of cuDNN training workloads.
+    """
+    return GPUModel(
+        name="Tesla P100",
+        peak_flops=18.0e12,
+        memory_bandwidth=732e9,
+        average_power_watts=200.0,
+        achieved_compute_fraction=0.45,
+        achieved_bandwidth_fraction=0.70,
+    )
+
+
+@dataclass(frozen=True)
+class GPUSimulationResult:
+    """Latency / energy / efficiency of one training iteration on the GPU."""
+
+    gpu_name: str
+    model_name: str
+    n_samples: int
+    latency_seconds: float
+    total_operations: float
+    dram_bytes: float
+    energy_joules: float
+
+    @property
+    def throughput_gops(self) -> float:
+        """Sustained throughput in GOPS."""
+        if self.latency_seconds == 0:
+            return 0.0
+        return self.total_operations / self.latency_seconds / 1e9
+
+    @property
+    def energy_efficiency_gops_per_watt(self) -> float:
+        """GOPS per watt, the metric of Fig. 12 (equals giga-ops per joule)."""
+        if self.energy_joules == 0:
+            return 0.0
+        return self.total_operations / 1e9 / self.energy_joules
+
+
+def simulate_gpu_training_iteration(
+    gpu: GPUModel, spec: ModelSpec, n_samples: int
+) -> GPUSimulationResult:
+    """Roofline estimate of one BNN training iteration on ``gpu``.
+
+    The GPU always stores the epsilons (no LFSR reversal is possible without
+    changing the framework), uses 32-bit values, and batches all Monte-Carlo
+    samples into its kernels.
+    """
+    if n_samples < 1:
+        raise ValueError("n_samples must be at least 1")
+    config = TrafficConfig(bayesian=True, lfsr_reversal=False, bytes_per_value=4)
+    latency = 0.0
+    total_bytes = 0.0
+    total_macs = 0.0
+    for workload in model_workloads(spec):
+        traffic = layer_stage_traffic(workload, n_samples, config)
+        macs = float(workload.macs) * n_samples
+        flops = 2.0 * macs
+        compute_time = flops / gpu.effective_flops
+        memory_time = traffic.total_bytes / gpu.effective_bandwidth
+        latency += max(compute_time, memory_time) + gpu.kernel_launch_overhead_s
+        total_bytes += traffic.total_bytes
+        total_macs += macs
+    energy = latency * gpu.average_power_watts
+    return GPUSimulationResult(
+        gpu_name=gpu.name,
+        model_name=spec.name,
+        n_samples=n_samples,
+        latency_seconds=latency,
+        total_operations=2.0 * total_macs,
+        dram_bytes=total_bytes,
+        energy_joules=energy,
+    )

@@ -1,0 +1,121 @@
+"""Per-layer, per-stage workload extraction from a model specification.
+
+The simulator never executes arithmetic; it only needs to know, for every
+weighted layer of a model and for each of the three training stages (FW, BW,
+GC in Fig. 1(a)):
+
+* how many MACs are performed,
+* how many weights / Gaussian variables / activation elements are touched.
+
+Everything is reported for a minibatch of one training example and a single
+Monte-Carlo sample; the traffic and latency models scale by the sample count
+``S`` where appropriate (weights are shared across samples, epsilons and
+feature maps are not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..models.specs import LayerTrace, ModelSpec
+
+__all__ = ["TrainingStage", "LayerWorkload", "model_workloads"]
+
+
+class TrainingStage(Enum):
+    """The three stages of BNN training (Fig. 1(a))."""
+
+    FORWARD = "FW"
+    BACKWARD = "BW"
+    GRADIENT = "GC"
+
+
+#: Stages in execution order.
+ALL_STAGES: tuple[TrainingStage, ...] = (
+    TrainingStage.FORWARD,
+    TrainingStage.BACKWARD,
+    TrainingStage.GRADIENT,
+)
+
+
+@dataclass(frozen=True)
+class LayerWorkload:
+    """Workload of one weighted layer (conv or dense) for one training stage."""
+
+    layer_name: str
+    kind: str
+    stage: TrainingStage
+    macs: int
+    weight_count: int
+    input_elements: int
+    output_elements: int
+    kernel_size: int | None = None
+
+    @property
+    def is_conv(self) -> bool:
+        """True for convolutional layers (RC-mapping's best case)."""
+        return self.kind == "conv"
+
+    @property
+    def is_dense(self) -> bool:
+        """True for fully-connected layers (the epsilon-dominated case)."""
+        return self.kind == "dense"
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """MACs per weight -- high for conv layers, exactly 1 for dense layers."""
+        return self.macs / max(self.weight_count, 1)
+
+
+def _stage_macs(trace: LayerTrace, stage: TrainingStage) -> int:
+    """MAC count of one stage for one example and one sample.
+
+    FW convolves inputs with sampled weights; BW convolves errors with the
+    rotated reconstructed kernels (same MAC count); GC convolves feature maps
+    with errors to form weight gradients (again the same count for both conv
+    and dense layers).
+    """
+    del stage  # all three stages perform the same number of MACs
+    return trace.macs
+
+
+def layer_workloads(trace: LayerTrace) -> list[LayerWorkload]:
+    """Workloads of a single weighted layer for all three stages."""
+    if not trace.is_weighted:
+        raise ValueError(f"layer {trace.name!r} carries no weights")
+    return [
+        LayerWorkload(
+            layer_name=trace.name,
+            kind=trace.kind,
+            stage=stage,
+            macs=_stage_macs(trace, stage),
+            weight_count=trace.weight_count,
+            input_elements=trace.input_size,
+            output_elements=trace.output_size,
+            kernel_size=trace.kernel_size,
+        )
+        for stage in ALL_STAGES
+    ]
+
+
+def model_workloads(spec: ModelSpec) -> list[LayerWorkload]:
+    """All (layer, stage) workloads of a model, in execution order.
+
+    The forward stage walks the layers front to back; backward and gradient
+    stages walk them back to front, which is the order the latency model sums
+    them in.
+    """
+    weighted = spec.weighted_layers()
+    forward = [
+        workload
+        for trace in weighted
+        for workload in [layer_workloads(trace)[0]]
+    ]
+    backward = [
+        layer_workloads(trace)[1] for trace in reversed(weighted)
+    ]
+    gradient = [
+        layer_workloads(trace)[2] for trace in reversed(weighted)
+    ]
+    return forward + backward + gradient

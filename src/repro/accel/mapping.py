@@ -1,0 +1,196 @@
+"""Computation-mapping models (Section 5 design-space exploration).
+
+The paper studies four ways of mapping the training loop nest onto a 2-D PE
+array and asks, for each, what it costs to integrate the LFSR-reversal
+strategy:
+
+* **MN** (input/output channel, Diannao/NVDLA style) -- needs either an
+  O(n^2) epsilon-swap network between PEs or duplicated adder trees to cope
+  with the kernel reorganisation during BW;
+* **RC** (output-feature-map, ShiDianNao style) -- only needs a second
+  accumulation control mode; the cheapest fit and the one Shift-BNN adopts;
+* **K** (kernel, systolic style) -- weights inside a kernel are sampled in
+  parallel, so kernel flipping requires epsilon swapping between PEs;
+* **BM** (batch/output channel) -- needs an extra adder tree per PE column and
+  a second input-buffer organisation.
+
+The mapping model captures those qualitative differences as a handful of
+quantitative knobs the simulator consumes: PE utilisation per layer type and
+stage, on-chip accesses per MAC, the per-MAC overhead added when LFSR reversal
+is bolted on, and structural penalty flags (wiring, area) used by the
+design-space-exploration experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .layer_workload import TrainingStage
+
+__all__ = [
+    "MappingModel",
+    "MN_MAPPING",
+    "RC_MAPPING",
+    "K_MAPPING",
+    "BM_MAPPING",
+    "ALL_MAPPINGS",
+    "get_mapping",
+]
+
+
+@dataclass(frozen=True)
+class MappingModel:
+    """Quantitative summary of one computation-mapping scheme.
+
+    Attributes
+    ----------
+    name, description:
+        Identification.
+    conv_utilization / dense_utilization:
+        Fraction of PEs doing useful work on conv / FC layers.
+    sram_accesses_per_mac:
+        Average on-chip buffer accesses needed to feed one MAC (captures the
+        data-reuse quality of the mapping: RC shifts inputs between PEs through
+        registers, MN re-reads them from the buffer).
+    reversal_extra_adds_per_bw_mac:
+        Extra 16-bit additions per backward-stage MAC once LFSR reversal is
+        integrated (duplicated adder trees in MN/BM, none in RC/K).
+    reversal_extra_sram_per_bw_mac:
+        Extra buffer accesses per backward-stage MAC once LFSR reversal is
+        integrated (e.g. RC's intermittent partial-sum refetch from NBout).
+    reversal_utilization_penalty:
+        Multiplicative utilisation loss in the BW stage under LFSR reversal
+        (control-mode switching, swap stalls).
+    requires_epsilon_swap:
+        True when the mapping needs an O(n^2) PE-to-PE epsilon swap network --
+        the paper rules these out for scalability.
+    extra_adder_trees / extra_buffer_copies:
+        Structural overheads counted by the DSE scoring and the resource model.
+    """
+
+    name: str
+    description: str
+    conv_utilization: float
+    dense_utilization: float
+    sram_accesses_per_mac: float
+    reversal_extra_adds_per_bw_mac: float
+    reversal_extra_sram_per_bw_mac: float
+    reversal_utilization_penalty: float
+    requires_epsilon_swap: bool
+    extra_adder_trees: int
+    extra_buffer_copies: int
+
+    def __post_init__(self) -> None:
+        for name in ("conv_utilization", "dense_utilization"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1], got {value}")
+        if not 0.0 <= self.reversal_utilization_penalty < 1.0:
+            raise ValueError("reversal_utilization_penalty must be in [0, 1)")
+
+    # ------------------------------------------------------------------
+    def utilization(
+        self, kind: str, stage: TrainingStage, lfsr_reversal: bool
+    ) -> float:
+        """Effective PE utilisation for a layer kind in a given stage."""
+        base = self.conv_utilization if kind == "conv" else self.dense_utilization
+        if lfsr_reversal and stage is not TrainingStage.FORWARD:
+            base *= 1.0 - self.reversal_utilization_penalty
+        return base
+
+    def extra_adds_per_mac(self, stage: TrainingStage, lfsr_reversal: bool) -> float:
+        """Extra additions per MAC caused by reversal support (BW/GC only)."""
+        if not lfsr_reversal or stage is TrainingStage.FORWARD:
+            return 0.0
+        return self.reversal_extra_adds_per_bw_mac
+
+    def extra_sram_per_mac(self, stage: TrainingStage, lfsr_reversal: bool) -> float:
+        """Extra buffer accesses per MAC caused by reversal support (BW/GC only)."""
+        if not lfsr_reversal or stage is TrainingStage.FORWARD:
+            return 0.0
+        return self.reversal_extra_sram_per_bw_mac
+
+    def dse_overhead_score(self, pe_array_width: int = 4) -> float:
+        """Scalar overhead score used by the design-space exploration.
+
+        Lower is better.  Wiring for epsilon swapping grows quadratically with
+        the PE array width (Section 5's O(n^2) argument); adder trees and
+        duplicated buffers add linear terms; the per-MAC energy overheads add
+        their raw values.
+        """
+        score = 0.0
+        if self.requires_epsilon_swap:
+            score += pe_array_width**2
+        score += 2.0 * self.extra_adder_trees
+        score += 1.5 * self.extra_buffer_copies
+        score += 4.0 * self.reversal_extra_adds_per_bw_mac
+        score += 2.0 * self.reversal_extra_sram_per_bw_mac
+        score += 10.0 * self.reversal_utilization_penalty
+        return score
+
+
+MN_MAPPING = MappingModel(
+    name="MN",
+    description="Input/output-channel mapping (Diannao, NVDLA).",
+    conv_utilization=0.85,
+    dense_utilization=0.90,
+    sram_accesses_per_mac=1.1,
+    reversal_extra_adds_per_bw_mac=0.80,
+    reversal_extra_sram_per_bw_mac=0.50,
+    reversal_utilization_penalty=0.05,
+    requires_epsilon_swap=False,
+    extra_adder_trees=4,
+    extra_buffer_copies=0,
+)
+
+RC_MAPPING = MappingModel(
+    name="RC",
+    description="Output-feature-map mapping (ShiDianNao).",
+    conv_utilization=0.95,
+    dense_utilization=0.70,
+    sram_accesses_per_mac=0.7,
+    reversal_extra_adds_per_bw_mac=0.0,
+    reversal_extra_sram_per_bw_mac=0.10,
+    reversal_utilization_penalty=0.0,
+    requires_epsilon_swap=False,
+    extra_adder_trees=0,
+    extra_buffer_copies=0,
+)
+
+K_MAPPING = MappingModel(
+    name="K",
+    description="Kernel mapping (systolic array).",
+    conv_utilization=0.80,
+    dense_utilization=0.55,
+    sram_accesses_per_mac=0.9,
+    reversal_extra_adds_per_bw_mac=0.10,
+    reversal_extra_sram_per_bw_mac=0.30,
+    reversal_utilization_penalty=0.15,
+    requires_epsilon_swap=True,
+    extra_adder_trees=0,
+    extra_buffer_copies=0,
+)
+
+BM_MAPPING = MappingModel(
+    name="BM",
+    description="Batch/output-channel mapping (Procrustes-style training).",
+    conv_utilization=0.85,
+    dense_utilization=0.80,
+    sram_accesses_per_mac=1.0,
+    reversal_extra_adds_per_bw_mac=0.40,
+    reversal_extra_sram_per_bw_mac=0.30,
+    reversal_utilization_penalty=0.10,
+    requires_epsilon_swap=False,
+    extra_adder_trees=4,
+    extra_buffer_copies=1,
+)
+
+ALL_MAPPINGS: tuple[MappingModel, ...] = (MN_MAPPING, RC_MAPPING, K_MAPPING, BM_MAPPING)
+
+
+def get_mapping(name: str) -> MappingModel:
+    """Look up a mapping model by name (``"MN"``, ``"RC"``, ``"K"``, ``"BM"``)."""
+    for mapping in ALL_MAPPINGS:
+        if mapping.name == name.upper():
+            return mapping
+    raise KeyError(f"unknown mapping {name!r}; choose from {[m.name for m in ALL_MAPPINGS]}")

@@ -1,0 +1,91 @@
+"""Memory-system models: off-chip DRAM channel and on-chip buffers.
+
+The accelerators communicate with two DDR3 channels through a memory interface
+generator (Section 7.1).  For the analytic model only two quantities matter:
+sustained bandwidth (which converts traffic bytes into memory cycles for the
+double-buffered latency model) and capacity of the on-chip buffers (which the
+footprint analysis of Fig. 14 compares against).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DramChannel", "BufferSpec", "OnChipMemory"]
+
+
+@dataclass(frozen=True)
+class DramChannel:
+    """A DDR3-style off-chip memory channel."""
+
+    name: str = "DDR3-1600"
+    bandwidth_bytes_per_second: float = 12.8e9
+    channels: int = 2
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_second <= 0 or self.channels < 1:
+            raise ValueError("DRAM channel needs positive bandwidth and >= 1 channel")
+
+    @property
+    def total_bandwidth(self) -> float:
+        """Aggregate sustained bandwidth in bytes per second."""
+        return self.bandwidth_bytes_per_second * self.channels
+
+    def bytes_per_cycle(self, frequency_hz: float) -> float:
+        """Bytes deliverable per accelerator clock cycle."""
+        if frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        return self.total_bandwidth / frequency_hz
+
+    def transfer_cycles(self, n_bytes: float, frequency_hz: float) -> float:
+        """Cycles needed to move ``n_bytes`` at the accelerator clock."""
+        return n_bytes / self.bytes_per_cycle(frequency_hz)
+
+
+@dataclass(frozen=True)
+class BufferSpec:
+    """One on-chip SRAM buffer (NBin, NBout or a WPB sub-buffer)."""
+
+    name: str
+    capacity_bytes: int
+    banks: int = 4
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.banks < 1:
+            raise ValueError("buffer needs positive capacity and at least one bank")
+
+    def fits(self, n_bytes: float) -> bool:
+        """True when a tensor of ``n_bytes`` fits entirely in this buffer."""
+        return n_bytes <= self.capacity_bytes
+
+
+@dataclass(frozen=True)
+class OnChipMemory:
+    """The per-SPU buffer set plus the shared weight-parameter buffer."""
+
+    nbin: BufferSpec
+    nbout: BufferSpec
+    weight_params: BufferSpec
+
+    @classmethod
+    def default(cls) -> "OnChipMemory":
+        """Buffer sizing used by all modelled accelerators (same for fairness).
+
+        The paper allocates the same on-chip buffer capacity to every design;
+        48 BRAM blocks per SPU for NBin/NBout (Table 2) correspond to roughly
+        96 KiB per SPU at 2 KiB per RAMB18.
+        """
+        return cls(
+            nbin=BufferSpec("NBin", capacity_bytes=48 * 1024),
+            nbout=BufferSpec("NBout", capacity_bytes=48 * 1024),
+            weight_params=BufferSpec("WPB", capacity_bytes=256 * 1024, banks=8),
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        """Total on-chip capacity per SPU (plus the shared WPB)."""
+        return (
+            self.nbin.capacity_bytes
+            + self.nbout.capacity_bytes
+            + self.weight_params.capacity_bytes
+        )

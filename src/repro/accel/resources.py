@@ -1,0 +1,150 @@
+"""FPGA resource and power model for one Sample Processing Unit (Table 2).
+
+The original numbers come from post-synthesis reports on a Virtex-7 VC709; the
+offline reproduction estimates them from the structural parameters of an SPU
+(PE tile size, GRNG count and LFSR width, buffer capacity) with simple
+per-element costs calibrated so the totals land close to the published table.
+The shape of the table -- which component dominates which resource -- is the
+reproducible content: GRNGs dominate flip-flops (256 registers each), the PE
+tile and function units own the DSPs, the neuron buffers own the BRAM and most
+of the average power after the PE tile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .accelerator import AcceleratorConfig, shift_bnn_accelerator
+
+__all__ = ["ComponentResources", "SPUResourceReport", "estimate_spu_resources"]
+
+
+@dataclass(frozen=True)
+class ComponentResources:
+    """Resource usage and average power of one SPU component."""
+
+    name: str
+    lut: int
+    ff: int
+    dsp: int
+    bram: int
+    average_power_watts: float
+
+
+@dataclass(frozen=True)
+class SPUResourceReport:
+    """Per-component resources of one SPU (the rows of Table 2)."""
+
+    components: tuple[ComponentResources, ...]
+
+    def component(self, name: str) -> ComponentResources:
+        """Look up a component row by name."""
+        for item in self.components:
+            if item.name == name:
+                return item
+        raise KeyError(f"unknown component {name!r}")
+
+    @property
+    def totals(self) -> ComponentResources:
+        """Column sums across all components."""
+        return ComponentResources(
+            name="total",
+            lut=sum(c.lut for c in self.components),
+            ff=sum(c.ff for c in self.components),
+            dsp=sum(c.dsp for c in self.components),
+            bram=sum(c.bram for c in self.components),
+            average_power_watts=sum(c.average_power_watts for c in self.components),
+        )
+
+
+# Per-element cost coefficients, calibrated against the published Table 2.
+_LUT_PER_PE = 60
+_FF_PER_PE = 29
+_DSP_PER_PE = 1
+_LUT_PER_SHIFT_UNIT = 14
+_FF_PER_SHIFT_UNIT = 29
+_LUT_PER_FUNCTION_UNIT = 49
+_FF_PER_FUNCTION_UNIT = 25
+_DSP_PER_FUNCTION_UNIT = 2
+_LUT_PER_GRNG_BIT = 0.56
+_FF_PER_GRNG_BIT = 1.03
+_BRAM_BYTES_PER_BLOCK = 2048
+
+_POWER_PER_PE = 0.00475
+_POWER_PER_SHIFT_UNIT = 0.001
+_POWER_PER_FUNCTION_UNIT = 0.0005
+_POWER_PER_GRNG = 0.0003
+_POWER_PER_BRAM_BLOCK = 0.00233
+
+
+def estimate_spu_resources(
+    accelerator: AcceleratorConfig | None = None,
+) -> SPUResourceReport:
+    """Estimate the per-SPU resource table for an accelerator configuration.
+
+    Defaults to the Shift-BNN configuration (4x4 PE tile, 16 GRNGs with
+    256-bit LFSRs, 96 KiB of neuron buffer per SPU), which reproduces the
+    structure of the paper's Table 2.
+    """
+    accelerator = accelerator or shift_bnn_accelerator()
+    pes = accelerator.pes_per_spu
+    grngs = accelerator.grngs_per_spu
+    grng_bits = accelerator.lfsr_bits
+    buffer_bytes = (
+        accelerator.onchip.nbin.capacity_bytes + accelerator.onchip.nbout.capacity_bytes
+    )
+    bram_blocks = -(-buffer_bytes // _BRAM_BYTES_PER_BLOCK)
+
+    pe_tile = ComponentResources(
+        name="PE tile",
+        lut=round(_LUT_PER_PE * pes),
+        ff=round(_FF_PER_PE * pes),
+        dsp=_DSP_PER_PE * pes,
+        bram=0,
+        average_power_watts=_POWER_PER_PE * pes,
+    )
+    shift_array = ComponentResources(
+        name="Shift array",
+        lut=round(_LUT_PER_SHIFT_UNIT * pes),
+        ff=round(_FF_PER_SHIFT_UNIT * pes),
+        dsp=0,
+        bram=0,
+        average_power_watts=_POWER_PER_SHIFT_UNIT * pes,
+    )
+    function_units = ComponentResources(
+        name="Function units",
+        lut=round(_LUT_PER_FUNCTION_UNIT * grngs),
+        ff=round(_FF_PER_FUNCTION_UNIT * grngs),
+        dsp=_DSP_PER_FUNCTION_UNIT * grngs,
+        bram=0,
+        average_power_watts=_POWER_PER_FUNCTION_UNIT * grngs,
+    )
+    grng_block = ComponentResources(
+        name="GRNGs",
+        lut=round(_LUT_PER_GRNG_BIT * grng_bits * grngs),
+        ff=round(_FF_PER_GRNG_BIT * grng_bits * grngs),
+        dsp=0,
+        bram=0,
+        average_power_watts=_POWER_PER_GRNG * grngs,
+    )
+    buffers = ComponentResources(
+        name="NBin/NBout",
+        lut=0,
+        ff=0,
+        dsp=0,
+        bram=int(bram_blocks),
+        average_power_watts=_POWER_PER_BRAM_BLOCK * bram_blocks,
+    )
+    return SPUResourceReport(
+        components=(pe_tile, shift_array, function_units, grng_block, buffers)
+    )
+
+
+#: The published Table 2, kept for comparison in tests and the experiment output.
+PUBLISHED_TABLE_2: dict[str, dict[str, float]] = {
+    "PE tile": {"lut": 966, "ff": 469, "dsp": 16, "bram": 0, "power": 0.076},
+    "Shift array": {"lut": 222, "ff": 464, "dsp": 0, "bram": 0, "power": 0.016},
+    "Function units": {"lut": 785, "ff": 399, "dsp": 32, "bram": 0, "power": 0.008},
+    "GRNGs": {"lut": 2277, "ff": 4224, "dsp": 0, "bram": 0, "power": 0.005},
+    "NBin/NBout": {"lut": 0, "ff": 0, "dsp": 0, "bram": 48, "power": 0.112},
+}

@@ -1,0 +1,315 @@
+"""Analytic simulator: latency, energy and DRAM accesses per training iteration.
+
+The simulator walks every (weighted layer, training stage) pair of a model,
+computes its DRAM traffic with :mod:`repro.accel.traffic`, its compute cycles
+from the MAC count and the mapping's PE utilisation, and combines them under
+the double-buffering assumption the paper makes (computation and the epsilon /
+weight transfers of a layer overlap, so a layer-stage costs
+``max(compute_cycles, memory_cycles)``).  Energy adds the off-chip, on-chip,
+arithmetic, GRNG and static components.
+
+Absolute joules and seconds are functions of the technology constants in
+:class:`~repro.accel.energy.EnergyModel`; all of the paper's evaluation
+figures are ratios between accelerator variants, which is what the test suite
+checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..models.specs import ModelSpec
+from .accelerator import AcceleratorConfig
+from .layer_workload import LayerWorkload, TrainingStage, model_workloads
+from .traffic import (
+    FootprintBreakdown,
+    TrafficBreakdown,
+    TrafficConfig,
+    compute_memory_footprint,
+    layer_stage_traffic,
+)
+
+__all__ = [
+    "LayerStageResult",
+    "EnergyBreakdown",
+    "SimulationResult",
+    "simulate_training_iteration",
+    "simulate_dnn_training_iteration",
+]
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy of one training iteration, split by component (picojoules)."""
+
+    dram: float = 0.0
+    sram: float = 0.0
+    mac: float = 0.0
+    grng: float = 0.0
+    mapping_overhead: float = 0.0
+    static: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Total energy in picojoules."""
+        return (
+            self.dram
+            + self.sram
+            + self.mac
+            + self.grng
+            + self.mapping_overhead
+            + self.static
+        )
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            dram=self.dram + other.dram,
+            sram=self.sram + other.sram,
+            mac=self.mac + other.mac,
+            grng=self.grng + other.grng,
+            mapping_overhead=self.mapping_overhead + other.mapping_overhead,
+            static=self.static + other.static,
+        )
+
+
+@dataclass(frozen=True)
+class LayerStageResult:
+    """Simulation outcome of one (layer, stage)."""
+
+    layer_name: str
+    kind: str
+    stage: TrainingStage
+    macs: float
+    compute_cycles: float
+    memory_cycles: float
+    dram_bytes: float
+    epsilon_bytes: float
+    weight_bytes: float
+    io_bytes: float
+    energy: EnergyBreakdown
+
+    @property
+    def cycles(self) -> float:
+        """Latency of this (layer, stage) under double buffering."""
+        return max(self.compute_cycles, self.memory_cycles)
+
+    @property
+    def memory_bound(self) -> bool:
+        """True when the stage is limited by DRAM bandwidth, not compute."""
+        return self.memory_cycles > self.compute_cycles
+
+
+@dataclass
+class SimulationResult:
+    """Aggregate outcome of simulating one training iteration."""
+
+    accelerator_name: str
+    model_name: str
+    n_samples: int
+    bayesian: bool
+    layer_results: list[LayerStageResult] = field(default_factory=list)
+    frequency_hz: float = 200e6
+    energy: EnergyBreakdown = EnergyBreakdown()
+
+    # ------------------------------------------------------------------
+    @property
+    def total_cycles(self) -> float:
+        """Total latency in clock cycles."""
+        return sum(result.cycles for result in self.layer_results)
+
+    @property
+    def latency_seconds(self) -> float:
+        """Total latency in seconds."""
+        return self.total_cycles / self.frequency_hz
+
+    @property
+    def total_macs(self) -> float:
+        """Total multiply-accumulates across stages and samples."""
+        return sum(result.macs for result in self.layer_results)
+
+    @property
+    def total_operations(self) -> float:
+        """Total arithmetic operations (2 per MAC), the paper's GOPS numerator."""
+        return 2.0 * self.total_macs
+
+    @property
+    def dram_bytes(self) -> float:
+        """Total off-chip traffic in bytes."""
+        return sum(result.dram_bytes for result in self.layer_results)
+
+    @property
+    def dram_accesses(self) -> float:
+        """Off-chip accesses counted in 16-bit (datapath-word) units."""
+        words = sum(
+            result.dram_bytes for result in self.layer_results
+        )
+        return words / 2.0
+
+    @property
+    def traffic(self) -> TrafficBreakdown:
+        """Traffic breakdown by tensor class."""
+        return TrafficBreakdown(
+            weight_bytes=sum(r.weight_bytes for r in self.layer_results),
+            epsilon_bytes=sum(r.epsilon_bytes for r in self.layer_results),
+            io_bytes=sum(r.io_bytes for r in self.layer_results),
+        )
+
+    @property
+    def energy_joules(self) -> float:
+        """Total energy in joules."""
+        return self.energy.total * 1e-12
+
+    @property
+    def average_power_watts(self) -> float:
+        """Average power over the iteration."""
+        seconds = self.latency_seconds
+        if seconds == 0:
+            return 0.0
+        return self.energy_joules / seconds
+
+    @property
+    def throughput_gops(self) -> float:
+        """Sustained throughput in giga-operations per second."""
+        seconds = self.latency_seconds
+        if seconds == 0:
+            return 0.0
+        return self.total_operations / seconds / 1e9
+
+    @property
+    def energy_efficiency_gops_per_watt(self) -> float:
+        """The paper's energy-efficiency metric (GOPS / Watt)."""
+        power = self.average_power_watts
+        if power == 0:
+            return 0.0
+        return self.throughput_gops / power
+
+    def stage_cycles(self, stage: TrainingStage) -> float:
+        """Latency contribution of one training stage."""
+        return sum(r.cycles for r in self.layer_results if r.stage is stage)
+
+
+def _samples_processed(n_samples: int, bayesian: bool) -> int:
+    return n_samples if bayesian else 1
+
+
+def _simulate_layer_stage(
+    accelerator: AcceleratorConfig,
+    workload: LayerWorkload,
+    n_samples: int,
+    config: TrafficConfig,
+) -> LayerStageResult:
+    """Latency and energy of a single (layer, stage)."""
+    energy_model = accelerator.energy
+    mapping = accelerator.mapping
+    samples = _samples_processed(n_samples, config.bayesian)
+
+    traffic = layer_stage_traffic(workload, n_samples, config)
+
+    # --- compute -------------------------------------------------------
+    utilization = mapping.utilization(
+        workload.kind, workload.stage, accelerator.lfsr_reversal
+    )
+    passes = -(-samples // accelerator.n_spus)
+    macs_per_pass = workload.macs
+    compute_cycles = passes * macs_per_pass / (accelerator.pes_per_spu * utilization)
+    total_macs = float(workload.macs) * samples
+
+    # --- memory --------------------------------------------------------
+    memory_cycles = accelerator.dram.transfer_cycles(
+        traffic.total_bytes, accelerator.frequency_hz
+    )
+
+    # --- energy --------------------------------------------------------
+    sram_per_mac = mapping.sram_accesses_per_mac + mapping.extra_sram_per_mac(
+        workload.stage, accelerator.lfsr_reversal
+    )
+    adds_per_mac = mapping.extra_adds_per_mac(workload.stage, accelerator.lfsr_reversal)
+    grng_samples = 0.0
+    if config.bayesian:
+        if workload.stage is TrainingStage.FORWARD:
+            grng_samples = float(workload.weight_count) * samples
+        elif workload.stage is TrainingStage.BACKWARD and accelerator.lfsr_reversal:
+            # Reversed shifting regenerates every epsilon locally during BW.
+            grng_samples = float(workload.weight_count) * samples
+    energy = EnergyBreakdown(
+        dram=energy_model.dram_energy(traffic.total_bytes),
+        sram=energy_model.sram_energy(total_macs * sram_per_mac),
+        mac=energy_model.mac_energy(total_macs),
+        grng=energy_model.grng_energy(grng_samples),
+        mapping_overhead=total_macs * adds_per_mac * energy_model.adder_16bit,
+    )
+    return LayerStageResult(
+        layer_name=workload.layer_name,
+        kind=workload.kind,
+        stage=workload.stage,
+        macs=total_macs,
+        compute_cycles=compute_cycles,
+        memory_cycles=memory_cycles,
+        dram_bytes=traffic.total_bytes,
+        epsilon_bytes=traffic.epsilon_bytes,
+        weight_bytes=traffic.weight_bytes,
+        io_bytes=traffic.io_bytes,
+        energy=energy,
+    )
+
+
+def simulate_training_iteration(
+    accelerator: AcceleratorConfig,
+    spec: ModelSpec,
+    n_samples: int,
+    bayesian: bool = True,
+) -> SimulationResult:
+    """Simulate one training iteration (one example through FW, BW and GC).
+
+    Parameters
+    ----------
+    accelerator:
+        The accelerator configuration to evaluate.
+    spec:
+        The model being trained.
+    n_samples:
+        Monte-Carlo sample count ``S`` (ignored for ``bayesian=False``).
+    bayesian:
+        ``False`` simulates the deterministic DNN counterpart used as the
+        normalisation baseline in Fig. 2.
+    """
+    if n_samples < 1:
+        raise ValueError("n_samples must be at least 1")
+    config = accelerator.traffic_config(bayesian=bayesian)
+    result = SimulationResult(
+        accelerator_name=accelerator.name,
+        model_name=spec.name,
+        n_samples=n_samples,
+        bayesian=bayesian,
+        frequency_hz=accelerator.frequency_hz,
+    )
+    for workload in model_workloads(spec):
+        layer_result = _simulate_layer_stage(accelerator, workload, n_samples, config)
+        result.layer_results.append(layer_result)
+    dynamic = EnergyBreakdown()
+    for layer_result in result.layer_results:
+        dynamic = dynamic + layer_result.energy
+    static = accelerator.energy.static_energy(
+        sum(r.cycles for r in result.layer_results) / accelerator.frequency_hz
+    )
+    result.energy = dynamic + EnergyBreakdown(static=static)
+    return result
+
+
+def simulate_dnn_training_iteration(
+    accelerator: AcceleratorConfig, spec: ModelSpec
+) -> SimulationResult:
+    """Simulate the non-Bayesian (DNN) counterpart of ``spec`` on ``accelerator``."""
+    return simulate_training_iteration(accelerator, spec, n_samples=1, bayesian=False)
+
+
+def simulate_memory_footprint(
+    accelerator: AcceleratorConfig,
+    spec: ModelSpec,
+    n_samples: int,
+    bayesian: bool = True,
+) -> FootprintBreakdown:
+    """Peak training memory footprint for ``spec`` on ``accelerator``."""
+    return compute_memory_footprint(
+        spec, n_samples, accelerator.traffic_config(bayesian=bayesian)
+    )

@@ -1,0 +1,227 @@
+"""Off-chip traffic and memory-footprint model (Fig. 3 and Fig. 14).
+
+For every weighted layer and every training stage the model counts the bytes
+that must cross the DRAM interface, split into the three tensor classes the
+paper tracks:
+
+* ``weight`` -- the variational parameters ``(mu, sigma)``, shared by all
+  Monte-Carlo samples (a plain DNN moves half as much: one value per weight);
+* ``epsilon`` -- the Gaussian random variables, one per weight *per sample*,
+  written out during FW and read back during BW and GC unless the accelerator
+  retrieves them by LFSR reversal;
+* ``io`` -- input/output feature maps and error maps, one copy per sample.
+
+The counting rules follow the paper's description of the training flow
+(Section 2.2) and its observation that epsilons are both the largest tensor
+class and the one with the longest reuse distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..models.specs import ModelSpec
+from .layer_workload import LayerWorkload, TrainingStage, model_workloads
+
+__all__ = [
+    "TrafficConfig",
+    "TrafficBreakdown",
+    "LayerStageTraffic",
+    "compute_traffic",
+    "compute_memory_footprint",
+    "FootprintBreakdown",
+]
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """What kind of network is being trained and how epsilons are handled.
+
+    Attributes
+    ----------
+    bayesian:
+        ``True`` for BNN training (two parameters and ``S`` epsilons per
+        weight), ``False`` for the deterministic DNN counterpart.
+    lfsr_reversal:
+        ``True`` when the accelerator regenerates epsilons locally (Shift-BNN
+        and MNShift); eliminates the epsilon traffic class entirely.
+    bytes_per_value:
+        Datapath width in bytes (2 for the 16-bit configuration).
+    epsilon_write_passes / epsilon_read_passes:
+        How often each epsilon crosses the DRAM interface in a baseline
+        accelerator: written once during FW, read once for weight
+        reconstruction (BW) and once for the sigma gradient (GC).
+    """
+
+    bayesian: bool = True
+    lfsr_reversal: bool = False
+    bytes_per_value: int = 2
+    epsilon_write_passes: int = 1
+    epsilon_read_passes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_value < 1:
+            raise ValueError("bytes_per_value must be positive")
+        if self.epsilon_write_passes < 0 or self.epsilon_read_passes < 0:
+            raise ValueError("epsilon pass counts must be non-negative")
+
+
+@dataclass(frozen=True)
+class LayerStageTraffic:
+    """DRAM bytes moved by one layer in one stage, split by tensor class."""
+
+    layer_name: str
+    kind: str
+    stage: TrainingStage
+    weight_bytes: float
+    epsilon_bytes: float
+    io_bytes: float
+
+    @property
+    def total_bytes(self) -> float:
+        """All DRAM bytes of this (layer, stage)."""
+        return self.weight_bytes + self.epsilon_bytes + self.io_bytes
+
+
+@dataclass(frozen=True)
+class TrafficBreakdown:
+    """Aggregate DRAM traffic of one training iteration, by tensor class."""
+
+    weight_bytes: float
+    epsilon_bytes: float
+    io_bytes: float
+
+    @property
+    def total_bytes(self) -> float:
+        """All DRAM bytes of the iteration."""
+        return self.weight_bytes + self.epsilon_bytes + self.io_bytes
+
+    @property
+    def ratios(self) -> dict[str, float]:
+        """Fractions per tensor class (the bars of Fig. 3)."""
+        total = self.total_bytes
+        if total == 0:
+            return {"weight": 0.0, "epsilon": 0.0, "io": 0.0}
+        return {
+            "weight": self.weight_bytes / total,
+            "epsilon": self.epsilon_bytes / total,
+            "io": self.io_bytes / total,
+        }
+
+    def __add__(self, other: "TrafficBreakdown") -> "TrafficBreakdown":
+        return TrafficBreakdown(
+            weight_bytes=self.weight_bytes + other.weight_bytes,
+            epsilon_bytes=self.epsilon_bytes + other.epsilon_bytes,
+            io_bytes=self.io_bytes + other.io_bytes,
+        )
+
+
+def _weight_values_per_parameter(config: TrafficConfig) -> int:
+    """Stored values per weight: (mu, sigma) for a BNN, a single value for a DNN."""
+    return 2 if config.bayesian else 1
+
+
+def _stage_weight_elements(workload: LayerWorkload, config: TrafficConfig) -> float:
+    """Weight-parameter elements moved in one stage (shared across samples)."""
+    per_weight = _weight_values_per_parameter(config)
+    base = workload.weight_count * per_weight
+    if workload.stage is TrainingStage.GRADIENT:
+        # read for the update plus write-back of the updated parameters
+        return 2.0 * base
+    return float(base)
+
+
+def _stage_epsilon_elements(
+    workload: LayerWorkload, n_samples: int, config: TrafficConfig
+) -> float:
+    """Epsilon elements moved in one stage (per sample, unless eliminated)."""
+    if not config.bayesian or config.lfsr_reversal:
+        return 0.0
+    per_sample = workload.weight_count
+    if workload.stage is TrainingStage.FORWARD:
+        return float(config.epsilon_write_passes * n_samples * per_sample)
+    # Split the read passes between BW and GC (one each by default).
+    reads_this_stage = config.epsilon_read_passes / 2.0
+    return reads_this_stage * n_samples * per_sample
+
+
+def _stage_io_elements(workload: LayerWorkload, n_samples: int, config: TrafficConfig) -> float:
+    """Feature-map / error elements moved in one stage (per sample)."""
+    samples = n_samples if config.bayesian else 1
+    return float(samples * (workload.input_elements + workload.output_elements))
+
+
+def layer_stage_traffic(
+    workload: LayerWorkload, n_samples: int, config: TrafficConfig
+) -> LayerStageTraffic:
+    """DRAM traffic of one (layer, stage) under ``config``."""
+    if n_samples < 1:
+        raise ValueError("n_samples must be at least 1")
+    bytes_per_value = config.bytes_per_value
+    return LayerStageTraffic(
+        layer_name=workload.layer_name,
+        kind=workload.kind,
+        stage=workload.stage,
+        weight_bytes=_stage_weight_elements(workload, config) * bytes_per_value,
+        epsilon_bytes=_stage_epsilon_elements(workload, n_samples, config) * bytes_per_value,
+        io_bytes=_stage_io_elements(workload, n_samples, config) * bytes_per_value,
+    )
+
+
+def compute_traffic(
+    spec: ModelSpec, n_samples: int, config: TrafficConfig | None = None
+) -> tuple[list[LayerStageTraffic], TrafficBreakdown]:
+    """Per-(layer, stage) traffic and its aggregate for one training iteration."""
+    config = config or TrafficConfig()
+    per_layer = [
+        layer_stage_traffic(workload, n_samples, config)
+        for workload in model_workloads(spec)
+    ]
+    total = TrafficBreakdown(
+        weight_bytes=sum(item.weight_bytes for item in per_layer),
+        epsilon_bytes=sum(item.epsilon_bytes for item in per_layer),
+        io_bytes=sum(item.io_bytes for item in per_layer),
+    )
+    return per_layer, total
+
+
+@dataclass(frozen=True)
+class FootprintBreakdown:
+    """Peak training memory footprint by tensor class (Fig. 14, right axis)."""
+
+    weight_bytes: float
+    epsilon_bytes: float
+    io_bytes: float
+
+    @property
+    def total_bytes(self) -> float:
+        """Total peak footprint."""
+        return self.weight_bytes + self.epsilon_bytes + self.io_bytes
+
+
+def compute_memory_footprint(
+    spec: ModelSpec, n_samples: int, config: TrafficConfig | None = None
+) -> FootprintBreakdown:
+    """Peak memory footprint of one training iteration.
+
+    Weights (and their gradients' working copy) are counted once; epsilons and
+    the forward feature maps must persist from the FW stage until the layer's
+    BW/GC processing, so they are counted per sample across all layers.
+    """
+    config = config or TrafficConfig()
+    bytes_per_value = config.bytes_per_value
+    weighted = spec.weighted_layers()
+    weight_elements = sum(trace.weight_count for trace in weighted)
+    weight_bytes = weight_elements * _weight_values_per_parameter(config) * bytes_per_value
+    if config.bayesian and not config.lfsr_reversal:
+        epsilon_bytes = float(n_samples * weight_elements * bytes_per_value)
+    else:
+        epsilon_bytes = 0.0
+    samples = n_samples if config.bayesian else 1
+    io_elements = sum(trace.input_size for trace in weighted) + weighted[-1].output_size
+    io_bytes = float(samples * io_elements * bytes_per_value)
+    return FootprintBreakdown(
+        weight_bytes=float(weight_bytes),
+        epsilon_bytes=epsilon_bytes,
+        io_bytes=io_bytes,
+    )

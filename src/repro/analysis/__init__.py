@@ -1,0 +1,20 @@
+"""Analysis helpers: derived metrics and table rendering."""
+
+from .metrics import (
+    efficiency_ratio,
+    energy_reduction_percent,
+    geometric_mean,
+    normalise,
+    speedup,
+)
+from .tables import format_csv, format_table
+
+__all__ = [
+    "geometric_mean",
+    "normalise",
+    "speedup",
+    "energy_reduction_percent",
+    "efficiency_ratio",
+    "format_table",
+    "format_csv",
+]

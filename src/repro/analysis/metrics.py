@@ -1,0 +1,56 @@
+"""Derived metrics and normalisation helpers used by the experiments."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = [
+    "geometric_mean",
+    "normalise",
+    "speedup",
+    "energy_reduction_percent",
+    "efficiency_ratio",
+]
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean, the conventional way to average speedups."""
+    if not values:
+        raise ValueError("geometric_mean needs at least one value")
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ValueError("geometric_mean is defined for positive values only")
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def normalise(values: Mapping[str, float], baseline_key: str) -> dict[str, float]:
+    """Divide every entry by the baseline entry (the paper's normalised plots)."""
+    if baseline_key not in values:
+        raise KeyError(f"baseline {baseline_key!r} missing from {sorted(values)}")
+    baseline = values[baseline_key]
+    if baseline == 0:
+        raise ValueError("baseline value must be non-zero")
+    return {key: value / baseline for key, value in values.items()}
+
+
+def speedup(baseline_latency: float, improved_latency: float) -> float:
+    """Latency ratio baseline / improved (>1 means the improved design is faster)."""
+    if improved_latency <= 0:
+        raise ValueError("latencies must be positive")
+    return baseline_latency / improved_latency
+
+
+def energy_reduction_percent(baseline_energy: float, improved_energy: float) -> float:
+    """Percentage of the baseline energy that the improved design saves."""
+    if baseline_energy <= 0:
+        raise ValueError("baseline energy must be positive")
+    return (1.0 - improved_energy / baseline_energy) * 100.0
+
+
+def efficiency_ratio(improved_efficiency: float, baseline_efficiency: float) -> float:
+    """Energy-efficiency improvement factor (GOPS/W ratio)."""
+    if baseline_efficiency <= 0:
+        raise ValueError("baseline efficiency must be positive")
+    return improved_efficiency / baseline_efficiency

@@ -1,0 +1,43 @@
+"""Bayesian neural-network layers, losses and trainers (Bayes by Backprop)."""
+
+from .bayes_layers import BayesConv2D, BayesDense, BayesianLayer
+from .elbo import ELBOReport, gaussian_kl_divergence, sampled_complexity
+from .model import BayesianNetwork
+from .posteriors import GaussianPosterior, inverse_softplus, softplus, softplus_grad
+from .predict import PredictiveResult, mc_predict
+from .priors import GaussianPrior, Prior, ScaleMixturePrior
+from .serialization import CheckpointMismatchError, load_parameters, save_parameters
+from .trainer import (
+    BaselineBNNTrainer,
+    BNNTrainer,
+    ShiftBNNTrainer,
+    TrainerConfig,
+    TrainingHistory,
+)
+
+__all__ = [
+    "BayesianLayer",
+    "BayesDense",
+    "BayesConv2D",
+    "BayesianNetwork",
+    "GaussianPosterior",
+    "softplus",
+    "softplus_grad",
+    "inverse_softplus",
+    "Prior",
+    "GaussianPrior",
+    "ScaleMixturePrior",
+    "ELBOReport",
+    "gaussian_kl_divergence",
+    "sampled_complexity",
+    "PredictiveResult",
+    "mc_predict",
+    "save_parameters",
+    "load_parameters",
+    "CheckpointMismatchError",
+    "TrainerConfig",
+    "TrainingHistory",
+    "BNNTrainer",
+    "BaselineBNNTrainer",
+    "ShiftBNNTrainer",
+]

@@ -1,0 +1,276 @@
+"""Bayesian (weight-sampling) layers.
+
+A Bayesian layer owns a :class:`~repro.bnn.posteriors.GaussianPosterior` per
+weight tensor and performs the three stages of Fig. 1(a):
+
+* **FW** -- ``forward_sample`` draws ``w = mu + eps * sigma`` through a
+  :class:`~repro.core.sampler.WeightSampler` and runs the ordinary layer
+  arithmetic;
+* **BW** -- ``backward_sample`` asks the sampler to *re-sample* the identical
+  weights (process 2 in the paper: weight reconstruction), propagates the
+  error to the previous layer, and
+* **GC** -- accumulates the gradients of ``mu`` and ``sigma`` from the
+  likelihood gradient, the prior gradient and the retrieved epsilons
+  (process 3).
+
+Whether the epsilons come from storage (baseline) or from LFSR reversal
+(Shift-BNN) is entirely the sampler's business; the layer code is identical,
+which is exactly the paper's "no change to the training algorithm" claim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.sampler import WeightSampler
+from ..nn import functional as F
+from ..nn.initializers import HeNormal, Initializer
+from ..nn.layers import Layer, Parameter
+from ..nn.quantization import QuantizationConfig
+from ..nn.tensor_utils import check_2d, check_4d, conv_output_size
+from .posteriors import GaussianPosterior
+from .priors import GaussianPrior, Prior
+
+__all__ = ["BayesianLayer", "BayesDense", "BayesConv2D"]
+
+
+class BayesianLayer(Layer):
+    """Common machinery of Bayesian layers (posterior handling, gradients)."""
+
+    def __init__(
+        self,
+        weight_shape: tuple[int, ...],
+        mu_init: Initializer | None,
+        initial_sigma: float,
+        bias_size: int | None,
+        name: str | None,
+        rng: np.random.Generator | None,
+    ) -> None:
+        super().__init__(name)
+        rng = rng or np.random.default_rng(0)
+        mu_init = mu_init or HeNormal()
+        self.weight_posterior = GaussianPosterior(
+            weight_shape, mu_init, initial_sigma, f"{self.name}.weight", rng
+        )
+        self.bias = (
+            Parameter(f"{self.name}.bias", np.zeros(bias_size, dtype=np.float64))
+            if bias_size
+            else None
+        )
+        self.quantization: QuantizationConfig = QuantizationConfig.full_precision()
+        self._cache: dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def parameters(self) -> list[Parameter]:
+        params = list(self.weight_posterior.parameters())
+        if self.bias is not None:
+            params.append(self.bias)
+        return params
+
+    @property
+    def n_bayesian_weights(self) -> int:
+        """Number of weights that consume one Gaussian random variable each."""
+        return self.weight_posterior.n_weights
+
+    def sample_weights(self, sampler: WeightSampler) -> np.ndarray:
+        """FW-stage weight sampling (also caches epsilon-free bookkeeping)."""
+        sampled = sampler.sample(self.weight_posterior.mu.value, self.weight_posterior.sigma)
+        return self.quantization.quantize_weights(sampled.weights)
+
+    def resample_weights(self, sampler: WeightSampler) -> tuple[np.ndarray, np.ndarray]:
+        """BW-stage weight reconstruction; returns (weights, epsilon)."""
+        sampled = sampler.resample(
+            self.weight_posterior.mu.value, self.weight_posterior.sigma
+        )
+        return self.quantization.quantize_weights(sampled.weights), sampled.epsilon
+
+    def accumulate_parameter_gradients(
+        self,
+        grad_weight: np.ndarray,
+        epsilon: np.ndarray,
+        kl_weight: float,
+        prior: Prior,
+        sampled_weights: np.ndarray,
+        include_entropy_term: bool = True,
+    ) -> None:
+        """GC-stage update of the variational parameters' gradients."""
+        if kl_weight:
+            prior_grad = prior.nll_grad(sampled_weights)
+        else:
+            prior_grad = np.zeros_like(sampled_weights)
+        self.weight_posterior.accumulate_gradients(
+            grad_weight=grad_weight,
+            epsilon=epsilon,
+            kl_weight=kl_weight,
+            prior_nll_grad=prior_grad,
+            include_entropy_term=include_entropy_term,
+        )
+
+    # the plain Layer protocol is not meaningful for Bayesian layers
+    def forward(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover - guard
+        raise RuntimeError(
+            f"{self.name}: Bayesian layers need a sampler; use forward_sample()"
+        )
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:  # pragma: no cover - guard
+        raise RuntimeError(
+            f"{self.name}: Bayesian layers need a sampler; use backward_sample()"
+        )
+
+    # subclasses implement these
+    def forward_sample(self, x: np.ndarray, sampler: WeightSampler) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward_sample(
+        self,
+        grad_out: np.ndarray,
+        sampler: WeightSampler,
+        kl_weight: float,
+        prior: Prior,
+        include_entropy_term: bool = True,
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+
+class BayesDense(BayesianLayer):
+    """Bayesian fully-connected layer with a mean-field Gaussian posterior."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        initial_sigma: float = 0.05,
+        mu_init: Initializer | None = None,
+        bias: bool = True,
+        name: str | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if in_features < 1 or out_features < 1:
+            raise ValueError("feature counts must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        super().__init__(
+            weight_shape=(in_features, out_features),
+            mu_init=mu_init,
+            initial_sigma=initial_sigma,
+            bias_size=out_features if bias else None,
+            name=name,
+            rng=rng,
+        )
+
+    def forward_sample(self, x: np.ndarray, sampler: WeightSampler) -> np.ndarray:
+        check_2d(x)
+        if x.shape[1] != self.in_features:
+            raise ValueError(
+                f"{self.name}: expected {self.in_features} features, got {x.shape[1]}"
+            )
+        weights = self.sample_weights(sampler)
+        self._cache = {"input": x}
+        out = x @ weights
+        if self.bias is not None:
+            out = out + self.bias.value
+        return self.quantization.quantize_activations(out)
+
+    def backward_sample(
+        self,
+        grad_out: np.ndarray,
+        sampler: WeightSampler,
+        kl_weight: float,
+        prior: Prior,
+        include_entropy_term: bool = True,
+    ) -> np.ndarray:
+        if "input" not in self._cache:
+            raise RuntimeError(f"{self.name}: backward_sample before forward_sample")
+        x: np.ndarray = self._cache["input"]  # type: ignore[assignment]
+        weights, epsilon = self.resample_weights(sampler)
+        grad_weight = x.T @ grad_out
+        if self.bias is not None:
+            self.bias.grad += grad_out.sum(axis=0)
+        grad_input = grad_out @ weights.T
+        self.accumulate_parameter_gradients(
+            grad_weight=grad_weight,
+            epsilon=epsilon,
+            kl_weight=kl_weight,
+            prior=prior,
+            sampled_weights=weights,
+            include_entropy_term=include_entropy_term,
+        )
+        return grad_input
+
+
+class BayesConv2D(BayesianLayer):
+    """Bayesian 2-D convolution with a mean-field Gaussian posterior per weight."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        initial_sigma: float = 0.05,
+        mu_init: Initializer | None = None,
+        bias: bool = True,
+        name: str | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if kernel_size < 1 or stride < 1 or padding < 0:
+            raise ValueError("invalid convolution geometry")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        super().__init__(
+            weight_shape=(out_channels, in_channels, kernel_size, kernel_size),
+            mu_init=mu_init,
+            initial_sigma=initial_sigma,
+            bias_size=out_channels if bias else None,
+            name=name,
+            rng=rng,
+        )
+
+    def output_shape(self, input_shape: tuple[int, int, int]) -> tuple[int, int, int]:
+        """Spatial output shape ``(C, H, W)`` for a given ``(C, H, W)`` input."""
+        _, height, width = input_shape
+        out_h = conv_output_size(height, self.kernel_size, self.stride, self.padding)
+        out_w = conv_output_size(width, self.kernel_size, self.stride, self.padding)
+        return (self.out_channels, out_h, out_w)
+
+    def forward_sample(self, x: np.ndarray, sampler: WeightSampler) -> np.ndarray:
+        check_4d(x)
+        weights = self.sample_weights(sampler)
+        bias_value = self.bias.value if self.bias is not None else None
+        out, cols = F.conv2d_forward(x, weights, bias_value, self.stride, self.padding)
+        self._cache = {"cols": cols, "x_shape": x.shape}
+        return self.quantization.quantize_activations(out)
+
+    def backward_sample(
+        self,
+        grad_out: np.ndarray,
+        sampler: WeightSampler,
+        kl_weight: float,
+        prior: Prior,
+        include_entropy_term: bool = True,
+    ) -> np.ndarray:
+        if "cols" not in self._cache:
+            raise RuntimeError(f"{self.name}: backward_sample before forward_sample")
+        cols: np.ndarray = self._cache["cols"]  # type: ignore[assignment]
+        x_shape: tuple[int, int, int, int] = self._cache["x_shape"]  # type: ignore[assignment]
+        weights, epsilon = self.resample_weights(sampler)
+        grad_input, grad_weight, grad_bias = F.conv2d_backward(
+            grad_out, cols, x_shape, weights, self.stride, self.padding
+        )
+        if self.bias is not None:
+            self.bias.grad += grad_bias
+        self.accumulate_parameter_gradients(
+            grad_weight=grad_weight,
+            epsilon=epsilon,
+            kl_weight=kl_weight,
+            prior=prior,
+            sampled_weights=weights,
+            include_entropy_term=include_entropy_term,
+        )
+        return grad_input

@@ -1,0 +1,170 @@
+"""Bayesian network container mixing Bayesian and deterministic layers."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..core.sampler import WeightSampler
+from ..nn.layers import Layer, Parameter
+from ..nn.quantization import QuantizationConfig
+from .bayes_layers import BayesianLayer
+from .elbo import gaussian_kl_divergence
+from .priors import GaussianPrior, Prior
+
+__all__ = ["BayesianNetwork"]
+
+
+class BayesianNetwork:
+    """An ordered chain of layers, some Bayesian, some deterministic.
+
+    The network exposes per-sample forward/backward passes: a single
+    Monte-Carlo sample's forward pass draws one weight sample per Bayesian
+    layer from the provided :class:`WeightSampler`, and the matching backward
+    pass re-samples the identical weights through the same sampler (whose
+    stream either stored the epsilons or regenerates them by LFSR reversal).
+    """
+
+    def __init__(
+        self,
+        layers: Iterable[Layer],
+        prior: Prior | None = None,
+        name: str = "bnn",
+    ) -> None:
+        self.layers = list(layers)
+        if not self.layers:
+            raise ValueError("a BayesianNetwork needs at least one layer")
+        if not any(isinstance(layer, BayesianLayer) for layer in self.layers):
+            raise ValueError("a BayesianNetwork needs at least one Bayesian layer")
+        self.prior = prior or GaussianPrior(sigma=0.5)
+        self.name = name
+        self._quantization = QuantizationConfig.full_precision()
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+    @property
+    def quantization(self) -> QuantizationConfig:
+        """Datapath quantisation applied by every Bayesian layer."""
+        return self._quantization
+
+    @quantization.setter
+    def quantization(self, config: QuantizationConfig) -> None:
+        self._quantization = config
+        for layer in self.bayesian_layers():
+            layer.quantization = config
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def bayesian_layers(self) -> list[BayesianLayer]:
+        """The Bayesian layers, in forward order."""
+        return [layer for layer in self.layers if isinstance(layer, BayesianLayer)]
+
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters (mu, rho, biases, deterministic weights)."""
+        params: list[Parameter] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def zero_grad(self) -> None:
+        """Clear every parameter gradient."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    @property
+    def n_bayesian_weights(self) -> int:
+        """Total number of weights that consume one epsilon per sample."""
+        return sum(layer.n_bayesian_weights for layer in self.bayesian_layers())
+
+    @property
+    def parameter_count(self) -> int:
+        """Total number of trainable scalars (mu, rho, biases, ...)."""
+        return sum(param.size for param in self.parameters())
+
+    def __iter__(self) -> Iterator[Layer]:
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    # ------------------------------------------------------------------
+    # per-sample execution
+    # ------------------------------------------------------------------
+    def forward_sample(self, x: np.ndarray, sampler: WeightSampler) -> np.ndarray:
+        """Forward stage for one Monte-Carlo sample."""
+        out = x
+        for layer in self.layers:
+            if isinstance(layer, BayesianLayer):
+                out = layer.forward_sample(out, sampler)
+            else:
+                out = layer.forward(out)
+        return out
+
+    def backward_sample(
+        self,
+        grad_out: np.ndarray,
+        sampler: WeightSampler,
+        kl_weight: float,
+        include_entropy_term: bool = True,
+    ) -> np.ndarray:
+        """Backward + gradient-calculation stages for one Monte-Carlo sample.
+
+        Layers are walked in reverse order; Bayesian layers reconstruct their
+        weight sample through ``sampler`` which must be the one used by the
+        matching :meth:`forward_sample` call.
+        """
+        grad = grad_out
+        for layer in reversed(self.layers):
+            if isinstance(layer, BayesianLayer):
+                grad = layer.backward_sample(
+                    grad,
+                    sampler,
+                    kl_weight=kl_weight,
+                    prior=self.prior,
+                    include_entropy_term=include_entropy_term,
+                )
+            else:
+                grad = layer.backward(grad)
+        return grad
+
+    # ------------------------------------------------------------------
+    # loss helpers
+    # ------------------------------------------------------------------
+    def complexity(self) -> float:
+        """Analytic KL divergence between the posterior and a Gaussian prior.
+
+        Falls back to zero for non-Gaussian priors (the trainer then relies on
+        the sampled estimate for reporting only; gradients are unaffected).
+        """
+        if not isinstance(self.prior, GaussianPrior):
+            return 0.0
+        return sum(
+            gaussian_kl_divergence(layer.weight_posterior, self.prior)
+            for layer in self.bayesian_layers()
+        )
+
+    def train(self) -> None:
+        """Put every layer in training mode."""
+        for layer in self.layers:
+            layer.train()
+
+    def eval(self) -> None:
+        """Put every layer in evaluation mode."""
+        for layer in self.layers:
+            layer.eval()
+
+    def summary(self) -> str:
+        """Human-readable per-layer summary."""
+        lines = [
+            f"BayesianNetwork '{self.name}': {self.parameter_count} parameters, "
+            f"{self.n_bayesian_weights} Bayesian weights"
+        ]
+        for index, layer in enumerate(self.layers):
+            kind = "bayes" if isinstance(layer, BayesianLayer) else "det"
+            lines.append(
+                f"  [{index:2d}] {layer.name:<24s} ({kind}) params={layer.parameter_count}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,143 @@
+"""Mean-field Gaussian variational posterior over a weight tensor.
+
+Each weight has two trainable scalars: the mean ``mu`` and a pre-activation
+``rho`` mapped through a softplus to the standard deviation ``sigma``.  The
+softplus parameterisation (from Blundell et al.) keeps ``sigma`` positive under
+unconstrained gradient descent; the accelerator itself stores ``(mu, sigma)``
+directly, which is why the weight-parameter buffer in the simulator carries two
+values per weight.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..nn.initializers import Initializer
+from ..nn.layers import Parameter
+
+__all__ = ["GaussianPosterior", "softplus", "softplus_grad", "inverse_softplus"]
+
+
+def softplus(rho: np.ndarray) -> np.ndarray:
+    """Numerically-stable ``log(1 + exp(rho))``."""
+    return np.logaddexp(0.0, rho)
+
+
+def softplus_grad(rho: np.ndarray) -> np.ndarray:
+    """Derivative of the softplus: the logistic sigmoid."""
+    return 1.0 / (1.0 + np.exp(-rho))
+
+
+def inverse_softplus(sigma: float) -> float:
+    """Return ``rho`` such that ``softplus(rho) == sigma``."""
+    if sigma <= 0:
+        raise ValueError("sigma must be positive")
+    return float(math.log(math.expm1(sigma)))
+
+
+class GaussianPosterior:
+    """Trainable ``(mu, rho)`` pair describing ``q(w | theta) = N(mu, sigma^2)``.
+
+    Parameters
+    ----------
+    shape:
+        Shape of the weight tensor this posterior describes.
+    mu_init:
+        Initialiser for the means (typically He/Glorot like a DNN weight).
+    initial_sigma:
+        Starting standard deviation, applied uniformly through the softplus
+        parameterisation.
+    name:
+        Prefix used for the two underlying :class:`Parameter` objects.
+    """
+
+    def __init__(
+        self,
+        shape: tuple[int, ...],
+        mu_init: Initializer,
+        initial_sigma: float,
+        name: str,
+        rng: np.random.Generator,
+    ) -> None:
+        if initial_sigma <= 0:
+            raise ValueError("initial_sigma must be positive")
+        self.shape = tuple(shape)
+        self.mu = Parameter(f"{name}.mu", mu_init(self.shape, rng))
+        rho_value = np.full(self.shape, inverse_softplus(initial_sigma), dtype=np.float64)
+        self.rho = Parameter(f"{name}.rho", rho_value)
+
+    # ------------------------------------------------------------------
+    @property
+    def sigma(self) -> np.ndarray:
+        """Current standard deviation ``softplus(rho)``."""
+        return softplus(self.rho.value)
+
+    @property
+    def n_weights(self) -> int:
+        """Number of weights described by this posterior."""
+        return int(np.prod(self.shape))
+
+    def parameters(self) -> list[Parameter]:
+        """The two trainable parameter tensors (mu, rho)."""
+        return [self.mu, self.rho]
+
+    # ------------------------------------------------------------------
+    def log_prob(self, weights: np.ndarray) -> float:
+        """Total log-density of ``weights`` under ``q(w | theta)``."""
+        sigma = self.sigma
+        diff = np.asarray(weights) - self.mu.value
+        return float(
+            np.sum(
+                -0.5 * math.log(2.0 * math.pi)
+                - np.log(sigma)
+                - 0.5 * (diff / sigma) ** 2
+            )
+        )
+
+    def accumulate_gradients(
+        self,
+        grad_weight: np.ndarray,
+        epsilon: np.ndarray,
+        kl_weight: float,
+        prior_nll_grad: np.ndarray,
+        include_entropy_term: bool = True,
+    ) -> None:
+        """Accumulate Bayes-by-Backprop gradients into ``mu.grad`` and ``rho.grad``.
+
+        Parameters
+        ----------
+        grad_weight:
+            Gradient of the data-fit (negative log-likelihood) term with
+            respect to the sampled weight ``w`` -- what ordinary backprop of
+            the layer produces.
+        epsilon:
+            The Gaussian random variables used to draw ``w = mu + eps * sigma``
+            (retrieved from storage or via LFSR reversal).
+        kl_weight:
+            Weight ``beta`` applied to the complexity (prior + posterior)
+            terms; usually ``1 / batches_per_epoch``.
+        prior_nll_grad:
+            Gradient of ``-log P(w)`` at the sampled weight, e.g.
+            ``w / sigma_c^2`` for the Gaussian prior (the DPU's output).
+        include_entropy_term:
+            Keep the exact ``-1/sigma`` entropy contribution to the sigma
+            gradient.  Disabling it reproduces the paper's simplified updater,
+            which folds the posterior into the ``w``-gradient only.
+        """
+        if grad_weight.shape != self.shape or epsilon.shape != self.shape:
+            raise ValueError("gradient / epsilon shape does not match the posterior")
+        sigma = self.sigma
+        total_w_grad = grad_weight + kl_weight * prior_nll_grad
+        # d/d mu:   dL/dw * dw/dmu (+ the direct posterior term, which cancels)
+        self.mu.grad += total_w_grad
+        # d/d sigma: dL/dw * eps  (+ the -1/sigma entropy term of log q)
+        sigma_grad = epsilon * total_w_grad
+        if include_entropy_term:
+            sigma_grad = sigma_grad - kl_weight / sigma
+        # chain through sigma = softplus(rho)
+        self.rho.grad += sigma_grad * softplus_grad(self.rho.value)
+
+    def __repr__(self) -> str:
+        return f"GaussianPosterior(shape={self.shape})"

@@ -1,0 +1,111 @@
+"""Saving and loading Bayesian network parameters.
+
+A trained BNN is defined by its variational parameters (every layer's ``mu``
+and ``rho``) plus the deterministic biases.  This module stores them in a
+single ``.npz`` archive keyed by parameter name, together with a small
+manifest used to verify that the checkpoint matches the network it is loaded
+into.  Epsilons are never part of a checkpoint -- they are regenerated (or
+resampled) at run time, which is the whole point of the paper.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .model import BayesianNetwork
+
+__all__ = ["save_parameters", "load_parameters", "CheckpointMismatchError"]
+
+_MANIFEST_KEY = "__manifest__"
+_FORMAT_VERSION = 1
+
+
+class CheckpointMismatchError(RuntimeError):
+    """Raised when a checkpoint does not match the target network's structure."""
+
+
+def _parameter_names(model: BayesianNetwork) -> list[str]:
+    names = [parameter.name for parameter in model.parameters()]
+    if len(set(names)) != len(names):
+        raise ValueError(
+            "parameter names are not unique; give every layer an explicit name "
+            "before saving"
+        )
+    return names
+
+
+def save_parameters(model: BayesianNetwork, path: str | Path) -> Path:
+    """Write every trainable parameter of ``model`` to ``path`` (.npz).
+
+    Returns the path written.  The archive also records a manifest (model
+    name, parameter names and shapes) so loading can detect mismatches early.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    names = _parameter_names(model)
+    arrays = {name: parameter.value for name, parameter in zip(names, model.parameters())}
+    manifest = {
+        "format_version": _FORMAT_VERSION,
+        "model_name": model.name,
+        "parameters": {
+            name: list(parameter.value.shape)
+            for name, parameter in zip(names, model.parameters())
+        },
+    }
+    arrays[_MANIFEST_KEY] = np.frombuffer(
+        json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **arrays)
+    return path
+
+
+def load_parameters(model: BayesianNetwork, path: str | Path, strict: bool = True) -> None:
+    """Load parameters from ``path`` into ``model`` (in place).
+
+    Parameters
+    ----------
+    model:
+        The network to populate; its structure must match the checkpoint.
+    path:
+        Archive produced by :func:`save_parameters`.
+    strict:
+        When ``True`` (default) the checkpoint must contain exactly the
+        model's parameters; when ``False`` missing parameters are left at
+        their current values and extra entries are ignored.
+    """
+    path = Path(path)
+    if not path.exists() and path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    with np.load(path, allow_pickle=False) as archive:
+        stored = {key: archive[key] for key in archive.files}
+    manifest_raw = stored.pop(_MANIFEST_KEY, None)
+    if manifest_raw is None:
+        raise CheckpointMismatchError(f"{path} is not a Shift-BNN checkpoint (no manifest)")
+    manifest = json.loads(bytes(manifest_raw.tolist()).decode("utf-8"))
+    if manifest.get("format_version") != _FORMAT_VERSION:
+        raise CheckpointMismatchError(
+            f"unsupported checkpoint format version {manifest.get('format_version')!r}"
+        )
+    names = _parameter_names(model)
+    parameters = dict(zip(names, model.parameters()))
+    missing = [name for name in parameters if name not in stored]
+    unexpected = [name for name in stored if name not in parameters]
+    if strict and (missing or unexpected):
+        raise CheckpointMismatchError(
+            f"checkpoint does not match the model: missing={missing}, unexpected={unexpected}"
+        )
+    for name, parameter in parameters.items():
+        if name not in stored:
+            continue
+        value = stored[name]
+        if value.shape != parameter.value.shape:
+            raise CheckpointMismatchError(
+                f"shape mismatch for {name!r}: checkpoint {value.shape}, "
+                f"model {parameter.value.shape}"
+            )
+        parameter.value[...] = value

@@ -1,0 +1,291 @@
+"""BNN trainers: the stored-epsilon baseline and the Shift-BNN policy.
+
+Both trainers run the identical Bayes-by-Backprop algorithm of Fig. 1(a); the
+only difference is the epsilon-management policy of the underlying
+:class:`~repro.core.checkpoint.StreamBank`:
+
+* :class:`BaselineBNNTrainer` stores every epsilon between the forward and
+  backward stages (what a conventional accelerator or GPU must do);
+* :class:`ShiftBNNTrainer` stores none of them and regenerates them by LFSR
+  reversal.
+
+Because the regenerated values are bit-identical to the stored ones, the two
+trainers produce *exactly* the same parameter trajectory when started from the
+same model and seed -- the property behind Fig. 9 of the paper.  Each trainer
+also reports how many epsilon bytes its policy moved to and from backing
+storage, which feeds the characterisation experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.checkpoint import StreamBank, StreamPolicy
+from ..nn.functional import softmax
+from ..nn.losses import Loss, SoftmaxCrossEntropy
+from ..nn.metrics import accuracy
+from ..nn.optim import SGD, Adam, Optimizer
+from ..nn.quantization import QuantizationConfig
+from .elbo import ELBOReport
+from .model import BayesianNetwork
+from .predict import mc_predict
+
+__all__ = [
+    "TrainerConfig",
+    "TrainingHistory",
+    "BNNTrainer",
+    "BaselineBNNTrainer",
+    "ShiftBNNTrainer",
+]
+
+
+@dataclass(frozen=True)
+class TrainerConfig:
+    """Hyper-parameters shared by the baseline and Shift-BNN trainers.
+
+    Attributes
+    ----------
+    n_samples:
+        Number of Monte-Carlo weight samples ``S`` per training example.
+    learning_rate, optimizer, momentum:
+        Optimiser selection (``"adam"`` or ``"sgd"``).
+    kl_weight:
+        Weight of the complexity (prior/posterior) term per batch.  ``None``
+        selects ``1 / total_training_examples``, the per-example ELBO scaling
+        that matches the per-example mean used for the likelihood term (the
+        same convention as Blundell et al.'s ``1/M`` once the likelihood is a
+        sum over the minibatch).
+    quantization_bits:
+        8, 16 or 32 -- the datapath word length of Table 1.  ``None`` means
+        full precision (same as 32).
+    lfsr_bits:
+        Width of each GRNG's LFSR.
+    grng_stride:
+        LFSR shifts per epsilon.  The default uses non-overlapping patterns
+        (independent variables); set to 1 for the hardware-faithful sliding
+        window.
+    include_entropy_term:
+        Keep the exact ``-1/sigma`` term of the sigma gradient (Blundell's
+        estimator).  Set to ``False`` to mirror the accelerator's simplified
+        updater.
+    seed:
+        Seed for the stream bank (epsilons).  Model initialisation has its own
+        rng, owned by whoever builds the model.
+    """
+
+    n_samples: int = 4
+    learning_rate: float = 1e-3
+    optimizer: str = "adam"
+    momentum: float = 0.9
+    kl_weight: float | None = None
+    quantization_bits: int | None = None
+    lfsr_bits: int = 256
+    grng_stride: int = 256
+    include_entropy_term: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_samples < 1:
+            raise ValueError("n_samples must be at least 1")
+        if self.optimizer not in ("adam", "sgd"):
+            raise ValueError("optimizer must be 'adam' or 'sgd'")
+        if self.quantization_bits not in (None, 8, 16, 32):
+            raise ValueError("quantization_bits must be one of None, 8, 16, 32")
+
+
+@dataclass
+class TrainingHistory:
+    """Per-iteration and per-epoch records of a training run."""
+
+    losses: list[float] = field(default_factory=list)
+    nlls: list[float] = field(default_factory=list)
+    complexities: list[float] = field(default_factory=list)
+    train_accuracies: list[float] = field(default_factory=list)
+    epoch_losses: list[float] = field(default_factory=list)
+    epoch_accuracies: list[float] = field(default_factory=list)
+    validation_accuracies: list[float] = field(default_factory=list)
+
+    def record_step(self, report: ELBOReport, batch_accuracy: float) -> None:
+        self.losses.append(report.total)
+        self.nlls.append(report.nll)
+        self.complexities.append(report.complexity)
+        self.train_accuracies.append(batch_accuracy)
+
+    @property
+    def steps(self) -> int:
+        """Number of optimisation steps recorded."""
+        return len(self.losses)
+
+
+class BNNTrainer:
+    """Bayes-by-Backprop trainer over a configurable epsilon-stream policy."""
+
+    policy: StreamPolicy = "stored"
+
+    def __init__(
+        self,
+        model: BayesianNetwork,
+        config: TrainerConfig | None = None,
+        loss: Loss | None = None,
+        policy: StreamPolicy | None = None,
+    ) -> None:
+        self.model = model
+        self.config = config or TrainerConfig()
+        self.loss = loss or SoftmaxCrossEntropy()
+        if policy is not None:
+            self.policy = policy
+        self.bank = StreamBank(
+            n_samples=self.config.n_samples,
+            policy=self.policy,
+            seed=self.config.seed,
+            lfsr_bits=self.config.lfsr_bits,
+            grng_stride=self.config.grng_stride,
+        )
+        if self.config.quantization_bits in (8, 16):
+            quantization = QuantizationConfig.from_word_length(self.config.quantization_bits)
+        else:
+            quantization = QuantizationConfig.full_precision()
+        self.model.quantization = quantization
+        self._quantization = quantization
+        self.optimizer = self._build_optimizer()
+        self.history = TrainingHistory()
+
+    def _build_optimizer(self) -> Optimizer:
+        params = self.model.parameters()
+        if self.config.optimizer == "adam":
+            return Adam(params, learning_rate=self.config.learning_rate)
+        return SGD(
+            params,
+            learning_rate=self.config.learning_rate,
+            momentum=self.config.momentum,
+        )
+
+    # ------------------------------------------------------------------
+    # single step
+    # ------------------------------------------------------------------
+    def train_step(self, x: np.ndarray, y: np.ndarray, kl_weight: float = 1.0) -> ELBOReport:
+        """One optimisation step on a single minibatch.
+
+        Runs the FW / BW / GC stages for each of the ``S`` Monte-Carlo samples,
+        averages the gradients and applies one optimiser update.
+        """
+        config = self.config
+        model = self.model
+        model.train()
+        model.zero_grad()
+        total_nll = 0.0
+        correct_probs = np.zeros((x.shape[0], 0))
+        for sample_index in range(config.n_samples):
+            sampler = self.bank.sampler(sample_index)
+            logits = model.forward_sample(x, sampler)
+            if correct_probs.shape[1] == 0:
+                correct_probs = np.zeros((x.shape[0], logits.shape[1]))
+            correct_probs += softmax(logits)
+            total_nll += self.loss.forward(logits, y)
+            grad_logits = self.loss.backward()
+            model.backward_sample(
+                grad_logits,
+                sampler,
+                kl_weight=kl_weight,
+                include_entropy_term=config.include_entropy_term,
+            )
+        self.bank.finish_iteration()
+        scale = 1.0 / config.n_samples
+        for param in model.parameters():
+            param.grad *= scale
+            if self._quantization.gradient_format is not None:
+                param.grad[...] = self._quantization.quantize_gradients(param.grad)
+        self.optimizer.step()
+        mean_nll = total_nll * scale
+        report = ELBOReport(
+            nll=mean_nll, complexity=model.complexity(), kl_weight=kl_weight
+        )
+        batch_accuracy = accuracy(correct_probs * scale, y)
+        self.history.record_step(report, batch_accuracy)
+        return report
+
+    # ------------------------------------------------------------------
+    # full runs
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        batches: Sequence[tuple[np.ndarray, np.ndarray]] | Iterable[tuple[np.ndarray, np.ndarray]],
+        epochs: int = 1,
+        validation: tuple[np.ndarray, np.ndarray] | None = None,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """Train for ``epochs`` passes over ``batches``.
+
+        ``batches`` is a sequence of ``(x, y)`` minibatches; when the trainer's
+        ``kl_weight`` is unset it defaults to ``1 / total_training_examples``
+        (per-example ELBO scaling, consistent with the per-example mean NLL).
+        """
+        batch_list = list(batches)
+        if not batch_list:
+            raise ValueError("fit() needs at least one minibatch")
+        kl_weight = self.config.kl_weight
+        if kl_weight is None:
+            total_examples = sum(x.shape[0] for x, _ in batch_list)
+            kl_weight = 1.0 / max(total_examples, 1)
+        for epoch in range(epochs):
+            epoch_losses = []
+            epoch_accuracies = []
+            for x, y in batch_list:
+                report = self.train_step(x, y, kl_weight=kl_weight)
+                epoch_losses.append(report.total)
+                epoch_accuracies.append(self.history.train_accuracies[-1])
+            self.history.epoch_losses.append(float(np.mean(epoch_losses)))
+            self.history.epoch_accuracies.append(float(np.mean(epoch_accuracies)))
+            if validation is not None:
+                val_acc = self.evaluate(*validation)
+                self.history.validation_accuracies.append(val_acc)
+            if verbose:
+                message = (
+                    f"[{type(self).__name__}] epoch {epoch + 1}/{epochs} "
+                    f"loss={self.history.epoch_losses[-1]:.4f} "
+                    f"acc={self.history.epoch_accuracies[-1]:.3f}"
+                )
+                if validation is not None:
+                    message += f" val_acc={self.history.validation_accuracies[-1]:.3f}"
+                print(message)
+        return self.history
+
+    def evaluate(
+        self, x: np.ndarray, y: np.ndarray, n_samples: int | None = None
+    ) -> float:
+        """Monte-Carlo predictive accuracy on held-out data."""
+        result = mc_predict(
+            self.model,
+            x,
+            n_samples=n_samples or self.config.n_samples,
+            seed=self.config.seed + 7919,
+            grng_stride=self.config.grng_stride,
+            lfsr_bits=self.config.lfsr_bits,
+        )
+        return accuracy(result.mean_probabilities, y)
+
+    # ------------------------------------------------------------------
+    # traffic accounting
+    # ------------------------------------------------------------------
+    def epsilon_offchip_bytes(self) -> int:
+        """Bytes of epsilon traffic to/from backing storage under this policy."""
+        return self.bank.total_offchip_epsilon_bytes()
+
+    def epsilon_footprint_bytes(self) -> int:
+        """Peak memory footprint attributable to epsilons under this policy."""
+        return self.bank.total_epsilon_footprint_bytes()
+
+
+class BaselineBNNTrainer(BNNTrainer):
+    """Vanilla BNN training: epsilons are stored between FW and BW stages."""
+
+    policy: StreamPolicy = "stored"
+
+
+class ShiftBNNTrainer(BNNTrainer):
+    """Shift-BNN training: epsilons are regenerated by reversed LFSR shifting."""
+
+    policy: StreamPolicy = "reversible"

@@ -1,0 +1,39 @@
+"""Core of the Shift-BNN reproduction: reversible LFSR-based Gaussian sampling.
+
+The classes exported here implement the paper's primary contribution -- the
+ability to regenerate every Gaussian random variable used for Bayesian weight
+sampling by shifting the generating LFSR backwards, so that nothing has to be
+stored between the forward and backward training stages.
+"""
+
+from .checkpoint import LfsrSnapshot, StreamBank, StreamPolicy
+from .grng import GRNGMode, LfsrGaussianRNG
+from .lfsr import MAXIMAL_TAPS, FibonacciLFSR, LFSRStateError, mirrored_taps, parity
+from .sampler import SampledWeights, WeightSampler
+from .streams import (
+    EpsilonStream,
+    ReversibleGaussianStream,
+    StoredGaussianStream,
+    StreamOrderError,
+    StreamUsage,
+)
+
+__all__ = [
+    "MAXIMAL_TAPS",
+    "FibonacciLFSR",
+    "LFSRStateError",
+    "mirrored_taps",
+    "parity",
+    "GRNGMode",
+    "LfsrGaussianRNG",
+    "EpsilonStream",
+    "ReversibleGaussianStream",
+    "StoredGaussianStream",
+    "StreamOrderError",
+    "StreamUsage",
+    "SampledWeights",
+    "WeightSampler",
+    "LfsrSnapshot",
+    "StreamBank",
+    "StreamPolicy",
+]

@@ -1,0 +1,179 @@
+"""Per-sample stream banks and LFSR snapshots.
+
+The Shift-BNN accelerator trains the ``S`` Monte-Carlo samples of a BNN on
+``S`` Sample Processing Units that run in parallel, each with its own set of
+GRNGs.  The software trainer mirrors that organisation with a
+:class:`StreamBank`: one epsilon stream per sample, seeded deterministically so
+that runs are reproducible and so that the baseline (stored) and Shift-BNN
+(reversible) trainers see *exactly the same* random variables when given the
+same bank seed.
+
+:class:`LfsrSnapshot` captures and restores the full state of a stream's
+generator, which is how the trainer realigns streams between iterations and
+how tests assert bit-exact equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Literal, Sequence
+
+from .grng import LfsrGaussianRNG
+from .sampler import WeightSampler
+from .streams import EpsilonStream, ReversibleGaussianStream, StoredGaussianStream
+
+__all__ = ["LfsrSnapshot", "StreamBank", "StreamPolicy"]
+
+StreamPolicy = Literal["stored", "reversible", "reversible-hw"]
+
+
+@dataclass(frozen=True)
+class LfsrSnapshot:
+    """Immutable snapshot of a GRNG's register and bit-sum."""
+
+    n_bits: int
+    taps: tuple[int, ...]
+    state: int
+    sum_register: int
+
+    @classmethod
+    def capture(cls, grng: LfsrGaussianRNG) -> "LfsrSnapshot":
+        """Snapshot the generator's register and running sum."""
+        return cls(
+            n_bits=grng.n_bits,
+            taps=grng.lfsr.taps,
+            state=grng.lfsr.state,
+            sum_register=grng.lfsr.popcount,
+        )
+
+    def restore(self, grng: LfsrGaussianRNG) -> None:
+        """Write this snapshot back into ``grng``."""
+        if grng.n_bits != self.n_bits or grng.lfsr.taps != self.taps:
+            raise ValueError("snapshot was captured from an incompatible generator")
+        grng.lfsr.state = self.state
+        grng.resync_sum_register()
+
+
+class StreamBank:
+    """A bank of per-sample epsilon streams with deterministic seeding.
+
+    Parameters
+    ----------
+    n_samples:
+        Number of Monte-Carlo samples ``S`` (one stream / SPU each).
+    policy:
+        ``"stored"`` for the baseline store-and-fetch behaviour,
+        ``"reversible"`` for Shift-BNN's checkpointed regeneration, or
+        ``"reversible-hw"`` for literal step-accurate reverse shifting.
+    seed:
+        Bank-level seed; sample ``i`` uses seed index ``seed * stride + i`` so
+        two banks built with the same ``seed`` produce identical epsilons
+        regardless of policy.
+    lfsr_bits:
+        Width of each GRNG's LFSR (256 in the paper).
+    grng_stride:
+        Register shifts per Gaussian variable.  ``1`` is the hardware-faithful
+        sliding-window mode; ``lfsr_bits`` (non-overlapping patterns) gives
+        effectively independent variables and is what the functional BNN
+        trainers use by default.  The reversal property holds for any stride.
+    """
+
+    _SEED_STRIDE = 1024
+
+    def __init__(
+        self,
+        n_samples: int,
+        policy: StreamPolicy = "reversible",
+        seed: int = 0,
+        lfsr_bits: int = 256,
+        bytes_per_value: int = 2,
+        grng_stride: int = 1,
+    ) -> None:
+        if n_samples < 1:
+            raise ValueError("a stream bank needs at least one sample")
+        if policy not in ("stored", "reversible", "reversible-hw"):
+            raise ValueError(f"unknown stream policy {policy!r}")
+        self._n_samples = n_samples
+        self._policy: StreamPolicy = policy
+        self._seed = seed
+        self._lfsr_bits = lfsr_bits
+        self._streams: list[EpsilonStream] = []
+        for sample_index in range(n_samples):
+            grng = LfsrGaussianRNG(
+                n_bits=lfsr_bits,
+                seed_index=seed * self._SEED_STRIDE + sample_index,
+                stride=grng_stride,
+            )
+            self._streams.append(self._build_stream(grng, bytes_per_value))
+        self._samplers = [WeightSampler(stream) for stream in self._streams]
+
+    def _build_stream(
+        self, grng: LfsrGaussianRNG, bytes_per_value: int
+    ) -> EpsilonStream:
+        if self._policy == "stored":
+            return StoredGaussianStream(grng, bytes_per_value=bytes_per_value)
+        use_checkpoints = self._policy == "reversible"
+        return ReversibleGaussianStream(
+            grng, bytes_per_value=bytes_per_value, use_checkpoints=use_checkpoints
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_samples(self) -> int:
+        """Number of Monte-Carlo samples (streams) in the bank."""
+        return self._n_samples
+
+    @property
+    def policy(self) -> StreamPolicy:
+        """The epsilon-management policy used by every stream in the bank."""
+        return self._policy
+
+    @property
+    def streams(self) -> Sequence[EpsilonStream]:
+        """The per-sample streams, indexable by sample number."""
+        return tuple(self._streams)
+
+    @property
+    def samplers(self) -> Sequence[WeightSampler]:
+        """The per-sample weight samplers, indexable by sample number."""
+        return tuple(self._samplers)
+
+    def sampler(self, sample_index: int) -> WeightSampler:
+        """Return the weight sampler of Monte-Carlo sample ``sample_index``."""
+        return self._samplers[sample_index]
+
+    def __iter__(self) -> Iterator[WeightSampler]:
+        return iter(self._samplers)
+
+    def __len__(self) -> int:
+        return self._n_samples
+
+    # ------------------------------------------------------------------
+    def snapshots(self) -> list[LfsrSnapshot]:
+        """Capture a snapshot of every stream's generator."""
+        return [LfsrSnapshot.capture(stream.grng) for stream in self._streams]
+
+    def restore(self, snapshots: Sequence[LfsrSnapshot]) -> None:
+        """Restore every stream's generator from ``snapshots``."""
+        if len(snapshots) != self._n_samples:
+            raise ValueError(
+                f"expected {self._n_samples} snapshots, got {len(snapshots)}"
+            )
+        for snapshot, stream in zip(snapshots, self._streams):
+            snapshot.restore(stream.grng)
+
+    def finish_iteration(self) -> None:
+        """Check that every stream consumed all its blocks this iteration."""
+        for sampler in self._samplers:
+            sampler.finish_iteration()
+
+    def total_offchip_epsilon_bytes(self) -> int:
+        """Off-chip bytes moved for epsilons across all samples (read + write)."""
+        return sum(
+            stream.usage.offchip_write_bytes + stream.usage.offchip_read_bytes
+            for stream in self._streams
+        )
+
+    def total_epsilon_footprint_bytes(self) -> int:
+        """Peak epsilon memory footprint across all samples."""
+        return sum(stream.usage.footprint_bytes for stream in self._streams)

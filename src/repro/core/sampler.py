@@ -1,0 +1,83 @@
+"""Weight sampling on top of an epsilon stream.
+
+``w = mu + eps * sigma`` (Section 2.1 of the paper) is the only place the
+Gaussian random variables enter the computation.  :class:`WeightSampler` wraps
+an :class:`~repro.core.streams.EpsilonStream` and exposes the two operations
+the training stages need:
+
+* ``sample(mu, sigma)`` -- forward stage: draw a fresh epsilon block shaped
+  like the parameters and return the sampled weights;
+* ``resample(mu, sigma)`` -- backward / gradient stage: retrieve the *same*
+  epsilon block (from storage or by LFSR reversal, depending on the stream
+  policy) and reconstruct the identical weights, also returning the epsilons
+  themselves because the gradient of ``sigma`` needs them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .streams import EpsilonStream
+
+__all__ = ["SampledWeights", "WeightSampler"]
+
+
+@dataclass(frozen=True)
+class SampledWeights:
+    """A sampled weight tensor together with the epsilons that produced it."""
+
+    weights: np.ndarray
+    epsilon: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.weights.shape != self.epsilon.shape:
+            raise ValueError(
+                "weights and epsilon must have the same shape, got "
+                f"{self.weights.shape} vs {self.epsilon.shape}"
+            )
+
+
+class WeightSampler:
+    """Sample and re-sample Gaussian weights through an epsilon stream."""
+
+    def __init__(self, stream: EpsilonStream) -> None:
+        self._stream = stream
+
+    @property
+    def stream(self) -> EpsilonStream:
+        """The epsilon stream this sampler draws from."""
+        return self._stream
+
+    @staticmethod
+    def _validate(mu: np.ndarray, sigma: np.ndarray) -> None:
+        if mu.shape != sigma.shape:
+            raise ValueError(
+                f"mu and sigma must have the same shape, got {mu.shape} vs {sigma.shape}"
+            )
+        if np.any(sigma < 0):
+            raise ValueError("sigma must be non-negative")
+
+    def sample(self, mu: np.ndarray, sigma: np.ndarray) -> SampledWeights:
+        """Forward-stage sampling: draw fresh epsilons and build the weights."""
+        self._validate(mu, sigma)
+        epsilon = self._stream.forward_block(mu.shape)
+        weights = mu + epsilon * sigma
+        return SampledWeights(weights=weights, epsilon=epsilon)
+
+    def resample(self, mu: np.ndarray, sigma: np.ndarray) -> SampledWeights:
+        """Backward-stage reconstruction with the original epsilons.
+
+        The returned weights are bit-identical to the forward-stage sample
+        (given unchanged ``mu`` and ``sigma``), which is the property that lets
+        Shift-BNN discard the epsilons after the forward pass.
+        """
+        self._validate(mu, sigma)
+        epsilon = self._stream.retrieve_block(mu.shape)
+        weights = mu + epsilon * sigma
+        return SampledWeights(weights=weights, epsilon=epsilon)
+
+    def finish_iteration(self) -> None:
+        """Assert all sampled blocks were consumed and reset per-iteration state."""
+        self._stream.reset_epoch()

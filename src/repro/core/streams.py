@@ -1,0 +1,287 @@
+"""Epsilon stream policies: store-and-fetch (baseline) vs. LFSR retrieval.
+
+BNN training needs every Gaussian random variable ``eps`` twice: once in the
+forward stage to sample ``w = mu + eps * sigma`` and once during the backward /
+gradient-calculation stages to reconstruct the weight and to form the gradient
+of ``sigma``.  How the second use is served is the whole difference between the
+baseline accelerators and Shift-BNN:
+
+* :class:`StoredGaussianStream` materialises every generated block and serves
+  retrievals from that store -- the software analogue of spilling ``eps`` to
+  DRAM (the dominant traffic source the paper measures in Fig. 3).
+* :class:`ReversibleGaussianStream` stores nothing but the LFSR state; blocks
+  are regenerated on retrieval by reversed shifting (optionally from a tiny
+  per-block register checkpoint), exactly reproducing the forward values.
+
+Both classes implement the same :class:`EpsilonStream` interface and keep byte
+accounting so that functional training runs can report the traffic that each
+policy would have induced.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .grng import LfsrGaussianRNG
+
+__all__ = [
+    "EpsilonStream",
+    "StreamUsage",
+    "StoredGaussianStream",
+    "ReversibleGaussianStream",
+    "StreamOrderError",
+]
+
+
+class StreamOrderError(RuntimeError):
+    """Raised when blocks are retrieved in an order the policy cannot serve."""
+
+
+@dataclass
+class StreamUsage:
+    """Book-keeping of a stream's traffic, in epsilon counts and bytes.
+
+    ``bytes_per_value`` follows the accelerator's 16-bit fixed-point datapath
+    by default so that functional runs and the analytic simulator agree on
+    volumes.
+    """
+
+    bytes_per_value: int = 2
+    generated_values: int = 0
+    retrieved_values: int = 0
+    stored_values_peak: int = 0
+    stored_values_current: int = 0
+    checkpoint_bits: int = 0
+
+    def record_generate(self, count: int) -> None:
+        self.generated_values += count
+
+    def record_retrieve(self, count: int) -> None:
+        self.retrieved_values += count
+
+    def record_store(self, count: int) -> None:
+        self.stored_values_current += count
+        self.stored_values_peak = max(self.stored_values_peak, self.stored_values_current)
+
+    def record_release(self, count: int) -> None:
+        self.stored_values_current = max(0, self.stored_values_current - count)
+
+    @property
+    def offchip_write_bytes(self) -> int:
+        """Bytes written to backing storage for later reuse."""
+        return self.stored_values_peak * self.bytes_per_value
+
+    @property
+    def offchip_read_bytes(self) -> int:
+        """Bytes read back from backing storage."""
+        return self.retrieved_values * self.bytes_per_value if self.stored_values_peak else 0
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Peak memory footprint attributable to epsilon storage."""
+        return self.stored_values_peak * self.bytes_per_value + self.checkpoint_bits // 8
+
+
+class EpsilonStream(abc.ABC):
+    """Common interface of the two epsilon-management policies.
+
+    The forward pass calls :meth:`forward_block` once per layer (per sample);
+    the backward pass calls :meth:`retrieve_block` for the same layers in the
+    reverse order, passing the same shapes.  Implementations must return, for
+    each retrieval, exactly the array that the matching forward call returned.
+    """
+
+    def __init__(self, grng: LfsrGaussianRNG, bytes_per_value: int = 2) -> None:
+        self._grng = grng
+        self.usage = StreamUsage(bytes_per_value=bytes_per_value)
+
+    @property
+    def grng(self) -> LfsrGaussianRNG:
+        """The Gaussian generator backing this stream."""
+        return self._grng
+
+    @abc.abstractmethod
+    def forward_block(self, shape: tuple[int, ...]) -> np.ndarray:
+        """Generate a block of epsilons of ``shape`` for the forward stage."""
+
+    @abc.abstractmethod
+    def retrieve_block(self, shape: tuple[int, ...]) -> np.ndarray:
+        """Return the epsilon block of the most recent un-retrieved layer."""
+
+    @abc.abstractmethod
+    def reset_epoch(self) -> None:
+        """Prepare the stream for the next training iteration."""
+
+    @staticmethod
+    def _block_size(shape: tuple[int, ...]) -> int:
+        size = 1
+        for dim in shape:
+            if dim <= 0:
+                raise ValueError(f"block shape must be positive, got {shape}")
+            size *= int(dim)
+        return size
+
+
+class StoredGaussianStream(EpsilonStream):
+    """Baseline policy: keep every generated block until it is consumed.
+
+    This is what a conventional training accelerator (or a GPU) has to do:
+    epsilons cannot be recomputed, so they are written out after the forward
+    stage and read back during backward / gradient calculation.  The stored
+    blocks live in a LIFO because backpropagation walks the layers in reverse.
+    """
+
+    def __init__(self, grng: LfsrGaussianRNG, bytes_per_value: int = 2) -> None:
+        super().__init__(grng, bytes_per_value)
+        self._blocks: list[np.ndarray] = []
+
+    def forward_block(self, shape: tuple[int, ...]) -> np.ndarray:
+        count = self._block_size(shape)
+        values = self._grng.epsilon_block(count).reshape(shape)
+        self._blocks.append(values)
+        self.usage.record_generate(count)
+        self.usage.record_store(count)
+        return values
+
+    def retrieve_block(self, shape: tuple[int, ...]) -> np.ndarray:
+        if not self._blocks:
+            raise StreamOrderError("no stored epsilon block left to retrieve")
+        block = self._blocks.pop()
+        if block.shape != tuple(shape):
+            raise StreamOrderError(
+                f"retrieval shape {tuple(shape)} does not match stored block "
+                f"shape {block.shape}; backward order must mirror forward order"
+            )
+        self.usage.record_retrieve(block.size)
+        self.usage.record_release(block.size)
+        return block
+
+    def reset_epoch(self) -> None:
+        if self._blocks:
+            raise StreamOrderError(
+                f"{len(self._blocks)} stored epsilon block(s) were never retrieved"
+            )
+
+    @property
+    def pending_blocks(self) -> int:
+        """Number of generated blocks not yet consumed by the backward pass."""
+        return len(self._blocks)
+
+
+class ReversibleGaussianStream(EpsilonStream):
+    """Shift-BNN policy: regenerate blocks by reversed LFSR shifting.
+
+    Nothing but the LFSR register (and, per outstanding layer, a block-size
+    counter plus an optional state checkpoint of ``n_bits`` bits) is kept
+    between the forward and backward stages.  Retrieval reproduces the forward
+    values bit exactly because the LFSR recurrence is reversible.
+
+    Parameters
+    ----------
+    use_checkpoints:
+        When ``True`` (default) the register state at each block boundary is
+        remembered so retrieval can regenerate the block with the fast
+        vectorised forward generator.  When ``False`` the stream retrieves by
+        literal reverse shifting, the exact hardware behaviour; results are
+        identical (property-tested), only the software speed differs.
+    """
+
+    def __init__(
+        self,
+        grng: LfsrGaussianRNG,
+        bytes_per_value: int = 2,
+        use_checkpoints: bool = True,
+    ) -> None:
+        super().__init__(grng, bytes_per_value)
+        self._use_checkpoints = use_checkpoints
+        self._pending: list[_BlockRecord] = []
+        # The farthest pattern the forward stage reached.  After the backward
+        # stage has rewound the register, this pattern is restored so the next
+        # iteration draws *fresh* variables -- exactly what the baseline's
+        # free-running LFSR does.  In hardware this is one extra n-bit register
+        # per GRNG, not an off-chip store.
+        self._resume_state: int | None = None
+
+    def forward_block(self, shape: tuple[int, ...]) -> np.ndarray:
+        count = self._block_size(shape)
+        start_state = self._grng.lfsr.state if self._use_checkpoints else None
+        values = self._grng.epsilon_block(count).reshape(shape)
+        self._pending.append(
+            _BlockRecord(shape=tuple(shape), count=count, start_state=start_state)
+        )
+        if self._use_checkpoints:
+            self.usage.checkpoint_bits += self._grng.n_bits
+        self._resume_state = self._grng.lfsr.state
+        self.usage.record_generate(count)
+        return values
+
+    def retrieve_block(self, shape: tuple[int, ...]) -> np.ndarray:
+        if not self._pending:
+            raise StreamOrderError("no outstanding epsilon block to retrieve")
+        record = self._pending.pop()
+        if record.shape != tuple(shape):
+            raise StreamOrderError(
+                f"retrieval shape {tuple(shape)} does not match outstanding block "
+                f"shape {record.shape}; backward order must mirror forward order"
+            )
+        if self._use_checkpoints and record.start_state is not None:
+            values = self._retrieve_from_checkpoint(record)
+        else:
+            values = self._retrieve_by_reverse_shift(record)
+        self.usage.record_retrieve(record.count)
+        return values
+
+    def _retrieve_from_checkpoint(self, record: "_BlockRecord") -> np.ndarray:
+        lfsr = self._grng.lfsr
+        end_state = lfsr.state
+        assert record.start_state is not None
+        lfsr.state = record.start_state
+        # Regenerate forward from the checkpoint, then rewind the register to
+        # the checkpoint so the next (earlier) block can be retrieved.  The
+        # GRNG's sum register is refreshed from the pattern.
+        values = self._grng.epsilon_block(record.count).reshape(record.shape)
+        if lfsr.state != end_state:
+            raise StreamOrderError(
+                "checkpoint replay did not land on the pre-retrieval pattern; "
+                "the register was modified outside the stream"
+            )
+        lfsr.state = record.start_state
+        self._grng.resync_sum_register()
+        self.usage.checkpoint_bits -= self._grng.n_bits
+        return values
+
+    def _retrieve_by_reverse_shift(self, record: "_BlockRecord") -> np.ndarray:
+        reversed_values = self._grng.epsilon_block_reverse(record.count)
+        # Reverse shifting yields the block newest-value-first; restore the
+        # generation order so callers see exactly the forward block.
+        return reversed_values[::-1].reshape(record.shape)
+
+    def reset_epoch(self) -> None:
+        if self._pending:
+            raise StreamOrderError(
+                f"{len(self._pending)} epsilon block(s) were never retrieved"
+            )
+        if self._resume_state is not None:
+            # Resume from the farthest pattern of the forward stage so the next
+            # iteration's epsilons are fresh and identical to the stored-policy
+            # baseline's.
+            self._grng.lfsr.state = self._resume_state
+            self._grng.resync_sum_register()
+            self._resume_state = None
+
+    @property
+    def pending_blocks(self) -> int:
+        """Number of generated blocks not yet regenerated by the backward pass."""
+        return len(self._pending)
+
+
+@dataclass(frozen=True)
+class _BlockRecord:
+    """Metadata of one outstanding forward block (no epsilon values!)."""
+
+    shape: tuple[int, ...]
+    count: int
+    start_state: int | None = field(default=None)

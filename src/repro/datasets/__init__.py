@@ -1,0 +1,19 @@
+"""Synthetic datasets and loaders (offline stand-ins for MNIST/CIFAR/ImageNet)."""
+
+from .loaders import BatchLoader
+from .synthetic import (
+    SyntheticDataset,
+    make_classification_dataset,
+    synthetic_cifar10,
+    synthetic_imagenet,
+    synthetic_mnist,
+)
+
+__all__ = [
+    "SyntheticDataset",
+    "make_classification_dataset",
+    "synthetic_mnist",
+    "synthetic_cifar10",
+    "synthetic_imagenet",
+    "BatchLoader",
+]

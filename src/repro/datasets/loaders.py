@@ -1,0 +1,64 @@
+"""Minibatch iteration over synthetic datasets."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .synthetic import SyntheticDataset
+
+__all__ = ["BatchLoader"]
+
+
+class BatchLoader:
+    """Deterministic (optionally shuffled) minibatch loader.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset to iterate.
+    batch_size:
+        Number of examples per minibatch; the final short batch is kept.
+    flatten:
+        Emit ``(N, features)`` instead of ``(N, C, H, W)`` -- used by the MLP
+        models.
+    shuffle, seed:
+        Shuffle example order once per epoch with a dedicated generator so the
+        Bayesian sampling streams are unaffected.
+    """
+
+    def __init__(
+        self,
+        dataset: SyntheticDataset,
+        batch_size: int,
+        flatten: bool = False,
+        shuffle: bool = False,
+        seed: int = 0,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.flatten = flatten
+        self.shuffle = shuffle
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        return (len(self.dataset) + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        order = np.arange(len(self.dataset))
+        if self.shuffle:
+            self._rng.shuffle(order)
+        images = self.dataset.images
+        if self.flatten:
+            images = self.dataset.flatten_images()
+        labels = self.dataset.labels
+        for start in range(0, len(order), self.batch_size):
+            index = order[start : start + self.batch_size]
+            yield images[index], labels[index]
+
+    def batches(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Materialise the epoch's minibatches as a list (what trainers expect)."""
+        return list(iter(self))

@@ -1,0 +1,200 @@
+"""Synthetic stand-ins for MNIST, CIFAR-10 and ImageNet.
+
+The offline reproduction environment has no access to the real datasets, and
+none of the paper's claims about data movement or LFSR reversal depend on the
+image content -- only the tensor shapes and the existence of a learnable
+classification task matter (see DESIGN.md, substitution table).  Each
+generator draws a fixed set of class prototypes and emits noisy instances of
+them, giving a task on which the reduced BNN models reach high accuracy within
+a few epochs while remaining non-trivial (prototypes overlap under noise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "SyntheticDataset",
+    "make_classification_dataset",
+    "synthetic_mnist",
+    "synthetic_cifar10",
+    "synthetic_imagenet",
+]
+
+
+@dataclass(frozen=True)
+class SyntheticDataset:
+    """An in-memory image-classification dataset."""
+
+    name: str
+    images: np.ndarray
+    labels: np.ndarray
+    num_classes: int
+
+    def __post_init__(self) -> None:
+        if self.images.ndim != 4:
+            raise ValueError("images must be (N, C, H, W)")
+        if self.labels.ndim != 1 or self.labels.shape[0] != self.images.shape[0]:
+            raise ValueError("labels must be (N,) matching images")
+        if self.num_classes < 2:
+            raise ValueError("a classification dataset needs at least 2 classes")
+
+    def __len__(self) -> int:
+        return int(self.images.shape[0])
+
+    @property
+    def input_shape(self) -> tuple[int, int, int]:
+        """Shape of one example as ``(C, H, W)``."""
+        return tuple(self.images.shape[1:])  # type: ignore[return-value]
+
+    def subset(self, count: int) -> "SyntheticDataset":
+        """First ``count`` examples as a new dataset (for quick experiments)."""
+        if count < 1 or count > len(self):
+            raise ValueError(f"subset size {count} out of range 1..{len(self)}")
+        return SyntheticDataset(
+            name=f"{self.name}[:{count}]",
+            images=self.images[:count],
+            labels=self.labels[:count],
+            num_classes=self.num_classes,
+        )
+
+    def flatten_images(self) -> np.ndarray:
+        """Images reshaped to ``(N, C*H*W)`` for fully-connected models."""
+        return self.images.reshape(self.images.shape[0], -1)
+
+
+def make_classification_dataset(
+    name: str,
+    n_examples: int,
+    input_shape: tuple[int, int, int],
+    num_classes: int,
+    signal: float = 2.0,
+    noise: float = 1.0,
+    seed: int = 0,
+    noise_seed: int | None = None,
+) -> SyntheticDataset:
+    """Prototype-plus-noise synthetic classification data.
+
+    Each class gets a fixed random prototype image; an example of that class
+    is ``signal * prototype + noise * N(0, 1)``.  The signal-to-noise ratio
+    controls task difficulty.
+
+    ``seed`` fixes the class prototypes (the *task*); ``noise_seed`` fixes the
+    example draws.  Train and test splits of the same task must share ``seed``
+    and differ only in ``noise_seed``.
+    """
+    if n_examples < num_classes:
+        raise ValueError("need at least one example per class")
+    proto_rng = np.random.default_rng(seed)
+    example_rng = np.random.default_rng(seed if noise_seed is None else noise_seed)
+    channels, height, width = input_shape
+    prototypes = proto_rng.normal(size=(num_classes, channels, height, width))
+    labels = example_rng.integers(0, num_classes, size=n_examples)
+    noise_draw = example_rng.normal(size=(n_examples, channels, height, width))
+    images = signal * prototypes[labels] + noise * noise_draw
+    # Normalise to roughly unit scale, as image pipelines do.
+    images = images / np.sqrt(signal**2 + noise**2)
+    return SyntheticDataset(
+        name=name,
+        images=images.astype(np.float64),
+        labels=labels.astype(np.int64),
+        num_classes=num_classes,
+    )
+
+
+def synthetic_mnist(
+    n_train: int = 1024,
+    n_test: int = 256,
+    image_size: int = 28,
+    seed: int = 0,
+) -> tuple[SyntheticDataset, SyntheticDataset]:
+    """MNIST-shaped data: 1-channel ``image_size`` x ``image_size``, 10 classes."""
+    train = make_classification_dataset(
+        "synthetic-mnist-train",
+        n_train,
+        (1, image_size, image_size),
+        num_classes=10,
+        signal=2.0,
+        noise=1.0,
+        seed=seed,
+        noise_seed=seed + 1,
+    )
+    test = make_classification_dataset(
+        "synthetic-mnist-test",
+        n_test,
+        (1, image_size, image_size),
+        num_classes=10,
+        signal=2.0,
+        noise=1.0,
+        seed=seed,
+        noise_seed=seed + 10_001,
+    )
+    return train, test
+
+
+def synthetic_cifar10(
+    n_train: int = 1024,
+    n_test: int = 256,
+    image_size: int = 32,
+    seed: int = 0,
+) -> tuple[SyntheticDataset, SyntheticDataset]:
+    """CIFAR-10-shaped data: 3-channel ``image_size`` x ``image_size``, 10 classes."""
+    train = make_classification_dataset(
+        "synthetic-cifar10-train",
+        n_train,
+        (3, image_size, image_size),
+        num_classes=10,
+        signal=1.5,
+        noise=1.0,
+        seed=seed,
+        noise_seed=seed + 1,
+    )
+    test = make_classification_dataset(
+        "synthetic-cifar10-test",
+        n_test,
+        (3, image_size, image_size),
+        num_classes=10,
+        signal=1.5,
+        noise=1.0,
+        seed=seed,
+        noise_seed=seed + 10_001,
+    )
+    return train, test
+
+
+def synthetic_imagenet(
+    n_train: int = 256,
+    n_test: int = 64,
+    image_size: int = 64,
+    num_classes: int = 100,
+    seed: int = 0,
+) -> tuple[SyntheticDataset, SyntheticDataset]:
+    """ImageNet-shaped data, scaled down by default for CPU-feasible runs.
+
+    The full 224 x 224 shape is only needed by the analytic accelerator
+    simulator (which never touches pixels); functional runs use a reduced
+    resolution and class count.
+    """
+    train = make_classification_dataset(
+        "synthetic-imagenet-train",
+        n_train,
+        (3, image_size, image_size),
+        num_classes=num_classes,
+        signal=1.5,
+        noise=1.0,
+        seed=seed,
+        noise_seed=seed + 1,
+    )
+    test = make_classification_dataset(
+        "synthetic-imagenet-test",
+        n_test,
+        (3, image_size, image_size),
+        num_classes=num_classes,
+        signal=1.5,
+        noise=1.0,
+        seed=seed,
+        noise_seed=seed + 10_001,
+    )
+    return train, test

@@ -1,0 +1,42 @@
+"""Experiment modules: one per table / figure of the paper's evaluation."""
+
+from .ablations import (
+    run_bandwidth_sensitivity_ablation,
+    run_grng_quality_ablation,
+    run_spu_scaling_ablation,
+)
+from .base import ExperimentResult
+from .dse_mappings import run_dse
+from .fig2_bnn_vs_dnn import run_fig2
+from .fig3_traffic_breakdown import run_fig3
+from .fig9_training_equivalence import Fig9Outcome, run_fig9
+from .fig10_energy import run_fig10
+from .fig11_speedup import run_fig11
+from .fig12_efficiency import run_fig12
+from .fig13_scalability import run_fig13
+from .fig14_dram_footprint import run_fig14
+from .runner import ANALYTIC_EXPERIMENTS, FUNCTIONAL_EXPERIMENTS, run_all
+from .table1_precision import run_table1
+from .table2_resources import run_table2
+
+__all__ = [
+    "ExperimentResult",
+    "run_fig2",
+    "run_fig3",
+    "run_fig9",
+    "Fig9Outcome",
+    "run_fig10",
+    "run_fig11",
+    "run_fig12",
+    "run_fig13",
+    "run_fig14",
+    "run_table1",
+    "run_table2",
+    "run_dse",
+    "run_grng_quality_ablation",
+    "run_spu_scaling_ablation",
+    "run_bandwidth_sensitivity_ablation",
+    "run_all",
+    "ANALYTIC_EXPERIMENTS",
+    "FUNCTIONAL_EXPERIMENTS",
+]

@@ -1,0 +1,51 @@
+"""Common result container shared by every experiment module."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.tables import format_csv, format_table
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Tabular outcome of one experiment (one paper table or figure).
+
+    Attributes
+    ----------
+    name:
+        Identifier such as ``"fig3"`` or ``"table1"``.
+    title:
+        Human-readable description (which paper artefact it regenerates).
+    headers, rows:
+        The table data.
+    notes:
+        Free-form remarks (e.g. paper-vs-measured summary lines) that the
+        runner prints below the table and EXPERIMENTS.md quotes.
+    """
+
+    name: str
+    title: str
+    headers: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def to_table(self, float_format: str = ".3f") -> str:
+        """Render the result as an aligned ASCII table with notes."""
+        table = format_table(self.headers, self.rows, title=self.title, float_format=float_format)
+        if self.notes:
+            table += "\n" + "\n".join(f"  note: {note}" for note in self.notes)
+        return table
+
+    def to_csv(self) -> str:
+        """Render the result rows as CSV."""
+        return format_csv(self.headers, self.rows)
+
+    def column(self, header: str) -> list[object]:
+        """Extract one column by header name."""
+        if header not in self.headers:
+            raise KeyError(f"unknown column {header!r}; available: {self.headers}")
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]

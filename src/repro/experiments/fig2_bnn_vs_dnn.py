@@ -1,0 +1,69 @@
+"""Fig. 2: BNN training cost relative to the matching DNN, versus sample count.
+
+The paper's characterisation trains each of the five BNN models and its DNN
+counterpart on the MN-mapping (Diannao-like) baseline accelerator and reports
+data transfer, energy and latency normalised to the DNN.  A BNN with 8 samples
+already moves ~9x more data than its DNN; with 32 samples the factor grows to
+~35x, and energy/latency grow similarly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..accel import mn_accelerator, simulate_training_iteration
+from ..models import paper_models
+from .base import ExperimentResult
+
+__all__ = ["run_fig2", "DEFAULT_SAMPLE_COUNTS"]
+
+DEFAULT_SAMPLE_COUNTS: tuple[int, ...] = (1, 8, 16, 24, 32)
+
+
+def run_fig2(
+    sample_counts: Sequence[int] = DEFAULT_SAMPLE_COUNTS,
+    model_names: Sequence[str] | None = None,
+) -> ExperimentResult:
+    """Regenerate Fig. 2 (normalised data transfer / energy / latency vs S)."""
+    accelerator = mn_accelerator()
+    models = paper_models()
+    if model_names is not None:
+        models = {name: models[name] for name in model_names}
+    result = ExperimentResult(
+        name="fig2",
+        title="Fig. 2: BNN vs DNN training cost on the MN baseline (normalised to the DNN)",
+        headers=[
+            "model",
+            "samples",
+            "data_transfer_x",
+            "energy_x",
+            "latency_x",
+        ],
+    )
+    ratios_at_8 = []
+    ratios_at_32 = []
+    for name, spec in models.items():
+        dnn = simulate_training_iteration(accelerator, spec, n_samples=1, bayesian=False)
+        for samples in sample_counts:
+            bnn = simulate_training_iteration(accelerator, spec, n_samples=samples)
+            transfer_ratio = bnn.dram_bytes / dnn.dram_bytes
+            energy_ratio = bnn.energy_joules / dnn.energy_joules
+            latency_ratio = bnn.latency_seconds / dnn.latency_seconds
+            result.rows.append(
+                [name, samples, transfer_ratio, energy_ratio, latency_ratio]
+            )
+            if samples == 8:
+                ratios_at_8.append(transfer_ratio)
+            if samples == 32:
+                ratios_at_32.append(transfer_ratio)
+    if ratios_at_8:
+        result.notes.append(
+            f"average data-transfer blow-up at S=8: {sum(ratios_at_8) / len(ratios_at_8):.1f}x "
+            "(paper: 9.1x)"
+        )
+    if ratios_at_32:
+        result.notes.append(
+            f"average data-transfer blow-up at S=32: {sum(ratios_at_32) / len(ratios_at_32):.1f}x "
+            "(paper: 35.3x)"
+        )
+    return result

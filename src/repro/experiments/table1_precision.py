@@ -1,0 +1,86 @@
+"""Table 1: validation accuracy versus training word length (8 / 16 / 32 bit).
+
+The paper trains every model at three datapath precisions and observes that
+16-bit fixed point loses only ~0.3 % accuracy versus single precision, while
+8-bit training fails to converge on the deeper models (reported as NaN).  The
+reproduction runs the reduced model variants on the synthetic datasets; the
+observable is the same: 16-bit tracks 32-bit closely, 8-bit degrades or
+collapses.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..bnn import ShiftBNNTrainer, TrainerConfig
+from ..datasets import (
+    BatchLoader,
+    SyntheticDataset,
+    synthetic_cifar10,
+    synthetic_imagenet,
+    synthetic_mnist,
+)
+from ..models import PAPER_MODEL_NAMES, get_model
+from .base import ExperimentResult
+
+__all__ = ["run_table1", "DEFAULT_BIT_WIDTHS"]
+
+DEFAULT_BIT_WIDTHS: tuple[int, ...] = (8, 16, 32)
+
+
+def _dataset_for(model_name: str, image_size: int, n_train: int, n_test: int, seed: int):
+    if model_name == "B-MLP":
+        return synthetic_mnist(n_train, n_test, image_size=image_size, seed=seed)
+    if model_name == "B-LeNet":
+        return synthetic_cifar10(n_train, n_test, image_size=image_size, seed=seed)
+    return synthetic_imagenet(
+        n_train, n_test, image_size=image_size, num_classes=10, seed=seed
+    )
+
+
+def _evaluate_input(dataset: SyntheticDataset, flatten: bool):
+    return dataset.flatten_images() if flatten else dataset.images
+
+
+def run_table1(
+    model_names: Sequence[str] = PAPER_MODEL_NAMES,
+    bit_widths: Sequence[int] = DEFAULT_BIT_WIDTHS,
+    epochs: int = 8,
+    n_train: int = 256,
+    n_test: int = 128,
+    n_samples: int = 2,
+    seed: int = 5,
+    grng_stride: int = 64,
+) -> ExperimentResult:
+    """Regenerate Table 1 (validation accuracy vs datapath word length)."""
+    result = ExperimentResult(
+        name="table1",
+        title="Table 1: validation accuracy vs training precision (reduced models, synthetic data)",
+        headers=["model"] + [f"val_acc_{bits}b" for bits in bit_widths],
+    )
+    for model_name in model_names:
+        spec = get_model(model_name, reduced=True)
+        flatten = spec.flatten_input
+        image_size = spec.input_shape[1]
+        train, test = _dataset_for(model_name, image_size, n_train, n_test, seed)
+        batches = BatchLoader(train, batch_size=32, flatten=flatten).batches()
+        row: list[object] = [model_name]
+        for bits in bit_widths:
+            config = TrainerConfig(
+                n_samples=n_samples,
+                learning_rate=5e-3,
+                seed=seed,
+                grng_stride=grng_stride,
+                quantization_bits=None if bits == 32 else bits,
+            )
+            model = spec.build_bayesian(seed=seed)
+            trainer = ShiftBNNTrainer(model, config)
+            trainer.fit(batches, epochs=epochs)
+            accuracy = trainer.evaluate(_evaluate_input(test, flatten), test.labels)
+            row.append(accuracy)
+        result.rows.append(row)
+    result.notes.append(
+        "paper: 16-bit training loses only 0.31% accuracy on average vs 32-bit; "
+        "8-bit fails to converge on the deeper models"
+    )
+    return result

@@ -1,0 +1,65 @@
+"""NumPy deep-learning substrate (layers, losses, optimisers, quantisation).
+
+This package replaces the PyTorch dependency of the original paper: it
+provides everything needed to train the deterministic DNN baselines and to
+serve as the arithmetic backend of the Bayesian layers in :mod:`repro.bnn`.
+"""
+
+from . import functional
+from .initializers import Constant, GlorotUniform, HeNormal, Initializer, Zeros
+from .layers import (
+    AvgPool2D,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    Layer,
+    MaxPool2D,
+    Parameter,
+    ReLU,
+)
+from .losses import Loss, MeanSquaredError, SoftmaxCrossEntropy
+from .metrics import (
+    accuracy,
+    expected_calibration_error,
+    negative_log_likelihood,
+    predictive_entropy,
+)
+from .network import Sequential
+from .optim import SGD, Adam, Optimizer
+from .quantization import FixedPointFormat, QuantizationConfig, quantize
+from .tensor_utils import conv_output_size, one_hot
+
+__all__ = [
+    "functional",
+    "Initializer",
+    "Zeros",
+    "Constant",
+    "HeNormal",
+    "GlorotUniform",
+    "Parameter",
+    "Layer",
+    "Dense",
+    "Conv2D",
+    "ReLU",
+    "Flatten",
+    "MaxPool2D",
+    "AvgPool2D",
+    "Dropout",
+    "Loss",
+    "SoftmaxCrossEntropy",
+    "MeanSquaredError",
+    "Sequential",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "FixedPointFormat",
+    "QuantizationConfig",
+    "quantize",
+    "accuracy",
+    "negative_log_likelihood",
+    "expected_calibration_error",
+    "predictive_entropy",
+    "one_hot",
+    "conv_output_size",
+]

@@ -1,0 +1,231 @@
+"""Functional building blocks: im2col convolution, pooling, softmax.
+
+These are the raw array operations behind the layer classes in
+:mod:`repro.nn.layers`.  They are deliberately free of state so that both the
+deterministic DNN layers and the Bayesian layers (which re-sample their weights
+per Monte-Carlo sample) can share the exact same arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor_utils import check_4d, conv_output_size
+
+__all__ = [
+    "im2col",
+    "col2im",
+    "conv2d_forward",
+    "conv2d_backward",
+    "maxpool2d_forward",
+    "maxpool2d_backward",
+    "avgpool2d_forward",
+    "avgpool2d_backward",
+    "softmax",
+    "relu",
+    "relu_grad",
+]
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int, padding: int
+) -> tuple[np.ndarray, int, int]:
+    """Unfold ``(N, C, H, W)`` into ``(N * out_h * out_w, C * kernel * kernel)``.
+
+    Returns the column matrix and the output spatial dimensions.  This is the
+    standard lowering that turns convolution into one large matrix multiply,
+    mirroring how the PE arrays in the modelled accelerators consume a stream
+    of (input window, weight) pairs.
+    """
+    check_4d(x)
+    batch, channels, height, width = x.shape
+    out_h = conv_output_size(height, kernel, stride, padding)
+    out_w = conv_output_size(width, kernel, stride, padding)
+    if padding:
+        x = np.pad(
+            x,
+            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+            mode="constant",
+        )
+    cols = np.empty(
+        (batch, channels, kernel, kernel, out_h, out_w), dtype=x.dtype
+    )
+    for row in range(kernel):
+        row_end = row + stride * out_h
+        for col in range(kernel):
+            col_end = col + stride * out_w
+            cols[:, :, row, col, :, :] = x[:, :, row:row_end:stride, col:col_end:stride]
+    cols = cols.transpose(0, 4, 5, 1, 2, 3).reshape(
+        batch * out_h * out_w, channels * kernel * kernel
+    )
+    return cols, out_h, out_w
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Fold a column matrix back into an ``(N, C, H, W)`` tensor (adjoint of im2col)."""
+    batch, channels, height, width = x_shape
+    out_h = conv_output_size(height, kernel, stride, padding)
+    out_w = conv_output_size(width, kernel, stride, padding)
+    cols = cols.reshape(batch, out_h, out_w, channels, kernel, kernel).transpose(
+        0, 3, 4, 5, 1, 2
+    )
+    padded = np.zeros(
+        (batch, channels, height + 2 * padding, width + 2 * padding), dtype=cols.dtype
+    )
+    for row in range(kernel):
+        row_end = row + stride * out_h
+        for col in range(kernel):
+            col_end = col + stride * out_w
+            padded[:, :, row:row_end:stride, col:col_end:stride] += cols[:, :, row, col, :, :]
+    if padding:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+def conv2d_forward(
+    x: np.ndarray,
+    weights: np.ndarray,
+    bias: np.ndarray | None,
+    stride: int,
+    padding: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """2-D convolution.  Returns the output and the cached column matrix.
+
+    ``weights`` has shape ``(M, N, K, K)`` -- output channels, input channels,
+    kernel height, kernel width -- matching the 7-dimension loop of Fig. 1(b).
+    """
+    out_channels, in_channels, k_h, k_w = weights.shape
+    if k_h != k_w:
+        raise ValueError("only square kernels are supported")
+    if x.shape[1] != in_channels:
+        raise ValueError(
+            f"input has {x.shape[1]} channels but the kernel expects {in_channels}"
+        )
+    cols, out_h, out_w = im2col(x, k_h, stride, padding)
+    flat_weights = weights.reshape(out_channels, -1)
+    out = cols @ flat_weights.T
+    if bias is not None:
+        out += bias
+    batch = x.shape[0]
+    out = out.reshape(batch, out_h, out_w, out_channels).transpose(0, 3, 1, 2)
+    return out, cols
+
+
+def conv2d_backward(
+    grad_out: np.ndarray,
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    weights: np.ndarray,
+    stride: int,
+    padding: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Backward pass of :func:`conv2d_forward`.
+
+    Returns ``(grad_input, grad_weights, grad_bias)``.  The input gradient is
+    the transposed convolution the paper's BW stage performs with 180-degree
+    rotated kernels; lowering through the column matrix realises the same
+    arithmetic.
+    """
+    out_channels = weights.shape[0]
+    kernel = weights.shape[2]
+    grad_flat = grad_out.transpose(0, 2, 3, 1).reshape(-1, out_channels)
+    grad_weights = (grad_flat.T @ cols).reshape(weights.shape)
+    grad_bias = grad_flat.sum(axis=0)
+    grad_cols = grad_flat @ weights.reshape(out_channels, -1)
+    grad_input = col2im(grad_cols, x_shape, kernel, stride, padding)
+    return grad_input, grad_weights, grad_bias
+
+
+def maxpool2d_forward(
+    x: np.ndarray, pool: int, stride: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Max pooling.  Returns the output and the argmax mask needed for backward."""
+    check_4d(x)
+    batch, channels, height, width = x.shape
+    out_h = conv_output_size(height, pool, stride, 0)
+    out_w = conv_output_size(width, pool, stride, 0)
+    windows = np.empty((batch, channels, out_h, out_w, pool * pool), dtype=x.dtype)
+    for row in range(pool):
+        for col in range(pool):
+            windows[..., row * pool + col] = x[
+                :, :, row : row + stride * out_h : stride, col : col + stride * out_w : stride
+            ]
+    argmax = windows.argmax(axis=-1)
+    out = np.take_along_axis(windows, argmax[..., None], axis=-1)[..., 0]
+    return out, argmax
+
+
+def maxpool2d_backward(
+    grad_out: np.ndarray,
+    argmax: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    pool: int,
+    stride: int,
+) -> np.ndarray:
+    """Scatter the output gradient back to the argmax positions."""
+    batch, channels, height, width = x_shape
+    grad_input = np.zeros(x_shape, dtype=grad_out.dtype)
+    out_h, out_w = grad_out.shape[2], grad_out.shape[3]
+    rows = argmax // pool
+    cols = argmax % pool
+    base_r = np.arange(out_h)[None, None, :, None] * stride
+    base_c = np.arange(out_w)[None, None, None, :] * stride
+    abs_r = base_r + rows
+    abs_c = base_c + cols
+    batch_idx = np.arange(batch)[:, None, None, None]
+    chan_idx = np.arange(channels)[None, :, None, None]
+    np.add.at(grad_input, (batch_idx, chan_idx, abs_r, abs_c), grad_out)
+    return grad_input
+
+
+def avgpool2d_forward(x: np.ndarray, pool: int, stride: int) -> np.ndarray:
+    """Average pooling over non-overlapping (or strided) windows."""
+    check_4d(x)
+    batch, channels, height, width = x.shape
+    out_h = conv_output_size(height, pool, stride, 0)
+    out_w = conv_output_size(width, pool, stride, 0)
+    out = np.zeros((batch, channels, out_h, out_w), dtype=x.dtype)
+    for row in range(pool):
+        for col in range(pool):
+            out += x[
+                :, :, row : row + stride * out_h : stride, col : col + stride * out_w : stride
+            ]
+    return out / (pool * pool)
+
+
+def avgpool2d_backward(
+    grad_out: np.ndarray, x_shape: tuple[int, int, int, int], pool: int, stride: int
+) -> np.ndarray:
+    """Spread the output gradient uniformly over each pooling window."""
+    grad_input = np.zeros(x_shape, dtype=grad_out.dtype)
+    out_h, out_w = grad_out.shape[2], grad_out.shape[3]
+    share = grad_out / (pool * pool)
+    for row in range(pool):
+        for col in range(pool):
+            grad_input[
+                :, :, row : row + stride * out_h : stride, col : col + stride * out_w : stride
+            ] += share
+    return grad_input
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically-stable softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(x: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+    """Gradient of ReLU with respect to its input."""
+    return grad_out * (x > 0.0)

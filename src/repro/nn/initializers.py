@@ -1,0 +1,78 @@
+"""Deterministic parameter initialisers for the NumPy substrate.
+
+Initialisation randomness is kept separate from the Bayesian sampling
+randomness: initialisers use a plain seeded ``numpy.random.Generator`` while
+weight-sampling epsilons always come from the LFSR-based streams in
+:mod:`repro.core`.  That separation lets the baseline and Shift-BNN trainers
+start from identical parameters and consume identical epsilons.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "Initializer",
+    "Zeros",
+    "Constant",
+    "HeNormal",
+    "GlorotUniform",
+    "fan_in_and_out",
+]
+
+
+def fan_in_and_out(shape: tuple[int, ...]) -> tuple[int, int]:
+    """Return (fan_in, fan_out) for dense ``(in, out)`` or conv ``(M, N, K, K)`` shapes."""
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    if len(shape) == 4:
+        out_channels, in_channels, k_h, k_w = shape
+        receptive = k_h * k_w
+        return in_channels * receptive, out_channels * receptive
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    raise ValueError(f"unsupported parameter shape {shape}")
+
+
+class Initializer:
+    """Base class: callable producing an array for a given shape."""
+
+    def __call__(self, shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError
+
+
+class Zeros(Initializer):
+    """All-zero initialisation (biases, sigma offsets)."""
+
+    def __call__(self, shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        return np.zeros(shape, dtype=np.float64)
+
+
+class Constant(Initializer):
+    """Constant-valued initialisation (e.g. the rho parameter of sigma)."""
+
+    def __init__(self, value: float) -> None:
+        self.value = float(value)
+
+    def __call__(self, shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        return np.full(shape, self.value, dtype=np.float64)
+
+
+class HeNormal(Initializer):
+    """He/Kaiming normal initialisation, suited to ReLU networks."""
+
+    def __call__(self, shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        fan_in, _ = fan_in_and_out(shape)
+        std = math.sqrt(2.0 / max(fan_in, 1))
+        return rng.normal(0.0, std, size=shape)
+
+
+class GlorotUniform(Initializer):
+    """Glorot/Xavier uniform initialisation."""
+
+    def __call__(self, shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        fan_in, fan_out = fan_in_and_out(shape)
+        limit = math.sqrt(6.0 / max(fan_in + fan_out, 1))
+        return rng.uniform(-limit, limit, size=shape)

@@ -1,0 +1,77 @@
+"""Loss functions for the NumPy substrate.
+
+The BNN loss (Eq. 1 of the paper) is the negative log-likelihood plus the
+KL-style prior/posterior terms.  The likelihood part is an ordinary
+classification loss and lives here; the prior/posterior terms depend on the
+variational parameters and live in :mod:`repro.bnn.elbo`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .functional import softmax
+from .tensor_utils import one_hot
+
+__all__ = ["Loss", "SoftmaxCrossEntropy", "MeanSquaredError"]
+
+
+class Loss:
+    """Base class: ``forward`` returns a scalar, ``backward`` the logit gradient."""
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def backward(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(predictions, targets)
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Softmax + cross-entropy against integer class labels.
+
+    ``forward`` accepts logits of shape ``(N, classes)`` and labels of shape
+    ``(N,)``; ``backward`` returns the gradient with respect to the logits.
+    """
+
+    def __init__(self) -> None:
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        if predictions.ndim != 2:
+            raise ValueError(f"logits must be 2-D, got shape {predictions.shape}")
+        probabilities = softmax(predictions)
+        encoded = one_hot(np.asarray(targets), predictions.shape[1])
+        self._cache = (probabilities, encoded)
+        clipped = np.clip(probabilities, 1e-12, 1.0)
+        return float(-(encoded * np.log(clipped)).sum() / predictions.shape[0])
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        probabilities, encoded = self._cache
+        return (probabilities - encoded) / probabilities.shape[0]
+
+
+class MeanSquaredError(Loss):
+    """Mean squared error for regression-style outputs."""
+
+    def __init__(self) -> None:
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        targets = np.asarray(targets, dtype=np.float64)
+        if predictions.shape != targets.shape:
+            raise ValueError(
+                f"prediction shape {predictions.shape} != target shape {targets.shape}"
+            )
+        self._cache = (predictions, targets)
+        return float(np.mean((predictions - targets) ** 2))
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        predictions, targets = self._cache
+        return 2.0 * (predictions - targets) / predictions.size

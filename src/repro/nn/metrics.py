@@ -1,0 +1,65 @@
+"""Classification metrics, including the uncertainty metrics BNNs are used for."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "accuracy",
+    "negative_log_likelihood",
+    "expected_calibration_error",
+    "predictive_entropy",
+]
+
+
+def accuracy(probabilities: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy from class probabilities (or logits) and integer labels."""
+    if probabilities.ndim != 2:
+        raise ValueError(f"probabilities must be 2-D, got shape {probabilities.shape}")
+    predictions = probabilities.argmax(axis=1)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError("probabilities and labels disagree on batch size")
+    if labels.size == 0:
+        return 0.0
+    return float((predictions == labels).mean())
+
+
+def negative_log_likelihood(probabilities: np.ndarray, labels: np.ndarray) -> float:
+    """Average negative log-likelihood of the true classes."""
+    labels = np.asarray(labels)
+    picked = probabilities[np.arange(labels.shape[0]), labels]
+    return float(-np.log(np.clip(picked, 1e-12, 1.0)).mean())
+
+
+def predictive_entropy(probabilities: np.ndarray) -> np.ndarray:
+    """Entropy of each predictive distribution (a standard uncertainty score)."""
+    clipped = np.clip(probabilities, 1e-12, 1.0)
+    return -(clipped * np.log(clipped)).sum(axis=1)
+
+
+def expected_calibration_error(
+    probabilities: np.ndarray, labels: np.ndarray, n_bins: int = 10
+) -> float:
+    """Expected calibration error with equal-width confidence bins.
+
+    BNNs are valued for calibrated uncertainty; this metric lets the examples
+    compare the Bayesian predictive distribution against a point-estimate DNN.
+    """
+    if n_bins < 1:
+        raise ValueError("n_bins must be positive")
+    labels = np.asarray(labels)
+    confidences = probabilities.max(axis=1)
+    predictions = probabilities.argmax(axis=1)
+    correct = (predictions == labels).astype(np.float64)
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    error = 0.0
+    total = labels.shape[0]
+    for low, high in zip(edges[:-1], edges[1:]):
+        mask = (confidences > low) & (confidences <= high)
+        if not mask.any():
+            continue
+        bin_confidence = confidences[mask].mean()
+        bin_accuracy = correct[mask].mean()
+        error += (mask.sum() / total) * abs(bin_confidence - bin_accuracy)
+    return float(error)

@@ -1,0 +1,68 @@
+"""Sequential container for the NumPy substrate."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from .layers import Layer, Parameter
+
+__all__ = ["Sequential"]
+
+
+class Sequential(Layer):
+    """An ordered chain of layers executed front to back.
+
+    The container behaves like a layer itself, so Bayesian models and plain
+    DNNs can nest it freely.  ``backward`` walks the chain in reverse, which is
+    exactly the layer-level reversal the paper exploits for pattern retrieval.
+    """
+
+    def __init__(self, layers: Iterable[Layer], name: str | None = None) -> None:
+        super().__init__(name)
+        self.layers = list(layers)
+        if not self.layers:
+            raise ValueError("a Sequential model needs at least one layer")
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def parameters(self) -> list[Parameter]:
+        params: list[Parameter] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def train(self) -> None:
+        super().train()
+        for layer in self.layers:
+            layer.train()
+
+    def eval(self) -> None:
+        super().eval()
+        for layer in self.layers:
+            layer.eval()
+
+    def __iter__(self) -> Iterator[Layer]:
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Layer:
+        return self.layers[index]
+
+    def summary(self) -> str:
+        """Human-readable per-layer parameter summary."""
+        lines = [f"Sequential '{self.name}' ({self.parameter_count} parameters)"]
+        for index, layer in enumerate(self.layers):
+            lines.append(f"  [{index:2d}] {layer.name:<20s} params={layer.parameter_count}")
+        return "\n".join(lines)

@@ -1,0 +1,125 @@
+"""Fixed-point quantisation used for the low-precision training study (Table 1).
+
+The accelerators in the paper run a 16-bit fixed-point datapath; Table 1
+compares validation accuracy when the whole training pipeline is run at 8, 16
+and 32 bits.  This module provides a deterministic symmetric fixed-point
+quantiser (``Qm.n`` style) and a :class:`QuantizationConfig` that the Bayesian
+trainer applies to weights, activations and gradients.
+
+The 8-bit configuration reproduces the paper's observation that deep models
+"hardly converge" at that precision: with only a handful of fractional bits the
+small variational gradients underflow to zero and the sampled weights collapse
+onto a coarse grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FixedPointFormat", "QuantizationConfig", "quantize"]
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A signed fixed-point format with ``integer_bits`` + ``fraction_bits`` + sign."""
+
+    integer_bits: int
+    fraction_bits: int
+
+    def __post_init__(self) -> None:
+        if self.integer_bits < 0 or self.fraction_bits < 0:
+            raise ValueError("bit counts must be non-negative")
+        if self.total_bits < 2:
+            raise ValueError("a fixed-point format needs at least 2 bits")
+
+    @property
+    def total_bits(self) -> int:
+        """Word length including the sign bit."""
+        return self.integer_bits + self.fraction_bits + 1
+
+    @property
+    def scale(self) -> float:
+        """Value of one least-significant bit."""
+        return 2.0**-self.fraction_bits
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable value."""
+        return (2.0**self.integer_bits) - self.scale
+
+    @property
+    def min_value(self) -> float:
+        """Most negative representable value."""
+        return -(2.0**self.integer_bits)
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Round to the nearest representable value and saturate."""
+        scaled = np.round(np.asarray(values, dtype=np.float64) / self.scale) * self.scale
+        return np.clip(scaled, self.min_value, self.max_value)
+
+
+#: Word-length presets matching Table 1 of the paper.  32-bit is treated as
+#: full precision (no quantisation); 16-bit keeps enough fractional bits for
+#: gradients; 8-bit leaves so few that deep-model training underflows.
+_PRESETS: dict[int, FixedPointFormat | None] = {
+    8: FixedPointFormat(integer_bits=2, fraction_bits=5),
+    16: FixedPointFormat(integer_bits=5, fraction_bits=10),
+    32: None,
+}
+
+
+def quantize(values: np.ndarray, fmt: FixedPointFormat | None) -> np.ndarray:
+    """Quantise ``values`` to ``fmt``; pass-through when ``fmt`` is ``None``."""
+    if fmt is None:
+        return np.asarray(values, dtype=np.float64)
+    return fmt.quantize(values)
+
+
+@dataclass(frozen=True)
+class QuantizationConfig:
+    """What the trainer quantises and to which format.
+
+    A configuration quantises the sampled weights (the values entering the
+    MACs), the layer activations, and the parameter gradients before the
+    optimiser step -- the three datapaths of the modelled accelerator.
+    """
+
+    weight_format: FixedPointFormat | None = None
+    activation_format: FixedPointFormat | None = None
+    gradient_format: FixedPointFormat | None = None
+
+    @classmethod
+    def full_precision(cls) -> "QuantizationConfig":
+        """No quantisation anywhere (the 32-bit row of Table 1)."""
+        return cls()
+
+    @classmethod
+    def from_word_length(cls, bits: int) -> "QuantizationConfig":
+        """Build the preset configuration for an 8-, 16- or 32-bit datapath."""
+        if bits not in _PRESETS:
+            raise ValueError(f"unsupported word length {bits}; choose from {sorted(_PRESETS)}")
+        fmt = _PRESETS[bits]
+        return cls(weight_format=fmt, activation_format=fmt, gradient_format=fmt)
+
+    @property
+    def is_identity(self) -> bool:
+        """True when no datapath is quantised."""
+        return (
+            self.weight_format is None
+            and self.activation_format is None
+            and self.gradient_format is None
+        )
+
+    def quantize_weights(self, values: np.ndarray) -> np.ndarray:
+        """Quantise sampled weights (and the reconstructed weights in BW)."""
+        return quantize(values, self.weight_format)
+
+    def quantize_activations(self, values: np.ndarray) -> np.ndarray:
+        """Quantise layer outputs before they feed the next layer."""
+        return quantize(values, self.activation_format)
+
+    def quantize_gradients(self, values: np.ndarray) -> np.ndarray:
+        """Quantise parameter gradients before the optimiser consumes them."""
+        return quantize(values, self.gradient_format)

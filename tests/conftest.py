@@ -1,0 +1,94 @@
+"""Shared fixtures and helpers for the Shift-BNN reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bnn import BayesConv2D, BayesDense, BayesianNetwork
+from repro.models import ActivationSpec, ConvSpec, DenseSpec, FlattenSpec, ModelSpec, PoolSpec
+from repro.nn import Flatten, MaxPool2D, ReLU
+
+
+def central_difference_gradient(
+    function, array: np.ndarray, epsilon: float = 1e-6
+) -> np.ndarray:
+    """Central-difference numerical gradient of a scalar function of ``array``.
+
+    The function is called with no arguments and must read ``array`` by
+    reference (the helper mutates it in place and restores it).
+    """
+    grad = np.zeros_like(array)
+    flat = array.ravel()
+    grad_flat = grad.ravel()
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        upper = function()
+        flat[index] = original - epsilon
+        lower = function()
+        flat[index] = original
+        grad_flat[index] = (upper - lower) / (2.0 * epsilon)
+    return grad
+
+
+@pytest.fixture
+def numeric_gradient():
+    """Fixture exposing the central-difference gradient helper."""
+    return central_difference_gradient
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic NumPy generator for test inputs."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_mlp_spec() -> ModelSpec:
+    """A very small fully-connected Bayesian model spec (fast to train)."""
+    return ModelSpec(
+        name="tiny-mlp",
+        input_shape=(1, 4, 4),
+        num_classes=3,
+        dataset="unit-test",
+        flatten_input=True,
+        layers=(
+            DenseSpec("fc1", 8),
+            ActivationSpec("relu1"),
+            DenseSpec("fc2", 3),
+        ),
+    )
+
+
+@pytest.fixture
+def tiny_conv_spec() -> ModelSpec:
+    """A very small convolutional Bayesian model spec (fast to train)."""
+    return ModelSpec(
+        name="tiny-conv",
+        input_shape=(2, 8, 8),
+        num_classes=3,
+        dataset="unit-test",
+        layers=(
+            ConvSpec("conv1", out_channels=3, kernel_size=3, padding=1),
+            ActivationSpec("relu1"),
+            PoolSpec("pool1", "max", 2),
+            FlattenSpec("flatten"),
+            DenseSpec("fc1", 3),
+        ),
+    )
+
+
+def build_tiny_bayes_network(seed: int = 0) -> BayesianNetwork:
+    """A handwritten two-layer Bayesian conv/dense network for layer tests."""
+    rng = np.random.default_rng(seed)
+    return BayesianNetwork(
+        [
+            BayesConv2D(1, 2, kernel_size=3, padding=1, rng=rng, name="conv"),
+            ReLU(),
+            MaxPool2D(2),
+            Flatten(),
+            BayesDense(2 * 2 * 2, 3, rng=rng, name="fc"),
+        ],
+        name="tiny",
+    )

@@ -1,0 +1,70 @@
+"""Integration tests: the reduced BNN models actually learn, and provide uncertainty."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bnn import ShiftBNNTrainer, TrainerConfig, mc_predict
+from repro.datasets import BatchLoader, synthetic_cifar10, synthetic_mnist
+from repro.models import get_model
+from repro.nn import expected_calibration_error
+
+
+@pytest.fixture(scope="module")
+def trained_mlp():
+    spec = get_model("B-MLP", reduced=True)
+    train, test = synthetic_mnist(n_train=256, n_test=128, image_size=14, seed=3)
+    batches = BatchLoader(train, batch_size=32, flatten=True).batches()
+    trainer = ShiftBNNTrainer(
+        spec.build_bayesian(seed=42),
+        TrainerConfig(n_samples=2, learning_rate=5e-3, seed=11, grng_stride=64),
+    )
+    trainer.fit(batches, epochs=8)
+    return trainer, test
+
+
+class TestLearning:
+    def test_mlp_reaches_high_validation_accuracy(self, trained_mlp):
+        trainer, test = trained_mlp
+        accuracy = trainer.evaluate(test.flatten_images(), test.labels)
+        assert accuracy > 0.9
+
+    def test_training_loss_decreases(self, trained_mlp):
+        trainer, _ = trained_mlp
+        losses = trainer.history.epoch_losses
+        assert losses[-1] < losses[0]
+
+    def test_lenet_learns_above_chance(self):
+        spec = get_model("B-LeNet", reduced=True)
+        train, test = synthetic_cifar10(n_train=192, n_test=96, image_size=16, seed=5)
+        batches = BatchLoader(train, batch_size=32).batches()
+        trainer = ShiftBNNTrainer(
+            spec.build_bayesian(seed=42),
+            TrainerConfig(n_samples=2, learning_rate=5e-3, seed=11, grng_stride=64),
+        )
+        trainer.fit(batches, epochs=6)
+        accuracy = trainer.evaluate(test.images, test.labels)
+        assert accuracy > 0.5  # 10-class chance level is 0.1
+
+
+class TestUncertainty:
+    def test_out_of_distribution_inputs_have_higher_uncertainty(self, trained_mlp):
+        trainer, test = trained_mlp
+        rng = np.random.default_rng(0)
+        in_distribution = test.flatten_images()[:64]
+        out_of_distribution = rng.normal(size=in_distribution.shape) * 4.0
+        in_dist = mc_predict(trainer.model, in_distribution, n_samples=8, grng_stride=64)
+        out_dist = mc_predict(trainer.model, out_of_distribution, n_samples=8, grng_stride=64)
+        assert out_dist.entropy.mean() > in_dist.entropy.mean()
+
+    def test_monte_carlo_prediction_is_reasonably_calibrated(self, trained_mlp):
+        trainer, test = trained_mlp
+        result = mc_predict(trainer.model, test.flatten_images(), n_samples=8, grng_stride=64)
+        ece = expected_calibration_error(result.mean_probabilities, test.labels)
+        assert ece < 0.3
+
+    def test_epistemic_uncertainty_is_nonzero(self, trained_mlp):
+        trainer, test = trained_mlp
+        result = mc_predict(trainer.model, test.flatten_images()[:32], n_samples=8, grng_stride=64)
+        assert result.epistemic_entropy.mean() > 0

@@ -1,0 +1,148 @@
+"""Integration checks of the paper's headline numbers against the analytic model.
+
+These assertions use generous bands: the goal is that the *shape* of every
+result (who wins, by roughly what factor, how it scales) matches the paper,
+not that the absolute numbers coincide with the authors' FPGA measurements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accel import (
+    compute_traffic,
+    mn_accelerator,
+    rc_accelerator,
+    shift_bnn_accelerator,
+    simulate_gpu_training_iteration,
+    simulate_training_iteration,
+    tesla_p100,
+)
+from repro.analysis import energy_reduction_percent, speedup
+from repro.models import paper_models
+
+
+@pytest.fixture(scope="module")
+def models():
+    return paper_models()
+
+
+class TestCharacterisationClaims:
+    def test_epsilon_is_the_dominant_traffic_class(self, models):
+        """Section 3 / Fig. 3: epsilons are ~71% of off-chip traffic on average."""
+        shares = []
+        for spec in models.values():
+            _, breakdown = compute_traffic(spec, 16, mn_accelerator().traffic_config())
+            shares.append(breakdown.ratios["epsilon"])
+        assert 0.6 < np.mean(shares) < 0.9
+        assert min(shares) > 0.5
+
+    def test_bnn_data_transfer_blowup_at_s8_and_s32(self, models):
+        """Fig. 2: ~9x at S=8 and ~35x at S=32 versus the DNN counterpart."""
+        ratios_8, ratios_32 = [], []
+        accel = mn_accelerator()
+        for spec in models.values():
+            dnn = simulate_training_iteration(accel, spec, 1, bayesian=False)
+            ratios_8.append(
+                simulate_training_iteration(accel, spec, 8).dram_bytes / dnn.dram_bytes
+            )
+            ratios_32.append(
+                simulate_training_iteration(accel, spec, 32).dram_bytes / dnn.dram_bytes
+            )
+        assert 5 < np.mean(ratios_8) < 15
+        assert 20 < np.mean(ratios_32) < 50
+        assert np.mean(ratios_32) > 3 * np.mean(ratios_8)
+
+    def test_bvgg_total_transfer_order_of_magnitude(self, models):
+        """Section 3: B-VGG with S=16 moves ~22.6 GB per example-iteration."""
+        _, breakdown = compute_traffic(models["B-VGG"], 16, mn_accelerator().traffic_config())
+        assert 10e9 < breakdown.total_bytes < 35e9
+
+    def test_weights_much_larger_than_feature_maps(self, models):
+        """Section 3: weight tensors dwarf the per-sample feature maps."""
+        ratios = []
+        for spec in models.values():
+            feature_elements = sum(t.output_size for t in spec.weighted_layers())
+            ratios.append(spec.weight_count / feature_elements)
+        assert np.mean(ratios) > 20
+
+
+class TestEvaluationClaims:
+    @pytest.fixture(scope="class")
+    def simulations(self, models):
+        accelerators = {
+            "MN": mn_accelerator(),
+            "RC": rc_accelerator(),
+            "Shift": shift_bnn_accelerator(),
+        }
+        return {
+            name: {
+                key: simulate_training_iteration(accel, spec, 16)
+                for key, accel in accelerators.items()
+            }
+            for name, spec in models.items()
+        }
+
+    def test_energy_reduction_band(self, simulations):
+        """Fig. 10: average energy reduction vs RC-Acc around 62% (up to 76%)."""
+        reductions = [
+            energy_reduction_percent(sims["RC"].energy_joules, sims["Shift"].energy_joules)
+            for sims in simulations.values()
+        ]
+        assert 45 < np.mean(reductions) < 85
+        assert max(reductions) > 65
+
+    def test_speedup_band_and_ordering(self, simulations):
+        """Fig. 11: ~1.6x average speedup vs RC-Acc, largest on B-MLP."""
+        speedups = {
+            name: speedup(sims["RC"].latency_seconds, sims["Shift"].latency_seconds)
+            for name, sims in simulations.items()
+        }
+        assert 1.2 < np.mean(list(speedups.values())) < 2.2
+        assert speedups["B-MLP"] == max(speedups.values())
+        assert speedups["B-MLP"] > 2.0
+        assert all(value >= 0.99 for value in speedups.values())
+
+    def test_efficiency_improvement_band(self, simulations):
+        """Fig. 12: several-fold energy-efficiency gain over RC-Acc."""
+        gains = [
+            sims["Shift"].energy_efficiency_gops_per_watt
+            / sims["RC"].energy_efficiency_gops_per_watt
+            for sims in simulations.values()
+        ]
+        assert 2.0 < np.mean(gains) < 8.0
+
+    def test_shift_bnn_beats_gpu_efficiency(self, models):
+        """Fig. 12: Shift-BNN is more energy-efficient than the P100 on every model."""
+        gpu = tesla_p100()
+        for spec in models.values():
+            gpu_result = simulate_gpu_training_iteration(gpu, spec, 16)
+            shift = simulate_training_iteration(shift_bnn_accelerator(), spec, 16)
+            assert (
+                shift.energy_efficiency_gops_per_watt
+                > gpu_result.energy_efficiency_gops_per_watt
+            )
+
+    def test_scalability_with_sample_count(self, models):
+        """Fig. 13: the benefit grows monotonically with the sample count."""
+        spec = models["B-LeNet"]
+        reductions = []
+        for samples in (4, 16, 64, 128):
+            rc = simulate_training_iteration(rc_accelerator(), spec, samples)
+            shift = simulate_training_iteration(shift_bnn_accelerator(), spec, samples)
+            reductions.append(
+                energy_reduction_percent(rc.energy_joules, shift.energy_joules)
+            )
+        assert reductions == sorted(reductions)
+        assert reductions[0] > 35
+        assert reductions[-1] > 70
+
+    def test_dram_access_reduction_band(self, models):
+        """Fig. 14: DRAM accesses drop by several-fold with LFSR reversal."""
+        ratios = []
+        for spec in models.values():
+            mn = simulate_training_iteration(mn_accelerator(), spec, 16)
+            shift = simulate_training_iteration(shift_bnn_accelerator(), spec, 16)
+            ratios.append(mn.dram_accesses / shift.dram_accesses)
+        assert 2.0 < np.mean(ratios) < 10.0

@@ -1,0 +1,90 @@
+"""Property-based tests of the Bayesian training invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bnn import BayesDense, BayesianNetwork, BNNTrainer, GaussianPrior, TrainerConfig
+from repro.core import StreamBank
+from repro.nn import ReLU
+
+
+def build_network(widths: list[int], seed: int) -> BayesianNetwork:
+    rng = np.random.default_rng(seed)
+    layers: list = []
+    for index, (fan_in, fan_out) in enumerate(zip(widths[:-1], widths[1:])):
+        layers.append(BayesDense(fan_in, fan_out, rng=rng, name=f"fc{index}"))
+        if index < len(widths) - 2:
+            layers.append(ReLU(name=f"relu{index}"))
+    return BayesianNetwork(layers, name="property-net")
+
+
+network_shapes = st.lists(st.integers(2, 10), min_size=2, max_size=4)
+
+
+class TestSamplingInvariants:
+    @given(widths=network_shapes, seed=st.integers(0, 50), samples=st.integers(1, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_forward_backward_consumes_all_epsilon_blocks(self, widths, seed, samples):
+        model = build_network(widths, seed)
+        bank = StreamBank(samples, seed=seed, grng_stride=8)
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(3, widths[0]))
+        for index in range(samples):
+            out = model.forward_sample(x, bank.sampler(index))
+            model.backward_sample(np.ones_like(out), bank.sampler(index), kl_weight=0.0)
+        bank.finish_iteration()  # raises if any block was left unconsumed
+
+    @given(widths=network_shapes, seed=st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_forward_sample_is_deterministic_given_stream_state(self, widths, seed):
+        model = build_network(widths, seed)
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(2, widths[0]))
+        out_a = model.forward_sample(x, StreamBank(1, seed=seed, grng_stride=8).sampler(0))
+        out_b = model.forward_sample(x, StreamBank(1, seed=seed, grng_stride=8).sampler(0))
+        assert np.array_equal(out_a, out_b)
+
+    @given(widths=network_shapes, seed=st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_zero_kl_weight_leaves_prior_out_of_the_mu_gradient(self, widths, seed):
+        model = build_network(widths, seed)
+        model.prior = GaussianPrior(0.25)
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(2, widths[0]))
+        bank = StreamBank(1, seed=seed, grng_stride=8)
+        out = model.forward_sample(x, bank.sampler(0))
+        model.backward_sample(np.zeros_like(out), bank.sampler(0), kl_weight=0.0)
+        # with a zero output gradient and no complexity term, mu gradients vanish
+        for layer in model.bayesian_layers():
+            assert np.allclose(layer.weight_posterior.mu.grad, 0.0)
+
+
+class TestTrainerInvariants:
+    @given(seed=st.integers(0, 30), samples=st.integers(1, 3))
+    @settings(max_examples=10, deadline=None)
+    def test_stored_and_reversible_policies_agree_for_one_step(self, seed, samples):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(8, 6))
+        y = rng.integers(0, 3, size=8)
+        losses = {}
+        for policy in ("stored", "reversible"):
+            model = build_network([6, 5, 3], seed)
+            trainer = BNNTrainer(
+                model,
+                TrainerConfig(n_samples=samples, learning_rate=1e-2, seed=seed, grng_stride=8),
+                policy=policy,  # type: ignore[arg-type]
+            )
+            report = trainer.train_step(x, y, kl_weight=0.01)
+            losses[policy] = (report.total, [p.value.copy() for p in model.parameters()])
+        assert losses["stored"][0] == losses["reversible"][0]
+        for a, b in zip(losses["stored"][1], losses["reversible"][1]):
+            assert np.array_equal(a, b)
+
+    @given(seed=st.integers(0, 30))
+    @settings(max_examples=10, deadline=None)
+    def test_complexity_is_always_non_negative(self, seed):
+        model = build_network([4, 6, 3], seed)
+        assert model.complexity() >= 0.0

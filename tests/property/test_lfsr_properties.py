@@ -1,0 +1,102 @@
+"""Property-based tests of the LFSR reversal invariants (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MAXIMAL_TAPS, FibonacciLFSR
+
+WIDTHS = sorted(MAXIMAL_TAPS)
+
+
+def lfsr_strategy():
+    """Strategy producing (width, non-zero seed) pairs over the tap table."""
+    return st.sampled_from(WIDTHS).flatmap(
+        lambda width: st.tuples(
+            st.just(width), st.integers(min_value=1, max_value=(1 << width) - 1)
+        )
+    )
+
+
+class TestReversalInvariants:
+    @given(config=lfsr_strategy(), steps=st.integers(min_value=0, max_value=400))
+    @settings(max_examples=60, deadline=None)
+    def test_forward_then_reverse_is_identity(self, config, steps):
+        width, seed = config
+        lfsr = FibonacciLFSR(width, seed=seed)
+        for _ in range(steps):
+            lfsr.shift_forward()
+        for _ in range(steps):
+            lfsr.shift_reverse()
+        assert lfsr.state == seed
+
+    @given(config=lfsr_strategy(), steps=st.integers(min_value=0, max_value=400))
+    @settings(max_examples=60, deadline=None)
+    def test_reverse_then_forward_is_identity(self, config, steps):
+        width, seed = config
+        lfsr = FibonacciLFSR(width, seed=seed)
+        for _ in range(steps):
+            lfsr.shift_reverse()
+        for _ in range(steps):
+            lfsr.shift_forward()
+        assert lfsr.state == seed
+
+    @given(config=lfsr_strategy(), count=st.integers(min_value=1, max_value=600))
+    @settings(max_examples=40, deadline=None)
+    def test_vectorised_forward_equals_stepwise(self, config, count):
+        width, seed = config
+        fast = FibonacciLFSR(width, seed=seed)
+        slow = fast.copy()
+        block = fast.generate_bits(count)
+        stepwise = np.array([slow.shift_forward() for _ in range(count)], dtype=np.uint8)
+        assert np.array_equal(block, stepwise)
+        assert fast.state == slow.state
+
+    @given(config=lfsr_strategy(), count=st.integers(min_value=1, max_value=600))
+    @settings(max_examples=40, deadline=None)
+    def test_vectorised_reverse_equals_stepwise(self, config, count):
+        width, seed = config
+        lfsr = FibonacciLFSR(width, seed=seed)
+        fast = lfsr.copy()
+        slow = lfsr.copy()
+        block = fast.generate_bits_reverse(count)
+        stepwise = np.array([slow.shift_reverse() for _ in range(count)], dtype=np.uint8)
+        assert np.array_equal(block, stepwise)
+        assert fast.state == slow.state
+
+    @given(config=lfsr_strategy(), count=st.integers(min_value=1, max_value=300))
+    @settings(max_examples=40, deadline=None)
+    def test_reverse_block_returns_forward_bits_reversed_in_time(self, config, count):
+        """The bits dropped while shifting forward are recovered in reverse order."""
+        width, seed = config
+        lfsr = FibonacciLFSR(width, seed=seed)
+        dropped = []
+        for _ in range(count):
+            dropped.append((lfsr.state >> (width - 1)) & 1)  # tail about to fall out
+            lfsr.shift_forward()
+        recovered = lfsr.generate_bits_reverse(count)
+        assert np.array_equal(recovered, np.array(dropped[::-1], dtype=np.uint8))
+
+    @given(config=lfsr_strategy(), count=st.integers(min_value=1, max_value=300))
+    @settings(max_examples=30, deadline=None)
+    def test_window_popcounts_match_state_popcounts(self, config, count):
+        width, seed = config
+        lfsr = FibonacciLFSR(width, seed=seed)
+        reference = lfsr.copy()
+        counts = lfsr.window_popcounts(count)
+        expected = []
+        for _ in range(count):
+            reference.shift_forward()
+            expected.append(reference.popcount)
+        assert np.array_equal(counts, np.array(expected))
+
+    @given(config=lfsr_strategy(), steps=st.integers(min_value=1, max_value=500))
+    @settings(max_examples=40, deadline=None)
+    def test_state_never_becomes_zero(self, config, steps):
+        width, seed = config
+        lfsr = FibonacciLFSR(width, seed=seed)
+        for _ in range(steps):
+            lfsr.shift_forward()
+            assert lfsr.state != 0

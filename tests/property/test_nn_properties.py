@@ -1,0 +1,124 @@
+"""Property-based tests for the NumPy NN substrate (conv lowering, quantisation)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import FixedPointFormat, functional as F
+from repro.nn.tensor_utils import conv_output_size
+
+
+conv_geometry = st.tuples(
+    st.integers(1, 2),   # batch
+    st.integers(1, 3),   # in channels
+    st.integers(1, 3),   # out channels
+    st.integers(4, 7),   # spatial size
+    st.integers(1, 3),   # kernel
+    st.integers(1, 2),   # stride
+    st.integers(0, 1),   # padding
+)
+
+
+class TestConvolutionProperties:
+    @given(geometry=conv_geometry, seed=st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_im2col_col2im_adjointness(self, geometry, seed):
+        batch, cin, cout, size, kernel, stride, padding = geometry
+        if size + 2 * padding < kernel:
+            return
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(batch, cin, size, size))
+        cols, _, _ = F.im2col(x, kernel, stride, padding)
+        y = rng.normal(size=cols.shape)
+        lhs = float(np.sum(cols * y))
+        rhs = float(np.sum(x * F.col2im(y, x.shape, kernel, stride, padding)))
+        assert np.isclose(lhs, rhs, rtol=1e-9, atol=1e-9)
+
+    @given(geometry=conv_geometry, seed=st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_convolution_is_linear_in_the_input(self, geometry, seed):
+        batch, cin, cout, size, kernel, stride, padding = geometry
+        if size + 2 * padding < kernel:
+            return
+        rng = np.random.default_rng(seed)
+        weights = rng.normal(size=(cout, cin, kernel, kernel))
+        x1 = rng.normal(size=(batch, cin, size, size))
+        x2 = rng.normal(size=(batch, cin, size, size))
+        alpha = float(rng.normal())
+        lhs, _ = F.conv2d_forward(x1 + alpha * x2, weights, None, stride, padding)
+        a, _ = F.conv2d_forward(x1, weights, None, stride, padding)
+        b, _ = F.conv2d_forward(x2, weights, None, stride, padding)
+        assert np.allclose(lhs, a + alpha * b, atol=1e-9)
+
+    @given(
+        size=st.integers(1, 64),
+        kernel=st.integers(1, 7),
+        stride=st.integers(1, 4),
+        padding=st.integers(0, 3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_conv_output_size_consistency(self, size, kernel, stride, padding):
+        padded = size + 2 * padding
+        if padded < kernel:
+            return
+        out = conv_output_size(size, kernel, stride, padding)
+        assert out >= 1
+        # the last window must fit inside the padded input
+        assert (out - 1) * stride + kernel <= padded
+
+    @given(seed=st.integers(0, 500), rows=st.integers(1, 6), cols=st.integers(2, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_softmax_is_a_probability_distribution(self, seed, rows, cols):
+        rng = np.random.default_rng(seed)
+        probs = F.softmax(rng.normal(size=(rows, cols)) * 10)
+        assert np.all(probs >= 0)
+        assert np.allclose(probs.sum(axis=-1), 1.0)
+
+
+class TestQuantisationProperties:
+    formats = st.tuples(st.integers(0, 6), st.integers(0, 12)).filter(
+        lambda pair: pair[0] + pair[1] >= 1
+    )
+
+    @given(fmt=formats, seed=st.integers(0, 500))
+    @settings(max_examples=60, deadline=None)
+    def test_quantisation_is_idempotent(self, fmt, seed):
+        integer_bits, fraction_bits = fmt
+        quantiser = FixedPointFormat(integer_bits, fraction_bits)
+        rng = np.random.default_rng(seed)
+        values = rng.normal(size=50) * (2.0**integer_bits)
+        once = quantiser.quantize(values)
+        twice = quantiser.quantize(once)
+        assert np.array_equal(once, twice)
+
+    @given(fmt=formats, seed=st.integers(0, 500))
+    @settings(max_examples=60, deadline=None)
+    def test_error_bounded_inside_representable_range(self, fmt, seed):
+        integer_bits, fraction_bits = fmt
+        quantiser = FixedPointFormat(integer_bits, fraction_bits)
+        rng = np.random.default_rng(seed)
+        values = rng.uniform(quantiser.min_value, quantiser.max_value, size=100)
+        error = np.abs(quantiser.quantize(values) - values)
+        assert np.all(error <= quantiser.scale / 2 + 1e-12)
+
+    @given(fmt=formats, seed=st.integers(0, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_quantisation_is_monotonic(self, fmt, seed):
+        integer_bits, fraction_bits = fmt
+        quantiser = FixedPointFormat(integer_bits, fraction_bits)
+        rng = np.random.default_rng(seed)
+        values = np.sort(rng.normal(size=50) * (2.0**integer_bits) * 2)
+        quantised = quantiser.quantize(values)
+        assert np.all(np.diff(quantised) >= -1e-12)
+
+    @given(fmt=formats)
+    @settings(max_examples=30, deadline=None)
+    def test_outputs_always_within_range(self, fmt):
+        integer_bits, fraction_bits = fmt
+        quantiser = FixedPointFormat(integer_bits, fraction_bits)
+        values = np.array([-1e9, -1.0, 0.0, 1.0, 1e9])
+        quantised = quantiser.quantize(values)
+        assert np.all(quantised <= quantiser.max_value)
+        assert np.all(quantised >= quantiser.min_value)

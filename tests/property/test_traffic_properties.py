@@ -1,0 +1,103 @@
+"""Property-based tests for the traffic / simulator invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel import (
+    TrafficConfig,
+    compute_memory_footprint,
+    compute_traffic,
+    rc_accelerator,
+    shift_bnn_accelerator,
+    simulate_training_iteration,
+)
+from repro.models import (
+    ActivationSpec,
+    ConvSpec,
+    DenseSpec,
+    FlattenSpec,
+    ModelSpec,
+    PoolSpec,
+)
+
+
+@st.composite
+def random_model_spec(draw) -> ModelSpec:
+    """A random small but valid conv/dense model specification."""
+    channels = draw(st.integers(1, 3))
+    size = draw(st.sampled_from([8, 12, 16]))
+    layers: list = []
+    n_conv = draw(st.integers(0, 3))
+    current = size
+    for index in range(n_conv):
+        out_channels = draw(st.integers(2, 8))
+        layers.append(
+            ConvSpec(f"conv{index}", out_channels, kernel_size=3, padding=1)
+        )
+        layers.append(ActivationSpec(f"relu{index}"))
+        if current >= 4 and draw(st.booleans()):
+            layers.append(PoolSpec(f"pool{index}", "max", 2))
+            current //= 2
+    layers.append(FlattenSpec("flatten"))
+    n_dense = draw(st.integers(1, 3))
+    for index in range(n_dense):
+        layers.append(DenseSpec(f"fc{index}", draw(st.integers(2, 32))))
+    return ModelSpec(
+        name="random",
+        input_shape=(channels, size, size),
+        num_classes=4,
+        dataset="property-test",
+        layers=tuple(layers),
+    )
+
+
+class TestTrafficInvariants:
+    @given(spec=random_model_spec(), samples=st.integers(1, 64))
+    @settings(max_examples=30, deadline=None)
+    def test_reversal_never_increases_traffic(self, spec, samples):
+        _, baseline = compute_traffic(spec, samples, TrafficConfig(lfsr_reversal=False))
+        _, shift = compute_traffic(spec, samples, TrafficConfig(lfsr_reversal=True))
+        assert shift.total_bytes <= baseline.total_bytes
+        assert shift.epsilon_bytes == 0
+
+    @given(spec=random_model_spec(), samples=st.integers(1, 32))
+    @settings(max_examples=30, deadline=None)
+    def test_epsilon_share_grows_with_sample_count(self, spec, samples):
+        _, small = compute_traffic(spec, samples, TrafficConfig())
+        _, large = compute_traffic(spec, samples * 2, TrafficConfig())
+        assert large.ratios["epsilon"] >= small.ratios["epsilon"] - 1e-12
+
+    @given(spec=random_model_spec(), samples=st.integers(1, 32))
+    @settings(max_examples=30, deadline=None)
+    def test_bnn_always_moves_more_than_dnn(self, spec, samples):
+        _, bnn = compute_traffic(spec, samples, TrafficConfig(bayesian=True))
+        _, dnn = compute_traffic(spec, 1, TrafficConfig(bayesian=False))
+        assert bnn.total_bytes > dnn.total_bytes
+
+    @given(spec=random_model_spec(), samples=st.integers(1, 32))
+    @settings(max_examples=30, deadline=None)
+    def test_footprint_reversal_saves_exactly_the_epsilon_bytes(self, spec, samples):
+        baseline = compute_memory_footprint(spec, samples, TrafficConfig())
+        shift = compute_memory_footprint(spec, samples, TrafficConfig(lfsr_reversal=True))
+        assert baseline.total_bytes - shift.total_bytes == baseline.epsilon_bytes
+
+
+class TestSimulatorInvariants:
+    @given(spec=random_model_spec(), samples=st.integers(1, 32))
+    @settings(max_examples=20, deadline=None)
+    def test_shift_bnn_dominates_rc_on_energy_and_latency(self, spec, samples):
+        rc = simulate_training_iteration(rc_accelerator(), spec, samples)
+        shift = simulate_training_iteration(shift_bnn_accelerator(), spec, samples)
+        assert shift.energy_joules <= rc.energy_joules
+        assert shift.latency_seconds <= rc.latency_seconds * (1 + 1e-9)
+        assert shift.total_macs == rc.total_macs
+
+    @given(spec=random_model_spec(), samples=st.integers(1, 16))
+    @settings(max_examples=20, deadline=None)
+    def test_per_layer_cycles_are_positive_and_sum(self, spec, samples):
+        sim = simulate_training_iteration(shift_bnn_accelerator(), spec, samples)
+        assert all(result.cycles > 0 for result in sim.layer_results)
+        assert sim.total_cycles > 0
+        assert abs(sum(r.cycles for r in sim.layer_results) - sim.total_cycles) < 1e-6

@@ -1,0 +1,82 @@
+"""Unit tests for the analysis metrics and table renderers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    efficiency_ratio,
+    energy_reduction_percent,
+    format_csv,
+    format_table,
+    geometric_mean,
+    normalise,
+    speedup,
+)
+
+
+class TestMetrics:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_validation(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_normalise(self):
+        values = {"a": 2.0, "b": 4.0}
+        assert normalise(values, "a") == {"a": 1.0, "b": 2.0}
+
+    def test_normalise_validation(self):
+        with pytest.raises(KeyError):
+            normalise({"a": 1.0}, "z")
+        with pytest.raises(ValueError):
+            normalise({"a": 0.0, "b": 1.0}, "a")
+
+    def test_speedup(self):
+        assert speedup(2.0, 1.0) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+    def test_energy_reduction(self):
+        assert energy_reduction_percent(10.0, 4.0) == pytest.approx(60.0)
+        with pytest.raises(ValueError):
+            energy_reduction_percent(0.0, 1.0)
+
+    def test_efficiency_ratio(self):
+        assert efficiency_ratio(10.0, 2.0) == pytest.approx(5.0)
+        with pytest.raises(ValueError):
+            efficiency_ratio(1.0, 0.0)
+
+
+class TestTables:
+    def test_format_table_alignment_and_title(self):
+        text = format_table(
+            ["name", "value"], [["a", 1.0], ["bbbb", 2.5]], title="demo"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_float_formatting(self):
+        text = format_table(["v"], [[1.23456]], float_format=".2f")
+        assert "1.23" in text and "1.2345" not in text
+
+    def test_format_table_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_format_csv(self):
+        text = format_csv(["a", "b"], [[1, 2.5], ["x", 3]])
+        lines = text.splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1].startswith("1,")
+        assert lines[2].startswith("x,")
+
+    def test_format_csv_rejects_commas(self):
+        with pytest.raises(ValueError):
+            format_csv(["a"], [["1,2"]])

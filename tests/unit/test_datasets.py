@@ -1,0 +1,138 @@
+"""Unit tests for the synthetic datasets and the batch loader."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    BatchLoader,
+    SyntheticDataset,
+    make_classification_dataset,
+    synthetic_cifar10,
+    synthetic_imagenet,
+    synthetic_mnist,
+)
+
+
+class TestSyntheticDataset:
+    def test_shapes_and_validation(self):
+        data = make_classification_dataset("t", 64, (3, 8, 8), 4, seed=0)
+        assert data.images.shape == (64, 3, 8, 8)
+        assert data.labels.shape == (64,)
+        assert data.input_shape == (3, 8, 8)
+        assert len(data) == 64
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SyntheticDataset("bad", np.zeros((4, 3, 2)), np.zeros(4, dtype=int), 2)
+        with pytest.raises(ValueError):
+            SyntheticDataset("bad", np.zeros((4, 1, 2, 2)), np.zeros(3, dtype=int), 2)
+        with pytest.raises(ValueError):
+            SyntheticDataset("bad", np.zeros((4, 1, 2, 2)), np.zeros(4, dtype=int), 1)
+
+    def test_requires_enough_examples(self):
+        with pytest.raises(ValueError):
+            make_classification_dataset("t", 3, (1, 4, 4), 10)
+
+    def test_determinism(self):
+        a = make_classification_dataset("t", 32, (1, 4, 4), 3, seed=5)
+        b = make_classification_dataset("t", 32, (1, 4, 4), 3, seed=5)
+        assert np.array_equal(a.images, b.images)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_different_noise_seed_same_task(self):
+        a = make_classification_dataset("t", 32, (1, 4, 4), 3, seed=5, noise_seed=1)
+        b = make_classification_dataset("t", 32, (1, 4, 4), 3, seed=5, noise_seed=2)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_subset(self):
+        data = make_classification_dataset("t", 32, (1, 4, 4), 4, seed=0)
+        sub = data.subset(8)
+        assert len(sub) == 8
+        assert np.array_equal(sub.images, data.images[:8])
+        with pytest.raises(ValueError):
+            data.subset(0)
+        with pytest.raises(ValueError):
+            data.subset(64)
+
+    def test_flatten_images(self):
+        data = make_classification_dataset("t", 8, (3, 4, 4), 2, seed=0)
+        assert data.flatten_images().shape == (8, 48)
+
+    def test_classes_are_linearly_separable_enough(self):
+        # A nearest-prototype classifier on the training data should beat
+        # chance by a wide margin; otherwise the reduced models cannot learn.
+        data = make_classification_dataset("t", 400, (1, 8, 8), 10, seed=3)
+        flat = data.flatten_images()
+        prototypes = np.stack(
+            [flat[data.labels == c].mean(axis=0) for c in range(10)]
+        )
+        predictions = np.argmax(flat @ prototypes.T, axis=1)
+        assert (predictions == data.labels).mean() > 0.8
+
+
+class TestNamedGenerators:
+    def test_mnist_shapes(self):
+        train, test = synthetic_mnist(64, 32, image_size=14, seed=0)
+        assert train.input_shape == (1, 14, 14)
+        assert test.input_shape == (1, 14, 14)
+        assert train.num_classes == 10
+
+    def test_cifar_shapes(self):
+        train, test = synthetic_cifar10(64, 32, image_size=16, seed=0)
+        assert train.input_shape == (3, 16, 16)
+
+    def test_imagenet_shapes_and_classes(self):
+        train, test = synthetic_imagenet(32, 16, image_size=32, num_classes=10, seed=0)
+        assert train.input_shape == (3, 32, 32)
+        assert train.num_classes == 10
+
+    def test_train_and_test_share_prototypes(self):
+        train, test = synthetic_mnist(400, 200, image_size=8, seed=2)
+        # class means of train and test must be close (same prototypes)
+        for label in range(10):
+            train_mean = train.images[train.labels == label].mean(axis=0)
+            test_mean = test.images[test.labels == label].mean(axis=0)
+            correlation = np.corrcoef(train_mean.ravel(), test_mean.ravel())[0, 1]
+            assert correlation > 0.5
+
+    def test_train_and_test_are_different_draws(self):
+        train, test = synthetic_mnist(64, 64, image_size=8, seed=2)
+        assert not np.array_equal(train.images, test.images)
+
+
+class TestBatchLoader:
+    def test_batch_shapes_and_count(self):
+        data = make_classification_dataset("t", 70, (1, 4, 4), 3, seed=0)
+        loader = BatchLoader(data, batch_size=32)
+        batches = loader.batches()
+        assert len(loader) == 3
+        assert len(batches) == 3
+        assert batches[0][0].shape == (32, 1, 4, 4)
+        assert batches[-1][0].shape == (6, 1, 4, 4)
+
+    def test_flatten_option(self):
+        data = make_classification_dataset("t", 16, (1, 4, 4), 3, seed=0)
+        x, _ = BatchLoader(data, batch_size=8, flatten=True).batches()[0]
+        assert x.shape == (8, 16)
+
+    def test_shuffle_changes_order_but_not_content(self):
+        data = make_classification_dataset("t", 64, (1, 4, 4), 3, seed=0)
+        plain = BatchLoader(data, batch_size=64, shuffle=False).batches()[0]
+        shuffled = BatchLoader(data, batch_size=64, shuffle=True, seed=1).batches()[0]
+        assert not np.array_equal(plain[1], shuffled[1])
+        assert sorted(plain[1].tolist()) == sorted(shuffled[1].tolist())
+
+    def test_no_shuffle_is_deterministic(self):
+        data = make_classification_dataset("t", 32, (1, 4, 4), 3, seed=0)
+        a = BatchLoader(data, batch_size=8).batches()
+        b = BatchLoader(data, batch_size=8).batches()
+        for (xa, ya), (xb, yb) in zip(a, b):
+            assert np.array_equal(xa, xb)
+            assert np.array_equal(ya, yb)
+
+    def test_invalid_batch_size(self):
+        data = make_classification_dataset("t", 16, (1, 4, 4), 3, seed=0)
+        with pytest.raises(ValueError):
+            BatchLoader(data, batch_size=0)

@@ -1,0 +1,160 @@
+"""Unit tests for the energy model, memory models and mapping models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accel import (
+    ALL_MAPPINGS,
+    BufferSpec,
+    DramChannel,
+    EnergyModel,
+    MappingModel,
+    OnChipMemory,
+    TrainingStage,
+    get_mapping,
+)
+
+
+class TestEnergyModel:
+    def test_defaults_preserve_cost_ordering(self):
+        model = EnergyModel()
+        assert model.dram_per_byte > model.sram_per_access > model.mac_16bit / 2
+
+    def test_conversions(self):
+        model = EnergyModel(dram_per_byte=100.0, sram_per_access=2.0, mac_16bit=1.0)
+        assert model.dram_energy(10) == 1000.0
+        assert model.sram_energy(5) == 10.0
+        assert model.mac_energy(3) == 3.0
+        assert model.grng_energy(2) == 2 * model.grng_per_sample
+
+    def test_static_energy_scales_with_time(self):
+        model = EnergyModel(static_power_watts=2.0)
+        assert model.static_energy(1e-3) == pytest.approx(2e9)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel(dram_per_byte=-1.0)
+        with pytest.raises(ValueError):
+            EnergyModel(static_power_watts=-0.1)
+
+    def test_dram_cheaper_than_sram_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel(dram_per_byte=1.0, sram_per_access=5.0)
+
+
+class TestDramChannel:
+    def test_total_bandwidth(self):
+        dram = DramChannel(bandwidth_bytes_per_second=10e9, channels=2)
+        assert dram.total_bandwidth == 20e9
+
+    def test_bytes_per_cycle_and_transfer_cycles(self):
+        dram = DramChannel(bandwidth_bytes_per_second=10e9, channels=2)
+        assert dram.bytes_per_cycle(200e6) == pytest.approx(100.0)
+        assert dram.transfer_cycles(1000, 200e6) == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DramChannel(bandwidth_bytes_per_second=0)
+        with pytest.raises(ValueError):
+            DramChannel().bytes_per_cycle(0)
+
+
+class TestBuffers:
+    def test_fits(self):
+        buffer = BufferSpec("NBin", capacity_bytes=1024)
+        assert buffer.fits(1024)
+        assert not buffer.fits(1025)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BufferSpec("bad", capacity_bytes=0)
+
+    def test_onchip_default_totals(self):
+        memory = OnChipMemory.default()
+        assert memory.total_bytes == (
+            memory.nbin.capacity_bytes
+            + memory.nbout.capacity_bytes
+            + memory.weight_params.capacity_bytes
+        )
+        assert memory.nbin.capacity_bytes == memory.nbout.capacity_bytes
+
+
+class TestMappingModels:
+    def test_registry_and_lookup(self):
+        assert {m.name for m in ALL_MAPPINGS} == {"MN", "RC", "K", "BM"}
+        assert get_mapping("rc").name == "RC"
+        with pytest.raises(KeyError):
+            get_mapping("XY")
+
+    def test_utilization_bounds(self):
+        for mapping in ALL_MAPPINGS:
+            for kind in ("conv", "dense"):
+                for stage in TrainingStage:
+                    for reversal in (False, True):
+                        value = mapping.utilization(kind, stage, reversal)
+                        assert 0.0 < value <= 1.0
+
+    def test_reversal_penalty_only_in_backward_stages(self):
+        mn = get_mapping("MN")
+        fw = mn.utilization("conv", TrainingStage.FORWARD, lfsr_reversal=True)
+        bw = mn.utilization("conv", TrainingStage.BACKWARD, lfsr_reversal=True)
+        assert fw == mn.conv_utilization
+        assert bw < fw
+
+    def test_overheads_zero_without_reversal(self):
+        for mapping in ALL_MAPPINGS:
+            for stage in TrainingStage:
+                assert mapping.extra_adds_per_mac(stage, lfsr_reversal=False) == 0.0
+                assert mapping.extra_sram_per_mac(stage, lfsr_reversal=False) == 0.0
+
+    def test_overheads_zero_in_forward_stage(self):
+        for mapping in ALL_MAPPINGS:
+            assert mapping.extra_adds_per_mac(TrainingStage.FORWARD, True) == 0.0
+
+    def test_rc_has_lowest_dse_overhead(self):
+        scores = {m.name: m.dse_overhead_score(4) for m in ALL_MAPPINGS}
+        assert min(scores, key=scores.get) == "RC"
+
+    def test_epsilon_swap_mappings_scored_worse(self):
+        k_score = get_mapping("K").dse_overhead_score(4)
+        rc_score = get_mapping("RC").dse_overhead_score(4)
+        assert k_score > rc_score
+
+    def test_dse_score_grows_with_array_width_for_swap_mappings(self):
+        k = get_mapping("K")
+        assert k.dse_overhead_score(8) > k.dse_overhead_score(4)
+
+    def test_rc_conv_utilization_is_best(self):
+        rc = get_mapping("RC")
+        assert rc.conv_utilization == max(m.conv_utilization for m in ALL_MAPPINGS)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MappingModel(
+                name="bad",
+                description="",
+                conv_utilization=1.5,
+                dense_utilization=0.5,
+                sram_accesses_per_mac=1.0,
+                reversal_extra_adds_per_bw_mac=0.0,
+                reversal_extra_sram_per_bw_mac=0.0,
+                reversal_utilization_penalty=0.0,
+                requires_epsilon_swap=False,
+                extra_adder_trees=0,
+                extra_buffer_copies=0,
+            )
+        with pytest.raises(ValueError):
+            MappingModel(
+                name="bad",
+                description="",
+                conv_utilization=0.9,
+                dense_utilization=0.5,
+                sram_accesses_per_mac=1.0,
+                reversal_extra_adds_per_bw_mac=0.0,
+                reversal_extra_sram_per_bw_mac=0.0,
+                reversal_utilization_penalty=1.0,
+                requires_epsilon_swap=False,
+                extra_adder_trees=0,
+                extra_buffer_copies=0,
+            )

@@ -1,0 +1,123 @@
+"""Unit tests for the GPU roofline model and the FPGA resource model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accel import (
+    GPUModel,
+    PUBLISHED_TABLE_2,
+    estimate_spu_resources,
+    shift_bnn_accelerator,
+    simulate_gpu_training_iteration,
+    simulate_training_iteration,
+    tesla_p100,
+)
+from repro.models import paper_models
+
+
+class TestGPUModel:
+    def test_p100_parameters(self):
+        gpu = tesla_p100()
+        assert gpu.name == "Tesla P100"
+        assert gpu.effective_flops < gpu.peak_flops
+        assert gpu.effective_bandwidth < gpu.memory_bandwidth
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GPUModel("bad", peak_flops=0, memory_bandwidth=1e9, average_power_watts=100)
+        with pytest.raises(ValueError):
+            GPUModel(
+                "bad",
+                peak_flops=1e12,
+                memory_bandwidth=1e9,
+                average_power_watts=100,
+                achieved_compute_fraction=1.5,
+            )
+
+    def test_simulation_result_fields(self):
+        lenet = paper_models()["B-LeNet"]
+        result = simulate_gpu_training_iteration(tesla_p100(), lenet, 16)
+        assert result.latency_seconds > 0
+        assert result.energy_joules == pytest.approx(
+            result.latency_seconds * tesla_p100().average_power_watts
+        )
+        assert result.throughput_gops > 0
+        assert result.energy_efficiency_gops_per_watt > 0
+
+    def test_invalid_sample_count(self):
+        with pytest.raises(ValueError):
+            simulate_gpu_training_iteration(tesla_p100(), paper_models()["B-MLP"], 0)
+
+    def test_gpu_still_pays_epsilon_traffic(self):
+        mlp = paper_models()["B-MLP"]
+        s8 = simulate_gpu_training_iteration(tesla_p100(), mlp, 8)
+        s32 = simulate_gpu_training_iteration(tesla_p100(), mlp, 32)
+        # epsilon traffic scales with S, so bytes grow super-linearly vs weights
+        assert s32.dram_bytes > 3 * s8.dram_bytes
+
+    def test_gpu_beats_mn_baseline_on_large_models(self):
+        from repro.accel import mn_accelerator
+
+        vgg = paper_models()["B-VGG"]
+        gpu = simulate_gpu_training_iteration(tesla_p100(), vgg, 32)
+        mn = simulate_training_iteration(mn_accelerator(), vgg, 32)
+        assert gpu.latency_seconds < mn.latency_seconds
+
+    def test_shift_bnn_beats_gpu_on_efficiency(self):
+        for name in ("B-MLP", "B-VGG"):
+            spec = paper_models()[name]
+            gpu = simulate_gpu_training_iteration(tesla_p100(), spec, 16)
+            shift = simulate_training_iteration(shift_bnn_accelerator(), spec, 16)
+            assert (
+                shift.energy_efficiency_gops_per_watt
+                > gpu.energy_efficiency_gops_per_watt
+            )
+
+
+class TestResourceModel:
+    def test_component_rows_match_published_structure(self):
+        report = estimate_spu_resources()
+        assert {c.name for c in report.components} == set(PUBLISHED_TABLE_2)
+
+    @pytest.mark.parametrize("component", list(PUBLISHED_TABLE_2))
+    def test_estimates_close_to_published(self, component):
+        report = estimate_spu_resources()
+        estimated = report.component(component)
+        published = PUBLISHED_TABLE_2[component]
+        for attribute, key in (("lut", "lut"), ("ff", "ff"), ("dsp", "dsp"), ("bram", "bram")):
+            value = getattr(estimated, attribute)
+            reference = published[key]
+            if reference == 0:
+                assert value == 0
+            else:
+                assert value == pytest.approx(reference, rel=0.05)
+        assert estimated.average_power_watts == pytest.approx(published["power"], rel=0.05)
+
+    def test_grngs_dominate_flip_flops(self):
+        report = estimate_spu_resources()
+        grng_ff = report.component("GRNGs").ff
+        assert grng_ff > sum(
+            c.ff for c in report.components if c.name != "GRNGs"
+        )
+
+    def test_buffers_own_all_bram(self):
+        report = estimate_spu_resources()
+        assert report.component("NBin/NBout").bram == report.totals.bram
+
+    def test_totals(self):
+        report = estimate_spu_resources()
+        totals = report.totals
+        assert totals.lut == sum(c.lut for c in report.components)
+        assert totals.average_power_watts == pytest.approx(
+            sum(c.average_power_watts for c in report.components)
+        )
+
+    def test_unknown_component_lookup(self):
+        with pytest.raises(KeyError):
+            estimate_spu_resources().component("TPU")
+
+    def test_scales_with_configuration(self):
+        small = estimate_spu_resources(shift_bnn_accelerator(lfsr_bits=128))
+        large = estimate_spu_resources(shift_bnn_accelerator(lfsr_bits=256))
+        assert small.component("GRNGs").ff < large.component("GRNGs").ff

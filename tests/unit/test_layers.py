@@ -1,0 +1,228 @@
+"""Unit tests for the deterministic layer classes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool2D,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    MaxPool2D,
+    Parameter,
+    ReLU,
+)
+
+
+class TestParameter:
+    def test_grad_initialised_to_zero(self):
+        param = Parameter("w", np.ones((2, 3)))
+        assert np.array_equal(param.grad, np.zeros((2, 3)))
+        assert param.size == 6
+
+    def test_zero_grad_clears_in_place(self):
+        param = Parameter("w", np.ones(4))
+        param.grad += 3.0
+        buffer = param.grad
+        param.zero_grad()
+        assert np.array_equal(param.grad, np.zeros(4))
+        assert param.grad is buffer
+
+
+class TestDense:
+    def test_forward_shape_and_value(self, rng):
+        layer = Dense(4, 3, rng=rng)
+        x = rng.normal(size=(5, 4))
+        out = layer.forward(x)
+        assert out.shape == (5, 3)
+        assert np.allclose(out, x @ layer.weight.value + layer.bias.value)
+
+    def test_forward_validates_feature_count(self, rng):
+        layer = Dense(4, 3, rng=rng)
+        with pytest.raises(ValueError):
+            layer.forward(rng.normal(size=(5, 7)))
+
+    def test_forward_requires_2d(self, rng):
+        layer = Dense(4, 3, rng=rng)
+        with pytest.raises(ValueError):
+            layer.forward(rng.normal(size=(5, 4, 1)))
+
+    def test_backward_before_forward_raises(self, rng):
+        layer = Dense(4, 3, rng=rng)
+        with pytest.raises(RuntimeError):
+            layer.backward(rng.normal(size=(5, 3)))
+
+    def test_gradients_numerically(self, rng, numeric_gradient):
+        layer = Dense(4, 3, rng=rng)
+        x = rng.normal(size=(5, 4))
+        seed = rng.normal(size=(5, 3))
+
+        def loss():
+            return float(np.sum(layer.forward(x) * seed))
+
+        layer.zero_grad()
+        layer.forward(x)
+        grad_x = layer.backward(seed)
+        assert np.allclose(layer.weight.grad, numeric_gradient(loss, layer.weight.value), atol=1e-5)
+        assert np.allclose(layer.bias.grad, numeric_gradient(loss, layer.bias.value), atol=1e-5)
+        assert np.allclose(grad_x, numeric_gradient(loss, x), atol=1e-5)
+
+    def test_gradient_accumulates_across_calls(self, rng):
+        layer = Dense(4, 2, rng=rng)
+        x = rng.normal(size=(3, 4))
+        layer.forward(x)
+        layer.backward(np.ones((3, 2)))
+        first = layer.weight.grad.copy()
+        layer.forward(x)
+        layer.backward(np.ones((3, 2)))
+        assert np.allclose(layer.weight.grad, 2 * first)
+
+    def test_no_bias_option(self, rng):
+        layer = Dense(4, 3, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            Dense(0, 3)
+
+    def test_parameter_count(self, rng):
+        layer = Dense(4, 3, rng=rng)
+        assert layer.parameter_count == 4 * 3 + 3
+
+
+class TestConv2D:
+    def test_forward_shape(self, rng):
+        layer = Conv2D(3, 5, kernel_size=3, padding=1, rng=rng)
+        out = layer.forward(rng.normal(size=(2, 3, 8, 8)))
+        assert out.shape == (2, 5, 8, 8)
+
+    def test_output_shape_helper(self, rng):
+        layer = Conv2D(3, 5, kernel_size=3, stride=2, padding=1, rng=rng)
+        assert layer.output_shape((3, 8, 8)) == (5, 4, 4)
+
+    def test_gradients_numerically(self, rng, numeric_gradient):
+        layer = Conv2D(2, 3, kernel_size=3, padding=1, rng=rng)
+        x = rng.normal(size=(2, 2, 5, 5))
+        seed = rng.normal(size=(2, 3, 5, 5))
+
+        def loss():
+            return float(np.sum(layer.forward(x) * seed))
+
+        layer.zero_grad()
+        layer.forward(x)
+        grad_x = layer.backward(seed)
+        assert np.allclose(layer.weight.grad, numeric_gradient(loss, layer.weight.value), atol=1e-5)
+        assert np.allclose(layer.bias.grad, numeric_gradient(loss, layer.bias.value), atol=1e-5)
+        assert np.allclose(grad_x, numeric_gradient(loss, x), atol=1e-5)
+
+    def test_backward_before_forward_raises(self, rng):
+        layer = Conv2D(2, 3, kernel_size=3, rng=rng)
+        with pytest.raises(RuntimeError):
+            layer.backward(rng.normal(size=(1, 3, 3, 3)))
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            Conv2D(2, 3, kernel_size=0)
+        with pytest.raises(ValueError):
+            Conv2D(2, 3, kernel_size=3, stride=0)
+        with pytest.raises(ValueError):
+            Conv2D(2, 3, kernel_size=3, padding=-1)
+
+    def test_no_bias_option(self, rng):
+        layer = Conv2D(2, 3, kernel_size=3, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+
+class TestStatelessLayers:
+    def test_relu_forward_backward(self, rng):
+        layer = ReLU()
+        x = rng.normal(size=(4, 5))
+        out = layer.forward(x)
+        assert np.array_equal(out, np.maximum(x, 0))
+        grad = layer.backward(np.ones_like(x))
+        assert np.array_equal(grad, (x > 0).astype(float))
+
+    def test_relu_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            ReLU().backward(np.ones(3))
+
+    def test_flatten_roundtrip(self, rng):
+        layer = Flatten()
+        x = rng.normal(size=(2, 3, 4, 4))
+        out = layer.forward(x)
+        assert out.shape == (2, 48)
+        assert layer.backward(out).shape == x.shape
+
+    def test_flatten_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            Flatten().backward(np.ones((2, 4)))
+
+    def test_maxpool_layer(self, rng):
+        layer = MaxPool2D(2)
+        x = rng.normal(size=(1, 2, 6, 6))
+        out = layer.forward(x)
+        assert out.shape == (1, 2, 3, 3)
+        assert layer.backward(np.ones_like(out)).shape == x.shape
+
+    def test_avgpool_layer(self, rng):
+        layer = AvgPool2D(3)
+        x = rng.normal(size=(1, 2, 6, 6))
+        out = layer.forward(x)
+        assert out.shape == (1, 2, 2, 2)
+        assert layer.backward(np.ones_like(out)).shape == x.shape
+
+    def test_pool_validation(self):
+        with pytest.raises(ValueError):
+            MaxPool2D(0)
+        with pytest.raises(ValueError):
+            AvgPool2D(0)
+
+    def test_pool_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            MaxPool2D(2).backward(np.ones((1, 1, 2, 2)))
+        with pytest.raises(RuntimeError):
+            AvgPool2D(2).backward(np.ones((1, 1, 2, 2)))
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        layer = Dropout(0.5)
+        layer.eval()
+        x = rng.normal(size=(8, 8))
+        assert np.array_equal(layer.forward(x), x)
+
+    def test_training_mode_zeroes_some_units(self, rng):
+        layer = Dropout(0.5, seed=1)
+        x = np.ones((64, 64))
+        out = layer.forward(x)
+        dropped = np.sum(out == 0)
+        assert 0 < dropped < x.size
+
+    def test_inverted_scaling_preserves_mean(self):
+        layer = Dropout(0.25, seed=2)
+        x = np.ones((128, 128))
+        out = layer.forward(x)
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_backward_uses_same_mask(self):
+        layer = Dropout(0.5, seed=3)
+        x = np.ones((16, 16))
+        out = layer.forward(x)
+        grad = layer.backward(np.ones_like(x))
+        assert np.array_equal(grad == 0, out == 0)
+
+    def test_zero_rate_is_identity(self, rng):
+        layer = Dropout(0.0)
+        x = rng.normal(size=(4, 4))
+        assert np.array_equal(layer.forward(x), x)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)

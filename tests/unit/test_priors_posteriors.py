@@ -1,0 +1,214 @@
+"""Unit tests for priors, variational posteriors and the ELBO helpers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.bnn import (
+    ELBOReport,
+    GaussianPosterior,
+    GaussianPrior,
+    ScaleMixturePrior,
+    gaussian_kl_divergence,
+    inverse_softplus,
+    sampled_complexity,
+    softplus,
+    softplus_grad,
+)
+from repro.nn.initializers import Constant
+
+
+class TestGaussianPrior:
+    def test_log_prob_matches_scipy(self, rng):
+        prior = GaussianPrior(sigma=0.5)
+        weights = rng.normal(size=20)
+        expected = stats.norm(0, 0.5).logpdf(weights).sum()
+        assert prior.log_prob(weights) == pytest.approx(expected)
+
+    def test_nll_grad_is_w_over_variance(self, rng):
+        prior = GaussianPrior(sigma=0.5)
+        weights = rng.normal(size=10)
+        assert np.allclose(prior.nll_grad(weights), weights / 0.25)
+
+    def test_nll_grad_matches_paper_shift_approximation(self):
+        # sigma_c = 0.5 makes the prior gradient a 2-bit left shift of w.
+        prior = GaussianPrior(sigma=0.5)
+        weights = np.array([0.25, -1.0])
+        assert np.allclose(prior.nll_grad(weights), 4.0 * weights)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaussianPrior(sigma=0.0)
+
+    def test_repr(self):
+        assert "0.5" in repr(GaussianPrior(0.5))
+
+
+class TestScaleMixturePrior:
+    def test_log_prob_matches_manual_mixture(self, rng):
+        prior = ScaleMixturePrior(pi=0.7, sigma1=1.0, sigma2=0.1)
+        weights = rng.normal(size=15)
+        mixture = 0.7 * stats.norm(0, 1.0).pdf(weights) + 0.3 * stats.norm(0, 0.1).pdf(weights)
+        assert prior.log_prob(weights) == pytest.approx(np.log(mixture).sum())
+
+    def test_nll_grad_numerically(self, rng, numeric_gradient):
+        prior = ScaleMixturePrior(pi=0.5, sigma1=1.0, sigma2=0.2)
+        weights = rng.normal(size=6)
+
+        def negative_log_prob():
+            return -prior.log_prob(weights)
+
+        grad = prior.nll_grad(weights)
+        assert np.allclose(grad, numeric_gradient(negative_log_prob, weights), atol=1e-5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScaleMixturePrior(pi=0.0)
+        with pytest.raises(ValueError):
+            ScaleMixturePrior(sigma1=-1.0)
+
+
+class TestSoftplus:
+    def test_softplus_positive(self, rng):
+        values = rng.normal(size=50) * 5
+        assert np.all(softplus(values) > 0)
+
+    def test_softplus_grad_is_sigmoid(self):
+        assert softplus_grad(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_inverse_softplus_roundtrip(self):
+        for sigma in (0.01, 0.1, 1.0, 3.0):
+            assert softplus(np.array([inverse_softplus(sigma)]))[0] == pytest.approx(sigma)
+
+    def test_inverse_softplus_validation(self):
+        with pytest.raises(ValueError):
+            inverse_softplus(0.0)
+
+
+class TestGaussianPosterior:
+    def make(self, shape=(4, 3), sigma=0.2):
+        return GaussianPosterior(
+            shape, Constant(0.3), sigma, "test", np.random.default_rng(0)
+        )
+
+    def test_sigma_matches_initial_value(self):
+        posterior = self.make(sigma=0.2)
+        assert np.allclose(posterior.sigma, 0.2)
+
+    def test_parameters_and_counts(self):
+        posterior = self.make(shape=(5, 2))
+        assert posterior.n_weights == 10
+        assert len(posterior.parameters()) == 2
+
+    def test_log_prob_matches_scipy(self, rng):
+        posterior = self.make(shape=(6,), sigma=0.3)
+        weights = rng.normal(size=6)
+        expected = stats.norm(0.3, 0.3).logpdf(weights).sum()
+        assert posterior.log_prob(weights) == pytest.approx(expected)
+
+    def test_invalid_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianPosterior((2,), Constant(0.0), 0.0, "bad", np.random.default_rng(0))
+
+    def test_accumulate_gradients_shape_validation(self):
+        posterior = self.make(shape=(3,))
+        with pytest.raises(ValueError):
+            posterior.accumulate_gradients(
+                np.zeros(4), np.zeros(4), 1.0, np.zeros(4)
+            )
+
+    def test_accumulate_gradients_matches_analytic_elbo_gradient(self, numeric_gradient):
+        """The accumulated (mu, rho) gradients must equal the true gradient of
+        E_eps[ NLL-term + beta * (log q(w) - log P(w)) ] for fixed epsilon."""
+        rng = np.random.default_rng(3)
+        shape = (5,)
+        posterior = GaussianPosterior(shape, Constant(0.4), 0.3, "g", rng)
+        prior = GaussianPrior(sigma=0.5)
+        epsilon = rng.normal(size=shape)
+        target = rng.normal(size=shape)
+        beta = 0.7
+
+        def objective():
+            sigma = softplus(posterior.rho.value)
+            w = posterior.mu.value + epsilon * sigma
+            data_term = 0.5 * np.sum((w - target) ** 2)
+            complexity = posterior.log_prob(w) - prior.log_prob(w)
+            return float(data_term + beta * complexity)
+
+        sigma = posterior.sigma
+        w = posterior.mu.value + epsilon * sigma
+        grad_w_data = w - target  # d(data_term)/dw
+        posterior.mu.zero_grad()
+        posterior.rho.zero_grad()
+        posterior.accumulate_gradients(
+            grad_weight=grad_w_data,
+            epsilon=epsilon,
+            kl_weight=beta,
+            prior_nll_grad=prior.nll_grad(w),
+            include_entropy_term=True,
+        )
+        numeric_mu = numeric_gradient(objective, posterior.mu.value)
+        numeric_rho = numeric_gradient(objective, posterior.rho.value)
+        assert np.allclose(posterior.mu.grad, numeric_mu, atol=1e-5)
+        assert np.allclose(posterior.rho.grad, numeric_rho, atol=1e-5)
+
+    def test_zero_kl_weight_skips_complexity_terms(self, rng):
+        posterior = self.make(shape=(4,))
+        epsilon = rng.normal(size=4)
+        grad_w = rng.normal(size=4)
+        posterior.accumulate_gradients(
+            grad_weight=grad_w,
+            epsilon=epsilon,
+            kl_weight=0.0,
+            prior_nll_grad=np.zeros(4),
+        )
+        assert np.allclose(posterior.mu.grad, grad_w)
+
+    def test_repr(self):
+        assert "GaussianPosterior" in repr(self.make())
+
+
+class TestELBOHelpers:
+    def test_gaussian_kl_zero_when_posterior_equals_prior(self):
+        posterior = GaussianPosterior(
+            (10,), Constant(0.0), 0.5, "match", np.random.default_rng(0)
+        )
+        prior = GaussianPrior(sigma=0.5)
+        assert gaussian_kl_divergence(posterior, prior) == pytest.approx(0.0, abs=1e-9)
+
+    def test_gaussian_kl_positive_otherwise(self):
+        posterior = GaussianPosterior(
+            (10,), Constant(1.0), 0.1, "off", np.random.default_rng(0)
+        )
+        assert gaussian_kl_divergence(posterior, GaussianPrior(0.5)) > 0
+
+    def test_gaussian_kl_matches_monte_carlo(self):
+        posterior = GaussianPosterior(
+            (1,), Constant(0.8), 0.4, "mc", np.random.default_rng(0)
+        )
+        prior = GaussianPrior(sigma=0.5)
+        analytic = gaussian_kl_divergence(posterior, prior)
+        rng = np.random.default_rng(1)
+        samples = 0.8 + 0.4 * rng.normal(size=200_000)
+        monte_carlo = np.mean(
+            stats.norm(0.8, 0.4).logpdf(samples) - stats.norm(0, 0.5).logpdf(samples)
+        )
+        assert analytic == pytest.approx(monte_carlo, abs=0.01)
+
+    def test_sampled_complexity(self, rng):
+        posterior = GaussianPosterior(
+            (4,), Constant(0.0), 0.5, "s", np.random.default_rng(0)
+        )
+        prior = GaussianPrior(sigma=0.5)
+        weights = rng.normal(size=4)
+        value = sampled_complexity(posterior, prior, weights)
+        assert value == pytest.approx(posterior.log_prob(weights) - prior.log_prob(weights))
+
+    def test_elbo_report_total_and_str(self):
+        report = ELBOReport(nll=1.5, complexity=10.0, kl_weight=0.1)
+        assert report.total == pytest.approx(2.5)
+        assert "loss=" in str(report)

@@ -1,0 +1,168 @@
+"""Unit tests for fixed-point quantisation, initialisers and classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Constant,
+    FixedPointFormat,
+    GlorotUniform,
+    HeNormal,
+    QuantizationConfig,
+    Zeros,
+    accuracy,
+    expected_calibration_error,
+    negative_log_likelihood,
+    one_hot,
+    predictive_entropy,
+    quantize,
+)
+from repro.nn.initializers import fan_in_and_out
+
+
+class TestFixedPointFormat:
+    def test_total_bits_and_scale(self):
+        fmt = FixedPointFormat(integer_bits=5, fraction_bits=10)
+        assert fmt.total_bits == 16
+        assert fmt.scale == pytest.approx(2.0**-10)
+
+    def test_range(self):
+        fmt = FixedPointFormat(integer_bits=2, fraction_bits=5)
+        assert fmt.max_value == pytest.approx(4.0 - 2.0**-5)
+        assert fmt.min_value == pytest.approx(-4.0)
+
+    def test_quantize_rounds_to_grid(self):
+        fmt = FixedPointFormat(integer_bits=2, fraction_bits=2)
+        values = np.array([0.1, 0.12, 0.13, 0.24, 0.26])
+        quantised = fmt.quantize(values)
+        assert np.allclose(quantised * 4, np.round(quantised * 4))
+
+    def test_quantize_saturates(self):
+        fmt = FixedPointFormat(integer_bits=1, fraction_bits=2)
+        assert fmt.quantize(np.array([100.0]))[0] == fmt.max_value
+        assert fmt.quantize(np.array([-100.0]))[0] == fmt.min_value
+
+    def test_quantize_is_idempotent(self, rng):
+        fmt = FixedPointFormat(integer_bits=3, fraction_bits=6)
+        values = rng.normal(size=100)
+        once = fmt.quantize(values)
+        assert np.array_equal(once, fmt.quantize(once))
+
+    def test_error_bounded_by_half_lsb(self, rng):
+        fmt = FixedPointFormat(integer_bits=4, fraction_bits=8)
+        values = rng.uniform(-10, 10, size=200)
+        error = np.abs(fmt.quantize(values) - values)
+        assert np.all(error <= fmt.scale / 2 + 1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(integer_bits=-1, fraction_bits=3)
+        with pytest.raises(ValueError):
+            FixedPointFormat(integer_bits=0, fraction_bits=0)
+
+
+class TestQuantizationConfig:
+    def test_full_precision_is_identity(self, rng):
+        config = QuantizationConfig.full_precision()
+        values = rng.normal(size=10)
+        assert config.is_identity
+        assert np.array_equal(config.quantize_weights(values), values)
+
+    def test_presets(self):
+        for bits in (8, 16, 32):
+            config = QuantizationConfig.from_word_length(bits)
+            if bits == 32:
+                assert config.is_identity
+            else:
+                assert config.weight_format is not None
+                assert config.weight_format.total_bits == bits
+
+    def test_unknown_word_length_rejected(self):
+        with pytest.raises(ValueError):
+            QuantizationConfig.from_word_length(12)
+
+    def test_eight_bit_has_coarser_grid_than_sixteen(self):
+        eight = QuantizationConfig.from_word_length(8).weight_format
+        sixteen = QuantizationConfig.from_word_length(16).weight_format
+        assert eight is not None and sixteen is not None
+        assert eight.scale > sixteen.scale
+
+    def test_quantize_helper_passthrough(self, rng):
+        values = rng.normal(size=5)
+        assert np.array_equal(quantize(values, None), values)
+
+    def test_gradient_quantisation_underflows_small_values(self):
+        config = QuantizationConfig.from_word_length(8)
+        tiny = np.full(4, 1e-4)
+        assert np.all(config.quantize_gradients(tiny) == 0.0)
+
+
+class TestInitializers:
+    def test_zeros_and_constant(self, rng):
+        assert np.all(Zeros()((3, 3), rng) == 0)
+        assert np.all(Constant(0.5)((2,), rng) == 0.5)
+
+    def test_he_normal_scale(self, rng):
+        values = HeNormal()((1000, 50), rng)
+        assert values.std() == pytest.approx(np.sqrt(2.0 / 1000), rel=0.1)
+
+    def test_glorot_uniform_bounds(self, rng):
+        values = GlorotUniform()((100, 60), rng)
+        limit = np.sqrt(6.0 / 160)
+        assert values.min() >= -limit and values.max() <= limit
+
+    def test_fan_in_and_out_dense_and_conv(self):
+        assert fan_in_and_out((10, 20)) == (10, 20)
+        assert fan_in_and_out((8, 4, 3, 3)) == (4 * 9, 8 * 9)
+        assert fan_in_and_out((7,)) == (7, 7)
+        with pytest.raises(ValueError):
+            fan_in_and_out((1, 2, 3))
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        probs = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4]])
+        assert accuracy(probs, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_accuracy_validation(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros(3), np.zeros(3))
+        with pytest.raises(ValueError):
+            accuracy(np.zeros((3, 2)), np.zeros(4))
+
+    def test_negative_log_likelihood(self):
+        probs = np.array([[0.5, 0.5], [1.0, 0.0]])
+        value = negative_log_likelihood(probs, np.array([0, 0]))
+        assert value == pytest.approx(-0.5 * (np.log(0.5) + np.log(1.0)))
+
+    def test_predictive_entropy_extremes(self):
+        certain = predictive_entropy(np.array([[1.0, 0.0]]))
+        uncertain = predictive_entropy(np.array([[0.5, 0.5]]))
+        assert certain[0] < uncertain[0]
+        assert uncertain[0] == pytest.approx(np.log(2))
+
+    def test_ece_perfectly_calibrated_is_zero(self):
+        probs = np.array([[1.0, 0.0]] * 10)
+        labels = np.zeros(10, dtype=int)
+        assert expected_calibration_error(probs, labels) == pytest.approx(0.0, abs=1e-8)
+
+    def test_ece_overconfident_is_positive(self):
+        probs = np.array([[0.99, 0.01]] * 10)
+        labels = np.array([0] * 5 + [1] * 5)
+        assert expected_calibration_error(probs, labels) > 0.3
+
+    def test_ece_validation(self):
+        with pytest.raises(ValueError):
+            expected_calibration_error(np.array([[1.0, 0.0]]), np.array([0]), n_bins=0)
+
+    def test_one_hot(self):
+        encoded = one_hot(np.array([0, 2]), 3)
+        assert np.array_equal(encoded, np.array([[1, 0, 0], [0, 0, 1]], dtype=float))
+
+    def test_one_hot_validation(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([3]), 3)
+        with pytest.raises(ValueError):
+            one_hot(np.array([[1]]), 3)

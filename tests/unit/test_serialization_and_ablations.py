@@ -1,0 +1,127 @@
+"""Unit tests for checkpoint serialization and the ablation experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bnn import (
+    CheckpointMismatchError,
+    ShiftBNNTrainer,
+    TrainerConfig,
+    load_parameters,
+    mc_predict,
+    save_parameters,
+)
+from repro.experiments import (
+    run_bandwidth_sensitivity_ablation,
+    run_grng_quality_ablation,
+    run_spu_scaling_ablation,
+)
+from repro.models import get_model
+
+
+@pytest.fixture
+def tiny_model_pair():
+    spec = get_model("B-MLP", reduced=True)
+    return spec.build_bayesian(seed=1), spec.build_bayesian(seed=2)
+
+
+class TestSerialization:
+    def test_roundtrip_restores_every_parameter(self, tiny_model_pair, tmp_path):
+        source, target = tiny_model_pair
+        path = save_parameters(source, tmp_path / "checkpoint")
+        assert path.suffix == ".npz"
+        load_parameters(target, path)
+        for a, b in zip(source.parameters(), target.parameters()):
+            assert np.array_equal(a.value, b.value)
+
+    def test_roundtrip_preserves_predictions(self, tiny_model_pair, tmp_path, rng):
+        source, target = tiny_model_pair
+        x = rng.normal(size=(4, 196))
+        before = mc_predict(source, x, n_samples=2, seed=3, grng_stride=16)
+        path = save_parameters(source, tmp_path / "model.npz")
+        load_parameters(target, path)
+        after = mc_predict(target, x, n_samples=2, seed=3, grng_stride=16)
+        assert np.allclose(before.mean_probabilities, after.mean_probabilities)
+
+    def test_structure_mismatch_rejected(self, tmp_path):
+        mlp = get_model("B-MLP", reduced=True).build_bayesian(seed=1)
+        lenet = get_model("B-LeNet", reduced=True).build_bayesian(seed=1)
+        path = save_parameters(mlp, tmp_path / "mlp.npz")
+        with pytest.raises(CheckpointMismatchError):
+            load_parameters(lenet, path)
+
+    def test_non_strict_load_ignores_missing_and_extra_entries(self, tmp_path):
+        import numpy as np
+        from repro.bnn import BayesDense, BayesianNetwork
+
+        mlp = get_model("B-MLP", reduced=True).build_bayesian(seed=1)
+        path = save_parameters(mlp, tmp_path / "mlp.npz")
+        # A partial model that shares only the first layer with the checkpoint:
+        # the shared parameters load, the checkpoint's extra entries are ignored.
+        partial = BayesianNetwork(
+            [BayesDense(196, 64, rng=np.random.default_rng(0), name="fc1")],
+            name="partial",
+        )
+        load_parameters(partial, path, strict=False)
+        source_fc1 = mlp.bayesian_layers()[0]
+        assert np.array_equal(
+            partial.bayesian_layers()[0].weight_posterior.mu.value,
+            source_fc1.weight_posterior.mu.value,
+        )
+        # strict mode rejects the same combination
+        with pytest.raises(CheckpointMismatchError):
+            load_parameters(partial, path, strict=True)
+
+    def test_invalid_archive_rejected(self, tmp_path):
+        target = get_model("B-MLP", reduced=True).build_bayesian(seed=1)
+        bogus = tmp_path / "bogus.npz"
+        np.savez(bogus, something=np.zeros(3))
+        with pytest.raises(CheckpointMismatchError):
+            load_parameters(target, bogus)
+
+    def test_checkpoint_of_trained_model(self, tmp_path, rng):
+        spec = get_model("B-MLP", reduced=True)
+        trainer = ShiftBNNTrainer(
+            spec.build_bayesian(seed=5),
+            TrainerConfig(n_samples=1, learning_rate=5e-3, seed=5, grng_stride=16),
+        )
+        x = rng.normal(size=(32, 196))
+        y = rng.integers(0, 10, size=32)
+        trainer.fit([(x, y)], epochs=1)
+        path = save_parameters(trainer.model, tmp_path / "trained.npz")
+        clone = spec.build_bayesian(seed=0)
+        load_parameters(clone, path)
+        for a, b in zip(trainer.model.parameters(), clone.parameters()):
+            assert np.array_equal(a.value, b.value)
+
+
+class TestAblations:
+    def test_grng_quality_improves_with_stride(self):
+        result = run_grng_quality_ablation(widths=(256,), strides=(1, 256), sample_count=2048)
+        rows = {row[1]: row for row in result.rows}
+        std_correlated = rows[1][3]
+        std_decorrelated = rows[256][3]
+        assert abs(std_decorrelated - 1.0) < abs(std_correlated - 1.0)
+
+    def test_grng_resolution_improves_with_width(self):
+        result = run_grng_quality_ablation(widths=(32, 256), strides=(1,), sample_count=512)
+        resolutions = dict(zip(result.column("lfsr_bits"), result.column("resolution")))
+        assert resolutions[256] < resolutions[32]
+
+    def test_spu_scaling_reduces_latency_monotonically(self):
+        result = run_spu_scaling_ablation(spu_counts=(4, 16, 64), n_samples=64)
+        latencies = result.column("latency_ms")
+        assert latencies == sorted(latencies, reverse=True)
+        speedups = result.column("speedup_vs_4_spus")
+        assert speedups[-1] > 2.0
+
+    def test_bandwidth_sensitivity_speedup_shrinks_with_more_channels(self):
+        result = run_bandwidth_sensitivity_ablation(channel_counts=(1, 8), model_name="B-MLP")
+        speedups = result.column("speedup")
+        assert speedups[0] >= speedups[-1]
+
+    def test_bandwidth_ablation_energy_reduction_stays_positive(self):
+        result = run_bandwidth_sensitivity_ablation(channel_counts=(1, 2, 4))
+        assert all(value > 0 for value in result.column("energy_reduction_%"))

@@ -1,0 +1,160 @@
+"""Unit tests for the off-chip traffic and footprint models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accel import (
+    TrafficConfig,
+    compute_memory_footprint,
+    compute_traffic,
+    model_workloads,
+)
+from repro.accel.layer_workload import TrainingStage, layer_workloads
+from repro.accel.traffic import layer_stage_traffic
+from repro.models import paper_models
+
+
+@pytest.fixture(scope="module")
+def lenet():
+    return paper_models()["B-LeNet"]
+
+
+class TestWorkloads:
+    def test_three_stages_per_weighted_layer(self, lenet):
+        workloads = model_workloads(lenet)
+        weighted = lenet.weighted_layers()
+        assert len(workloads) == 3 * len(weighted)
+
+    def test_stage_order_fw_then_bw_then_gc(self, lenet):
+        workloads = model_workloads(lenet)
+        n = len(lenet.weighted_layers())
+        assert all(w.stage is TrainingStage.FORWARD for w in workloads[:n])
+        assert all(w.stage is TrainingStage.BACKWARD for w in workloads[n : 2 * n])
+        assert all(w.stage is TrainingStage.GRADIENT for w in workloads[2 * n :])
+
+    def test_backward_walks_layers_in_reverse(self, lenet):
+        workloads = model_workloads(lenet)
+        n = len(lenet.weighted_layers())
+        forward_names = [w.layer_name for w in workloads[:n]]
+        backward_names = [w.layer_name for w in workloads[n : 2 * n]]
+        assert backward_names == forward_names[::-1]
+
+    def test_workloads_reject_unweighted_layers(self, lenet):
+        pool_trace = next(t for t in lenet.trace() if t.kind == "pool")
+        with pytest.raises(ValueError):
+            layer_workloads(pool_trace)
+
+    def test_dense_arithmetic_intensity_is_one(self, lenet):
+        dense = [w for w in model_workloads(lenet) if w.is_dense]
+        assert all(w.arithmetic_intensity == pytest.approx(1.0) for w in dense)
+
+    def test_conv_arithmetic_intensity_above_one(self, lenet):
+        conv = [w for w in model_workloads(lenet) if w.is_conv]
+        assert all(w.arithmetic_intensity > 10 for w in conv)
+
+
+class TestTrafficConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrafficConfig(bytes_per_value=0)
+        with pytest.raises(ValueError):
+            TrafficConfig(epsilon_read_passes=-1)
+
+    def test_defaults(self):
+        config = TrafficConfig()
+        assert config.bayesian and not config.lfsr_reversal
+
+
+class TestTrafficModel:
+    def test_reversal_eliminates_epsilon_bytes(self, lenet):
+        _, baseline = compute_traffic(lenet, 16, TrafficConfig(lfsr_reversal=False))
+        _, shift = compute_traffic(lenet, 16, TrafficConfig(lfsr_reversal=True))
+        assert baseline.epsilon_bytes > 0
+        assert shift.epsilon_bytes == 0
+        assert shift.weight_bytes == baseline.weight_bytes
+        assert shift.io_bytes == baseline.io_bytes
+
+    def test_dnn_has_no_epsilon_and_half_weight_traffic(self, lenet):
+        _, bnn = compute_traffic(lenet, 1, TrafficConfig(bayesian=True))
+        _, dnn = compute_traffic(lenet, 1, TrafficConfig(bayesian=False))
+        assert dnn.epsilon_bytes == 0
+        assert dnn.weight_bytes == pytest.approx(bnn.weight_bytes / 2)
+
+    def test_epsilon_traffic_scales_linearly_with_samples(self, lenet):
+        _, s8 = compute_traffic(lenet, 8, TrafficConfig())
+        _, s16 = compute_traffic(lenet, 16, TrafficConfig())
+        assert s16.epsilon_bytes == pytest.approx(2 * s8.epsilon_bytes)
+
+    def test_weight_traffic_independent_of_samples(self, lenet):
+        _, s8 = compute_traffic(lenet, 8, TrafficConfig())
+        _, s16 = compute_traffic(lenet, 16, TrafficConfig())
+        assert s16.weight_bytes == pytest.approx(s8.weight_bytes)
+
+    def test_ratios_sum_to_one(self, lenet):
+        _, breakdown = compute_traffic(lenet, 16, TrafficConfig())
+        assert sum(breakdown.ratios.values()) == pytest.approx(1.0)
+
+    def test_epsilon_bytes_formula(self, lenet):
+        samples = 16
+        config = TrafficConfig()
+        _, breakdown = compute_traffic(lenet, samples, config)
+        expected = (
+            (config.epsilon_write_passes + config.epsilon_read_passes)
+            * samples
+            * lenet.weight_count
+            * config.bytes_per_value
+        )
+        assert breakdown.epsilon_bytes == pytest.approx(expected)
+
+    def test_per_layer_traffic_totals_match_aggregate(self, lenet):
+        per_layer, total = compute_traffic(lenet, 16, TrafficConfig())
+        assert sum(item.total_bytes for item in per_layer) == pytest.approx(
+            total.total_bytes
+        )
+
+    def test_gradient_stage_moves_weights_twice(self, lenet):
+        workload = model_workloads(lenet)[0]
+        config = TrafficConfig()
+        fw = layer_stage_traffic(workload, 1, config)
+        gc_workload = [
+            w
+            for w in model_workloads(lenet)
+            if w.layer_name == workload.layer_name and w.stage is TrainingStage.GRADIENT
+        ][0]
+        gc = layer_stage_traffic(gc_workload, 1, config)
+        assert gc.weight_bytes == pytest.approx(2 * fw.weight_bytes)
+
+    def test_invalid_sample_count(self, lenet):
+        workload = model_workloads(lenet)[0]
+        with pytest.raises(ValueError):
+            layer_stage_traffic(workload, 0, TrafficConfig())
+
+    def test_breakdown_addition(self, lenet):
+        _, a = compute_traffic(lenet, 8, TrafficConfig())
+        combined = a + a
+        assert combined.total_bytes == pytest.approx(2 * a.total_bytes)
+
+
+class TestFootprint:
+    def test_reversal_eliminates_epsilon_footprint(self, lenet):
+        baseline = compute_memory_footprint(lenet, 16, TrafficConfig())
+        shift = compute_memory_footprint(lenet, 16, TrafficConfig(lfsr_reversal=True))
+        assert baseline.epsilon_bytes > 0
+        assert shift.epsilon_bytes == 0
+        assert shift.total_bytes < baseline.total_bytes
+
+    def test_epsilon_footprint_scales_with_samples(self, lenet):
+        s8 = compute_memory_footprint(lenet, 8, TrafficConfig())
+        s16 = compute_memory_footprint(lenet, 16, TrafficConfig())
+        assert s16.epsilon_bytes == pytest.approx(2 * s8.epsilon_bytes)
+
+    def test_weight_footprint_independent_of_samples(self, lenet):
+        s8 = compute_memory_footprint(lenet, 8, TrafficConfig())
+        s16 = compute_memory_footprint(lenet, 16, TrafficConfig())
+        assert s16.weight_bytes == pytest.approx(s8.weight_bytes)
+
+    def test_footprint_matches_hand_computation(self, lenet):
+        footprint = compute_memory_footprint(lenet, 4, TrafficConfig())
+        assert footprint.epsilon_bytes == pytest.approx(4 * lenet.weight_count * 2)
+        assert footprint.weight_bytes == pytest.approx(2 * lenet.weight_count * 2)
