@@ -12,12 +12,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.bnn import BaselineBNNTrainer, ShiftBNNTrainer, TrainerConfig
-from repro.core import FibonacciLFSR, LfsrGaussianRNG, StreamBank
+from repro.core import FibonacciLFSR, GrngBank, LfsrArray, LfsrGaussianRNG, StreamBank
 from repro.datasets import BatchLoader, synthetic_mnist
 from repro.models import get_model
 from repro.nn import functional as F
 
 BLOCK = 50_000
+BANK_ROWS = 16
 
 
 def test_bench_lfsr_bit_generation(benchmark):
@@ -48,6 +49,54 @@ def test_bench_grng_epsilon_block_decorrelated(benchmark):
     grng = LfsrGaussianRNG(256, seed_index=1, stride=256)
     values = benchmark(lambda: grng.epsilon_block(4096))
     assert values.size == 4096
+
+
+def test_bench_lfsr_array_bit_generation(benchmark):
+    # The packed multi-register engine: BANK_ROWS independent 256-bit LFSRs
+    # producing BLOCK bits each, in lockstep.
+    array = LfsrArray.from_seed_indices(256, range(BANK_ROWS))
+    bits = benchmark(lambda: array.generate_bits(BLOCK))
+    assert bits.shape == (BANK_ROWS, BLOCK)
+
+
+def test_bench_grng_bank_epsilon_blocks(benchmark):
+    # The batched multi-stream epsilon path: one call generates BLOCK
+    # variables for each of BANK_ROWS Monte-Carlo sample streams.  Per-stream
+    # cost must beat the scalar epsilon_block benchmark above by a wide
+    # margin (the acceptance bar for this engine was >= 5x).
+    bank = GrngBank(n_rows=BANK_ROWS, n_bits=256, stride=1)
+    values = benchmark(lambda: bank.epsilon_blocks(BLOCK))
+    assert values.shape == (BANK_ROWS, BLOCK)
+
+
+def test_bench_grng_bank_reverse_retrieval(benchmark):
+    bank = GrngBank(n_rows=BANK_ROWS, n_bits=256, stride=1)
+    bank.epsilon_blocks(BLOCK)
+
+    def roundtrip():
+        bank.epsilon_blocks_reverse(BLOCK)
+        return bank.epsilon_blocks(BLOCK)
+
+    values = benchmark(roundtrip)
+    assert values.shape == (BANK_ROWS, BLOCK)
+
+
+def test_bench_stream_bank_lockstep_iteration(benchmark):
+    # A full generate + checkpoint-replay iteration over 8 reversible sample
+    # streams; lockstep speculation serves all samples from batched kernel
+    # calls even though each sampler is driven one at a time.
+    bank = StreamBank(8, policy="reversible", seed=0, grng_stride=16)
+    shape = (64, 64)
+
+    def iteration():
+        for sampler in bank:
+            block = sampler.stream.forward_block(shape)
+            sampler.stream.retrieve_block(shape)
+        bank.finish_iteration()
+        return block
+
+    block = benchmark(iteration)
+    assert block.shape == shape
 
 
 def test_bench_weight_sampling_and_retrieval(benchmark):

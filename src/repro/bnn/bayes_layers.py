@@ -29,7 +29,7 @@ from ..nn.layers import Layer, Parameter
 from ..nn.quantization import QuantizationConfig
 from ..nn.tensor_utils import check_2d, check_4d, conv_output_size
 from .posteriors import GaussianPosterior
-from .priors import GaussianPrior, Prior
+from .priors import Prior
 
 __all__ = ["BayesianLayer", "BayesDense", "BayesConv2D"]
 

@@ -146,6 +146,11 @@ class BayesianNetwork:
             for layer in self.bayesian_layers()
         )
 
+    @property
+    def training(self) -> bool:
+        """Whether the network is in training mode (true if any layer is)."""
+        return any(layer.training for layer in self.layers)
+
     def train(self) -> None:
         """Put every layer in training mode."""
         for layer in self.layers:

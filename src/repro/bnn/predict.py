@@ -82,11 +82,21 @@ def mc_predict(
         lfsr_bits=lfsr_bits,
         grng_stride=grng_stride,
     )
+    # Restore whatever the caller had set -- per layer, so deliberately
+    # frozen layers stay frozen -- instead of clobbering eval mode with an
+    # unconditional switch back to training.
+    layer_modes = [layer.training for layer in model.layers]
     model.eval()
-    outputs = []
-    for sample_index in range(n_samples):
-        sampler = bank.sampler(sample_index)
-        logits = model.forward_sample(x, sampler)
-        outputs.append(softmax(logits))
-    model.train()
+    try:
+        outputs = []
+        for sample_index in range(n_samples):
+            sampler = bank.sampler(sample_index)
+            logits = model.forward_sample(x, sampler)
+            outputs.append(softmax(logits))
+    finally:
+        for layer, was_training in zip(model.layers, layer_modes):
+            if was_training:
+                layer.train()
+            else:
+                layer.eval()
     return PredictiveResult(sample_probabilities=np.stack(outputs))

@@ -24,6 +24,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..core.checkpoint import StreamBank, StreamPolicy
+from ..core.lfsr import MAXIMAL_TAPS
 from ..nn.functional import softmax
 from ..nn.losses import Loss, SoftmaxCrossEntropy
 from ..nn.metrics import accuracy
@@ -94,6 +95,19 @@ class TrainerConfig:
             raise ValueError("optimizer must be 'adam' or 'sgd'")
         if self.quantization_bits not in (None, 8, 16, 32):
             raise ValueError("quantization_bits must be one of None, 8, 16, 32")
+        # Reject bad GRNG settings here, where the mistake is visible, instead
+        # of letting them explode deep inside the LFSR core mid-training.
+        if self.lfsr_bits not in MAXIMAL_TAPS:
+            widths = ", ".join(str(width) for width in sorted(MAXIMAL_TAPS))
+            raise ValueError(
+                f"lfsr_bits must be a tabulated maximal-length width "
+                f"({widths}), got {self.lfsr_bits}"
+            )
+        if self.grng_stride < 1:
+            raise ValueError(
+                f"grng_stride must be at least 1 shift per variable, "
+                f"got {self.grng_stride}"
+            )
 
 
 @dataclass

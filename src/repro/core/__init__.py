@@ -7,8 +7,18 @@ stored between the forward and backward training stages.
 """
 
 from .checkpoint import LfsrSnapshot, StreamBank, StreamPolicy
-from .grng import GRNGMode, LfsrGaussianRNG
-from .lfsr import MAXIMAL_TAPS, FibonacciLFSR, LFSRStateError, mirrored_taps, parity
+from .grng import GRNGMode, LfsrGaussianRNG, ReplayError
+from .grng_bank import BankedGaussianRNG, GrngBank, LfsrRowView
+from .lfsr import (
+    MAXIMAL_TAPS,
+    FibonacciLFSR,
+    LFSRStateError,
+    mirrored_taps,
+    normalise_taps,
+    parity,
+    seed_from_index,
+)
+from .lfsr_array import LfsrArray
 from .sampler import SampledWeights, WeightSampler
 from .streams import (
     EpsilonStream,
@@ -22,10 +32,17 @@ __all__ = [
     "MAXIMAL_TAPS",
     "FibonacciLFSR",
     "LFSRStateError",
+    "LfsrArray",
     "mirrored_taps",
+    "normalise_taps",
     "parity",
+    "seed_from_index",
     "GRNGMode",
     "LfsrGaussianRNG",
+    "ReplayError",
+    "BankedGaussianRNG",
+    "GrngBank",
+    "LfsrRowView",
     "EpsilonStream",
     "ReversibleGaussianStream",
     "StoredGaussianStream",

@@ -16,15 +16,20 @@ how tests assert bit-exact equivalence.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Literal, Sequence
+from typing import Iterator, Literal, Sequence, Union
 
 from .grng import LfsrGaussianRNG
+from .grng_bank import BankedGaussianRNG, GrngBank
 from .sampler import WeightSampler
 from .streams import EpsilonStream, ReversibleGaussianStream, StoredGaussianStream
 
 __all__ = ["LfsrSnapshot", "StreamBank", "StreamPolicy"]
 
 StreamPolicy = Literal["stored", "reversible", "reversible-hw"]
+
+#: Generators a snapshot or stream bank can drive: the scalar reference
+#: implementation or a row view of a batched bank.
+GaussianGenerator = Union[LfsrGaussianRNG, BankedGaussianRNG]
 
 
 @dataclass(frozen=True)
@@ -37,21 +42,27 @@ class LfsrSnapshot:
     sum_register: int
 
     @classmethod
-    def capture(cls, grng: LfsrGaussianRNG) -> "LfsrSnapshot":
-        """Snapshot the generator's register and running sum."""
+    def capture(cls, grng: GaussianGenerator) -> "LfsrSnapshot":
+        """Snapshot the generator's register and its *actual* running sum.
+
+        The sum register is read from the generator rather than recomputed
+        from the pattern, so a generator whose accumulator has drifted from
+        the register (e.g. after an external state write without a resync)
+        round-trips exactly instead of being silently healed.
+        """
         return cls(
             n_bits=grng.n_bits,
             taps=grng.lfsr.taps,
             state=grng.lfsr.state,
-            sum_register=grng.lfsr.popcount,
+            sum_register=grng.sum_register,
         )
 
-    def restore(self, grng: LfsrGaussianRNG) -> None:
-        """Write this snapshot back into ``grng``."""
+    def restore(self, grng: GaussianGenerator) -> None:
+        """Write this snapshot back into ``grng``, sum register included."""
         if grng.n_bits != self.n_bits or grng.lfsr.taps != self.taps:
             raise ValueError("snapshot was captured from an incompatible generator")
         grng.lfsr.state = self.state
-        grng.resync_sum_register()
+        grng.sum_register = self.sum_register
 
 
 class StreamBank:
@@ -97,18 +108,28 @@ class StreamBank:
         self._policy: StreamPolicy = policy
         self._seed = seed
         self._lfsr_bits = lfsr_bits
-        self._streams: list[EpsilonStream] = []
-        for sample_index in range(n_samples):
-            grng = LfsrGaussianRNG(
-                n_bits=lfsr_bits,
-                seed_index=seed * self._SEED_STRIDE + sample_index,
-                stride=grng_stride,
-            )
-            self._streams.append(self._build_stream(grng, bytes_per_value))
+        # All per-sample generators live in one packed GrngBank and draw in
+        # lockstep: the first sample to request a layer's block triggers one
+        # batched kernel call serving every sample.  Seeding matches the
+        # scalar generators bit for bit, so values are policy- and
+        # engine-independent.
+        self._grng_bank = GrngBank(
+            n_bits=lfsr_bits,
+            seed_indices=[
+                seed * self._SEED_STRIDE + sample_index
+                for sample_index in range(n_samples)
+            ],
+            stride=grng_stride,
+            lockstep=True,
+        )
+        self._streams: list[EpsilonStream] = [
+            self._build_stream(self._grng_bank.row_view(sample_index), bytes_per_value)
+            for sample_index in range(n_samples)
+        ]
         self._samplers = [WeightSampler(stream) for stream in self._streams]
 
     def _build_stream(
-        self, grng: LfsrGaussianRNG, bytes_per_value: int
+        self, grng: GaussianGenerator, bytes_per_value: int
     ) -> EpsilonStream:
         if self._policy == "stored":
             return StoredGaussianStream(grng, bytes_per_value=bytes_per_value)
@@ -162,10 +183,21 @@ class StreamBank:
         for snapshot, stream in zip(snapshots, self._streams):
             snapshot.restore(stream.grng)
 
+    @property
+    def grng_bank(self) -> GrngBank:
+        """The shared batched generator bank backing every stream."""
+        return self._grng_bank
+
     def finish_iteration(self) -> None:
-        """Check that every stream consumed all its blocks this iteration."""
+        """Check that every stream consumed all its blocks this iteration.
+
+        Also re-arms the bank's lockstep speculation: per-iteration register
+        restores mark rows dirty, and the iteration boundary is the point
+        where all rows are provably back in phase.
+        """
         for sampler in self._samplers:
             sampler.finish_iteration()
+        self._grng_bank.end_iteration()
 
     def total_offchip_epsilon_bytes(self) -> int:
         """Off-chip bytes moved for epsilons across all samples (read + write)."""

@@ -23,7 +23,7 @@ import numpy as np
 
 from .lfsr import FibonacciLFSR
 
-__all__ = ["GRNGMode", "LfsrGaussianRNG"]
+__all__ = ["GRNGMode", "LfsrGaussianRNG", "ReplayError"]
 
 
 class GRNGMode(Enum):
@@ -32,6 +32,17 @@ class GRNGMode(Enum):
     FORWARD = "forward"
     REVERSE = "reverse"
     IDLE = "idle"
+
+
+class ReplayError(RuntimeError):
+    """Raised when a checkpoint replay does not land on the expected pattern.
+
+    This is the software analogue of the consistency check a Shift-BNN stream
+    performs when it regenerates a block from a block-boundary register
+    checkpoint: the replay must end exactly on the pattern the register held
+    before the retrieval, otherwise the register was tampered with between the
+    training stages.
+    """
 
 
 class LfsrGaussianRNG:
@@ -120,6 +131,15 @@ class LfsrGaussianRNG:
     def retrieved_count(self) -> int:
         """Number of variables retrieved in reverse mode."""
         return self._retrieved
+
+    @property
+    def sum_register(self) -> int:
+        """The running pattern bit-sum register (the hardware accumulator)."""
+        return self._sum_register
+
+    @sum_register.setter
+    def sum_register(self, value: int) -> None:
+        self._sum_register = int(value)
 
     # ------------------------------------------------------------------
     # mode control
@@ -222,6 +242,35 @@ class LfsrGaussianRNG:
         emitted = sums[:: self._stride]
         return self._standardise(emitted.astype(np.float64))
 
+    def replay_block(
+        self,
+        start_state: int,
+        count: int,
+        expected_end_state: int | None = None,
+    ) -> np.ndarray:
+        """Regenerate a block of ``count`` variables from a register checkpoint.
+
+        Models how a Shift-BNN stream serves a retrieval from a block-boundary
+        checkpoint: the register is rewound to ``start_state``, the block is
+        regenerated with the fast forward generator, and -- when
+        ``expected_end_state`` is given -- the replay is checked to land
+        exactly on that pattern (raising :class:`ReplayError` otherwise, with
+        the register left where the replay ended).  On success the register is
+        put back on ``start_state`` with a resynchronised sum register, ready
+        to serve the next (earlier) block.
+        """
+        self._lfsr.state = start_state
+        values = self.epsilon_block(count)
+        if expected_end_state is not None and self._lfsr.state != expected_end_state:
+            raise ReplayError(
+                "checkpoint replay did not land on the pre-retrieval pattern"
+            )
+        self._lfsr.state = start_state
+        # A replay is net-zero register movement; undo the counter advance.
+        self._lfsr.adjust_shift_count(-count * self._stride)
+        self.resync_sum_register()
+        return values
+
     def resync_sum_register(self) -> None:
         """Reload the running bit-sum from the current pattern.
 
@@ -231,25 +280,26 @@ class LfsrGaussianRNG:
         self._sum_register = self._lfsr.popcount
 
     # ------------------------------------------------------------------
-    # diagnostics
+    # copying and diagnostics
     # ------------------------------------------------------------------
+    def copy(self) -> "LfsrGaussianRNG":
+        """Return an independent generator with identical state and counters.
+
+        All scalar attributes are carried over wholesale (so newly added
+        fields can never silently desync) and the underlying LFSR is cloned.
+        """
+        clone = object.__new__(type(self))
+        clone.__dict__.update(self.__dict__)
+        clone._lfsr = self._lfsr.copy()
+        return clone
+
     def distribution_summary(self, count: int = 4096) -> dict[str, float]:
         """Generate ``count`` variables from a copy and summarise their moments.
 
         Used by tests and by the GRNG-width ablation; the generator itself is
         not advanced.
         """
-        clone = LfsrGaussianRNG.__new__(LfsrGaussianRNG)
-        clone._lfsr = self._lfsr.copy()
-        clone._n = self._n
-        clone._stride = self._stride
-        clone._mean = self._mean
-        clone._std = self._std
-        clone._mode = GRNGMode.IDLE
-        clone._sum_register = clone._lfsr.popcount
-        clone._generated = 0
-        clone._retrieved = 0
-        samples = clone.epsilon_block(count)
+        samples = self.copy().epsilon_block(count)
         return {
             "mean": float(np.mean(samples)),
             "std": float(np.std(samples)),

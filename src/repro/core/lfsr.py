@@ -30,12 +30,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .bitops import pack_int_rows, run_lfsr_block, unpack_bits, unpack_int_rows
+
 __all__ = [
     "MAXIMAL_TAPS",
     "FibonacciLFSR",
     "LFSRStateError",
     "mirrored_taps",
+    "normalise_taps",
     "parity",
+    "seed_from_index",
 ]
 
 
@@ -83,6 +87,56 @@ def mirrored_taps(n_bits: int, taps: tuple[int, ...]) -> tuple[int, ...]:
     return tuple(mirrored)
 
 
+def normalise_taps(n_bits: int, taps: tuple[int, ...] | None) -> tuple[int, ...]:
+    """Validate a tap selection and return it sorted ascending.
+
+    ``taps=None`` selects the maximal-length polynomial from
+    :data:`MAXIMAL_TAPS` when one is tabulated for ``n_bits``.
+    """
+    if n_bits < 2:
+        raise LFSRStateError(f"an LFSR needs at least 2 bits, got {n_bits}")
+    if taps is None:
+        if n_bits not in MAXIMAL_TAPS:
+            raise LFSRStateError(
+                f"no default tap table entry for {n_bits}-bit LFSRs; "
+                "pass taps= explicitly"
+            )
+        taps = MAXIMAL_TAPS[n_bits]
+    taps = tuple(sorted(set(int(t) for t in taps)))
+    if not taps or taps[-1] != n_bits:
+        raise LFSRStateError("the tail position n must be included in the taps")
+    if taps[0] < 1:
+        raise LFSRStateError("tap positions are 1-based and must be >= 1")
+    if len(taps) < 2:
+        raise LFSRStateError("at least two taps are required for a useful LFSR")
+    return taps
+
+
+def seed_from_index(n_bits: int, index: int) -> int:
+    """Deterministic, well-spread, non-zero seed for register ``index``.
+
+    A splitmix-style integer hash folded to the register width; guarantees
+    distinct non-zero seeds for the index range used by the accelerator
+    (hundreds of GRNGs).
+    """
+    if index < 0:
+        raise LFSRStateError("seed index must be non-negative")
+    value = 0
+    word = index + 0x9E3779B97F4A7C15
+    chunks = (n_bits + 63) // 64
+    for chunk in range(chunks):
+        word = (word + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+        mixed = word
+        mixed = ((mixed ^ (mixed >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+        mixed = ((mixed ^ (mixed >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+        mixed ^= mixed >> 31
+        value |= mixed << (64 * chunk)
+    value &= (1 << n_bits) - 1
+    if value == 0:
+        value = 1
+    return value
+
+
 @dataclass(frozen=True)
 class _TapMasks:
     """Precomputed bit masks for fast integer shifting."""
@@ -122,23 +176,7 @@ class FibonacciLFSR:
         seed: int,
         taps: tuple[int, ...] | None = None,
     ) -> None:
-        if n_bits < 2:
-            raise LFSRStateError(f"an LFSR needs at least 2 bits, got {n_bits}")
-        if taps is None:
-            if n_bits not in MAXIMAL_TAPS:
-                raise LFSRStateError(
-                    f"no default tap table entry for {n_bits}-bit LFSRs; "
-                    "pass taps= explicitly"
-                )
-            taps = MAXIMAL_TAPS[n_bits]
-        taps = tuple(sorted(set(int(t) for t in taps)))
-        if not taps or taps[-1] != n_bits:
-            raise LFSRStateError("the tail position n must be included in the taps")
-        if taps[0] < 1:
-            raise LFSRStateError("tap positions are 1-based and must be >= 1")
-        if len(taps) < 2:
-            raise LFSRStateError("at least two taps are required for a useful LFSR")
-
+        taps = normalise_taps(n_bits, taps)
         self._n = n_bits
         self._taps = taps
         self._masks = self._build_masks(n_bits, taps)
@@ -173,22 +211,7 @@ class FibonacciLFSR:
         the register width, which guarantees distinct non-zero seeds for the
         index range used by the accelerator (hundreds of GRNGs).
         """
-        if index < 0:
-            raise LFSRStateError("seed index must be non-negative")
-        value = 0
-        word = index + 0x9E3779B97F4A7C15
-        chunks = (n_bits + 63) // 64
-        for chunk in range(chunks):
-            word = (word + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
-            mixed = word
-            mixed = ((mixed ^ (mixed >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
-            mixed = ((mixed ^ (mixed >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
-            mixed ^= mixed >> 31
-            value |= mixed << (64 * chunk)
-        value &= (1 << n_bits) - 1
-        if value == 0:
-            value = 1
-        return cls(n_bits, seed=value, taps=taps)
+        return cls(n_bits, seed=seed_from_index(n_bits, index), taps=taps)
 
     # ------------------------------------------------------------------
     # properties
@@ -230,11 +253,8 @@ class FibonacciLFSR:
 
     def state_bits(self) -> np.ndarray:
         """Return the registers ``R1..Rn`` as a ``uint8`` array."""
-        bits = np.zeros(self._n, dtype=np.uint8)
-        state = self._state
-        for j in range(self._n):
-            bits[j] = (state >> j) & 1
-        return bits
+        words = pack_int_rows([self._state], self._n)
+        return unpack_bits(words, self._n)[0]
 
     # ------------------------------------------------------------------
     # step-wise shifting (hardware-faithful)
@@ -279,12 +299,26 @@ class FibonacciLFSR:
         if count:
             self.generate_bits_reverse(count)
 
+    def adjust_shift_count(self, delta: int) -> None:
+        """Book-keeping hook for callers that rewind the register externally.
+
+        A checkpoint replay, for example, is net-zero register movement: the
+        caller restores the state and rewinds the counter by the shifts the
+        replay performed.
+        """
+        self._shift_count += delta
+
     # ------------------------------------------------------------------
     # vectorised block generation
     # ------------------------------------------------------------------
-    def _history_forward(self) -> np.ndarray:
-        """Head-bit history in chronological order ``[b(T-n+1) .. b(T)]``."""
-        return self.state_bits()[::-1].copy()
+    def _run_block(self, count: int, reverse: bool) -> np.ndarray:
+        """Run ``count`` packed recurrence steps; return the full bit sequence."""
+        offsets = mirrored_taps(self._n, self._taps) if reverse else self._taps
+        words = pack_int_rows([self._state], self._n)
+        seq_bits, new_words = run_lfsr_block(words, self._n, count, offsets, reverse)
+        self._state = unpack_int_rows(new_words)[0]
+        self._shift_count += -count if reverse else count
+        return seq_bits[0]
 
     def generate_bits(self, count: int) -> np.ndarray:
         """Produce the next ``count`` head bits (forward shifts), vectorised.
@@ -297,68 +331,21 @@ class FibonacciLFSR:
             raise ValueError("count must be non-negative")
         if count == 0:
             return np.zeros(0, dtype=np.uint8)
-        n = self._n
-        seq = np.empty(n + count, dtype=np.uint8)
-        seq[:n] = self._history_forward()
-        offsets = self._taps  # b(t) = XOR_p b(t - p)
-        block = min(offsets)
-        pos = n
-        end = n + count
-        while pos < end:
-            length = min(block, end - pos)
-            acc = seq[pos - offsets[0] : pos - offsets[0] + length].copy()
-            for p in offsets[1:]:
-                np.bitwise_xor(acc, seq[pos - p : pos - p + length], out=acc)
-            seq[pos : pos + length] = acc
-            pos += length
-        new_bits = seq[n:].copy()
-        # Rebuild the register from the last n sequence values: R1 is the most
-        # recent bit, Rn the oldest.
-        window = seq[count : count + n]
-        state = 0
-        for j in range(n):
-            if window[n - 1 - j]:
-                state |= 1 << j
-        self._state = state
-        self._shift_count += count
-        return new_bits
+        return self._run_block(count, reverse=False)[self._n :].copy()
 
     def generate_bits_reverse(self, count: int) -> np.ndarray:
         """Recover the previous ``count`` dropped tail bits (reverse shifts).
 
         The bits are returned in retrieval order (most recently dropped
-        first), matching ``count`` calls to :meth:`shift_reverse`.
+        first), matching ``count`` calls to :meth:`shift_reverse`.  The
+        reversed-time sequence ``c(s) = b(T - s)`` obeys the mirrored-tap
+        recurrence and starts from the current registers ``R1..Rn``.
         """
         if count < 0:
             raise ValueError("count must be non-negative")
         if count == 0:
             return np.zeros(0, dtype=np.uint8)
-        n = self._n
-        # Reversed-time sequence: c(s) = b(T - s).  c obeys the mirrored-tap
-        # recurrence; its first n values are the current registers R1..Rn.
-        offsets = mirrored_taps(n, self._taps)
-        seq = np.empty(n + count, dtype=np.uint8)
-        seq[:n] = self.state_bits()
-        block = min(offsets)
-        pos = n
-        end = n + count
-        while pos < end:
-            length = min(block, end - pos)
-            acc = seq[pos - offsets[0] : pos - offsets[0] + length].copy()
-            for p in offsets[1:]:
-                np.bitwise_xor(acc, seq[pos - p : pos - p + length], out=acc)
-            seq[pos : pos + length] = acc
-            pos += length
-        recovered = seq[n:].copy()
-        # New registers after count reverse shifts: R_j = c(count + j - 1).
-        window = seq[count : count + n]
-        state = 0
-        for j in range(n):
-            if window[j]:
-                state |= 1 << j
-        self._state = state
-        self._shift_count -= count
-        return recovered
+        return self._run_block(count, reverse=True)[self._n :].copy()
 
     def window_popcounts(self, count: int) -> np.ndarray:
         """Return the pattern popcounts after each of the next ``count`` shifts.
@@ -370,17 +357,16 @@ class FibonacciLFSR:
         if count < 0:
             raise ValueError("count must be non-negative")
         if count == 0:
-            return np.zeros(0, dtype=np.int64)
+            return np.zeros(0, dtype=np.int32)
         n = self._n
-        history = self._history_forward()
-        start_popcount = int(history.sum())
-        new_bits = self.generate_bits(count)
-        seq = np.concatenate([history, new_bits]).astype(np.int64)
-        # popcount after shift k = popcount(before) + sum(new bits up to k)
-        #                          - sum(dropped bits up to k)
-        gained = np.cumsum(seq[n : n + count])
-        dropped = np.cumsum(seq[0:count])
-        return start_popcount + gained - dropped
+        seq = self._run_block(count, reverse=False)
+        # popcount after shift k = popcount(before) + sum over j <= k of
+        # (new bit j - dropped bit j)
+        delta = seq[n : n + count].astype(np.int32)
+        delta -= seq[:count]
+        popcounts = np.cumsum(delta, out=delta)
+        popcounts += int(seq[:n].sum())
+        return popcounts
 
     # ------------------------------------------------------------------
     # misc

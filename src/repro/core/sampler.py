@@ -11,6 +11,13 @@ the training stages need:
   epsilon block (from storage or by LFSR reversal, depending on the stream
   policy) and reconstruct the identical weights, also returning the epsilons
   themselves because the gradient of ``sigma`` needs them.
+
+When samplers are built by a :class:`~repro.core.checkpoint.StreamBank`, the
+per-sample streams share a lockstep
+:class:`~repro.core.grng_bank.GrngBank`: the first sampler to draw a layer's
+block triggers one batched kernel call that produces the same-shaped block
+for every Monte-Carlo sample, so the per-sample call pattern of the trainers
+costs one vectorised generation (and one vectorised retrieval) per layer.
 """
 
 from __future__ import annotations
@@ -19,7 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .streams import EpsilonStream
+from .streams import EpsilonStream, StreamUsage
 
 __all__ = ["SampledWeights", "WeightSampler"]
 
@@ -49,6 +56,11 @@ class WeightSampler:
     def stream(self) -> EpsilonStream:
         """The epsilon stream this sampler draws from."""
         return self._stream
+
+    @property
+    def usage(self) -> StreamUsage:
+        """Traffic accounting of the underlying stream."""
+        return self._stream.usage
 
     @staticmethod
     def _validate(mu: np.ndarray, sigma: np.ndarray) -> None:
@@ -81,3 +93,6 @@ class WeightSampler:
     def finish_iteration(self) -> None:
         """Assert all sampled blocks were consumed and reset per-iteration state."""
         self._stream.reset_epoch()
+
+    def __repr__(self) -> str:
+        return f"WeightSampler(stream={type(self._stream).__name__})"

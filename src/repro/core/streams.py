@@ -22,10 +22,16 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Union
 
 import numpy as np
 
-from .grng import LfsrGaussianRNG
+from .grng import LfsrGaussianRNG, ReplayError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from .grng_bank import BankedGaussianRNG
+
+    GaussianGenerator = Union[LfsrGaussianRNG, "BankedGaussianRNG"]
 
 __all__ = [
     "EpsilonStream",
@@ -55,6 +61,7 @@ class StreamUsage:
     stored_values_peak: int = 0
     stored_values_current: int = 0
     checkpoint_bits: int = 0
+    checkpoint_bits_peak: int = 0
 
     def record_generate(self, count: int) -> None:
         self.generated_values += count
@@ -69,6 +76,13 @@ class StreamUsage:
     def record_release(self, count: int) -> None:
         self.stored_values_current = max(0, self.stored_values_current - count)
 
+    def record_checkpoint(self, bits: int) -> None:
+        self.checkpoint_bits += bits
+        self.checkpoint_bits_peak = max(self.checkpoint_bits_peak, self.checkpoint_bits)
+
+    def release_checkpoint(self, bits: int) -> None:
+        self.checkpoint_bits = max(0, self.checkpoint_bits - bits)
+
     @property
     def offchip_write_bytes(self) -> int:
         """Bytes written to backing storage for later reuse."""
@@ -81,8 +95,17 @@ class StreamUsage:
 
     @property
     def footprint_bytes(self) -> int:
-        """Peak memory footprint attributable to epsilon storage."""
-        return self.stored_values_peak * self.bytes_per_value + self.checkpoint_bits // 8
+        """Peak memory footprint attributable to epsilon storage.
+
+        Uses the checkpoint high-water mark, not the momentary count: a
+        completed iteration releases every checkpoint, but the storage the
+        policy had to provision is the peak number of simultaneously live
+        checkpoints (one register per outstanding layer).
+        """
+        return (
+            self.stored_values_peak * self.bytes_per_value
+            + self.checkpoint_bits_peak // 8
+        )
 
 
 class EpsilonStream(abc.ABC):
@@ -94,12 +117,12 @@ class EpsilonStream(abc.ABC):
     each retrieval, exactly the array that the matching forward call returned.
     """
 
-    def __init__(self, grng: LfsrGaussianRNG, bytes_per_value: int = 2) -> None:
+    def __init__(self, grng: "GaussianGenerator", bytes_per_value: int = 2) -> None:
         self._grng = grng
         self.usage = StreamUsage(bytes_per_value=bytes_per_value)
 
     @property
-    def grng(self) -> LfsrGaussianRNG:
+    def grng(self) -> "GaussianGenerator":
         """The Gaussian generator backing this stream."""
         return self._grng
 
@@ -134,7 +157,7 @@ class StoredGaussianStream(EpsilonStream):
     blocks live in a LIFO because backpropagation walks the layers in reverse.
     """
 
-    def __init__(self, grng: LfsrGaussianRNG, bytes_per_value: int = 2) -> None:
+    def __init__(self, grng: "GaussianGenerator", bytes_per_value: int = 2) -> None:
         super().__init__(grng, bytes_per_value)
         self._blocks: list[np.ndarray] = []
 
@@ -191,7 +214,7 @@ class ReversibleGaussianStream(EpsilonStream):
 
     def __init__(
         self,
-        grng: LfsrGaussianRNG,
+        grng: "GaussianGenerator",
         bytes_per_value: int = 2,
         use_checkpoints: bool = True,
     ) -> None:
@@ -213,7 +236,7 @@ class ReversibleGaussianStream(EpsilonStream):
             _BlockRecord(shape=tuple(shape), count=count, start_state=start_state)
         )
         if self._use_checkpoints:
-            self.usage.checkpoint_bits += self._grng.n_bits
+            self.usage.record_checkpoint(self._grng.n_bits)
         self._resume_state = self._grng.lfsr.state
         self.usage.record_generate(count)
         return values
@@ -235,23 +258,23 @@ class ReversibleGaussianStream(EpsilonStream):
         return values
 
     def _retrieve_from_checkpoint(self, record: "_BlockRecord") -> np.ndarray:
-        lfsr = self._grng.lfsr
-        end_state = lfsr.state
-        assert record.start_state is not None
-        lfsr.state = record.start_state
         # Regenerate forward from the checkpoint, then rewind the register to
-        # the checkpoint so the next (earlier) block can be retrieved.  The
-        # GRNG's sum register is refreshed from the pattern.
-        values = self._grng.epsilon_block(record.count).reshape(record.shape)
-        if lfsr.state != end_state:
+        # the checkpoint so the next (earlier) block can be retrieved; the
+        # replay must land exactly on the pre-retrieval pattern.
+        assert record.start_state is not None
+        try:
+            values = self._grng.replay_block(
+                record.start_state,
+                record.count,
+                expected_end_state=self._grng.lfsr.state,
+            )
+        except ReplayError as exc:
             raise StreamOrderError(
                 "checkpoint replay did not land on the pre-retrieval pattern; "
                 "the register was modified outside the stream"
-            )
-        lfsr.state = record.start_state
-        self._grng.resync_sum_register()
-        self.usage.checkpoint_bits -= self._grng.n_bits
-        return values
+            ) from exc
+        self.usage.release_checkpoint(self._grng.n_bits)
+        return values.reshape(record.shape)
 
     def _retrieve_by_reverse_shift(self, record: "_BlockRecord") -> np.ndarray:
         reversed_values = self._grng.epsilon_block_reverse(record.count)

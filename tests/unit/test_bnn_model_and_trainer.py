@@ -127,6 +127,23 @@ class TestTrainerConfig:
         with pytest.raises(ValueError):
             TrainerConfig(quantization_bits=12)
 
+    def test_invalid_lfsr_bits(self):
+        # Must fail at configuration time, not deep inside the LFSR core.
+        with pytest.raises(ValueError, match="lfsr_bits"):
+            TrainerConfig(lfsr_bits=-1)
+        with pytest.raises(ValueError, match="lfsr_bits"):
+            TrainerConfig(lfsr_bits=100)
+
+    def test_invalid_grng_stride(self):
+        with pytest.raises(ValueError, match="grng_stride"):
+            TrainerConfig(grng_stride=0)
+        with pytest.raises(ValueError, match="grng_stride"):
+            TrainerConfig(grng_stride=-3)
+
+    def test_all_tabulated_widths_accepted(self):
+        for width in (8, 16, 64, 256):
+            TrainerConfig(lfsr_bits=width)
+
 
 class TestTrainers:
     def test_policy_selection(self):
@@ -234,3 +251,26 @@ class TestMCPredict:
         a = mc_predict(model, x, n_samples=3, seed=5, grng_stride=8)
         b = mc_predict(model, x, n_samples=3, seed=5, grng_stride=8)
         assert np.allclose(a.mean_probabilities, b.mean_probabilities)
+
+    def test_restores_training_mode(self, rng):
+        model = make_mlp()
+        model.train()
+        mc_predict(model, rng.normal(size=(2, 6)), n_samples=2, grng_stride=8)
+        assert model.training
+
+    def test_does_not_clobber_eval_mode(self, rng):
+        # Regression: mc_predict unconditionally called model.train() on
+        # exit, flipping a caller's eval-mode model back into training mode.
+        model = make_mlp()
+        model.eval()
+        mc_predict(model, rng.normal(size=(2, 6)), n_samples=2, grng_stride=8)
+        assert not model.training
+
+    def test_restores_mixed_per_layer_modes(self, rng):
+        # Per-layer restore: a deliberately frozen (eval) layer inside a
+        # training-mode model must stay frozen after prediction.
+        model = make_mlp()
+        model.train()
+        model.layers[0].eval()
+        mc_predict(model, rng.normal(size=(2, 6)), n_samples=2, grng_stride=8)
+        assert [layer.training for layer in model.layers] == [False, True, True]

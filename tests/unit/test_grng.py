@@ -162,3 +162,50 @@ class TestStatistics:
     def test_repr(self):
         grng = LfsrGaussianRNG(n_bits=64, seed_index=3)
         assert "LfsrGaussianRNG" in repr(grng)
+
+
+class TestCopyAndReplay:
+    def test_copy_is_independent_and_complete(self):
+        grng = LfsrGaussianRNG(n_bits=64, seed_index=9, stride=4)
+        grng.epsilon_block(7)
+        clone = grng.copy()
+        assert clone.lfsr.state == grng.lfsr.state
+        assert clone.sum_register == grng.sum_register
+        assert clone.generated_count == grng.generated_count
+        assert clone.stride == grng.stride
+        assert clone.mode is grng.mode
+        # advancing the clone must not move the original
+        state = grng.lfsr.state
+        clone.epsilon_block(20)
+        assert grng.lfsr.state == state
+
+    def test_copy_carries_every_field(self):
+        # The clone is built from __dict__, so a newly added attribute can
+        # never silently desync (the defect the old __new__-based clone had).
+        grng = LfsrGaussianRNG(n_bits=64, seed_index=9)
+        clone = grng.copy()
+        copied = dict(clone.__dict__)
+        original = dict(grng.__dict__)
+        assert set(copied) == set(original)
+        assert copied.pop("_lfsr") == original.pop("_lfsr")
+        assert copied == original
+
+    def test_replay_block_reproduces_and_rewinds(self):
+        grng = LfsrGaussianRNG(n_bits=64, seed_index=4, stride=4)
+        start = grng.lfsr.state
+        block = grng.epsilon_block(12)
+        end = grng.lfsr.state
+        replayed = grng.replay_block(start, 12, expected_end_state=end)
+        assert np.array_equal(replayed, block)
+        assert grng.lfsr.state == start
+        assert grng.sum_register == grng.lfsr.popcount
+
+    def test_replay_block_detects_wrong_landing(self):
+        from repro.core import ReplayError
+
+        grng = LfsrGaussianRNG(n_bits=64, seed_index=4)
+        start = grng.lfsr.state
+        grng.epsilon_block(8)
+        grng.lfsr.shift_forward()  # tamper with the register
+        with pytest.raises(ReplayError):
+            grng.replay_block(start, 8, expected_end_state=grng.lfsr.state)

@@ -1,0 +1,149 @@
+"""Unit tests for the bit-packed, multi-register LFSR bank."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FibonacciLFSR, LFSRStateError, LfsrArray
+
+
+def make_pair(n_bits: int, n_rows: int = 4):
+    """An LfsrArray and independently seeded scalar references."""
+    array = LfsrArray.from_seed_indices(n_bits, range(n_rows))
+    scalars = [FibonacciLFSR.from_seed_index(n_bits, i) for i in range(n_rows)]
+    return array, scalars
+
+
+class TestConstruction:
+    def test_requires_at_least_one_register(self):
+        with pytest.raises(LFSRStateError):
+            LfsrArray(8, [])
+
+    def test_zero_state_rejected(self):
+        with pytest.raises(LFSRStateError):
+            LfsrArray(8, [5, 0])
+
+    def test_oversized_state_rejected(self):
+        with pytest.raises(LFSRStateError):
+            LfsrArray(8, [1 << 8])
+
+    def test_unknown_width_without_taps_rejected(self):
+        with pytest.raises(LFSRStateError):
+            LfsrArray(7, [1])
+
+    def test_seeds_match_scalar_seeding(self):
+        array, scalars = make_pair(256, n_rows=8)
+        assert array.states() == [lfsr.state for lfsr in scalars]
+
+    def test_word_packing_shape(self):
+        array = LfsrArray.from_seed_indices(256, range(5))
+        assert array.words.shape == (5, 256 // 64)
+        assert array.words.dtype == np.uint64
+
+    def test_basic_properties(self):
+        array = LfsrArray(16, [3, 9])
+        assert array.n_rows == 2
+        assert len(array) == 2
+        assert array.n_bits == 16
+        assert array.taps == FibonacciLFSR(16, seed=1).taps
+        assert "LfsrArray" in repr(array)
+
+
+class TestStateAccess:
+    def test_get_set_roundtrip(self):
+        array = LfsrArray(64, [7, 11, 13])
+        array.set_state(1, 0xDEADBEEF)
+        assert array.get_state(1) == 0xDEADBEEF
+        assert array.get_state(0) == 7
+        assert array.get_state(2) == 13
+
+    def test_set_state_validates(self):
+        array = LfsrArray(8, [1])
+        with pytest.raises(LFSRStateError):
+            array.set_state(0, 0)
+        with pytest.raises(LFSRStateError):
+            array.set_state(0, 1 << 9)
+        with pytest.raises(LFSRStateError):
+            array.set_state(0, "nope")  # type: ignore[arg-type]
+
+    def test_state_bits_match_scalar(self):
+        array, scalars = make_pair(24)
+        bits = array.state_bits()
+        for row, lfsr in enumerate(scalars):
+            assert np.array_equal(bits[row], lfsr.state_bits())
+
+    def test_popcounts_match_scalar(self):
+        array, scalars = make_pair(48)
+        assert array.popcounts().tolist() == [lfsr.popcount for lfsr in scalars]
+
+
+class TestLockstepGeneration:
+    @pytest.mark.parametrize("n_bits", [8, 16, 24, 64, 128, 256])
+    def test_generate_bits_matches_scalar(self, n_bits):
+        array, scalars = make_pair(n_bits)
+        block = array.generate_bits(300)
+        for row, lfsr in enumerate(scalars):
+            assert np.array_equal(block[row], lfsr.generate_bits(300))
+            assert array.get_state(row) == lfsr.state
+        assert np.array_equal(array.shift_counts, np.full(4, 300))
+
+    @pytest.mark.parametrize("n_bits", [8, 16, 256])
+    def test_generate_bits_reverse_matches_scalar(self, n_bits):
+        array, scalars = make_pair(n_bits)
+        array.generate_bits(400)
+        for lfsr in scalars:
+            lfsr.generate_bits(400)
+        block = array.generate_bits_reverse(350)
+        for row, lfsr in enumerate(scalars):
+            assert np.array_equal(block[row], lfsr.generate_bits_reverse(350))
+            assert array.get_state(row) == lfsr.state
+        assert np.array_equal(array.shift_counts, np.full(4, 50))
+
+    def test_forward_then_reverse_restores_states(self):
+        array, _ = make_pair(256)
+        before = array.states()
+        array.generate_bits(777)
+        array.generate_bits_reverse(777)
+        assert array.states() == before
+
+    def test_window_popcounts_match_scalar(self):
+        array, scalars = make_pair(256)
+        popcounts = array.window_popcounts(500)
+        for row, lfsr in enumerate(scalars):
+            assert np.array_equal(popcounts[row], lfsr.window_popcounts(500))
+            assert array.get_state(row) == lfsr.state
+
+    def test_row_subset_generation(self):
+        array, scalars = make_pair(64)
+        block = array.generate_bits(100, rows=[1, 3])
+        assert block.shape == (2, 100)
+        assert np.array_equal(block[0], scalars[1].generate_bits(100))
+        assert np.array_equal(block[1], scalars[3].generate_bits(100))
+        # untouched rows keep their seed state
+        assert array.get_state(0) == scalars[0].state
+        assert array.get_state(2) == scalars[2].state
+        assert array.shift_counts.tolist() == [0, 100, 0, 100]
+
+    def test_zero_count_blocks(self):
+        array, _ = make_pair(16)
+        assert array.generate_bits(0).shape == (4, 0)
+        assert array.generate_bits_reverse(0).shape == (4, 0)
+        assert array.window_popcounts(0).shape == (4, 0)
+
+    def test_negative_count_rejected(self):
+        array, _ = make_pair(16)
+        with pytest.raises(ValueError):
+            array.generate_bits(-1)
+
+    def test_long_block_crosses_many_leapfrog_levels(self):
+        # A block much longer than the register exercises the squared-
+        # polynomial chunks; compare against the step-wise hardware model.
+        array = LfsrArray.from_seed_indices(16, [5])
+        reference = FibonacciLFSR.from_seed_index(16, 5)
+        block = array.generate_bits(5000)[0]
+        stepwise = np.array(
+            [reference.shift_forward() for _ in range(5000)], dtype=np.uint8
+        )
+        assert np.array_equal(block, stepwise)
+        assert array.get_state(0) == reference.state

@@ -94,6 +94,45 @@ class TestLfsrSnapshot:
         with pytest.raises(AttributeError):
             snapshot.state = 5  # type: ignore[misc]
 
+    def test_snapshot_roundtrips_mid_block(self):
+        # Regression: capture() read the pattern popcount instead of the
+        # GRNG's actual sum register, and restore() ignored the captured sum
+        # entirely.  A snapshot taken mid-block (between scalar shifts) must
+        # reproduce the exact continuation, sum register included.
+        grng = LfsrGaussianRNG(n_bits=64, seed_index=5, stride=4)
+        for _ in range(3):  # park the generator mid-way through a block
+            grng.next_epsilon()
+        snapshot = LfsrSnapshot.capture(grng)
+        assert snapshot.sum_register == grng.sum_register
+        continuation = [grng.next_epsilon() for _ in range(5)]
+        snapshot.restore(grng)
+        assert grng.sum_register == snapshot.sum_register
+        assert [grng.next_epsilon() for _ in range(5)] == continuation
+
+    def test_snapshot_preserves_desynced_sum_register(self):
+        # The sum register is captured as-is: a generator whose accumulator
+        # has drifted from the register (externally overwritten state, no
+        # resync) must round-trip its actual value, not a recomputed one.
+        grng = LfsrGaussianRNG(n_bits=64, seed_index=7)
+        grng.sum_register = grng.sum_register + 9  # deliberately desynced
+        snapshot = LfsrSnapshot.capture(grng)
+        assert snapshot.sum_register == grng.lfsr.popcount + 9
+        other = LfsrGaussianRNG(n_bits=64, seed_index=8)
+        snapshot.restore(other)
+        assert other.sum_register == snapshot.sum_register
+        assert other.lfsr.state == snapshot.state
+
+    def test_snapshot_roundtrips_banked_row_view(self):
+        from repro.core import GrngBank
+
+        bank = GrngBank(2, n_bits=64, stride=4, lockstep=True)
+        view = bank.row_view(1)
+        view.epsilon_block(6)
+        snapshot = LfsrSnapshot.capture(view)
+        before = view.epsilon_block(12)
+        snapshot.restore(view)
+        assert np.array_equal(view.epsilon_block(12), before)
+
 
 class TestStreamBank:
     def test_requires_positive_samples(self):

@@ -177,3 +177,60 @@ class TestUsageAccounting:
         stream.grng.lfsr.shift_forward()  # corrupt the register between stages
         with pytest.raises(StreamOrderError):
             stream.retrieve_block((4,))
+
+    def test_checkpoint_footprint_reports_peak_not_current(self):
+        # Regression: footprint_bytes used the *current* checkpoint count,
+        # which is zero after every completed iteration, hiding Shift-BNN's
+        # true (tiny) checkpoint provisioning entirely.
+        stream = make_stream("reversible")
+        stream.forward_block((4,))
+        stream.forward_block((4,))
+        stream.retrieve_block((4,))
+        stream.retrieve_block((4,))
+        stream.reset_epoch()
+        assert stream.usage.checkpoint_bits == 0
+        assert stream.usage.checkpoint_bits_peak == 2 * stream.grng.n_bits
+        assert stream.usage.footprint_bytes == 2 * stream.grng.n_bits // 8
+
+    def test_traffic_accounting_trace_hand_computed(self):
+        # Hand-computed trace over one training iteration with three layers of
+        # 6, 4 and 2 values on a 64-bit GRNG (bytes_per_value=2):
+        #
+        #   forward  (6,): gen=6   ckpt=64   peak=64
+        #   forward  (4,): gen=10  ckpt=128  peak=128
+        #   forward  (2,): gen=12  ckpt=192  peak=192   <-- high-water mark
+        #   retrieve (2,): ret=2   ckpt=128
+        #   retrieve (4,): ret=6   ckpt=64
+        #   retrieve (6,): ret=12  ckpt=0
+        #
+        # Nothing is ever stored, so the whole footprint is the 192-bit peak
+        # (24 bytes) of live register checkpoints.
+        stream = make_stream("reversible")
+        usage = stream.usage
+        stream.forward_block((6,))
+        assert (usage.checkpoint_bits, usage.checkpoint_bits_peak) == (64, 64)
+        stream.forward_block((4,))
+        assert (usage.checkpoint_bits, usage.checkpoint_bits_peak) == (128, 128)
+        stream.forward_block((2,))
+        assert (usage.checkpoint_bits, usage.checkpoint_bits_peak) == (192, 192)
+        stream.retrieve_block((2,))
+        assert (usage.checkpoint_bits, usage.checkpoint_bits_peak) == (128, 192)
+        stream.retrieve_block((4,))
+        stream.retrieve_block((6,))
+        stream.reset_epoch()
+        assert usage.generated_values == 12
+        assert usage.retrieved_values == 12
+        assert usage.checkpoint_bits == 0
+        assert usage.checkpoint_bits_peak == 192
+        assert usage.stored_values_peak == 0
+        assert usage.offchip_write_bytes == 0
+        assert usage.offchip_read_bytes == 0
+        assert usage.footprint_bytes == 192 // 8
+
+    def test_hw_stream_has_zero_footprint(self):
+        # Literal reverse shifting keeps no checkpoints at all.
+        stream = make_stream("reversible-hw")
+        stream.forward_block((5,))
+        stream.retrieve_block((5,))
+        assert stream.usage.checkpoint_bits_peak == 0
+        assert stream.usage.footprint_bytes == 0
