@@ -1,0 +1,139 @@
+"""Convert a pytest-benchmark JSON dump into the machine-readable BENCH file.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_functional_training.py \
+        -q --benchmark-json bench_raw.json
+    python benchmarks/emit_results.py --input bench_raw.json --output BENCH_PR2.json
+
+The emitted file records, per benchmark case, the mean/stddev wall-clock time
+and, for every ``(workload, arch, S)`` combination of the execution-engine
+benchmarks, the speedup of the batched Monte-Carlo pipeline over the two
+per-sample baselines:
+
+* ``vs_sequential`` -- against the plain S-times per-sample loop with fully
+  independent per-row epsilon generation (no cross-sample speculation);
+* ``vs_lockstep`` -- against the per-sample loop served by the bank's
+  speculative cross-sample prefetching.
+
+All compared modes produce bit-identical results (see
+``tests/integration/test_batched_equivalence.py``); the file exists so CI can
+track the performance trajectory from PR 2 onward.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+#: The acceptance headline of PR 2: batched mc_predict at S=8 on the dense
+#: model must be at least this much faster than the sequential per-sample path.
+ACCEPTANCE_THRESHOLD = 3.0
+ACCEPTANCE_CASE = ("mc_predict", "dense", 8)
+
+_CASE_PATTERN = re.compile(
+    r"test_bench_(?P<workload>mc_predict|train_step)\["
+    r"(?P<arch>dense|conv)-(?P<n_samples>\d+)-(?P<mode>\w+)\]"
+)
+
+
+def parse_cases(raw: dict) -> dict:
+    """Extract {(workload, arch, S, mode): stats} from pytest-benchmark JSON."""
+    cases = {}
+    for bench in raw.get("benchmarks", []):
+        match = _CASE_PATTERN.search(bench["name"])
+        if not match:
+            continue
+        key = (
+            match.group("workload"),
+            match.group("arch"),
+            int(match.group("n_samples")),
+            match.group("mode"),
+        )
+        stats = bench["stats"]
+        cases[key] = {
+            "mean_ms": stats["mean"] * 1e3,
+            "median_ms": stats["median"] * 1e3,
+            "stddev_ms": stats["stddev"] * 1e3,
+            "min_ms": stats["min"] * 1e3,
+            "rounds": stats["rounds"],
+        }
+    return cases
+
+
+def build_report(raw: dict) -> dict:
+    cases = parse_cases(raw)
+    report: dict = {
+        "schema": "shift-bnn-bench/1",
+        "source": "benchmarks/test_bench_functional_training.py",
+        "machine": raw.get("machine_info", {}).get("cpu", {}).get("brand_raw")
+        or raw.get("machine_info", {}).get("machine"),
+        "datetime": raw.get("datetime"),
+        "cases": {},
+        "speedups": {},
+    }
+    for (workload, arch, n_samples, mode), stats in sorted(cases.items()):
+        report["cases"][f"{workload}[{arch}-S{n_samples}-{mode}]"] = stats
+    combos = sorted({key[:3] for key in cases})
+    for workload, arch, n_samples in combos:
+        batched = cases.get((workload, arch, n_samples, "batched"))
+        if not batched:
+            continue
+        entry = {}
+        for baseline in ("sequential", "lockstep"):
+            base = cases.get((workload, arch, n_samples, baseline))
+            if base:
+                # medians: robust against the occasional GC / scheduler
+                # outlier round that skews per-call means at this time scale
+                entry[f"vs_{baseline}"] = round(
+                    base["median_ms"] / batched["median_ms"], 3
+                )
+        report["speedups"][f"{workload}[{arch}-S{n_samples}]"] = entry
+    acceptance_key = "{}[{}-S{}]".format(*ACCEPTANCE_CASE)
+    acceptance = report["speedups"].get(acceptance_key, {}).get("vs_sequential")
+    report["acceptance"] = {
+        "metric": f"batched {acceptance_key} speedup vs the sequential "
+        "(per-sample, no cross-sample speculation) path",
+        "threshold": ACCEPTANCE_THRESHOLD,
+        "measured": acceptance,
+        "pass": acceptance is not None and acceptance >= ACCEPTANCE_THRESHOLD,
+    }
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--input", required=True, type=Path, help="pytest-benchmark JSON dump"
+    )
+    parser.add_argument(
+        "--output", default=Path("BENCH_PR2.json"), type=Path, help="report path"
+    )
+    parser.add_argument(
+        "--enforce",
+        action="store_true",
+        help="exit non-zero when the acceptance speedup misses the threshold "
+        "(off by default: shared CI runners are too noisy to gate on "
+        "wall-clock ratios, so CI records the trajectory as an artifact)",
+    )
+    args = parser.parse_args(argv)
+    raw = json.loads(args.input.read_text())
+    report = build_report(raw)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    acceptance = report["acceptance"]
+    print(
+        f"wrote {args.output}: {len(report['cases'])} cases, "
+        f"acceptance {acceptance['measured']}x "
+        f"(threshold {acceptance['threshold']}x, "
+        f"{'PASS' if acceptance['pass'] else 'FAIL'})"
+    )
+    if args.enforce and not acceptance["pass"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,13 +1,104 @@
-"""Benchmarks for the functional training experiments (Fig. 9 and Table 1).
+"""Benchmarks for the functional training experiments (Fig. 9 and Table 1)
+and for the batched Monte-Carlo execution engine.
 
 These actually train the reduced Bayesian models on synthetic data, so they
 run once per benchmark (``pedantic`` mode) and use CPU-scale settings.  The
 regenerated tables are printed alongside the timing.
+
+The ``mc_predict`` / ``train_step`` cases time the three execution modes of
+the S-sample FW/BW/GC pipeline at the hardware-faithful ``grng_stride=1``:
+
+* ``sequential`` -- one Monte-Carlo sample at a time, each sample generating
+  its epsilons through its own per-row GRNG view (no cross-sample
+  speculation; the plain S-times Python loop);
+* ``lockstep`` -- the same per-sample loop served by the bank's speculative
+  cross-sample prefetching (PR 1's engine);
+* ``batched`` -- the whole ``(S, batch, ...)`` pipeline in one pass.
+
+All three produce bit-identical results (enforced by the equivalence tests);
+``benchmarks/emit_results.py`` converts a ``--benchmark-json`` dump of this
+module into ``BENCH_PR2.json`` with the derived speedups.
 """
 
 from __future__ import annotations
 
+import numpy as np
+import pytest
+
+from repro.bnn import BNNTrainer, TrainerConfig, mc_predict
+from repro.datasets import synthetic_cifar10, synthetic_mnist
 from repro.experiments import run_fig9, run_table1
+from repro.models import get_model
+
+#: Execution-mode knobs shared by the mc_predict and train_step cases.
+EXECUTION_MODES = {
+    "sequential": dict(batched=False, lockstep=False),
+    "lockstep": dict(batched=False, lockstep=True),
+    "batched": dict(batched=True, lockstep=True),
+}
+
+_BENCH_STRIDE = 1  # hardware-faithful sliding-window GRNG mode
+
+
+def _dense_setup(batch_size: int = 64):
+    spec = get_model("B-MLP", reduced=True)
+    model = spec.build_bayesian(seed=42)
+    train, _ = synthetic_mnist(n_train=max(batch_size, 40), n_test=40, image_size=14, seed=7)
+    x = train.flatten_images()[:batch_size]
+    y = train.labels[:batch_size]
+    return spec, model, x, y
+
+
+def _conv_setup(batch_size: int = 32):
+    spec = get_model("B-LeNet", reduced=True)
+    model = spec.build_bayesian(seed=42)
+    train, _ = synthetic_cifar10(n_train=max(batch_size, 40), n_test=40, image_size=16, seed=7)
+    x = train.images[:batch_size]
+    y = train.labels[:batch_size]
+    return spec, model, x, y
+
+
+@pytest.mark.parametrize("mode", list(EXECUTION_MODES))
+@pytest.mark.parametrize("n_samples", [4, 8, 16])
+@pytest.mark.parametrize("arch", ["dense", "conv"])
+def test_bench_mc_predict(benchmark, arch, n_samples, mode):
+    _, model, x, _ = _dense_setup() if arch == "dense" else _conv_setup()
+    knobs = EXECUTION_MODES[mode]
+
+    def run():
+        return mc_predict(
+            model,
+            x,
+            n_samples=n_samples,
+            grng_stride=_BENCH_STRIDE,
+            **knobs,
+        )
+
+    result = benchmark.pedantic(run, rounds=15, iterations=1, warmup_rounds=3)
+    assert result.sample_probabilities.shape[0] == n_samples
+    assert np.all(np.isfinite(result.mean_probabilities))
+
+
+@pytest.mark.parametrize("mode", list(EXECUTION_MODES))
+@pytest.mark.parametrize("n_samples", [4, 8, 16])
+@pytest.mark.parametrize("arch", ["dense", "conv"])
+def test_bench_train_step(benchmark, arch, n_samples, mode):
+    spec, _, x, y = _dense_setup() if arch == "dense" else _conv_setup()
+    knobs = EXECUTION_MODES[mode]
+    config = TrainerConfig(
+        n_samples=n_samples,
+        learning_rate=1e-3,
+        seed=1,
+        grng_stride=_BENCH_STRIDE,
+        **knobs,
+    )
+    trainer = BNNTrainer(spec.build_bayesian(seed=9), config, policy="reversible")
+
+    def run():
+        return trainer.train_step(x, y, kl_weight=1e-3)
+
+    report = benchmark.pedantic(run, rounds=15, iterations=1, warmup_rounds=3)
+    assert np.isfinite(report.total)
 
 
 def test_bench_fig9_training_equivalence(benchmark):

@@ -16,13 +16,23 @@ weight tensor and performs the three stages of Fig. 1(a):
 Whether the epsilons come from storage (baseline) or from LFSR reversal
 (Shift-BNN) is entirely the sampler's business; the layer code is identical,
 which is exactly the paper's "no change to the training algorithm" claim.
+
+Each stage also exists in a *batched* form (``forward_samples`` /
+``backward_samples``) that executes all ``S`` Monte-Carlo samples in one
+call: activations travel folded as ``(S * batch, ...)``, weights are drawn as
+``(S, *weight_shape)`` tensors from a
+:class:`~repro.core.sampler.BatchedWeightSampler`, and the GC stage sums over
+the sample axis in sample order.  The batched pipeline is bit-identical to
+looping the per-sample stages (shared factors are computed once, every
+per-sample matmul sees byte-identical operands, and float accumulations keep
+the sequential order) -- it changes wall-clock time, never the trajectory.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..core.sampler import WeightSampler
+from ..core.sampler import BatchedWeightSampler, WeightSampler
 from ..nn import functional as F
 from ..nn.initializers import HeNormal, Initializer
 from ..nn.layers import Layer, Parameter
@@ -86,6 +96,22 @@ class BayesianLayer(Layer):
         )
         return self.quantization.quantize_weights(sampled.weights), sampled.epsilon
 
+    def sample_weights_batch(self, sampler: BatchedWeightSampler) -> np.ndarray:
+        """FW-stage weight sampling for all ``S`` samples: ``(S, *shape)``."""
+        sampled = sampler.sample(
+            self.weight_posterior.mu.value, self.weight_posterior.sigma
+        )
+        return self.quantization.quantize_weights(sampled.weights)
+
+    def resample_weights_batch(
+        self, sampler: BatchedWeightSampler
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """BW-stage batch reconstruction; returns ``(S, *shape)`` weights and epsilons."""
+        sampled = sampler.resample(
+            self.weight_posterior.mu.value, self.weight_posterior.sigma
+        )
+        return self.quantization.quantize_weights(sampled.weights), sampled.epsilon
+
     def accumulate_parameter_gradients(
         self,
         grad_weight: np.ndarray,
@@ -101,6 +127,34 @@ class BayesianLayer(Layer):
         else:
             prior_grad = np.zeros_like(sampled_weights)
         self.weight_posterior.accumulate_gradients(
+            grad_weight=grad_weight,
+            epsilon=epsilon,
+            kl_weight=kl_weight,
+            prior_nll_grad=prior_grad,
+            include_entropy_term=include_entropy_term,
+        )
+
+    def accumulate_sample_parameter_gradients(
+        self,
+        grad_weight: np.ndarray,
+        epsilon: np.ndarray,
+        kl_weight: float,
+        prior: Prior,
+        sampled_weights: np.ndarray,
+        include_entropy_term: bool = True,
+    ) -> None:
+        """Batched GC stage: all inputs carry a leading ``(S, ...)`` sample axis.
+
+        The prior gradient is element-wise, so one call over the stacked
+        weights equals the per-sample calls; the posterior then accumulates
+        the samples in order (see
+        :meth:`~repro.bnn.posteriors.GaussianPosterior.accumulate_sample_gradients`).
+        """
+        if kl_weight:
+            prior_grad = prior.nll_grad(sampled_weights)
+        else:
+            prior_grad = np.zeros_like(sampled_weights)
+        self.weight_posterior.accumulate_sample_gradients(
             grad_weight=grad_weight,
             epsilon=epsilon,
             kl_weight=kl_weight,
@@ -132,6 +186,35 @@ class BayesianLayer(Layer):
         include_entropy_term: bool = True,
     ) -> np.ndarray:
         raise NotImplementedError
+
+    def forward_samples(
+        self, x: np.ndarray, sampler: BatchedWeightSampler, n_samples: int
+    ) -> np.ndarray:
+        """FW stage for all ``S`` samples; ``x`` is folded ``(S * batch, ...)``."""
+        raise NotImplementedError
+
+    def backward_samples(
+        self,
+        grad_out: np.ndarray,
+        sampler: BatchedWeightSampler,
+        n_samples: int,
+        kl_weight: float,
+        prior: Prior,
+        include_entropy_term: bool = True,
+    ) -> np.ndarray:
+        """BW + GC stages for all ``S`` samples; gradients folded ``(S * batch, ...)``."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _samples_per_batch(x: np.ndarray, n_samples: int, name: str) -> int:
+        if n_samples < 1:
+            raise ValueError("n_samples must be at least 1")
+        if x.shape[0] % n_samples:
+            raise ValueError(
+                f"{name}: folded batch of {x.shape[0]} does not divide into "
+                f"{n_samples} Monte-Carlo samples"
+            )
+        return x.shape[0] // n_samples
 
 
 class BayesDense(BayesianLayer):
@@ -198,6 +281,56 @@ class BayesDense(BayesianLayer):
             include_entropy_term=include_entropy_term,
         )
         return grad_input
+
+    def forward_samples(
+        self, x: np.ndarray, sampler: BatchedWeightSampler, n_samples: int
+    ) -> np.ndarray:
+        check_2d(x)
+        if x.shape[1] != self.in_features:
+            raise ValueError(
+                f"{self.name}: expected {self.in_features} features, got {x.shape[1]}"
+            )
+        batch = self._samples_per_batch(x, n_samples, self.name)
+        weights = self.sample_weights_batch(sampler)
+        self._cache = {"input": x, "n_samples": n_samples}
+        out = F.sample_matmul(x.reshape(n_samples, batch, self.in_features), weights)
+        if self.bias is not None:
+            out = out + self.bias.value
+        return self.quantization.quantize_activations(out).reshape(
+            x.shape[0], self.out_features
+        )
+
+    def backward_samples(
+        self,
+        grad_out: np.ndarray,
+        sampler: BatchedWeightSampler,
+        n_samples: int,
+        kl_weight: float,
+        prior: Prior,
+        include_entropy_term: bool = True,
+    ) -> np.ndarray:
+        if self._cache.get("n_samples") != n_samples:
+            raise RuntimeError(f"{self.name}: backward_samples before forward_samples")
+        x: np.ndarray = self._cache["input"]  # type: ignore[assignment]
+        batch = x.shape[0] // n_samples
+        weights, epsilon = self.resample_weights_batch(sampler)
+        x3 = x.reshape(n_samples, batch, self.in_features)
+        grad3 = grad_out.reshape(n_samples, batch, self.out_features)
+        grad_weight = F.sample_matmul(x3.transpose(0, 2, 1), grad3)
+        if self.bias is not None:
+            # per-sample sums accumulated in sample order (sequential parity)
+            for s in range(n_samples):
+                self.bias.grad += grad3[s].sum(axis=0)
+        grad_input = F.sample_matmul(grad3, weights.transpose(0, 2, 1))
+        self.accumulate_sample_parameter_gradients(
+            grad_weight=grad_weight,
+            epsilon=epsilon,
+            kl_weight=kl_weight,
+            prior=prior,
+            sampled_weights=weights,
+            include_entropy_term=include_entropy_term,
+        )
+        return grad_input.reshape(x.shape[0], self.in_features)
 
 
 class BayesConv2D(BayesianLayer):
@@ -266,6 +399,50 @@ class BayesConv2D(BayesianLayer):
         if self.bias is not None:
             self.bias.grad += grad_bias
         self.accumulate_parameter_gradients(
+            grad_weight=grad_weight,
+            epsilon=epsilon,
+            kl_weight=kl_weight,
+            prior=prior,
+            sampled_weights=weights,
+            include_entropy_term=include_entropy_term,
+        )
+        return grad_input
+
+    def forward_samples(
+        self, x: np.ndarray, sampler: BatchedWeightSampler, n_samples: int
+    ) -> np.ndarray:
+        check_4d(x)
+        self._samples_per_batch(x, n_samples, self.name)
+        weights = self.sample_weights_batch(sampler)
+        bias_value = self.bias.value if self.bias is not None else None
+        out, cols = F.conv2d_forward_samples(
+            x, weights, bias_value, self.stride, self.padding, n_samples
+        )
+        self._cache = {"cols": cols, "x_shape": x.shape, "n_samples": n_samples}
+        return self.quantization.quantize_activations(out)
+
+    def backward_samples(
+        self,
+        grad_out: np.ndarray,
+        sampler: BatchedWeightSampler,
+        n_samples: int,
+        kl_weight: float,
+        prior: Prior,
+        include_entropy_term: bool = True,
+    ) -> np.ndarray:
+        if self._cache.get("n_samples") != n_samples:
+            raise RuntimeError(f"{self.name}: backward_samples before forward_samples")
+        cols: list[np.ndarray] = self._cache["cols"]  # type: ignore[assignment]
+        x_shape: tuple[int, int, int, int] = self._cache["x_shape"]  # type: ignore[assignment]
+        weights, epsilon = self.resample_weights_batch(sampler)
+        grad_input, grad_weight, grad_bias = F.conv2d_backward_samples(
+            grad_out, cols, x_shape, weights, self.stride, self.padding, n_samples
+        )
+        if self.bias is not None:
+            # per-sample sums accumulated in sample order (sequential parity)
+            for s in range(n_samples):
+                self.bias.grad += grad_bias[s]
+        self.accumulate_sample_parameter_gradients(
             grad_weight=grad_weight,
             epsilon=epsilon,
             kl_weight=kl_weight,

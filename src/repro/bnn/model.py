@@ -1,4 +1,20 @@
-"""Bayesian network container mixing Bayesian and deterministic layers."""
+"""Bayesian network container mixing Bayesian and deterministic layers.
+
+Two execution modes are offered:
+
+* the per-sample mode (``forward_sample`` / ``backward_sample``) runs one
+  Monte-Carlo sample at a time through a per-sample
+  :class:`~repro.core.sampler.WeightSampler`;
+* the batched mode (``forward_samples`` / ``backward_samples``) runs all
+  ``S`` samples in one pass through a
+  :class:`~repro.core.sampler.BatchedWeightSampler`.  Activations travel
+  folded as ``(S * batch, ...)`` -- deterministic layers simply broadcast
+  over the folded axis -- while Bayesian layers draw ``(S, *shape)`` weight
+  tensors.  The batched pipeline prefetches the whole forward pass's epsilon
+  blocks in a single generator-bank kernel call (the per-layer block sizes
+  are the network's static schedule) and is bit-identical to the per-sample
+  mode: same values, same parameter trajectory, same stream state.
+"""
 
 from __future__ import annotations
 
@@ -6,7 +22,7 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
-from ..core.sampler import WeightSampler
+from ..core.sampler import BatchedWeightSampler, WeightSampler
 from ..nn.layers import Layer, Parameter
 from ..nn.quantization import QuantizationConfig
 from .bayes_layers import BayesianLayer
@@ -129,6 +145,121 @@ class BayesianNetwork:
             else:
                 grad = layer.backward(grad)
         return grad
+
+    # ------------------------------------------------------------------
+    # batched execution (all S Monte-Carlo samples per pass)
+    # ------------------------------------------------------------------
+    def forward_samples(
+        self, x: np.ndarray, sampler: BatchedWeightSampler
+    ) -> np.ndarray:
+        """Forward stage for all ``S`` Monte-Carlo samples at once.
+
+        ``x`` is one minibatch shared by every sample; the result has shape
+        ``(S, batch, ...)`` with slice ``[i]`` bit-identical to
+        ``forward_sample(x, bank.sampler(i))``.
+        """
+        n_samples = sampler.n_samples
+        sampler.prefetch_forward(
+            [layer.n_bayesian_weights for layer in self.bayesian_layers()]
+        )
+        folded = np.empty((n_samples * x.shape[0],) + x.shape[1:], dtype=x.dtype)
+        folded.reshape((n_samples,) + x.shape)[:] = x
+        out = folded
+        self._det_layer_inputs: dict[int, np.ndarray] = {}
+        for index, layer in enumerate(self.layers):
+            if isinstance(layer, BayesianLayer):
+                out = layer.forward_samples(out, sampler, n_samples)
+            else:
+                if layer.parameters():
+                    # Trainable deterministic layer: remember the folded input
+                    # so the backward pass can rebuild per-sample caches and
+                    # accumulate its parameter gradients one sample at a time
+                    # (a single folded contraction would round differently
+                    # from S sequential backward_sample calls).
+                    self._det_layer_inputs[index] = out
+                out = layer.forward(out)
+        return out.reshape((n_samples, x.shape[0]) + out.shape[1:])
+
+    def backward_samples(
+        self,
+        grad_out: np.ndarray,
+        sampler: BatchedWeightSampler,
+        kl_weight: float,
+        include_entropy_term: bool = True,
+    ) -> np.ndarray:
+        """Backward + gradient stages for all ``S`` samples at once.
+
+        ``grad_out`` is ``(S, batch, ...)`` (one output gradient per sample,
+        as returned by the loss for each slice of :meth:`forward_samples`).
+        Parameter gradients accumulate over the sample axis in sample order,
+        matching ``S`` sequential :meth:`backward_sample` calls bit for bit.
+        """
+        n_samples = sampler.n_samples
+        if grad_out.shape[0] != n_samples:
+            raise ValueError(
+                f"grad_out carries {grad_out.shape[0]} samples, "
+                f"sampler serves {n_samples}"
+            )
+        batch = grad_out.shape[1]
+        grad = grad_out.reshape((n_samples * batch,) + grad_out.shape[2:])
+        det_inputs = getattr(self, "_det_layer_inputs", {})
+        for index in range(len(self.layers) - 1, -1, -1):
+            layer = self.layers[index]
+            if isinstance(layer, BayesianLayer):
+                grad = layer.backward_samples(
+                    grad,
+                    sampler,
+                    n_samples,
+                    kl_weight=kl_weight,
+                    prior=self.prior,
+                    include_entropy_term=include_entropy_term,
+                )
+            elif index in det_inputs:
+                grad = self._det_backward_per_sample(
+                    layer, det_inputs[index], grad, n_samples, batch
+                )
+            else:
+                grad = layer.backward(grad)
+        self.release_sample_caches()
+        return grad.reshape((n_samples, batch) + grad.shape[1:])
+
+    def release_sample_caches(self) -> None:
+        """Drop the folded ``(S * batch, ...)`` activations cached by a batched pass.
+
+        The batched pipeline's caches (Bayesian layer inputs / per-sample
+        im2col column matrices, and the stashed inputs of trainable
+        deterministic layers) are ``S`` times the sequential path's resident
+        size; they are released automatically at the end of
+        :meth:`backward_samples` and after forward-only prediction.
+        """
+        for layer in self.layers:
+            if isinstance(layer, BayesianLayer):
+                layer._cache = {}
+        self._det_layer_inputs = {}
+
+    @staticmethod
+    def _det_backward_per_sample(
+        layer: Layer,
+        folded_input: np.ndarray,
+        grad: np.ndarray,
+        n_samples: int,
+        batch: int,
+    ) -> np.ndarray:
+        """Backward a trainable deterministic layer one sample at a time.
+
+        Replaying ``forward`` on each sample's slice rebuilds exactly the
+        cache that sample's sequential pass would have had (the layer is a
+        pure function of its input and parameters), and the per-sample
+        ``backward`` calls then accumulate the parameter gradients in sample
+        order -- bit-identical to ``S`` sequential passes, which one folded
+        ``(S * batch)`` contraction is not.
+        """
+        grad_input = np.empty_like(folded_input)
+        for s in range(n_samples):
+            rows = slice(s * batch, (s + 1) * batch)
+            layer.forward(folded_input[rows])
+            grad_input[rows] = layer.backward(grad[rows])
+        return grad_input
 
     # ------------------------------------------------------------------
     # loss helpers

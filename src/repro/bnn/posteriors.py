@@ -139,5 +139,44 @@ class GaussianPosterior:
         # chain through sigma = softplus(rho)
         self.rho.grad += sigma_grad * softplus_grad(self.rho.value)
 
+    def accumulate_sample_gradients(
+        self,
+        grad_weight: np.ndarray,
+        epsilon: np.ndarray,
+        kl_weight: float,
+        prior_nll_grad: np.ndarray,
+        include_entropy_term: bool = True,
+    ) -> None:
+        """Batched GC stage: :meth:`accumulate_gradients` for all ``S`` samples.
+
+        ``grad_weight``, ``epsilon`` and ``prior_nll_grad`` carry a leading
+        Monte-Carlo sample axis ``(S, *shape)``.  The per-sample arithmetic is
+        identical to the scalar method -- the shared factors ``sigma`` and
+        ``softplus_grad(rho)`` are simply computed once instead of once per
+        sample -- and the final accumulation walks the sample axis in order,
+        so ``mu.grad`` / ``rho.grad`` receive bit-for-bit the same sums as
+        ``S`` sequential :meth:`accumulate_gradients` calls.
+        """
+        if (
+            grad_weight.ndim != len(self.shape) + 1
+            or grad_weight.shape[1:] != self.shape
+        ):
+            raise ValueError(
+                f"sample gradients must be (S, *{self.shape}), "
+                f"got {grad_weight.shape}"
+            )
+        if epsilon.shape != grad_weight.shape:
+            raise ValueError("gradient / epsilon shape does not match the posterior")
+        total_w_grad = grad_weight + kl_weight * prior_nll_grad
+        sigma_grad = epsilon * total_w_grad
+        if include_entropy_term:
+            sigma_grad = sigma_grad - kl_weight / self.sigma
+        rho_grad = sigma_grad * softplus_grad(self.rho.value)
+        # Per-sample accumulation in sample order: float addition is not
+        # associative, and the sequential trainers add one sample at a time.
+        for s in range(grad_weight.shape[0]):
+            self.mu.grad += total_w_grad[s]
+            self.rho.grad += rho_grad[s]
+
     def __repr__(self) -> str:
         return f"GaussianPosterior(shape={self.shape})"

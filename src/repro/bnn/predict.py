@@ -4,6 +4,12 @@ The whole point of paying for BNN training is the predictive distribution: at
 inference time the network is sampled ``S`` times and the per-sample softmax
 outputs are averaged.  The spread across samples is the epistemic-uncertainty
 signal that safety-critical applications consume.
+
+By default the ``S`` samples run through the batched execution engine
+(:meth:`~repro.bnn.model.BayesianNetwork.forward_samples`): one pass over a
+``(S, batch, ...)`` tensor, with the whole network's epsilon blocks generated
+by a single generator-bank kernel call.  ``batched=False`` selects the
+original per-sample loop; both paths produce bit-identical probabilities.
 """
 
 from __future__ import annotations
@@ -47,11 +53,13 @@ class PredictiveResult:
 
     @property
     def aleatoric_entropy(self) -> np.ndarray:
-        """Expected per-sample entropy (data uncertainty)."""
-        per_sample = np.stack(
-            [predictive_entropy(probs) for probs in self.sample_probabilities]
-        )
-        return per_sample.mean(axis=0)
+        """Expected per-sample entropy (data uncertainty).
+
+        One axis-aware :func:`~repro.nn.metrics.predictive_entropy` call over
+        the whole ``(S, batch, classes)`` tensor, averaged over the sample
+        axis.
+        """
+        return predictive_entropy(self.sample_probabilities).mean(axis=0)
 
     @property
     def epistemic_entropy(self) -> np.ndarray:
@@ -66,12 +74,19 @@ def mc_predict(
     seed: int = 0,
     grng_stride: int = 256,
     lfsr_bits: int = 256,
+    batched: bool = True,
+    lockstep: bool = True,
 ) -> PredictiveResult:
     """Draw ``n_samples`` weight samples and return the predictive distribution.
 
     Prediction uses its own stream bank (reversible policy, nothing stored);
     the epsilons drawn here never need to be retrieved, so the pending blocks
-    are simply discarded afterwards.
+    are simply discarded afterwards.  ``batched=True`` (the default) executes
+    all samples in one pass over the ``(S, batch, ...)`` tensor;
+    ``batched=False`` is the per-sample escape hatch, with ``lockstep``
+    selecting between the bank's speculative cross-sample prefetching and
+    fully independent per-row generation.  All modes produce bit-identical
+    probabilities.
     """
     if n_samples < 1:
         raise ValueError("n_samples must be at least 1")
@@ -81,6 +96,7 @@ def mc_predict(
         seed=seed,
         lfsr_bits=lfsr_bits,
         grng_stride=grng_stride,
+        lockstep=lockstep,
     )
     # Restore whatever the caller had set -- per layer, so deliberately
     # frozen layers stay frozen -- instead of clobbering eval mode with an
@@ -88,15 +104,22 @@ def mc_predict(
     layer_modes = [layer.training for layer in model.layers]
     model.eval()
     try:
-        outputs = []
-        for sample_index in range(n_samples):
-            sampler = bank.sampler(sample_index)
-            logits = model.forward_sample(x, sampler)
-            outputs.append(softmax(logits))
+        if batched:
+            logits = model.forward_samples(x, bank.batched_sampler())
+            probabilities = softmax(logits)
+            # prediction never runs backward; drop the S-times-batch caches
+            model.release_sample_caches()
+        else:
+            outputs = []
+            for sample_index in range(n_samples):
+                sampler = bank.sampler(sample_index)
+                logits = model.forward_sample(x, sampler)
+                outputs.append(softmax(logits))
+            probabilities = np.stack(outputs)
     finally:
         for layer, was_training in zip(model.layers, layer_modes):
             if was_training:
                 layer.train()
             else:
                 layer.eval()
-    return PredictiveResult(sample_probabilities=np.stack(outputs))
+    return PredictiveResult(sample_probabilities=probabilities)

@@ -72,6 +72,16 @@ class TrainerConfig:
         Keep the exact ``-1/sigma`` term of the sigma gradient (Blundell's
         estimator).  Set to ``False`` to mirror the accelerator's simplified
         updater.
+    batched:
+        Execute the ``S`` Monte-Carlo samples of each step through the
+        batched ``(S, batch, ...)`` pipeline (default).  ``False`` selects
+        the per-sample loop; both produce bit-identical parameter
+        trajectories, only wall-clock time differs.
+    lockstep:
+        With ``batched=False``, whether the per-sample samplers share the
+        bank's speculative cross-sample prefetching (default) or generate
+        fully independently per row (the pre-lockstep baseline).  Results
+        are identical in every mode.
     seed:
         Seed for the stream bank (epsilons).  Model initialisation has its own
         rng, owned by whoever builds the model.
@@ -86,6 +96,8 @@ class TrainerConfig:
     lfsr_bits: int = 256
     grng_stride: int = 256
     include_entropy_term: bool = True
+    batched: bool = True
+    lockstep: bool = True
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -157,6 +169,7 @@ class BNNTrainer:
             seed=self.config.seed,
             lfsr_bits=self.config.lfsr_bits,
             grng_stride=self.config.grng_stride,
+            lockstep=self.config.lockstep,
         )
         if self.config.quantization_bits in (8, 16):
             quantization = QuantizationConfig.from_word_length(self.config.quantization_bits)
@@ -180,12 +193,31 @@ class BNNTrainer:
     # ------------------------------------------------------------------
     # single step
     # ------------------------------------------------------------------
-    def train_step(self, x: np.ndarray, y: np.ndarray, kl_weight: float = 1.0) -> ELBOReport:
+    def train_step(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        kl_weight: float = 1.0,
+        batched: bool | None = None,
+    ) -> ELBOReport:
         """One optimisation step on a single minibatch.
 
         Runs the FW / BW / GC stages for each of the ``S`` Monte-Carlo samples,
-        averages the gradients and applies one optimiser update.
+        averages the gradients and applies one optimiser update.  ``batched``
+        overrides the config's execution mode for this step; the batched and
+        per-sample pipelines follow bit-identical parameter trajectories.
         """
+        use_batched = self.config.batched if batched is None else batched
+        if use_batched:
+            total_nll, correct_probs = self._run_samples_batched(x, y, kl_weight)
+        else:
+            total_nll, correct_probs = self._run_samples_sequential(x, y, kl_weight)
+        return self._apply_step(total_nll, correct_probs, y, kl_weight)
+
+    def _run_samples_sequential(
+        self, x: np.ndarray, y: np.ndarray, kl_weight: float
+    ) -> tuple[float, np.ndarray]:
+        """FW / BW / GC for each sample in turn through per-sample samplers."""
         config = self.config
         model = self.model
         model.train()
@@ -197,8 +229,9 @@ class BNNTrainer:
             logits = model.forward_sample(x, sampler)
             if correct_probs.shape[1] == 0:
                 correct_probs = np.zeros((x.shape[0], logits.shape[1]))
-            correct_probs += softmax(logits)
             total_nll += self.loss.forward(logits, y)
+            # the loss's forward already computed the softmax -- reuse it
+            correct_probs += self._loss_probabilities(logits)
             grad_logits = self.loss.backward()
             model.backward_sample(
                 grad_logits,
@@ -206,8 +239,57 @@ class BNNTrainer:
                 kl_weight=kl_weight,
                 include_entropy_term=config.include_entropy_term,
             )
+        return total_nll, correct_probs
+
+    def _run_samples_batched(
+        self, x: np.ndarray, y: np.ndarray, kl_weight: float
+    ) -> tuple[float, np.ndarray]:
+        """FW / BW / GC for all samples at once through the batched pipeline.
+
+        The per-sample loss reduction stays a loop over the (tiny) logit
+        slices so that scalar losses and gradient scaling accumulate in
+        exactly the sequential order -- everything upstream and downstream of
+        it is vectorised over the sample axis.
+        """
+        config = self.config
+        model = self.model
+        model.train()
+        model.zero_grad()
+        sampler = self.bank.batched_sampler()
+        logits = model.forward_samples(x, sampler)
+        total_nll = 0.0
+        correct_probs = np.zeros(logits.shape[1:])
+        grad_logits = np.empty_like(logits)
+        for sample_index in range(config.n_samples):
+            total_nll += self.loss.forward(logits[sample_index], y)
+            correct_probs += self._loss_probabilities(logits[sample_index])
+            grad_logits[sample_index] = self.loss.backward()
+        model.backward_samples(
+            grad_logits,
+            sampler,
+            kl_weight=kl_weight,
+            include_entropy_term=config.include_entropy_term,
+        )
+        return total_nll, correct_probs
+
+    def _loss_probabilities(self, logits: np.ndarray) -> np.ndarray:
+        """Predictive probabilities of the most recent loss forward."""
+        probabilities = getattr(self.loss, "probabilities", None)
+        if probabilities is not None:
+            return probabilities
+        return softmax(logits)
+
+    def _apply_step(
+        self,
+        total_nll: float,
+        correct_probs: np.ndarray,
+        y: np.ndarray,
+        kl_weight: float,
+    ) -> ELBOReport:
+        """Average the accumulated gradients and apply one optimiser update."""
+        model = self.model
         self.bank.finish_iteration()
-        scale = 1.0 / config.n_samples
+        scale = 1.0 / self.config.n_samples
         for param in model.parameters():
             param.grad *= scale
             if self._quantization.gradient_format is not None:
@@ -278,6 +360,8 @@ class BNNTrainer:
             seed=self.config.seed + 7919,
             grng_stride=self.config.grng_stride,
             lfsr_bits=self.config.lfsr_bits,
+            batched=self.config.batched,
+            lockstep=self.config.lockstep,
         )
         return accuracy(result.mean_probabilities, y)
 

@@ -19,7 +19,12 @@ from .lfsr import (
     seed_from_index,
 )
 from .lfsr_array import LfsrArray
-from .sampler import SampledWeights, WeightSampler
+from .sampler import (
+    BatchedWeightSampler,
+    SampledWeights,
+    SampledWeightsBatch,
+    WeightSampler,
+)
 from .streams import (
     EpsilonStream,
     ReversibleGaussianStream,
@@ -49,7 +54,9 @@ __all__ = [
     "StreamOrderError",
     "StreamUsage",
     "SampledWeights",
+    "SampledWeightsBatch",
     "WeightSampler",
+    "BatchedWeightSampler",
     "LfsrSnapshot",
     "StreamBank",
     "StreamPolicy",

@@ -35,6 +35,7 @@ __all__ = [
     "unpack_int_rows",
     "fill_lfsr_sequence",
     "run_lfsr_block",
+    "run_lfsr_block_packed",
 ]
 
 _WORD = 64
@@ -80,14 +81,31 @@ def unpack_int_rows(words: np.ndarray) -> list[int]:
     ]
 
 
-def _extract(seq: np.ndarray, start: int, length: int) -> np.ndarray:
-    """Read ``length`` bits at bit offset ``start`` into fresh packed words."""
+def _extract(
+    seq: np.ndarray, start: int, length: int, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Read ``length`` bits at bit offset ``start`` into packed words.
+
+    With ``out`` (a ``(N, >= words_for_bits(length))`` uint64 workspace) the
+    result is written into ``out``'s leading words and no temporaries are
+    allocated -- the chunked recurrence calls this in a tight loop.
+    """
     word0, shift = start >> 6, start & 63
     n_words = words_for_bits(length)
     head = seq[:, word0 : word0 + n_words]
+    if out is None:
+        if shift == 0:
+            return head.copy()
+        return (head >> shift) | (
+            seq[:, word0 + 1 : word0 + 1 + n_words] << (_WORD - shift)
+        )
+    view = out[:, :n_words]
     if shift == 0:
-        return head.copy()
-    return (head >> shift) | (seq[:, word0 + 1 : word0 + 1 + n_words] << (_WORD - shift))
+        view[:] = head
+        return view
+    np.right_shift(head, shift, out=view)
+    view |= seq[:, word0 + 1 : word0 + 1 + n_words] << (_WORD - shift)
+    return view
 
 
 def _deposit(seq: np.ndarray, start: int, values: np.ndarray, length: int) -> None:
@@ -123,13 +141,18 @@ def fill_lfsr_sequence(
     min_offset = offsets[0]
     position, end = n_bits, n_bits + count
     level = 0
+    # Two reusable workspaces sized for the largest possible chunk keep the
+    # tap XOR loop free of per-chunk temporaries.
+    scratch_words = words_for_bits(count) + 1
+    acc_buf = np.empty((seq.shape[0], scratch_words), dtype=np.uint64)
+    tap_buf = np.empty_like(acc_buf)
     while position < end:
         while (n_bits << (level + 1)) <= position:
             level += 1
         length = min(min_offset << level, end - position)
-        acc = _extract(seq, position - (offsets[0] << level), length)
+        acc = _extract(seq, position - (offsets[0] << level), length, out=acc_buf)
         for offset in offsets[1:]:
-            acc ^= _extract(seq, position - (offset << level), length)
+            acc ^= _extract(seq, position - (offset << level), length, out=tap_buf)
         _deposit(seq, position, acc, length)
         position += length
 
@@ -152,6 +175,28 @@ def run_lfsr_block(
     history followed by the ``count`` freshly produced bits -- and
     ``new_state_words`` is the packed end-of-block register state.
     """
+    seq_words, new_state_words = run_lfsr_block_packed(
+        state_words, n_bits, count, offsets, reverse
+    )
+    return unpack_bits(seq_words, n_bits + count), new_state_words
+
+
+def run_lfsr_block_packed(
+    state_words: np.ndarray,
+    n_bits: int,
+    count: int,
+    offsets: Sequence[int],
+    reverse: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    """:func:`run_lfsr_block` without the final bit unpack.
+
+    Returns ``(seq_words, new_state_words)``: the produced sequence stays
+    word-packed (bit ``i`` of a row at bit ``i % 64`` of word ``i // 64``),
+    which lets popcount-style consumers reduce it with
+    :func:`numpy.bitwise_count` instead of materialising ``n_bits + count``
+    bytes per row.  Bits beyond ``n_bits + count`` in the returned words are
+    zero.
+    """
     total = n_bits + count
     seq = np.zeros(
         (state_words.shape[0], words_for_bits(total) + 2), dtype=np.uint64
@@ -162,7 +207,12 @@ def run_lfsr_block(
     history = state_bits if reverse else state_bits[:, ::-1]
     seq[:, : words_for_bits(n_bits)] = pack_bits(history)
     fill_lfsr_sequence(seq, n_bits, count, offsets)
-    seq_bits = unpack_bits(seq, total)
-    window = seq_bits[:, count : count + n_bits]
-    new_state_bits = window if reverse else window[:, ::-1]
-    return seq_bits, pack_bits(new_state_bits)
+    window_words = _extract(seq, count, n_bits)
+    tail = n_bits & 63
+    if tail:
+        window_words[:, -1] &= np.uint64((1 << tail) - 1)
+    if reverse:
+        new_state_words = window_words
+    else:
+        new_state_words = pack_bits(unpack_bits(window_words, n_bits)[:, ::-1])
+    return seq, new_state_words

@@ -11,6 +11,14 @@ same bank seed.
 :class:`LfsrSnapshot` captures and restores the full state of a stream's
 generator, which is how the trainer realigns streams between iterations and
 how tests assert bit-exact equivalence.
+
+Besides the per-sample :class:`~repro.core.sampler.WeightSampler` objects, a
+bank exposes :meth:`StreamBank.batched_sampler`: one
+:class:`~repro.core.sampler.BatchedWeightSampler` that serves ``(S, *shape)``
+weight/epsilon tensors for *all* samples per call straight from the shared
+bank's batched kernels -- the epsilon source of the batched FW/BW/GC
+pipeline.  Both interfaces draw from the same registers and produce the same
+bits; within one training iteration a caller should use one or the other.
 """
 
 from __future__ import annotations
@@ -20,7 +28,7 @@ from typing import Iterator, Literal, Sequence, Union
 
 from .grng import LfsrGaussianRNG
 from .grng_bank import BankedGaussianRNG, GrngBank
-from .sampler import WeightSampler
+from .sampler import BatchedWeightSampler, WeightSampler
 from .streams import EpsilonStream, ReversibleGaussianStream, StoredGaussianStream
 
 __all__ = ["LfsrSnapshot", "StreamBank", "StreamPolicy"]
@@ -87,6 +95,12 @@ class StreamBank:
         sliding-window mode; ``lfsr_bits`` (non-overlapping patterns) gives
         effectively independent variables and is what the functional BNN
         trainers use by default.  The reversal property holds for any stride.
+    lockstep:
+        Enable the shared bank's speculative cross-sample prefetching for the
+        per-sample samplers (default).  ``False`` serves every per-row
+        request with its own kernel call -- the pre-lockstep per-sample
+        behaviour, kept as a benchmark baseline and for workloads whose
+        samples deliberately diverge.  Values are identical either way.
     """
 
     _SEED_STRIDE = 1024
@@ -99,6 +113,7 @@ class StreamBank:
         lfsr_bits: int = 256,
         bytes_per_value: int = 2,
         grng_stride: int = 1,
+        lockstep: bool = True,
     ) -> None:
         if n_samples < 1:
             raise ValueError("a stream bank needs at least one sample")
@@ -120,13 +135,14 @@ class StreamBank:
                 for sample_index in range(n_samples)
             ],
             stride=grng_stride,
-            lockstep=True,
+            lockstep=lockstep,
         )
         self._streams: list[EpsilonStream] = [
             self._build_stream(self._grng_bank.row_view(sample_index), bytes_per_value)
             for sample_index in range(n_samples)
         ]
         self._samplers = [WeightSampler(stream) for stream in self._streams]
+        self._batched_sampler: BatchedWeightSampler | None = None
 
     def _build_stream(
         self, grng: GaussianGenerator, bytes_per_value: int
@@ -163,6 +179,25 @@ class StreamBank:
         """Return the weight sampler of Monte-Carlo sample ``sample_index``."""
         return self._samplers[sample_index]
 
+    def batched_sampler(self) -> BatchedWeightSampler:
+        """A sampler serving all ``S`` samples per call from the shared bank.
+
+        The batched sampler draws ``(S, *weight_shape)`` tensors straight from
+        the lockstep :class:`~repro.core.grng_bank.GrngBank` kernels while
+        updating the same per-sample :class:`~repro.core.streams.StreamUsage`
+        records as the per-sample samplers would, so traffic totals stay
+        policy-comparable.  It shares the bank's register state with the
+        per-sample samplers; within one iteration use either interface, not
+        both.
+        """
+        if self._batched_sampler is None:
+            self._batched_sampler = BatchedWeightSampler(
+                self._grng_bank,
+                [stream.usage for stream in self._streams],
+                policy=self._policy,
+            )
+        return self._batched_sampler
+
     def __iter__(self) -> Iterator[WeightSampler]:
         return iter(self._samplers)
 
@@ -195,6 +230,8 @@ class StreamBank:
         restores mark rows dirty, and the iteration boundary is the point
         where all rows are provably back in phase.
         """
+        if self._batched_sampler is not None:
+            self._batched_sampler.finish_iteration()
         for sampler in self._samplers:
             sampler.finish_iteration()
         self._grng_bank.end_iteration()

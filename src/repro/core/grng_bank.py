@@ -194,19 +194,63 @@ class GrngBank:
     # raw batched generation (physical register states)
     # ------------------------------------------------------------------
     def _standardise(self, popcounts: np.ndarray) -> np.ndarray:
-        return (popcounts.astype(np.float64) - self._mean) / self._std
+        # np.subtract on the int popcounts produces the float64 array directly
+        # (integer-to-double conversion is exact), saving a separate astype
+        # pass; the value sequence is identical to astype-then-subtract.
+        values = np.subtract(popcounts, self._mean)
+        values /= self._std
+        return values
+
+    #: Upper bound on register shifts per packed-kernel call.  One giant call
+    #: materialises the whole bit sequence at once and falls out of cache;
+    #: chunked calls continue the same register stream, so the emitted values
+    #: are bit-identical -- this is purely a locality knob.
+    _KERNEL_STEP_LIMIT = 1 << 21
+
+    def _generate_chunked(self, block_fn, rows: Sequence[int] | None, count: int) -> np.ndarray:
+        """Split a generation call into cache-resident kernel chunks.
+
+        Chunked calls continue the same register stream, so the concatenated
+        values are bit-identical to one call; this is purely a locality knob.
+        """
+        chunk = max(1, self._KERNEL_STEP_LIMIT // self._stride)
+        if count <= chunk:
+            return block_fn(rows, count)
+        n_selected = self.n_rows if rows is None else len(rows)
+        values = np.empty((n_selected, count), dtype=np.float64)
+        offset = 0
+        while offset < count:
+            size = min(chunk, count - offset)
+            values[:, offset : offset + size] = block_fn(rows, size)
+            offset += size
+        return values
 
     def _generate_forward(
         self, rows: Sequence[int] | None, count: int
     ) -> np.ndarray:
+        return self._generate_chunked(self._generate_forward_block, rows, count)
+
+    def _generate_forward_block(
+        self, rows: Sequence[int] | None, count: int
+    ) -> np.ndarray:
         steps = count * self._stride
-        popcounts = self._array.window_popcounts(steps, rows=rows)
+        # The strided kernel computes only the popcounts the GRNG emits (one
+        # per ``stride`` shifts) instead of a dense per-shift running sum;
+        # integer popcounts are exact, so the emitted values are bit-identical
+        # for any stride.
+        emitted = self._array.window_popcounts(
+            steps, rows=rows, stride=self._stride
+        )
         selection = slice(None) if rows is None else np.asarray(rows)
-        self._sums[selection] = popcounts[:, -1]
-        emitted = popcounts[:, self._stride - 1 :: self._stride]
+        self._sums[selection] = emitted[:, -1]
         return self._standardise(emitted)
 
     def _generate_reverse(
+        self, rows: Sequence[int] | None, count: int
+    ) -> np.ndarray:
+        return self._generate_chunked(self._generate_reverse_block, rows, count)
+
+    def _generate_reverse_block(
         self, rows: Sequence[int] | None, count: int
     ) -> np.ndarray:
         n = self._n
@@ -227,14 +271,27 @@ class GrngBank:
         if steps > n:
             heads[:, n:] = recovered[:, : steps - n]
         np.subtract(recovered, heads, out=recovered)
-        delta = np.cumsum(recovered, axis=1, out=recovered)
+        if self._stride == 1:
+            delta = np.cumsum(recovered, axis=1, out=recovered)
+            sums = np.empty_like(delta)
+            sums[:, 0] = current_sums
+            if steps > 1:
+                sums[:, 1:] = current_sums[:, None] + delta[:, :-1]
+            self._sums[selection] = current_sums + delta[:, -1]
+            return self._standardise(sums)
+        # Strided emission needs the cumulative delta only at block
+        # boundaries: reduce per-block, then cumsum over count entries
+        # instead of count * stride steps (bit-identical integer arithmetic).
+        blocks = recovered.reshape(recovered.shape[0], count, self._stride).sum(
+            axis=2, dtype=np.int32
+        )
+        delta = np.cumsum(blocks, axis=1, out=blocks)
         sums = np.empty_like(delta)
         sums[:, 0] = current_sums
-        if steps > 1:
+        if count > 1:
             sums[:, 1:] = current_sums[:, None] + delta[:, :-1]
         self._sums[selection] = current_sums + delta[:, -1]
-        emitted = sums[:, :: self._stride]
-        return self._standardise(emitted)
+        return self._standardise(sums)
 
     # ------------------------------------------------------------------
     # batched array interface
@@ -271,6 +328,104 @@ class GrngBank:
         self._retrieved += count
         self._modes = [GRNGMode.REVERSE] * self.n_rows
         return values
+
+    def states(self) -> list[int]:
+        """Logical register values of every row, as Python integers.
+
+        Pending speculative blocks are materialised first so the returned
+        values always reflect what each row's consumer would observe.
+        """
+        self._materialise_all()
+        return self._array.states()
+
+    def set_states(self, states: Sequence[int]) -> None:
+        """Overwrite every row's register and resynchronise the bit sums.
+
+        Rows are marked dirty (suspending lockstep speculation until the next
+        :meth:`end_iteration`), exactly like a per-row external state write.
+        """
+        if len(states) != self.n_rows:
+            raise ValueError(
+                f"expected {self.n_rows} states, got {len(states)}"
+            )
+        self._materialise_all()
+        for row, state in enumerate(states):
+            self._array.set_state(row, int(state))
+            self._replay_queues[row].clear()
+            self._dirty[row] = True
+        self._sums = self._array.popcounts()
+
+    def replay_blocks(
+        self,
+        start_states: Sequence[int],
+        count: int,
+        expected_end_states: Sequence[int] | None = None,
+    ) -> np.ndarray:
+        """Replay one contiguous span of ``count`` variables for every row.
+
+        This is the whole-span batched counterpart of
+        :meth:`row_replay_block`: the registers are rewound to
+        ``start_states`` (one checkpoint per row), the span is regenerated
+        with a single forward kernel call, and the landing patterns are
+        verified against ``expected_end_states`` (the pre-retrieval
+        patterns).  Registers are left on the span *end* -- callers that
+        retrieve a whole backward pass at once continue from exactly the
+        pattern the forward stage reached.  The replay counts as retrieval,
+        not generation, so shift counters are rewound by ``count * stride``
+        like the per-row replay.
+
+        Returns an ``(n_rows, count)`` float64 array, bit-identical to the
+        concatenated per-layer replays of the same span.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if len(start_states) != self.n_rows:
+            raise ValueError(
+                f"expected {self.n_rows} start states, got {len(start_states)}"
+            )
+        if count == 0:
+            return np.zeros((self.n_rows, 0), dtype=np.float64)
+        self._materialise_all()
+        saved_states = self._array.states()
+        saved_sums = self._sums.copy()
+        for row, state in enumerate(start_states):
+            self._array.set_state(row, int(state))
+        values = self._generate_forward(None, count)
+        if expected_end_states is not None:
+            landed = self._array.states()
+            mismatched = [
+                row
+                for row in range(self.n_rows)
+                if landed[row] != int(expected_end_states[row])
+            ]
+            if mismatched:
+                # Failed replay must not move anything: put every row's
+                # register, sum and shift counter back where they were
+                # before the call, then flag the rows that diverged.
+                for row in range(self.n_rows):
+                    self._array.set_state(row, saved_states[row])
+                    self._array.adjust_shift_count(row, -count * self._stride)
+                self._sums = saved_sums
+                for row in mismatched:
+                    self._dirty[row] = True
+                raise ReplayError(
+                    "checkpoint replay did not land on the pre-retrieval "
+                    f"pattern for rows {mismatched}"
+                )
+        for row in range(self.n_rows):
+            self._array.adjust_shift_count(row, -count * self._stride)
+            self._drop_ledger_span(row, count)
+        self._generated += count
+        self._modes = [GRNGMode.FORWARD] * self.n_rows
+        return values
+
+    def _drop_ledger_span(self, row: int, count: int) -> None:
+        """Pop the ledger entries covered by a whole-span replay."""
+        ledger = self._ledgers[row]
+        covered = 0
+        while ledger and covered < count:
+            covered += ledger[-1].count
+            ledger.pop()
 
     def _generate_all(
         self, reverse: bool, count: int

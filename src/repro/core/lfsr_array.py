@@ -22,7 +22,12 @@ from typing import Sequence
 
 import numpy as np
 
-from .bitops import pack_int_rows, run_lfsr_block, unpack_bits, unpack_int_rows
+from .bitops import (
+    pack_int_rows,
+    run_lfsr_block_packed,
+    unpack_bits,
+    unpack_int_rows,
+)
 from .lfsr import LFSRStateError, mirrored_taps, normalise_taps, seed_from_index
 
 __all__ = ["LfsrArray"]
@@ -152,28 +157,36 @@ class LfsrArray:
     # ------------------------------------------------------------------
     # vectorised block generation
     # ------------------------------------------------------------------
-    def _run(
+    def _run_packed(
         self, count: int, rows: Sequence[int] | None, reverse: bool
     ) -> np.ndarray:
         """Run ``count`` packed steps for the selected rows.
 
-        Returns the full ``(R, n_bits + count)`` bit sequences (history
-        followed by the new bits) and commits the updated register states and
-        shift counters.
+        Returns the produced bit sequences as packed ``uint64`` words (bits
+        beyond ``n_bits + count`` are zero) and commits the updated register
+        states and shift counters.
         """
         if count < 0:
             raise ValueError("count must be non-negative")
         selection = slice(None) if rows is None else np.asarray(rows)
         if count == 0:
             n_selected = self._words[selection].shape[0]
-            return np.zeros((n_selected, self._n), dtype=np.uint8)
+            return np.zeros((n_selected, self._words.shape[1]), dtype=np.uint64)
         offsets = self._reverse_taps if reverse else self._taps
-        seq_bits, new_words = run_lfsr_block(
+        seq_words, new_words = run_lfsr_block_packed(
             self._words[selection], self._n, count, offsets, reverse
         )
         self._words[selection] = new_words
         self._shift_counts[selection] += -count if reverse else count
-        return seq_bits
+        return seq_words
+
+    def _run(
+        self, count: int, rows: Sequence[int] | None, reverse: bool
+    ) -> np.ndarray:
+        """Like :meth:`_run_packed` but unpacked to a ``(R, n_bits + count)``
+        uint8 bit matrix (history followed by the new bits)."""
+        seq_words = self._run_packed(count, rows, reverse)
+        return unpack_bits(seq_words, self._n + count)
 
     def generate_bits(
         self, count: int, rows: Sequence[int] | None = None
@@ -188,25 +201,84 @@ class LfsrArray:
         return self._run(count, rows, reverse=True)[:, self._n :].copy()
 
     def window_popcounts(
-        self, count: int, rows: Sequence[int] | None = None
+        self, count: int, rows: Sequence[int] | None = None, stride: int = 1
     ) -> np.ndarray:
-        """Pattern popcounts after each of the next ``count`` shifts, per row.
+        """Pattern popcounts after every ``stride``-th of ``count`` shifts, per row.
 
-        ``(R, count)`` int32; registers end exactly where
+        With the default ``stride=1`` this returns the popcount after each of
+        the next ``count`` shifts as an ``(R, count)`` integer matrix.  With
+        ``stride > 1`` (``count`` must then be a multiple of ``stride``) only
+        the popcounts after shifts ``stride, 2*stride, ...`` are computed --
+        the positions a strided GRNG emits -- as an ``(R, count // stride)``
+        matrix, skipping the per-shift running sum entirely.  The values are
+        exact integer popcounts either way, so the strided path is
+        bit-identical to slicing the dense one.  Registers end exactly where
         :meth:`generate_bits` would leave them.
         """
+        if stride < 1:
+            raise ValueError("stride must be at least 1 shift per popcount")
+        if count % stride:
+            raise ValueError(
+                f"count must be a multiple of stride, got {count} and {stride}"
+            )
         if count == 0:
             n_selected = (
                 self.n_rows if rows is None else np.asarray(rows).shape[0]
             )
             return np.zeros((n_selected, 0), dtype=np.int32)
         n = self._n
+        if stride > 1 and n % 64 == 0 and stride % 64 == 0:
+            # Word-aligned strided emission: popcount the packed words
+            # directly (np.bitwise_count) -- no per-bit unpack of the
+            # sequence at all.  Exact integer popcounts, so bit-identical to
+            # the unpacked paths below.
+            seq_words = self._run_packed(count, rows, reverse=False)
+            word_pc = np.bitwise_count(seq_words[:, : (n + count) // 64])
+            n_words = n // 64
+            words_per_block = stride // 64
+            blocks = count // stride
+            n_selected = word_pc.shape[0]
+            delta = (
+                word_pc[:, n_words:]
+                .reshape(n_selected, blocks, words_per_block)
+                .sum(axis=2, dtype=np.int32)
+            )
+            delta -= (
+                word_pc[:, : count // 64]
+                .reshape(n_selected, blocks, words_per_block)
+                .sum(axis=2, dtype=np.int32)
+            )
+            popcounts = np.cumsum(delta, axis=1, out=delta)
+            popcounts += word_pc[:, :n_words].sum(axis=1, dtype=np.int32)[:, None]
+            return popcounts
         seq = self._run(count, rows, reverse=False)
-        # popcount after shift k = popcount(before) + sum over j <= k of
-        # (new bit j - dropped bit j); one narrow cumsum instead of two wide
-        # ones keeps this O(count) pass cheap.
-        delta = seq[:, n : n + count].astype(np.int32)
-        delta -= seq[:, :count]
-        popcounts = np.cumsum(delta, axis=1, out=delta)
+        if stride == 1:
+            # popcount after shift k = popcount(before) + sum over j <= k of
+            # (new bit j - dropped bit j); one narrow cumsum instead of two
+            # wide ones keeps this O(count) pass cheap.  int16 is exact here:
+            # every intermediate is bounded by the register width (<= 256),
+            # and the halved element size halves the cumsum's memory traffic.
+            delta = seq[:, n : n + count].astype(np.int16)
+            delta -= seq[:, :count]
+            popcounts = np.cumsum(delta, axis=1, out=delta)
+            popcounts += seq[:, :n].sum(axis=1, dtype=np.int16)[:, None]
+            return popcounts
+        else:
+            # Per emitted position only the *block* sums of entering/leaving
+            # bits are needed: two vectorised reductions plus a cumsum over
+            # count/stride entries replace the full per-shift running sum.
+            blocks = count // stride
+            n_selected = seq.shape[0]
+            delta = (
+                seq[:, n : n + count]
+                .reshape(n_selected, blocks, stride)
+                .sum(axis=2, dtype=np.int32)
+            )
+            delta -= (
+                seq[:, :count]
+                .reshape(n_selected, blocks, stride)
+                .sum(axis=2, dtype=np.int32)
+            )
+            popcounts = np.cumsum(delta, axis=1, out=delta)
         popcounts += seq[:, :n].sum(axis=1, dtype=np.int32)[:, None]
         return popcounts

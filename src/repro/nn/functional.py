@@ -4,6 +4,16 @@ These are the raw array operations behind the layer classes in
 :mod:`repro.nn.layers`.  They are deliberately free of state so that both the
 deterministic DNN layers and the Bayesian layers (which re-sample their weights
 per Monte-Carlo sample) can share the exact same arithmetic.
+
+**Sample-axis conventions.**  The batched Monte-Carlo pipeline carries an
+extra leading sample axis ``S`` through the network: activations travel
+*folded* as ``(S * batch, ...)`` (so element-wise layers and im2col work
+unchanged), while per-sample weight tensors are ``(S, *weight_shape)``.  The
+``*_samples`` helpers here consume that layout.  Matrix products are computed
+with one 2-D matmul per sample (:func:`sample_matmul`) rather than a stacked
+3-D matmul: each sample's operands are then byte-identical to the sequential
+path's, which is what guarantees the bit-exact batched/sequential equivalence
+the Fig. 9 experiments rely on.
 """
 
 from __future__ import annotations
@@ -17,6 +27,9 @@ __all__ = [
     "col2im",
     "conv2d_forward",
     "conv2d_backward",
+    "conv2d_forward_samples",
+    "conv2d_backward_samples",
+    "sample_matmul",
     "maxpool2d_forward",
     "maxpool2d_backward",
     "avgpool2d_forward",
@@ -139,6 +152,140 @@ def conv2d_backward(
     grad_bias = grad_flat.sum(axis=0)
     grad_cols = grad_flat @ weights.reshape(out_channels, -1)
     grad_input = col2im(grad_cols, x_shape, kernel, stride, padding)
+    return grad_input, grad_weights, grad_bias
+
+
+def sample_matmul(
+    a: np.ndarray, b: np.ndarray, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Per-sample matrix product over a leading Monte-Carlo sample axis.
+
+    ``a`` is ``(S, m, k)`` (or a shared ``(m, k)`` broadcast to every sample)
+    and ``b`` is ``(S, k, n)``; the result is ``(S, m, n)`` with
+    ``result[s] = a[s] @ b[s]``.  The product is computed as ``S`` separate
+    2-D matmuls so each slice is bit-identical to the sequential per-sample
+    call -- a stacked 3-D matmul may take a different BLAS path and is not
+    guaranteed to round identically.
+    """
+    if b.ndim != 3:
+        raise ValueError(f"b must be (S, k, n), got shape {b.shape}")
+    n_samples = b.shape[0]
+    shared_a = a.ndim == 2
+    if not shared_a and a.shape[0] != n_samples:
+        raise ValueError(
+            f"sample axes disagree: a has {a.shape[0]}, b has {n_samples}"
+        )
+    if out is None:
+        out = np.empty(
+            (n_samples, a.shape[-2], b.shape[-1]),
+            dtype=np.result_type(a, b),
+        )
+    for s in range(n_samples):
+        np.matmul(a if shared_a else a[s], b[s], out=out[s])
+    return out
+
+
+def conv2d_forward_samples(
+    x: np.ndarray,
+    weights: np.ndarray,
+    bias: np.ndarray | None,
+    stride: int,
+    padding: int,
+    n_samples: int,
+) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Batched-sample 2-D convolution over folded activations.
+
+    ``x`` is the folded ``(S * batch, C, H, W)`` input and ``weights`` the
+    per-sample kernels ``(S, M, C, K, K)``.  The im2col lowering and matrix
+    product run per sample over the folded slices -- each sample's column
+    matrix then goes through exactly :func:`conv2d_forward`'s arithmetic (and
+    stays cache-resident between the lowering and its matmul, which a single
+    whole-batch im2col copy would not).  Returns the folded output
+    ``(S * batch, M, out_h, out_w)`` and the per-sample column matrices for
+    the backward pass.
+    """
+    if weights.ndim != 5 or weights.shape[0] != n_samples:
+        raise ValueError(
+            f"weights must be (S, M, C, K, K) with S={n_samples}, "
+            f"got shape {weights.shape}"
+        )
+    _, out_channels, in_channels, k_h, k_w = weights.shape
+    if k_h != k_w:
+        raise ValueError("only square kernels are supported")
+    if x.shape[1] != in_channels:
+        raise ValueError(
+            f"input has {x.shape[1]} channels but the kernel expects {in_channels}"
+        )
+    if x.shape[0] % n_samples:
+        raise ValueError(
+            f"folded batch of {x.shape[0]} does not divide into {n_samples} samples"
+        )
+    batch = x.shape[0] // n_samples
+    flat_weights = weights.reshape(n_samples, out_channels, -1)
+    cols_per_sample: list[np.ndarray] = []
+    out: np.ndarray | None = None
+    for s in range(n_samples):
+        cols_s, out_h, out_w = im2col(
+            x[s * batch : (s + 1) * batch], k_h, stride, padding
+        )
+        cols_per_sample.append(cols_s)
+        out_s = cols_s @ flat_weights[s].T
+        if bias is not None:
+            out_s += bias
+        if out is None:
+            # NHWC storage with an NCHW transposed view, exactly like
+            # conv2d_forward returns -- the per-sample fill is then a straight
+            # contiguous copy instead of a strided scatter.
+            out = np.empty(
+                (x.shape[0], out_h, out_w, out_channels), dtype=out_s.dtype
+            )
+        out[s * batch : (s + 1) * batch] = out_s.reshape(
+            batch, out_h, out_w, out_channels
+        )
+    assert out is not None
+    return out.transpose(0, 3, 1, 2), cols_per_sample
+
+
+def conv2d_backward_samples(
+    grad_out: np.ndarray,
+    cols: list[np.ndarray],
+    x_shape: tuple[int, int, int, int],
+    weights: np.ndarray,
+    stride: int,
+    padding: int,
+    n_samples: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Backward pass of :func:`conv2d_forward_samples`.
+
+    ``cols`` is the per-sample column-matrix list the forward pass cached.
+    Returns ``(grad_input, grad_weights, grad_bias)`` where ``grad_input`` is
+    folded ``(S * batch, C, H, W)``, ``grad_weights`` is per-sample
+    ``(S, M, C, K, K)`` and ``grad_bias`` is ``(S, M)`` -- callers accumulate
+    the per-sample slices in sample order to match the sequential trainers'
+    float summation order exactly.
+    """
+    out_channels = weights.shape[1]
+    kernel = weights.shape[3]
+    batch = grad_out.shape[0] // n_samples
+    sample_x_shape = (batch,) + tuple(x_shape[1:])
+    grad_weights = np.empty(weights.shape, dtype=np.result_type(grad_out, weights))
+    grad_bias = np.empty((n_samples, out_channels), dtype=grad_weights.dtype)
+    grad_input: np.ndarray | None = None
+    flat_weights = weights.reshape(n_samples, out_channels, -1)
+    for s in range(n_samples):
+        grad_flat = (
+            grad_out[s * batch : (s + 1) * batch]
+            .transpose(0, 2, 3, 1)
+            .reshape(-1, out_channels)
+        )
+        grad_weights[s] = (grad_flat.T @ cols[s]).reshape(weights.shape[1:])
+        grad_bias[s] = grad_flat.sum(axis=0)
+        grad_cols = grad_flat @ flat_weights[s]
+        grad_input_s = col2im(grad_cols, sample_x_shape, kernel, stride, padding)
+        if grad_input is None:
+            grad_input = np.empty(tuple(x_shape), dtype=grad_input_s.dtype)
+        grad_input[s * batch : (s + 1) * batch] = grad_input_s
+    assert grad_input is not None
     return grad_input, grad_weights, grad_bias
 
 

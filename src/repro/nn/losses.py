@@ -54,6 +54,18 @@ class SoftmaxCrossEntropy(Loss):
         probabilities, encoded = self._cache
         return (probabilities - encoded) / probabilities.shape[0]
 
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Softmax probabilities cached by the most recent :meth:`forward`.
+
+        ``forward`` already pays for the softmax; consumers that want the
+        predictive distribution of the same logits (e.g. the trainers' batch
+        accuracy) should reuse this instead of recomputing it.
+        """
+        if self._cache is None:
+            raise RuntimeError("probabilities read before forward")
+        return self._cache[0]
+
 
 class MeanSquaredError(Loss):
     """Mean squared error for regression-style outputs."""

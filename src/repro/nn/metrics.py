@@ -33,9 +33,14 @@ def negative_log_likelihood(probabilities: np.ndarray, labels: np.ndarray) -> fl
 
 
 def predictive_entropy(probabilities: np.ndarray) -> np.ndarray:
-    """Entropy of each predictive distribution (a standard uncertainty score)."""
+    """Entropy of each predictive distribution (a standard uncertainty score).
+
+    The class axis is the *last* one, so this works unchanged on ``(batch,
+    classes)`` matrices and on stacked Monte-Carlo tensors such as
+    ``(S, batch, classes)`` -- one vectorised call replaces a per-sample loop.
+    """
     clipped = np.clip(probabilities, 1e-12, 1.0)
-    return -(clipped * np.log(clipped)).sum(axis=1)
+    return -(clipped * np.log(clipped)).sum(axis=-1)
 
 
 def expected_calibration_error(

@@ -1,0 +1,203 @@
+"""Batched vs. sequential execution: bit-identical training and prediction.
+
+PR 2's batched Monte-Carlo engine executes the whole ``(S, batch, ...)``
+FW/BW/GC pipeline in one pass.  These tests pin its defining property: for
+both stream policies and at both ends of the stride range (the
+hardware-faithful sliding window and the default non-overlapping patterns),
+the batched path follows *exactly* the same parameter trajectory and produces
+*exactly* the same probabilities as the per-sample loop -- the same
+bit-equivalence contract Fig. 9 establishes between the stored and reversible
+policies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bnn import BNNTrainer, TrainerConfig, mc_predict
+from repro.datasets import BatchLoader, synthetic_cifar10, synthetic_mnist
+from repro.models import get_model
+
+
+@pytest.fixture(scope="module")
+def mlp_setup():
+    spec = get_model("B-MLP", reduced=True)
+    train, test = synthetic_mnist(n_train=64, n_test=32, image_size=14, seed=3)
+    batches = BatchLoader(train, batch_size=32, flatten=True).batches()
+    return spec, batches, test
+
+
+@pytest.fixture(scope="module")
+def lenet_setup():
+    spec = get_model("B-LeNet", reduced=True)
+    train, test = synthetic_cifar10(n_train=64, n_test=32, image_size=16, seed=5)
+    batches = BatchLoader(train, batch_size=32).batches()
+    return spec, batches, test
+
+
+def _train_pair(spec, batches, policy, stride, epochs=2):
+    trainers = []
+    for batched in (False, True):
+        config = TrainerConfig(
+            n_samples=3,
+            learning_rate=5e-3,
+            seed=11,
+            grng_stride=stride,
+            batched=batched,
+        )
+        trainer = BNNTrainer(spec.build_bayesian(seed=99), config, policy=policy)
+        trainer.fit(batches, epochs=epochs)
+        trainers.append(trainer)
+    return trainers
+
+
+class TestTrainStepEquivalence:
+    @pytest.mark.parametrize("policy", ["stored", "reversible"])
+    @pytest.mark.parametrize("stride", [1, 256])
+    def test_mlp_parameter_trajectories_bit_identical(
+        self, mlp_setup, policy, stride
+    ):
+        spec, batches, _ = mlp_setup
+        sequential, batched = _train_pair(spec, batches, policy, stride)
+        assert sequential.history.losses == batched.history.losses
+        assert (
+            sequential.history.train_accuracies == batched.history.train_accuracies
+        )
+        for seq_param, bat_param in zip(
+            sequential.model.parameters(), batched.model.parameters()
+        ):
+            assert np.array_equal(seq_param.value, bat_param.value), seq_param.name
+
+    @pytest.mark.parametrize("policy", ["stored", "reversible"])
+    def test_conv_parameter_trajectories_bit_identical(self, lenet_setup, policy):
+        spec, batches, _ = lenet_setup
+        sequential, batched = _train_pair(spec, batches, policy, stride=32, epochs=1)
+        assert sequential.history.losses == batched.history.losses
+        for seq_param, bat_param in zip(
+            sequential.model.parameters(), batched.model.parameters()
+        ):
+            assert np.array_equal(seq_param.value, bat_param.value), seq_param.name
+
+    def test_hardware_faithful_policy_also_bit_identical(self, mlp_setup):
+        spec, batches, _ = mlp_setup
+        sequential, batched = _train_pair(
+            spec, batches, "reversible-hw", stride=8, epochs=1
+        )
+        assert sequential.history.losses == batched.history.losses
+
+    @pytest.mark.parametrize("policy", ["stored", "reversible"])
+    def test_traffic_accounting_matches(self, mlp_setup, policy):
+        spec, batches, _ = mlp_setup
+        sequential, batched = _train_pair(spec, batches, policy, stride=32, epochs=1)
+        assert (
+            sequential.epsilon_offchip_bytes() == batched.epsilon_offchip_bytes()
+        )
+        assert (
+            sequential.epsilon_footprint_bytes()
+            == batched.epsilon_footprint_bytes()
+        )
+
+    def test_mixed_deterministic_layers_bit_identical(self, mlp_setup):
+        """Trainable deterministic layers must also accumulate per sample."""
+        from repro.bnn import BayesianNetwork, BayesDense
+        from repro.nn.layers import Dense, ReLU
+
+        _, batches, _ = mlp_setup
+        x, y = batches[0]
+
+        def build():
+            rng_seed = 13
+            return BayesianNetwork(
+                [
+                    BayesDense(196, 24, rng=np.random.default_rng(rng_seed)),
+                    ReLU(),
+                    Dense(24, 10, rng=np.random.default_rng(rng_seed + 1)),
+                ]
+            )
+
+        config = TrainerConfig(n_samples=3, seed=21, grng_stride=32)
+        sequential = BNNTrainer(build(), config, policy="reversible")
+        batched = BNNTrainer(build(), config, policy="reversible")
+        for _ in range(3):
+            sequential.train_step(x, y, kl_weight=0.01, batched=False)
+            batched.train_step(x, y, kl_weight=0.01, batched=True)
+        assert sequential.history.losses == batched.history.losses
+        for seq_param, bat_param in zip(
+            sequential.model.parameters(), batched.model.parameters()
+        ):
+            assert np.array_equal(seq_param.value, bat_param.value), seq_param.name
+
+    def test_modes_interleave_within_one_run(self, mlp_setup):
+        """Steps may switch modes mid-run without changing the trajectory."""
+        spec, batches, _ = mlp_setup
+        x, y = batches[0]
+        config = TrainerConfig(n_samples=2, seed=7, grng_stride=32)
+        reference = BNNTrainer(spec.build_bayesian(seed=4), config, policy="reversible")
+        mixed = BNNTrainer(spec.build_bayesian(seed=4), config, policy="reversible")
+        for step in range(4):
+            reference.train_step(x, y, kl_weight=0.01, batched=False)
+            mixed.train_step(x, y, kl_weight=0.01, batched=bool(step % 2))
+        assert reference.history.losses == mixed.history.losses
+        for seq_param, bat_param in zip(
+            reference.model.parameters(), mixed.model.parameters()
+        ):
+            assert np.array_equal(seq_param.value, bat_param.value)
+
+
+class TestPredictEquivalence:
+    @pytest.mark.parametrize("stride", [1, 256])
+    def test_mlp_probabilities_bit_identical(self, mlp_setup, stride):
+        spec, _, test = mlp_setup
+        model = spec.build_bayesian(seed=42)
+        x = test.flatten_images()
+        sequential = mc_predict(
+            model, x, n_samples=5, grng_stride=stride, batched=False
+        )
+        batched = mc_predict(model, x, n_samples=5, grng_stride=stride, batched=True)
+        assert np.array_equal(
+            sequential.sample_probabilities, batched.sample_probabilities
+        )
+        assert np.array_equal(sequential.entropy, batched.entropy)
+        assert np.array_equal(
+            sequential.aleatoric_entropy, batched.aleatoric_entropy
+        )
+        assert np.array_equal(
+            sequential.epistemic_entropy, batched.epistemic_entropy
+        )
+
+    def test_conv_probabilities_bit_identical(self, lenet_setup):
+        spec, _, test = lenet_setup
+        model = spec.build_bayesian(seed=42)
+        sequential = mc_predict(
+            model, test.images, n_samples=4, grng_stride=32, batched=False
+        )
+        batched = mc_predict(
+            model, test.images, n_samples=4, grng_stride=32, batched=True
+        )
+        assert np.array_equal(
+            sequential.sample_probabilities, batched.sample_probabilities
+        )
+
+    def test_per_row_sequential_matches_lockstep_sequential(self, mlp_setup):
+        """The benchmark baselines themselves agree bit for bit."""
+        spec, _, test = mlp_setup
+        model = spec.build_bayesian(seed=42)
+        x = test.flatten_images()
+        lockstep = mc_predict(model, x, n_samples=4, grng_stride=32, batched=False)
+        per_row = mc_predict(
+            model, x, n_samples=4, grng_stride=32, batched=False, lockstep=False
+        )
+        assert np.array_equal(
+            lockstep.sample_probabilities, per_row.sample_probabilities
+        )
+
+    def test_eval_mode_restored_after_batched_predict(self, mlp_setup):
+        spec, _, test = mlp_setup
+        model = spec.build_bayesian(seed=42)
+        model.train()
+        mc_predict(model, test.flatten_images()[:4], n_samples=2, batched=True)
+        assert model.training
+        model.eval()
+        mc_predict(model, test.flatten_images()[:4], n_samples=2, batched=True)
+        assert not model.training
