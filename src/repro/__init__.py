@@ -14,6 +14,9 @@ as a pure-Python library.  It is organised as:
   synthetic stand-ins for their datasets;
 * :mod:`repro.accel` -- an analytic accelerator simulator (mappings, traffic,
   energy, latency, FPGA resources, a GPU roofline reference);
+* :mod:`repro.serve` -- an asynchronous micro-batching serving front-end that
+  pools prediction requests into ``(S, batch)`` tiles for the batched engine,
+  optionally sharded across model-replica worker processes;
 * :mod:`repro.experiments` -- one module per paper table / figure,
   regenerating the evaluation;
 * :mod:`repro.analysis` -- metric and table helpers.
@@ -30,9 +33,9 @@ Quick start::
     trainer.fit(BatchLoader(train, 64, flatten=True).batches(), epochs=5)
 """
 
-from . import accel, analysis, bnn, core, datasets, experiments, models, nn
+from . import accel, analysis, bnn, core, datasets, experiments, models, nn, serve
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "core",
@@ -43,5 +46,6 @@ __all__ = [
     "accel",
     "analysis",
     "experiments",
+    "serve",
     "__version__",
 ]

@@ -4,7 +4,7 @@ from .bayes_layers import BayesConv2D, BayesDense, BayesianLayer
 from .elbo import ELBOReport, gaussian_kl_divergence, sampled_complexity
 from .model import BayesianNetwork
 from .posteriors import GaussianPosterior, inverse_softplus, softplus, softplus_grad
-from .predict import PredictiveResult, mc_predict
+from .predict import PredictiveResult, mc_forward, mc_predict
 from .priors import GaussianPrior, Prior, ScaleMixturePrior
 from .serialization import CheckpointMismatchError, load_parameters, save_parameters
 from .trainer import (
@@ -32,6 +32,7 @@ __all__ = [
     "sampled_complexity",
     "PredictiveResult",
     "mc_predict",
+    "mc_forward",
     "save_parameters",
     "load_parameters",
     "CheckpointMismatchError",

@@ -14,19 +14,21 @@ original per-sample loop; both paths produce bit-identical probabilities.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..core.checkpoint import StreamBank
-from ..nn.functional import softmax
+from ..nn.functional import softmax, softmax_into
 from ..nn.metrics import predictive_entropy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..core.sampler import BatchedWeightSampler
     from .model import BayesianNetwork
 
-__all__ = ["PredictiveResult", "mc_predict"]
+__all__ = ["PredictiveResult", "mc_predict", "mc_forward"]
 
 
 @dataclass(frozen=True)
@@ -67,6 +69,61 @@ class PredictiveResult:
         return self.entropy - self.aleatoric_entropy
 
 
+@contextmanager
+def _evaluation_mode(model: "BayesianNetwork"):
+    """Run the block in eval mode, restoring each layer's previous mode.
+
+    Restore is per layer -- so deliberately frozen layers stay frozen --
+    instead of clobbering eval mode with an unconditional switch back to
+    training.
+    """
+    layer_modes = [layer.training for layer in model.layers]
+    model.eval()
+    try:
+        yield
+    finally:
+        for layer, was_training in zip(model.layers, layer_modes):
+            if was_training:
+                layer.train()
+            else:
+                layer.eval()
+
+
+def mc_forward(
+    model: "BayesianNetwork",
+    x: np.ndarray,
+    sampler: "BatchedWeightSampler",
+    out: np.ndarray | None = None,
+) -> PredictiveResult:
+    """Forward-only Monte-Carlo prediction through a caller-provided sampler.
+
+    This is the batched core of :func:`mc_predict` with the epsilon source
+    injected: any object honouring the forward half of the
+    :class:`~repro.core.sampler.BatchedWeightSampler` protocol
+    (``n_samples``, ``prefetch_forward``, ``sample``) works.  The serving tile
+    executor passes a sampler that replays cached epsilon tensors, which is
+    what lets pooled requests skip the generation kernel while staying
+    bit-identical to a per-request :func:`mc_predict`.
+
+    ``out``, when given, must be a float64 buffer shaped
+    ``(n_samples, batch, classes)``; the softmax stages are computed in place
+    in it (bit-identical to the allocating path, see
+    :func:`~repro.nn.functional.softmax_into`) so a steady-state caller can
+    reuse one scratch buffer across calls instead of allocating three
+    temporaries per tile.  The returned :class:`PredictiveResult` then aliases
+    ``out`` -- the caller owns the reuse discipline.
+    """
+    with _evaluation_mode(model):
+        logits = model.forward_samples(x, sampler)
+        if out is None:
+            probabilities = softmax(logits)
+        else:
+            probabilities = softmax_into(logits, out)
+        # prediction never runs backward; drop the S-times-batch caches
+        model.release_sample_caches()
+    return PredictiveResult(sample_probabilities=probabilities)
+
+
 def mc_predict(
     model: "BayesianNetwork",
     x: np.ndarray,
@@ -76,6 +133,7 @@ def mc_predict(
     lfsr_bits: int = 256,
     batched: bool = True,
     lockstep: bool = True,
+    out: np.ndarray | None = None,
 ) -> PredictiveResult:
     """Draw ``n_samples`` weight samples and return the predictive distribution.
 
@@ -87,6 +145,10 @@ def mc_predict(
     selecting between the bank's speculative cross-sample prefetching and
     fully independent per-row generation.  All modes produce bit-identical
     probabilities.
+
+    ``out`` optionally provides a reusable ``(n_samples, batch, classes)``
+    output buffer (see :func:`mc_forward`); results are bit-identical with or
+    without it.
     """
     if n_samples < 1:
         raise ValueError("n_samples must be at least 1")
@@ -98,28 +160,16 @@ def mc_predict(
         grng_stride=grng_stride,
         lockstep=lockstep,
     )
-    # Restore whatever the caller had set -- per layer, so deliberately
-    # frozen layers stay frozen -- instead of clobbering eval mode with an
-    # unconditional switch back to training.
-    layer_modes = [layer.training for layer in model.layers]
-    model.eval()
-    try:
-        if batched:
-            logits = model.forward_samples(x, bank.batched_sampler())
-            probabilities = softmax(logits)
-            # prediction never runs backward; drop the S-times-batch caches
-            model.release_sample_caches()
-        else:
-            outputs = []
-            for sample_index in range(n_samples):
-                sampler = bank.sampler(sample_index)
-                logits = model.forward_sample(x, sampler)
-                outputs.append(softmax(logits))
+    if batched:
+        return mc_forward(model, x, bank.batched_sampler(), out=out)
+    with _evaluation_mode(model):
+        outputs = []
+        for sample_index in range(n_samples):
+            sampler = bank.sampler(sample_index)
+            logits = model.forward_sample(x, sampler)
+            outputs.append(softmax(logits))
+        if out is None:
             probabilities = np.stack(outputs)
-    finally:
-        for layer, was_training in zip(model.layers, layer_modes):
-            if was_training:
-                layer.train()
-            else:
-                layer.eval()
+        else:
+            probabilities = np.stack(outputs, out=out)
     return PredictiveResult(sample_probabilities=probabilities)

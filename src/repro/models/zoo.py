@@ -20,6 +20,11 @@ in seconds on a CPU.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
 from .specs import (
     ActivationSpec,
     ConvSpec,
@@ -29,7 +34,11 @@ from .specs import (
     PoolSpec,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..bnn.model import BayesianNetwork
+
 __all__ = [
+    "ReplicaSpec",
     "mlp_mnist",
     "lenet_cifar10",
     "alexnet_imagenet",
@@ -380,3 +389,72 @@ def get_model(name: str, reduced: bool = False) -> ModelSpec:
     if name not in registry:
         raise KeyError(f"unknown model {name!r}; available: {sorted(registry)}")
     return registry[name]
+
+
+# ----------------------------------------------------------------------
+# replica construction (serving worker processes)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReplicaSpec:
+    """Everything needed to rebuild an exact copy of a trained BNN elsewhere.
+
+    The serving worker processes each hold a private model replica; a
+    ``ReplicaSpec`` is the picklable recipe they rebuild it from: the
+    :class:`~repro.models.specs.ModelSpec`, the builder seed, and the trained
+    parameter values captured by name (the same naming contract
+    :mod:`repro.bnn.serialization` uses).  Because :meth:`build` runs the
+    ordinary ``spec.build_bayesian`` path and then overwrites every parameter
+    with the captured bytes, every replica is bit-identical to the source
+    model -- which is what makes serving results independent of which worker
+    (or how many workers) executed a tile.
+    """
+
+    spec: ModelSpec
+    build_seed: int = 0
+    state: dict[str, np.ndarray] | None = None
+    quantization: object | None = field(default=None, repr=False)
+
+    @classmethod
+    def capture(
+        cls, spec: ModelSpec, model: "BayesianNetwork", build_seed: int = 0
+    ) -> "ReplicaSpec":
+        """Snapshot ``model``'s trained parameters against ``spec``."""
+        names = [parameter.name for parameter in model.parameters()]
+        if len(set(names)) != len(names):
+            raise ValueError(
+                "parameter names are not unique; give every layer an explicit "
+                "name before capturing a replica"
+            )
+        state = {
+            parameter.name: parameter.value.copy() for parameter in model.parameters()
+        }
+        return cls(
+            spec=spec,
+            build_seed=build_seed,
+            state=state,
+            quantization=model.quantization,
+        )
+
+    def build(self) -> "BayesianNetwork":
+        """Instantiate the replica (bit-identical parameters to the source)."""
+        model = self.spec.build_bayesian(seed=self.build_seed)
+        if self.state is not None:
+            parameters = {p.name: p for p in model.parameters()}
+            missing = [name for name in parameters if name not in self.state]
+            unexpected = [name for name in self.state if name not in parameters]
+            if missing or unexpected:
+                raise ValueError(
+                    "replica state does not match the spec's parameters: "
+                    f"missing={missing}, unexpected={unexpected}"
+                )
+            for name, value in self.state.items():
+                parameter = parameters[name]
+                if parameter.value.shape != value.shape:
+                    raise ValueError(
+                        f"shape mismatch for {name!r}: captured {value.shape}, "
+                        f"model {parameter.value.shape}"
+                    )
+                parameter.value[...] = value
+        if self.quantization is not None:
+            model.quantization = self.quantization
+        return model

@@ -35,6 +35,7 @@ __all__ = [
     "avgpool2d_forward",
     "avgpool2d_backward",
     "softmax",
+    "softmax_into",
     "relu",
     "relu_grad",
 ]
@@ -366,6 +367,36 @@ def softmax(logits: np.ndarray) -> np.ndarray:
     shifted = logits - logits.max(axis=-1, keepdims=True)
     exp = np.exp(shifted)
     return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def softmax_into(logits: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """:func:`softmax` written into a caller-provided buffer.
+
+    Performs the identical sequence of element-wise operations (subtract the
+    row maximum, exponentiate, divide by the row sum), so the result is
+    bit-identical to :func:`softmax`; the only difference is that every stage
+    lands in ``out`` instead of a fresh temporary.  The serving tile executor
+    uses this to reuse one scratch buffer across tiles instead of allocating
+    three intermediates per request.
+    """
+    if out.shape != logits.shape:
+        raise ValueError(
+            f"out shape {out.shape} does not match logits shape {logits.shape}"
+        )
+    expected = (
+        logits.dtype
+        if np.issubdtype(logits.dtype, np.floating)
+        else np.dtype(np.float64)
+    )
+    if out.dtype != expected:
+        raise ValueError(
+            f"out dtype {out.dtype} would not be bit-identical to the "
+            f"softmax result dtype {expected}"
+        )
+    np.subtract(logits, logits.max(axis=-1, keepdims=True), out=out)
+    np.exp(out, out=out)
+    np.divide(out, out.sum(axis=-1, keepdims=True), out=out)
+    return out
 
 
 def relu(x: np.ndarray) -> np.ndarray:

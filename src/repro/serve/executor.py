@@ -1,0 +1,282 @@
+"""Tile execution: run pooled requests through the batched MC engine.
+
+Bit-exactness contract
+----------------------
+
+A served request must produce *exactly* the bytes that a standalone
+``mc_predict(model, x, **config)`` call would -- that is what lets clients
+migrate to the server without revalidating anything.  Two observations make
+that cheap:
+
+1. The epsilon tensors a prediction consumes are a pure function of the
+   sampling configuration (seed, ``n_samples``, stride, LFSR width) and of
+   the network's static layer schedule -- **not** of the input.  Requests
+   sharing a configuration therefore consume *identical* epsilons, and the
+   expensive generator-bank kernel work can be paid once and cached
+   (:class:`EpsilonCache`), then replayed into the unchanged layer code
+   through a :class:`PrecomputedEpsilonSampler`.
+2. Each request's forward math must see byte-identical operand matrices to
+   its standalone call -- so the executor runs one
+   :func:`~repro.bnn.predict.mc_forward` per pooled request (same rows, same
+   per-sample matmuls) instead of concatenating requests into one folded
+   GEMM, whose per-row bit-stability across batch sizes BLAS does not
+   guarantee.  The tile still amortises what actually dominates small-batch
+   prediction: epsilon generation (cached across the whole tile and across
+   tiles), weight materialisation temporaries, and the queue/dispatch
+   round-trip.
+
+The executor also reuses one output scratch buffer per result shape (the
+``out=`` path of :func:`mc_forward`), so steady-state serving performs no
+per-tile softmax allocations.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..bnn.predict import mc_forward
+from ..core.checkpoint import StreamBank
+from ..core.sampler import BatchedWeightSampler, SampledWeightsBatch
+from ..core.streams import StreamOrderError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from ..bnn.model import BayesianNetwork
+
+__all__ = [
+    "SamplingConfig",
+    "EpsilonCache",
+    "PrecomputedEpsilonSampler",
+    "TileExecutor",
+]
+
+
+@dataclass(frozen=True)
+class SamplingConfig:
+    """Per-request Monte-Carlo sampling knobs (the ``mc_predict`` signature).
+
+    Frozen and hashable: it doubles as the epsilon-cache key, so two requests
+    with equal configs are guaranteed to replay the same cached tensors.
+    """
+
+    n_samples: int = 8
+    seed: int = 0
+    grng_stride: int = 256
+    lfsr_bits: int = 256
+
+    def __post_init__(self) -> None:
+        if self.n_samples < 1:
+            raise ValueError("n_samples must be at least 1")
+
+
+class PrecomputedEpsilonSampler:
+    """Forward-only ``BatchedWeightSampler`` stand-in replaying cached epsilons.
+
+    Implements exactly the protocol :meth:`BayesianNetwork.forward_samples`
+    exercises (``n_samples``, ``prefetch_forward``, ``sample``); weights are
+    rebuilt with the genuine
+    :meth:`BatchedWeightSampler._build_weights` operation, so every byte
+    matches what the real sampler would have produced from the same epsilons.
+    """
+
+    def __init__(self, epsilons: Sequence[np.ndarray]) -> None:
+        if not epsilons:
+            raise ValueError("need at least one epsilon tensor")
+        self._epsilons = list(epsilons)
+        self._cursor = 0
+
+    @property
+    def n_samples(self) -> int:
+        """Number of Monte-Carlo samples along the leading axis."""
+        return self._epsilons[0].shape[0]
+
+    def prefetch_forward(self, counts: Sequence[int]) -> None:
+        """Validate that the network's schedule matches the cached tensors."""
+        cached = [eps[0].size for eps in self._epsilons[self._cursor :]]
+        requested = [int(count) for count in counts]
+        if requested != cached:
+            raise StreamOrderError(
+                f"cached epsilon schedule {cached} does not match the "
+                f"network's forward schedule {requested}"
+            )
+
+    def sample(self, mu: np.ndarray, sigma: np.ndarray) -> SampledWeightsBatch:
+        """Serve the next layer's cached epsilons as sampled weights."""
+        if self._cursor >= len(self._epsilons):
+            raise StreamOrderError(
+                "forward pass requested more blocks than the cached schedule"
+            )
+        epsilon = self._epsilons[self._cursor]
+        expected = (self.n_samples,) + tuple(mu.shape)
+        if epsilon.shape != expected:
+            raise StreamOrderError(
+                f"cached epsilon block has shape {epsilon.shape}, layer "
+                f"expected {expected}"
+            )
+        self._cursor += 1
+        return SampledWeightsBatch(
+            weights=BatchedWeightSampler._build_weights(mu, sigma, epsilon),
+            epsilon=epsilon,
+        )
+
+
+class EpsilonCache:
+    """Bounded LRU of per-layer epsilon tensors keyed by sampling config."""
+
+    def __init__(self, max_entries: int = 8) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self._max_entries = max_entries
+        self._entries: OrderedDict[SamplingConfig, list[np.ndarray]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, config: SamplingConfig) -> list[np.ndarray] | None:
+        """Return the cached tensors for ``config`` (marking them recent)."""
+        entry = self._entries.get(config)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(config)
+        self.hits += 1
+        return entry
+
+    def put(self, config: SamplingConfig, epsilons: list[np.ndarray]) -> None:
+        """Insert (or refresh) an entry, evicting the least recently used."""
+        self._entries[config] = epsilons
+        self._entries.move_to_end(config)
+        while len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)
+
+
+class TileExecutor:
+    """Execute one tile of pooled requests against a model replica.
+
+    One executor is single-threaded by design: the inline server runs it on
+    the dispatcher thread and each worker process owns a private instance
+    (model replica, epsilon cache and scratch buffers are not shared).
+    """
+
+    def __init__(
+        self,
+        model: "BayesianNetwork",
+        max_cached_configs: int = 8,
+    ) -> None:
+        self._model = model
+        self._schedule = [
+            layer.n_bayesian_weights for layer in model.bayesian_layers()
+        ]
+        if not self._schedule:
+            raise ValueError("the served model has no Bayesian layers")
+        self._cache = EpsilonCache(max_cached_configs)
+        # One softmax scratch per result shape; results are copied out of it
+        # (callers retain them past the next tile, and same-shape requests in
+        # one tile must not alias), which still replaces the allocating
+        # path's three per-request softmax temporaries with a single copy.
+        # LRU-bounded: clients pick arbitrary row counts, and a long-lived
+        # server must not accumulate one buffer per shape ever seen.
+        self._scratch: OrderedDict[tuple[int, ...], np.ndarray] = OrderedDict()
+        self._n_classes: int | None = None
+
+    @property
+    def model(self) -> "BayesianNetwork":
+        """The replica this executor predicts with."""
+        return self._model
+
+    @property
+    def cache(self) -> EpsilonCache:
+        """The executor's epsilon cache (exposed for stats / tests)."""
+        return self._cache
+
+    # ------------------------------------------------------------------
+    def _sampler_for(self, config: SamplingConfig) -> PrecomputedEpsilonSampler:
+        epsilons = self._cache.get(config)
+        if epsilons is None:
+            epsilons = self._materialize(config)
+            self._cache.put(config, epsilons)
+        return PrecomputedEpsilonSampler(epsilons)
+
+    def _materialize(self, config: SamplingConfig) -> list[np.ndarray]:
+        """Generate the epsilons exactly as a per-request ``mc_predict`` would.
+
+        Same bank construction, same whole-forward prefetch, same per-layer
+        ``sample`` walk -- so the cached tensors are byte-for-byte the ones a
+        standalone call consumes.
+        """
+        bank = StreamBank(
+            n_samples=config.n_samples,
+            policy="reversible",
+            seed=config.seed,
+            lfsr_bits=config.lfsr_bits,
+            grng_stride=config.grng_stride,
+            lockstep=True,
+        )
+        sampler = bank.batched_sampler()
+        sampler.prefetch_forward(self._schedule)
+        epsilons: list[np.ndarray] = []
+        for layer in self._model.bayesian_layers():
+            sampled = sampler.sample(
+                layer.weight_posterior.mu.value, layer.weight_posterior.sigma
+            )
+            epsilons.append(np.ascontiguousarray(sampled.epsilon))
+        # prediction never runs backward; drop the outstanding span
+        sampler.discard_pending()
+        return epsilons
+
+    _MAX_SCRATCH_SHAPES = 16
+
+    def _output_buffer(self, n_samples: int, rows: int) -> np.ndarray | None:
+        if self._n_classes is None:
+            return None
+        shape = (n_samples, rows, self._n_classes)
+        buffer = self._scratch.get(shape)
+        if buffer is None:
+            buffer = np.empty(shape, dtype=np.float64)
+            self._scratch[shape] = buffer
+            while len(self._scratch) > self._MAX_SCRATCH_SHAPES:
+                self._scratch.popitem(last=False)
+        else:
+            self._scratch.move_to_end(shape)
+        return buffer
+
+    # ------------------------------------------------------------------
+    def execute_one(self, x: np.ndarray, config: SamplingConfig) -> np.ndarray:
+        """Predict one request; returns ``(S, rows, classes)`` probabilities."""
+        sampler = self._sampler_for(config)
+        out = self._output_buffer(config.n_samples, x.shape[0])
+        result = mc_forward(self._model, x, sampler, out=out)
+        probabilities = result.sample_probabilities
+        if self._n_classes is None:
+            self._n_classes = probabilities.shape[-1]
+        if out is not None:
+            return np.array(probabilities)
+        return probabilities
+
+    def execute(
+        self, requests: Sequence[tuple[np.ndarray, SamplingConfig]]
+    ) -> list[tuple[np.ndarray | None, Exception | None]]:
+        """Execute a tile; element ``i`` answers request ``i``.
+
+        Requests pooled into one tile share the epsilon cache (a tile of
+        like-configured requests pays for at most one generator-bank kernel
+        sweep) but each keeps its own forward math -- see the module
+        docstring for why that is the bit-exactness boundary.
+
+        Errors are isolated per request: each element is ``(probabilities,
+        None)`` on success or ``(None, exception)`` on failure, so one
+        malformed request cannot fail the innocent requests pooled into the
+        same tile.
+        """
+        outcomes: list[tuple[np.ndarray | None, Exception | None]] = []
+        for x, config in requests:
+            try:
+                outcomes.append((self.execute_one(x, config), None))
+            except Exception as exc:
+                outcomes.append((None, exc))
+        return outcomes

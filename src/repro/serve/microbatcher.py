@@ -1,0 +1,233 @@
+"""Request pooling: the queue that turns single requests into ``(S, batch)`` tiles.
+
+The batched Monte-Carlo engine (PR 2) amortises epsilon generation and layer
+dispatch over everything that executes together, but a serving front-end
+receives requests one at a time.  The :class:`MicroBatcher` closes that gap
+with the classic inference-server flush policy:
+
+* a tile is flushed as soon as the pending work reaches ``max_batch_rows``
+  example rows (a full tile), or
+* when the *oldest* pending request has waited ``max_wait_ms`` milliseconds
+  (a partial tile -- latency beats occupancy once someone has waited long
+  enough), or
+* immediately on shutdown, so close() never strands requests.
+
+Requests are never split across tiles: a request larger than
+``max_batch_rows`` simply becomes a tile of its own.  Backpressure is a row
+budget (``max_pending_rows``): ``submit`` blocks (or raises
+:class:`QueueFull` when non-blocking / timed out) until the dispatcher drains
+the queue below it.
+
+The batcher owns no thread; the server's dispatcher loop calls
+:meth:`next_tile`, which blocks on a condition variable until a flush
+condition holds.  The clock is injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generic, TypeVar
+
+__all__ = ["MicroBatcher", "QueueClosed", "QueueFull", "PendingItem"]
+
+T = TypeVar("T")
+
+
+class QueueClosed(RuntimeError):
+    """Raised by ``submit`` after the batcher has been closed."""
+
+
+class QueueFull(RuntimeError):
+    """Raised by a non-blocking / timed-out ``submit`` under backpressure."""
+
+
+@dataclass
+class PendingItem(Generic[T]):
+    """One queued request together with its pooling metadata."""
+
+    item: T
+    rows: int
+    enqueued_at: float
+    sequence: int = field(default=0)
+
+
+class MicroBatcher(Generic[T]):
+    """Pool individual requests into tiles under a rows/wait flush policy."""
+
+    def __init__(
+        self,
+        max_batch_rows: int = 64,
+        max_wait_ms: float = 2.0,
+        max_pending_rows: int = 1024,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_batch_rows < 1:
+            raise ValueError("max_batch_rows must be positive")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be non-negative")
+        if max_pending_rows < max_batch_rows:
+            raise ValueError(
+                "max_pending_rows must be at least max_batch_rows "
+                f"({max_pending_rows} < {max_batch_rows})"
+            )
+        self._max_batch_rows = max_batch_rows
+        self._max_wait_s = max_wait_ms / 1e3
+        self._max_pending_rows = max_pending_rows
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._can_flush = threading.Condition(self._lock)
+        self._has_space = threading.Condition(self._lock)
+        self._pending: list[PendingItem[T]] = []
+        self._pending_rows = 0
+        self._sequence = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def max_batch_rows(self) -> int:
+        """Row budget of one tile."""
+        return self._max_batch_rows
+
+    @property
+    def pending_rows(self) -> int:
+        """Example rows currently queued (snapshot)."""
+        with self._lock:
+            return self._pending_rows
+
+    @property
+    def pending_requests(self) -> int:
+        """Requests currently queued (snapshot)."""
+        with self._lock:
+            return len(self._pending)
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        with self._lock:
+            return self._closed
+
+    # ------------------------------------------------------------------
+    # producer side
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        item: T,
+        rows: int,
+        block: bool = True,
+        timeout: float | None = None,
+    ) -> None:
+        """Queue one request carrying ``rows`` example rows.
+
+        Blocks while the row budget is exhausted (unless ``block=False`` or a
+        ``timeout`` expires, which raise :class:`QueueFull`).  A request
+        larger than the whole budget is admitted only into an empty queue --
+        it could otherwise never be admitted at all.
+        """
+        if rows < 1:
+            raise ValueError("a request must carry at least one row")
+        deadline = None if timeout is None else self._clock() + timeout
+        with self._lock:
+            while True:
+                if self._closed:
+                    raise QueueClosed("the micro-batcher is closed")
+                fits = self._pending_rows + rows <= self._max_pending_rows
+                if fits or (not self._pending and rows > self._max_pending_rows):
+                    break
+                if not block:
+                    raise QueueFull(
+                        f"{self._pending_rows} rows pending, request of {rows} "
+                        f"rows exceeds the budget of {self._max_pending_rows}"
+                    )
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - self._clock()
+                    if remaining <= 0:
+                        raise QueueFull(
+                            f"timed out waiting for queue space ({rows} rows)"
+                        )
+                self._has_space.wait(timeout=remaining)
+            self._pending.append(
+                PendingItem(
+                    item=item,
+                    rows=rows,
+                    enqueued_at=self._clock(),
+                    sequence=self._sequence,
+                )
+            )
+            self._sequence += 1
+            self._pending_rows += rows
+            self._can_flush.notify_all()
+
+    def close(self) -> None:
+        """Refuse new submissions; already-queued requests still drain."""
+        with self._lock:
+            self._closed = True
+            self._can_flush.notify_all()
+            self._has_space.notify_all()
+
+    def cancel_pending(self) -> list[PendingItem[T]]:
+        """Drop and return everything still queued (for an aborting shutdown)."""
+        with self._lock:
+            cancelled = self._pending
+            self._pending = []
+            self._pending_rows = 0
+            self._has_space.notify_all()
+            return cancelled
+
+    # ------------------------------------------------------------------
+    # consumer side (the dispatcher loop)
+    # ------------------------------------------------------------------
+    def next_tile(self) -> list[PendingItem[T]] | None:
+        """Block until a flush condition holds; return one tile of requests.
+
+        Returns ``None`` exactly when the batcher is closed *and* drained --
+        the dispatcher's signal to exit.  A tile is a prefix of the arrival
+        order whose rows fit ``max_batch_rows`` (always at least one request,
+        so oversized requests form singleton tiles).
+        """
+        with self._lock:
+            while True:
+                if self._pending:
+                    if self._closed or self._pending_rows >= self._max_batch_rows:
+                        return self._pop_tile_locked()
+                    now = self._clock()
+                    oldest_deadline = self._pending[0].enqueued_at + self._max_wait_s
+                    if now >= oldest_deadline:
+                        return self._pop_tile_locked()
+                    # a newly-submitted request can only shorten the wait via
+                    # the rows condition, which notifies; the deadline of the
+                    # current oldest request bounds the sleep either way
+                    self._can_flush.wait(timeout=oldest_deadline - now)
+                elif self._closed:
+                    return None
+                else:
+                    self._can_flush.wait()
+
+    def _pop_tile_locked(self) -> list[PendingItem[T]]:
+        tile: list[PendingItem[T]] = [self._pending[0]]
+        rows = self._pending[0].rows
+        index = 1
+        while index < len(self._pending):
+            candidate = self._pending[index]
+            if rows + candidate.rows > self._max_batch_rows:
+                break
+            tile.append(candidate)
+            rows += candidate.rows
+            index += 1
+        del self._pending[:index]
+        self._pending_rows -= rows
+        self._has_space.notify_all()
+        return tile
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MicroBatcher(max_batch_rows={self._max_batch_rows}, "
+            f"max_wait_ms={self._max_wait_s * 1e3:g}, "
+            f"pending={len(self._pending)})"
+        )
+
+
+# typing helper: the server stores heterogeneous payloads
+AnyPendingItem = PendingItem[Any]

@@ -1,0 +1,303 @@
+"""The asynchronous prediction front-end: submit requests, await futures.
+
+``PredictionServer`` glues the serving subsystem together:
+
+* clients call :meth:`~PredictionServer.submit` (thread-safe, returns a
+  ``concurrent.futures.Future``) or the blocking convenience
+  :meth:`~PredictionServer.predict`;
+* a :class:`~repro.serve.microbatcher.MicroBatcher` pools requests into
+  ``(S, batch)`` tiles under the ``max_batch_rows`` / ``max_wait_ms`` flush
+  policy, with row-budget backpressure;
+* the dispatcher thread hands tiles either to an inline
+  :class:`~repro.serve.executor.TileExecutor` (``n_workers=0``; lowest
+  latency, single process) or to a
+  :class:`~repro.serve.worker.WorkerPool` of replica processes;
+* each future resolves to the *exact* :class:`~repro.bnn.predict.PredictiveResult`
+  a standalone ``mc_predict`` call with the same sampling configuration
+  would return -- mean / entropy / per-sample probabilities included --
+  regardless of how requests were pooled or which worker ran them;
+* :meth:`~PredictionServer.stats` reports throughput, p50/p99 latency and
+  the batch-occupancy histogram.
+
+Failure semantics: a tile that raises fails only its own requests
+(:class:`TileExecutionError`); a dead worker fails exactly its outstanding
+tiles (:class:`WorkerCrashError`, never a hang); ``close(drain=True)``
+finishes queued work first, ``close(drain=False)`` fails it fast with
+:class:`ServerClosed`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bnn.predict import PredictiveResult
+from ..models.zoo import ReplicaSpec
+from .executor import SamplingConfig, TileExecutor
+from .microbatcher import MicroBatcher, PendingItem, QueueClosed
+from .stats import ServerStats, StatsSnapshot
+from .worker import WorkerPool
+
+__all__ = ["PredictionServer", "ServerConfig", "ServerClosed"]
+
+
+class ServerClosed(RuntimeError):
+    """Raised by ``submit`` after shutdown, and set on aborted futures."""
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tuning knobs of the serving front-end."""
+
+    max_batch_rows: int = 64
+    """Rows per tile; the flush threshold of the micro-batcher."""
+    max_wait_ms: float = 2.0
+    """Maximum time the oldest queued request waits before a partial flush."""
+    max_pending_rows: int = 1024
+    """Backpressure budget: ``submit`` blocks once this many rows are queued."""
+    n_workers: int = 0
+    """``0`` executes tiles inline on the dispatcher thread; ``>=1`` shards
+    tiles across that many replica processes."""
+    start_method: str | None = None
+    """Multiprocessing start method (``None``: fork where available)."""
+    max_cached_configs: int = 8
+    """Epsilon-cache entries kept per executor (one per sampling config)."""
+    latency_window: int = 4096
+    """Recent-request window for the latency percentiles."""
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 0:
+            raise ValueError("n_workers must be non-negative")
+
+
+@dataclass
+class _Request:
+    x: np.ndarray
+    config: SamplingConfig
+    future: Future
+    rows: int
+
+
+class PredictionServer:
+    """Async micro-batching front-end over the batched Monte-Carlo engine."""
+
+    def __init__(self, replica: ReplicaSpec, config: ServerConfig | None = None) -> None:
+        self._replica = replica
+        self._config = config or ServerConfig()
+        self._batcher: MicroBatcher[_Request] = MicroBatcher(
+            max_batch_rows=self._config.max_batch_rows,
+            max_wait_ms=self._config.max_wait_ms,
+            max_pending_rows=self._config.max_pending_rows,
+        )
+        self._stats = ServerStats(latency_window=self._config.latency_window)
+        self._tile_ids = itertools.count()
+        self._executor: TileExecutor | None = None
+        self._pool: WorkerPool | None = None
+        self._dispatcher: threading.Thread | None = None
+        self._inflight_lock = threading.Lock()
+        self._inflight: dict[int, list[PendingItem[_Request]]] = {}
+        self._idle = threading.Event()
+        self._idle.set()
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_model(
+        cls,
+        model,
+        spec,
+        config: ServerConfig | None = None,
+        build_seed: int = 0,
+    ) -> "PredictionServer":
+        """Serve a live (e.g. freshly trained) model: capture it as a replica."""
+        return cls(ReplicaSpec.capture(spec, model, build_seed=build_seed), config)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "PredictionServer":
+        """Build the executor (or fork the worker pool) and start dispatching."""
+        if self._started:
+            raise RuntimeError("server already started")
+        self._started = True
+        if self._config.n_workers:
+            # fork the workers BEFORE any service thread exists
+            self._pool = WorkerPool(
+                self._replica,
+                n_workers=self._config.n_workers,
+                result_handler=self._on_tile_result,
+                max_cached_configs=self._config.max_cached_configs,
+                start_method=self._config.start_method,
+            )
+            self._pool.start()
+        else:
+            self._executor = TileExecutor(
+                self._replica.build(),
+                max_cached_configs=self._config.max_cached_configs,
+            )
+        self._stats.reset_clock()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="serve-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+        return self
+
+    def __enter__(self) -> "PredictionServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(drain=exc_type is None)
+
+    def close(self, drain: bool = True, timeout: float | None = 30.0) -> None:
+        """Stop the server.
+
+        ``drain=True`` completes everything already submitted before
+        returning; ``drain=False`` fails queued (and, in worker mode,
+        in-flight) requests with :class:`ServerClosed` /
+        :class:`~repro.serve.worker.WorkerCrashError` as fast as possible.
+        """
+        if not self._started or self._closed:
+            self._closed = True
+            return
+        self._closed = True
+        if not drain:
+            for pending in self._batcher.cancel_pending():
+                self._fail(pending.item, ServerClosed("server closed before execution"))
+        self._batcher.close()
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout=timeout)
+            self._dispatcher = None
+        if drain:
+            self._idle.wait(timeout=timeout)
+        if self._pool is not None:
+            self._pool.stop(abort=not drain)
+            self._pool = None
+
+    # ------------------------------------------------------------------
+    # client API
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        x: np.ndarray,
+        sampling: SamplingConfig | None = None,
+        block: bool = True,
+        timeout: float | None = None,
+    ) -> Future:
+        """Queue one prediction request; resolves to a ``PredictiveResult``.
+
+        ``x`` is one request's input batch (first axis = rows).  Requests
+        sharing a :class:`SamplingConfig` are pooled into tiles and replay
+        one cached epsilon sweep.  Under backpressure the call blocks, or
+        raises :class:`~repro.serve.microbatcher.QueueFull` when
+        ``block=False`` / the timeout expires.
+        """
+        if not self._started:
+            raise RuntimeError("server not started; call start() or use a with-block")
+        # private copy: execution is deferred (queue, then tile), and a client
+        # reusing its staging buffer must not mutate an in-flight request
+        x = np.array(x)
+        if x.ndim < 2:
+            raise ValueError(
+                "a request must be batched: expected (rows, ...) input, got "
+                f"shape {x.shape}"
+            )
+        request = _Request(
+            x=x,
+            config=sampling or SamplingConfig(),
+            future=Future(),
+            rows=int(x.shape[0]),
+        )
+        try:
+            self._batcher.submit(request, rows=request.rows, block=block, timeout=timeout)
+        except QueueClosed:
+            raise ServerClosed("the server is shut down") from None
+        return request.future
+
+    def predict(
+        self, x: np.ndarray, sampling: SamplingConfig | None = None
+    ) -> PredictiveResult:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(x, sampling=sampling).result()
+
+    def stats(self) -> StatsSnapshot:
+        """Throughput / latency / occupancy snapshot."""
+        return self._stats.snapshot()
+
+    # ------------------------------------------------------------------
+    # dispatcher
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while True:
+            tile = self._batcher.next_tile()
+            if tile is None:
+                return
+            tile_id = next(self._tile_ids)
+            self._stats.record_tile(
+                n_requests=len(tile), rows=sum(item.rows for item in tile)
+            )
+            with self._inflight_lock:
+                self._inflight[tile_id] = tile
+                self._idle.clear()
+            if self._pool is not None:
+                try:
+                    self._pool.dispatch(
+                        tile_id,
+                        [(item.item.x, item.item.config) for item in tile],
+                    )
+                except Exception as exc:
+                    self._on_tile_result(tile_id, None, exc)
+            else:
+                assert self._executor is not None
+                try:
+                    results = self._executor.execute(
+                        [(item.item.x, item.item.config) for item in tile]
+                    )
+                except Exception as exc:
+                    self._on_tile_result(tile_id, None, exc)
+                else:
+                    self._on_tile_result(tile_id, results, None)
+
+    def _on_tile_result(
+        self,
+        tile_id: int,
+        results: list[tuple[np.ndarray | None, Exception | None]] | None,
+        error: Exception | None,
+    ) -> None:
+        """Resolve a tile: ``results`` holds per-request outcomes (errors are
+        isolated per request), ``error`` fails the whole tile (dispatch
+        failure, worker crash)."""
+        with self._inflight_lock:
+            tile = self._inflight.pop(tile_id, None)
+            if not self._inflight:
+                self._idle.set()
+        if tile is None:  # pragma: no cover - duplicate report
+            return
+        now = time.monotonic()
+        if error is not None:
+            for pending in tile:
+                self._fail(pending.item, error)
+            return
+        assert results is not None and len(results) == len(tile)
+        for pending, (probabilities, request_error) in zip(tile, results):
+            if request_error is not None:
+                self._fail(pending.item, request_error)
+                continue
+            if not pending.item.future.set_running_or_notify_cancel():
+                continue  # client cancelled while queued
+            pending.item.future.set_result(
+                PredictiveResult(sample_probabilities=probabilities)
+            )
+            self._stats.record_completion(now - pending.enqueued_at, rows=pending.rows)
+
+    def _fail(self, request: _Request, error: Exception) -> None:
+        if request.future.set_running_or_notify_cancel():
+            request.future.set_exception(error)
+        self._stats.record_failure()

@@ -1,0 +1,134 @@
+"""Serving telemetry: throughput, latency percentiles, batch occupancy.
+
+The serving front-end is a throughput machine, so the numbers an operator
+actually tunes against live here: aggregate requests/rows per second, the
+end-to-end latency distribution (p50/p99 over a bounded window of recent
+requests), and the batch-occupancy histogram that shows whether the
+``max_batch_rows`` / ``max_wait_ms`` flush policy is actually filling tiles.
+
+The collector is a small lock-guarded accumulator (it is touched from client
+threads, the dispatcher thread and the worker-pool collector thread);
+:meth:`ServerStats.snapshot` freezes a consistent view into an immutable
+:class:`StatsSnapshot`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ServerStats", "StatsSnapshot"]
+
+
+@dataclass(frozen=True)
+class StatsSnapshot:
+    """An immutable, self-consistent view of a server's counters."""
+
+    uptime_s: float
+    requests_completed: int
+    requests_failed: int
+    rows_completed: int
+    tiles_executed: int
+    throughput_rps: float
+    """Completed requests per second of server uptime."""
+    throughput_rows_per_s: float
+    """Completed example rows per second of server uptime."""
+    latency_p50_ms: float | None
+    latency_p99_ms: float | None
+    latency_mean_ms: float | None
+    occupancy_histogram: dict[int, int] = field(default_factory=dict)
+    """``{requests-per-tile: tile count}`` over the server's lifetime."""
+    mean_batch_occupancy: float | None = None
+    """Average number of pooled requests per executed tile."""
+    mean_rows_per_tile: float | None = None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        p50 = f"{self.latency_p50_ms:.2f}" if self.latency_p50_ms is not None else "-"
+        p99 = f"{self.latency_p99_ms:.2f}" if self.latency_p99_ms is not None else "-"
+        occ = (
+            f"{self.mean_batch_occupancy:.2f}"
+            if self.mean_batch_occupancy is not None
+            else "-"
+        )
+        return (
+            f"{self.requests_completed} ok / {self.requests_failed} failed in "
+            f"{self.uptime_s:.2f}s ({self.throughput_rps:.1f} req/s, "
+            f"{self.throughput_rows_per_s:.1f} rows/s), latency p50 {p50} ms / "
+            f"p99 {p99} ms, {self.tiles_executed} tiles "
+            f"(mean occupancy {occ} req/tile)"
+        )
+
+
+class ServerStats:
+    """Thread-safe accumulator behind :meth:`PredictionServer.stats`."""
+
+    def __init__(self, latency_window: int = 4096, clock=time.monotonic) -> None:
+        if latency_window < 1:
+            raise ValueError("latency_window must be positive")
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._started_at = clock()
+        self._latencies_s: deque[float] = deque(maxlen=latency_window)
+        self._requests_completed = 0
+        self._requests_failed = 0
+        self._rows_completed = 0
+        self._tiles_executed = 0
+        self._tile_requests = 0
+        self._tile_rows = 0
+        self._occupancy: Counter[int] = Counter()
+
+    def reset_clock(self) -> None:
+        """Restart the uptime window (called when the server starts)."""
+        with self._lock:
+            self._started_at = self._clock()
+
+    def record_completion(self, latency_s: float, rows: int) -> None:
+        """One request finished successfully after ``latency_s`` seconds."""
+        with self._lock:
+            self._requests_completed += 1
+            self._rows_completed += int(rows)
+            self._latencies_s.append(float(latency_s))
+
+    def record_failure(self) -> None:
+        """One request resolved with an error."""
+        with self._lock:
+            self._requests_failed += 1
+
+    def record_tile(self, n_requests: int, rows: int) -> None:
+        """One tile was handed to an executor with ``n_requests`` pooled."""
+        with self._lock:
+            self._tiles_executed += 1
+            self._tile_requests += int(n_requests)
+            self._tile_rows += int(rows)
+            self._occupancy[int(n_requests)] += 1
+
+    def snapshot(self) -> StatsSnapshot:
+        """Freeze a consistent view of every counter."""
+        with self._lock:
+            uptime = max(self._clock() - self._started_at, 1e-9)
+            latencies = np.asarray(self._latencies_s, dtype=np.float64)
+            if latencies.size:
+                p50, p99 = np.percentile(latencies, [50.0, 99.0]) * 1e3
+                mean = float(latencies.mean() * 1e3)
+            else:
+                p50 = p99 = mean = None  # type: ignore[assignment]
+            tiles = self._tiles_executed
+            return StatsSnapshot(
+                uptime_s=uptime,
+                requests_completed=self._requests_completed,
+                requests_failed=self._requests_failed,
+                rows_completed=self._rows_completed,
+                tiles_executed=tiles,
+                throughput_rps=self._requests_completed / uptime,
+                throughput_rows_per_s=self._rows_completed / uptime,
+                latency_p50_ms=None if p50 is None else float(p50),
+                latency_p99_ms=None if p99 is None else float(p99),
+                latency_mean_ms=mean,
+                occupancy_histogram=dict(sorted(self._occupancy.items())),
+                mean_batch_occupancy=(self._tile_requests / tiles) if tiles else None,
+                mean_rows_per_tile=(self._tile_rows / tiles) if tiles else None,
+            )

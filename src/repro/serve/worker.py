@@ -1,0 +1,330 @@
+"""Multiprocessing worker pool: shard tiles across model-replica processes.
+
+The ``(S, batch)`` fold is embarrassingly parallel along both axes, so tiles
+can execute anywhere a bit-identical replica lives.  Each worker process
+rebuilds its replica from a picklable
+:class:`~repro.models.zoo.ReplicaSpec` and owns a private
+:class:`~repro.serve.executor.TileExecutor` -- its own epsilon cache backed
+by its own ``StreamBank`` construction.  Because every tile's epsilons are
+regenerated from the *request's* sampling seed (not from any worker-local
+state), the union of the workers' outputs reproduces the single-process
+trajectory bit for bit, for any worker count and any tile-to-worker
+assignment.
+
+Tiles are sharded round-robin onto per-worker task queues (rather than one
+shared queue) so that every in-flight tile has a known owner: when a worker
+dies, exactly its outstanding tiles can be failed fast with
+:class:`WorkerCrashError` instead of hanging, and tiles queued to healthy
+workers are unaffected.  A single collector thread drains the shared result
+queue, watches worker liveness, and reports completions to the server
+through a callback.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+import traceback
+from queue import Empty
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Sequence
+
+import numpy as np
+
+from .executor import SamplingConfig, TileExecutor
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from ..models.zoo import ReplicaSpec
+
+__all__ = ["WorkerPool", "WorkerCrashError", "TileExecutionError"]
+
+_LIVENESS_POLL_S = 0.05
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died while (or before) executing the request's tile."""
+
+
+class TileExecutionError(RuntimeError):
+    """The worker survived but the tile raised; carries the worker traceback."""
+
+
+def _worker_main(
+    replica: "ReplicaSpec",
+    max_cached_configs: int,
+    task_queue,
+    result_queue,
+) -> None:
+    """Worker process body: rebuild the replica, then serve tiles forever."""
+    try:
+        executor = TileExecutor(replica.build(), max_cached_configs=max_cached_configs)
+        result_queue.put(("ready", None, None))
+    except BaseException:  # pragma: no cover - defensive startup reporting
+        result_queue.put(("fatal", None, traceback.format_exc()))
+        return
+    while True:
+        task = task_queue.get()
+        if task is None:
+            break
+        tile_id, requests = task
+        try:
+            outcomes = executor.execute(requests)
+            # exceptions cross the process boundary as formatted tracebacks
+            # (picklable, and the parent-side error message keeps the frames)
+            payload = [
+                ("ok", probabilities)
+                if error is None
+                else ("err", "".join(traceback.format_exception(error)))
+                for probabilities, error in outcomes
+            ]
+            result_queue.put(("done", tile_id, payload))
+        except BaseException:
+            result_queue.put(("error", tile_id, traceback.format_exc()))
+
+
+@dataclass
+class _Worker:
+    process: multiprocessing.process.BaseProcess
+    task_queue: object
+    outstanding: set[int] = field(default_factory=set)
+    ready: bool = False
+
+
+class WorkerPool:
+    """Round-robin tile sharding over ``n_workers`` replica processes.
+
+    Completion reporting is push-based: ``result_handler(tile_id, outcomes,
+    error)`` is invoked from the collector thread with either a list of
+    per-request ``(probabilities, error)`` outcomes or a tile-level
+    exception -- exactly one of the two, exactly once per dispatched tile
+    (worker death included).
+    """
+
+    def __init__(
+        self,
+        replica: "ReplicaSpec",
+        n_workers: int,
+        result_handler: Callable[
+            [int, list[tuple[np.ndarray | None, Exception | None]] | None, Exception | None],
+            None,
+        ],
+        max_cached_configs: int = 8,
+        start_method: str | None = None,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("a worker pool needs at least one worker")
+        if start_method is None:
+            # fork is substantially cheaper where available; the workers are
+            # started before the server's service threads exist, which keeps
+            # the classic fork-with-threads hazards out of the picture
+            available = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in available else available[0]
+        self._ctx = multiprocessing.get_context(start_method)
+        self._replica = replica
+        self._n_workers = n_workers
+        self._max_cached_configs = max_cached_configs
+        self._result_handler = result_handler
+        self._workers: list[_Worker] = []
+        self._result_queue = self._ctx.Queue()
+        self._lock = threading.Lock()
+        self._next_worker = 0
+        self._collector: threading.Thread | None = None
+        self._stop_event = threading.Event()
+        self._started = False
+
+    # ------------------------------------------------------------------
+    @property
+    def alive_workers(self) -> int:
+        """Number of workers currently believed healthy."""
+        with self._lock:
+            return sum(1 for worker in self._workers if worker.process.is_alive())
+
+    @property
+    def processes(self) -> list[multiprocessing.process.BaseProcess]:
+        """The worker processes (exposed for tests and diagnostics)."""
+        return [worker.process for worker in self._workers]
+
+    # ------------------------------------------------------------------
+    def start(self, timeout: float = 60.0) -> None:
+        """Fork the workers and wait until every replica reports ready."""
+        if self._started:
+            raise RuntimeError("worker pool already started")
+        self._started = True
+        for _ in range(self._n_workers):
+            task_queue = self._ctx.Queue()
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(
+                    self._replica,
+                    self._max_cached_configs,
+                    task_queue,
+                    self._result_queue,
+                ),
+                daemon=True,
+            )
+            process.start()
+            self._workers.append(_Worker(process=process, task_queue=task_queue))
+        ready = 0
+        while ready < self._n_workers:
+            try:
+                kind, _, payload = self._result_queue.get(timeout=timeout)
+            except Empty as exc:
+                self.stop(abort=True)
+                raise RuntimeError(
+                    f"only {ready}/{self._n_workers} workers became ready"
+                ) from exc
+            if kind == "fatal":
+                self.stop(abort=True)
+                raise RuntimeError(f"worker failed to build its replica:\n{payload}")
+            if kind == "ready":
+                ready += 1
+        for worker in self._workers:
+            worker.ready = True
+        self._collector = threading.Thread(
+            target=self._collect, name="serve-worker-collector", daemon=True
+        )
+        self._collector.start()
+
+    def dispatch(
+        self,
+        tile_id: int,
+        requests: Sequence[tuple[np.ndarray, SamplingConfig]],
+    ) -> None:
+        """Assign a tile to the next healthy worker (round-robin).
+
+        Raises :class:`WorkerCrashError` when no healthy worker remains, so
+        the server can fail the tile's futures instead of queueing into the
+        void.
+        """
+        # SamplingConfig is a frozen picklable dataclass: ship it verbatim so
+        # pooled and inline execution can never diverge on a config field
+        payload = list(requests)
+        with self._lock:
+            candidates = [w for w in self._workers if w.process.is_alive()]
+            if not candidates:
+                raise WorkerCrashError("no healthy workers remain in the pool")
+            worker = candidates[self._next_worker % len(candidates)]
+            self._next_worker += 1
+            worker.outstanding.add(tile_id)
+        worker.task_queue.put((tile_id, payload))
+
+    # ------------------------------------------------------------------
+    def _collect(self) -> None:
+        while not self._stop_event.is_set():
+            try:
+                message = self._result_queue.get(timeout=_LIVENESS_POLL_S)
+            except Empty:
+                self._reap_dead_workers()
+                continue
+            self._handle_message(message)
+            # reap on the busy path too: under sustained traffic the queue is
+            # never empty, and a crashed worker's futures must still fail
+            # promptly rather than wait for a lull
+            self._reap_dead_workers()
+
+    def _handle_message(self, message) -> None:
+        kind, tile_id, payload = message
+        if kind == "done":
+            outcomes = [
+                (value, None)
+                if tag == "ok"
+                else (None, TileExecutionError(f"request failed in worker:\n{value}"))
+                for tag, value in payload
+            ]
+            self._finish(tile_id, outcomes, None)
+        elif kind == "error":
+            self._finish(
+                tile_id,
+                None,
+                TileExecutionError(f"tile {tile_id} failed in worker:\n{payload}"),
+            )
+        # "ready"/"fatal" past startup cannot occur; ignore defensively
+
+    def _finish(self, tile_id: int, results, error) -> None:
+        with self._lock:
+            for worker in self._workers:
+                worker.outstanding.discard(tile_id)
+        self._result_handler(tile_id, results, error)
+
+    def _reap_dead_workers(self) -> None:
+        with self._lock:
+            any_dead_with_work = any(
+                not worker.process.is_alive() and worker.outstanding
+                for worker in self._workers
+            )
+        if not any_dead_with_work:
+            return
+        # A worker may have completed tiles (results already on the queue)
+        # before dying mid-way through a later one.  Deliver every queued
+        # result first so only genuinely unfinished tiles are orphaned; the
+        # short timeout also covers feeder-pipe data still in flight.
+        while True:
+            try:
+                self._handle_message(self._result_queue.get(timeout=0.1))
+            except Empty:
+                break
+        orphaned: list[int] = []
+        with self._lock:
+            for worker in self._workers:
+                if worker.process.is_alive() or not worker.outstanding:
+                    continue
+                orphaned.extend(worker.outstanding)
+                worker.outstanding.clear()
+        for tile_id in orphaned:
+            self._result_handler(
+                tile_id,
+                None,
+                WorkerCrashError(
+                    f"worker process died with tile {tile_id} outstanding"
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    def stop(self, abort: bool = False, timeout: float = 10.0) -> None:
+        """Shut the pool down.
+
+        With ``abort=False`` the workers drain their queued tiles and every
+        completed result is still delivered through the collector before it
+        stops -- only then is anything left over failed.  ``abort=True``
+        terminates immediately.
+        """
+        if abort:
+            self._stop_event.set()
+            for worker in self._workers:
+                if worker.process.is_alive():
+                    worker.process.terminate()
+        else:
+            for worker in self._workers:
+                try:
+                    worker.task_queue.put(None)
+                except Exception:  # pragma: no cover - queue already broken
+                    pass
+        for worker in self._workers:
+            worker.process.join(timeout=timeout)
+            if worker.process.is_alive():  # pragma: no cover - stuck worker
+                worker.process.kill()
+                worker.process.join(timeout=timeout)
+        if not abort:
+            # the workers have exited, so every result they produced is on
+            # the queue; let the collector deliver them before stopping it
+            deadline = time.monotonic() + timeout
+            while time.monotonic() < deadline:
+                with self._lock:
+                    if not any(worker.outstanding for worker in self._workers):
+                        break
+                time.sleep(0.01)
+            self._stop_event.set()
+        if self._collector is not None:
+            self._collector.join(timeout=timeout)
+            self._collector = None
+        # fail anything still outstanding (abort path)
+        leftovers: list[int] = []
+        with self._lock:
+            for worker in self._workers:
+                leftovers.extend(worker.outstanding)
+                worker.outstanding.clear()
+        for tile_id in leftovers:
+            self._result_handler(
+                tile_id, None, WorkerCrashError("worker pool was shut down")
+            )

@@ -1,0 +1,154 @@
+"""Bit-exactness of the serving subsystem against per-request ``mc_predict``.
+
+The serving front-end's contract is that pooling, caching and worker
+sharding change throughput, never bytes: for every request, the served
+answer equals ``mc_predict`` run standalone on the same model and sampling
+configuration.  These tests check that equality across
+
+* pool sizes 0 (inline), 1 and 2 workers (the union-of-workers property),
+* mixed request batch sizes pooled into shared tiles,
+* multiple interleaved sampling configurations (distinct seeds / sample
+  counts hitting different epsilon-cache entries),
+* dense and convolutional models, and
+* a trained (not just initialised) model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bnn import ShiftBNNTrainer, TrainerConfig, mc_predict
+from repro.datasets import BatchLoader, synthetic_mnist
+from repro.models import ReplicaSpec, get_model
+from repro.serve import (
+    PredictionServer,
+    SamplingConfig,
+    ServerConfig,
+    TileExecutor,
+)
+
+
+def _serve_all(replica, requests, n_workers):
+    """Submit every request concurrently and gather results in order."""
+    config = ServerConfig(
+        n_workers=n_workers, max_batch_rows=48, max_wait_ms=2.0
+    )
+    with PredictionServer(replica, config) as server:
+        futures = [server.submit(x, cfg) for x, cfg in requests]
+        return [future.result(timeout=120.0) for future in futures]
+
+
+def _reference(model, requests):
+    return [
+        mc_predict(
+            model,
+            x,
+            n_samples=cfg.n_samples,
+            seed=cfg.seed,
+            grng_stride=cfg.grng_stride,
+            lfsr_bits=cfg.lfsr_bits,
+        )
+        for x, cfg in requests
+    ]
+
+
+@pytest.mark.parametrize("n_workers", [0, 1, 2])
+def test_served_answers_equal_mc_predict_dense(n_workers):
+    spec = get_model("B-MLP", reduced=True)
+    model = spec.build_bayesian(seed=21)
+    rng = np.random.default_rng(77)
+    cfg_a = SamplingConfig(n_samples=4, seed=2, grng_stride=64)
+    cfg_b = SamplingConfig(n_samples=6, seed=9, grng_stride=64)
+    requests = [
+        (rng.normal(size=(rows, 196)), cfg)
+        for rows, cfg in [
+            (16, cfg_a),
+            (8, cfg_a),
+            (24, cfg_b),
+            (16, cfg_a),
+            (4, cfg_b),
+            (40, cfg_a),  # larger than one tile's leftover space
+        ]
+    ]
+    expected = _reference(model, requests)
+    served = _serve_all(ReplicaSpec.capture(spec, model), requests, n_workers)
+    for result, reference in zip(served, expected):
+        assert np.array_equal(
+            result.sample_probabilities, reference.sample_probabilities
+        )
+        # the uncertainty path is the same predictive_entropy code
+        assert np.array_equal(result.entropy, reference.entropy)
+        assert np.array_equal(result.predictions, reference.predictions)
+
+
+@pytest.mark.parametrize("n_workers", [0, 2])
+def test_served_answers_equal_mc_predict_conv(n_workers):
+    spec = get_model("B-LeNet", reduced=True)
+    model = spec.build_bayesian(seed=4)
+    rng = np.random.default_rng(13)
+    cfg = SamplingConfig(n_samples=3, seed=1, grng_stride=64)
+    requests = [(rng.normal(size=(rows, 3, 16, 16)), cfg) for rows in (4, 6, 2)]
+    expected = _reference(model, requests)
+    served = _serve_all(ReplicaSpec.capture(spec, model), requests, n_workers)
+    for result, reference in zip(served, expected):
+        assert np.array_equal(
+            result.sample_probabilities, reference.sample_probabilities
+        )
+
+
+def test_trained_model_serves_bit_exactly_through_workers():
+    """Replica capture -> worker rebuild preserves a *trained* parameter set."""
+    spec = get_model("B-MLP", reduced=True)
+    train, _ = synthetic_mnist(n_train=96, n_test=32, image_size=14, seed=3)
+    trainer = ShiftBNNTrainer(
+        spec.build_bayesian(seed=8),
+        TrainerConfig(n_samples=2, learning_rate=5e-3, seed=1, grng_stride=64),
+    )
+    trainer.fit(BatchLoader(train, batch_size=32, flatten=True).batches(), epochs=1)
+    model = trainer.model
+    rng = np.random.default_rng(5)
+    cfg = SamplingConfig(n_samples=4, seed=0, grng_stride=64)
+    requests = [(rng.normal(size=(8, 196)), cfg) for _ in range(3)]
+    expected = _reference(model, requests)
+    served = _serve_all(ReplicaSpec.capture(spec, model), requests, n_workers=2)
+    for result, reference in zip(served, expected):
+        assert np.array_equal(
+            result.sample_probabilities, reference.sample_probabilities
+        )
+
+
+def test_mc_predict_out_buffer_is_bit_identical():
+    """The ``out=`` reuse path changes allocations, never bytes."""
+    spec = get_model("B-MLP", reduced=True)
+    model = spec.build_bayesian(seed=21)
+    rng = np.random.default_rng(6)
+    x = rng.normal(size=(8, 196))
+    plain = mc_predict(model, x, n_samples=4, seed=2, grng_stride=64)
+    buffer = np.full((4, 8, 10), np.nan)
+    reused = mc_predict(model, x, n_samples=4, seed=2, grng_stride=64, out=buffer)
+    assert reused.sample_probabilities is buffer
+    assert np.array_equal(buffer, plain.sample_probabilities)
+    # the per-sample escape hatch honours out= identically
+    sequential = mc_predict(
+        model, x, n_samples=4, seed=2, grng_stride=64, batched=False,
+        out=np.empty_like(buffer),
+    )
+    assert np.array_equal(sequential.sample_probabilities, buffer)
+
+
+def test_tile_executor_cache_hits_do_not_change_bytes():
+    """Cold (generate) and warm (cached replay) answers are identical."""
+    spec = get_model("B-MLP", reduced=True)
+    model = spec.build_bayesian(seed=21)
+    executor = TileExecutor(spec.build_bayesian(seed=21))
+    rng = np.random.default_rng(6)
+    x = rng.normal(size=(8, 196))
+    cfg = SamplingConfig(n_samples=4, seed=2, grng_stride=64)
+    cold = executor.execute_one(x, cfg)
+    assert executor.cache.misses == 1
+    warm = executor.execute_one(x, cfg)
+    assert executor.cache.hits == 1
+    assert np.array_equal(cold, warm)
+    reference = mc_predict(model, x, n_samples=4, seed=2, grng_stride=64)
+    assert np.array_equal(cold, reference.sample_probabilities)

@@ -178,3 +178,24 @@ class TestActivations:
         assert np.array_equal(F.relu(x), np.array([0.0, 0.0, 2.0]))
         grad = F.relu_grad(x, np.ones_like(x))
         assert np.array_equal(grad, np.array([0.0, 0.0, 1.0]))
+
+
+class TestSoftmaxInto:
+    def test_bit_identical_to_softmax(self, rng):
+        logits = rng.normal(size=(4, 6, 9)) * 10.0
+        out = np.full_like(logits, np.nan)
+        result = F.softmax_into(logits, out)
+        assert result is out
+        assert np.array_equal(out, F.softmax(logits))
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            F.softmax_into(rng.normal(size=(2, 3)), np.empty((3, 2)))
+
+    def test_buffer_reuse_across_calls(self, rng):
+        out = np.empty((5, 7))
+        first = rng.normal(size=(5, 7))
+        second = rng.normal(size=(5, 7))
+        F.softmax_into(first, out)
+        F.softmax_into(second, out)
+        assert np.array_equal(out, F.softmax(second))

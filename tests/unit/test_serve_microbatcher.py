@@ -1,0 +1,171 @@
+"""Unit tests for the serving micro-batcher's flush, drain and backpressure."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.serve import MicroBatcher, QueueClosed, QueueFull
+
+
+def _items(tile):
+    assert tile is not None
+    return [pending.item for pending in tile]
+
+
+class TestFlushPolicy:
+    def test_flushes_immediately_at_row_budget(self):
+        batcher = MicroBatcher(max_batch_rows=64, max_wait_ms=10_000.0)
+        for index in range(4):
+            batcher.submit(f"r{index}", rows=16)
+        start = time.monotonic()
+        tile = batcher.next_tile()
+        assert time.monotonic() - start < 1.0  # no timeout wait
+        assert _items(tile) == ["r0", "r1", "r2", "r3"]
+        assert batcher.pending_requests == 0
+
+    def test_flushes_partial_tile_on_timeout(self):
+        batcher = MicroBatcher(max_batch_rows=1024, max_wait_ms=30.0)
+        batcher.submit("lonely", rows=16)
+        start = time.monotonic()
+        tile = batcher.next_tile()
+        elapsed = time.monotonic() - start
+        assert _items(tile) == ["lonely"]
+        assert 0.02 <= elapsed < 5.0  # waited out max_wait_ms, not forever
+
+    def test_oversized_request_becomes_singleton_tile(self):
+        batcher = MicroBatcher(max_batch_rows=32, max_wait_ms=0.0, max_pending_rows=512)
+        batcher.submit("huge", rows=100)
+        batcher.submit("small", rows=8)
+        assert _items(batcher.next_tile()) == ["huge"]
+        assert _items(batcher.next_tile()) == ["small"]
+
+    def test_tile_is_fifo_prefix_never_splits_requests(self):
+        # 32 + 48 > 64: the second request must NOT be split and must not
+        # jump the queue, so the first tile carries only the first request.
+        batcher = MicroBatcher(max_batch_rows=64, max_wait_ms=0.0)
+        batcher.submit("a", rows=32)
+        batcher.submit("b", rows=48)
+        assert _items(batcher.next_tile()) == ["a"]
+        assert _items(batcher.next_tile()) == ["b"]
+
+    def test_zero_wait_flushes_any_pending_request(self):
+        batcher = MicroBatcher(max_batch_rows=64, max_wait_ms=0.0)
+        batcher.submit("now", rows=1)
+        assert _items(batcher.next_tile()) == ["now"]
+
+
+class TestShutdown:
+    def test_empty_queue_shutdown_returns_none(self):
+        batcher = MicroBatcher()
+        batcher.close()
+        assert batcher.next_tile() is None
+        # idempotent: the dispatcher may ask again
+        assert batcher.next_tile() is None
+
+    def test_close_wakes_blocked_consumer(self):
+        batcher = MicroBatcher()
+        result = {}
+
+        def consume():
+            result["tile"] = batcher.next_tile()
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        time.sleep(0.05)
+        batcher.close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert result["tile"] is None
+
+    def test_submit_after_close_raises(self):
+        batcher = MicroBatcher()
+        batcher.close()
+        with pytest.raises(QueueClosed):
+            batcher.submit("late", rows=1)
+
+    def test_close_drains_pending_requests_first(self):
+        batcher = MicroBatcher(max_batch_rows=16, max_wait_ms=10_000.0)
+        batcher.submit("a", rows=8)
+        batcher.submit("b", rows=8)
+        batcher.submit("c", rows=8)
+        batcher.close()
+        drained = []
+        while (tile := batcher.next_tile()) is not None:
+            drained.extend(_items(tile))
+        assert drained == ["a", "b", "c"]
+
+    def test_cancel_pending_empties_the_queue(self):
+        batcher = MicroBatcher(max_wait_ms=10_000.0)
+        batcher.submit("a", rows=4)
+        batcher.submit("b", rows=4)
+        cancelled = batcher.cancel_pending()
+        assert [pending.item for pending in cancelled] == ["a", "b"]
+        assert batcher.pending_rows == 0
+
+
+class TestBackpressure:
+    def test_nonblocking_submit_raises_when_full(self):
+        batcher = MicroBatcher(max_batch_rows=16, max_wait_ms=0.0, max_pending_rows=32)
+        batcher.submit("a", rows=32)
+        with pytest.raises(QueueFull):
+            batcher.submit("b", rows=1, block=False)
+
+    def test_timed_submit_raises_after_timeout(self):
+        batcher = MicroBatcher(max_batch_rows=16, max_wait_ms=0.0, max_pending_rows=16)
+        batcher.submit("a", rows=16)
+        with pytest.raises(QueueFull):
+            batcher.submit("b", rows=16, timeout=0.05)
+
+    def test_blocked_submit_released_when_consumer_drains(self):
+        batcher = MicroBatcher(max_batch_rows=16, max_wait_ms=0.0, max_pending_rows=16)
+        batcher.submit("a", rows=16)
+        submitted = threading.Event()
+
+        def blocked_submit():
+            batcher.submit("b", rows=16)  # blocks until space frees up
+            submitted.set()
+
+        thread = threading.Thread(target=blocked_submit)
+        thread.start()
+        time.sleep(0.05)
+        assert not submitted.is_set()
+        assert _items(batcher.next_tile()) == ["a"]
+        assert submitted.wait(timeout=5.0)
+        thread.join(timeout=5.0)
+        assert _items(batcher.next_tile()) == ["b"]
+
+    def test_request_arriving_while_consumer_waits_joins_promptly(self):
+        batcher = MicroBatcher(max_batch_rows=32, max_wait_ms=500.0)
+        tiles = []
+
+        def consume():
+            tiles.append(batcher.next_tile())
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        time.sleep(0.05)
+        # two requests filling the row budget flush without waiting 500 ms
+        start = time.monotonic()
+        batcher.submit("a", rows=16)
+        batcher.submit("b", rows=16)
+        thread.join(timeout=5.0)
+        assert time.monotonic() - start < 0.45
+        assert _items(tiles[0]) == ["a", "b"]
+
+
+class TestValidation:
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(max_batch_rows=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(max_wait_ms=-1.0)
+        with pytest.raises(ValueError):
+            MicroBatcher(max_batch_rows=64, max_pending_rows=32)
+
+    def test_rejects_empty_request(self):
+        batcher = MicroBatcher()
+        with pytest.raises(ValueError):
+            batcher.submit("empty", rows=0)

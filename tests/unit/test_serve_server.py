@@ -1,0 +1,247 @@
+"""Unit tests for the prediction server: lifecycle, failures, worker crashes."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.bnn import mc_predict
+from repro.models import ModelSpec, ReplicaSpec
+from repro.serve import (
+    PredictionServer,
+    SamplingConfig,
+    ServerClosed,
+    ServerConfig,
+    TileExecutionError,
+    WorkerCrashError,
+)
+
+CFG = SamplingConfig(n_samples=4, seed=5, grng_stride=64, lfsr_bits=256)
+
+
+@pytest.fixture
+def replica(tiny_mlp_spec: ModelSpec) -> ReplicaSpec:
+    model = tiny_mlp_spec.build_bayesian(seed=11)
+    return ReplicaSpec.capture(tiny_mlp_spec, model, build_seed=0)
+
+
+def _inputs(rng: np.random.Generator, rows: int = 8) -> np.ndarray:
+    return rng.normal(size=(rows, 16))
+
+
+class TestInlineServer:
+    def test_round_trip_matches_mc_predict(self, replica, rng):
+        x = _inputs(rng)
+        reference = mc_predict(
+            replica.build(), x, n_samples=4, seed=5, grng_stride=64
+        )
+        with PredictionServer(replica, ServerConfig(max_wait_ms=1.0)) as server:
+            result = server.predict(x, CFG)
+        assert np.array_equal(
+            result.sample_probabilities, reference.sample_probabilities
+        )
+        assert np.array_equal(result.entropy, reference.entropy)
+
+    def test_stats_account_for_every_request(self, replica, rng):
+        with PredictionServer(
+            replica, ServerConfig(max_batch_rows=16, max_wait_ms=1.0)
+        ) as server:
+            futures = [server.submit(_inputs(rng), CFG) for _ in range(6)]
+            for future in futures:
+                future.result(timeout=30.0)
+            snapshot = server.stats()
+        assert snapshot.requests_completed == 6
+        assert snapshot.requests_failed == 0
+        assert snapshot.rows_completed == 6 * 8
+        assert snapshot.tiles_executed >= 1
+        assert sum(snapshot.occupancy_histogram.values()) == snapshot.tiles_executed
+        assert snapshot.latency_p50_ms is not None
+        assert snapshot.latency_p99_ms >= snapshot.latency_p50_ms
+        assert snapshot.throughput_rps > 0
+
+    def test_client_may_reuse_its_buffer_after_submit(self, replica, rng):
+        """submit() snapshots the input: later mutation can't change the answer."""
+        x = _inputs(rng)
+        snapshot = x.copy()
+        reference = mc_predict(
+            replica.build(), snapshot, n_samples=4, seed=5, grng_stride=64
+        )
+        with PredictionServer(replica, ServerConfig(max_wait_ms=100.0)) as server:
+            future = server.submit(x, CFG)
+            x[...] = 0.0  # client reuses its staging buffer immediately
+            served = future.result(timeout=30.0)
+        assert np.array_equal(
+            served.sample_probabilities, reference.sample_probabilities
+        )
+
+    def test_submit_requires_batched_input(self, replica):
+        with PredictionServer(replica, ServerConfig(max_wait_ms=1.0)) as server:
+            with pytest.raises(ValueError):
+                server.submit(np.zeros(16))
+
+    def test_submit_before_start_raises(self, replica):
+        server = PredictionServer(replica)
+        with pytest.raises(RuntimeError):
+            server.submit(np.zeros((2, 16)))
+
+    def test_bad_request_fails_its_future_and_server_survives(self, replica, rng):
+        with PredictionServer(replica, ServerConfig(max_wait_ms=1.0)) as server:
+            bad = server.submit(np.zeros((4, 7)), CFG)  # wrong feature count
+            with pytest.raises(Exception):
+                bad.result(timeout=30.0)
+            good = server.submit(_inputs(rng), CFG)
+            assert good.result(timeout=30.0).mean_probabilities.shape == (8, 3)
+            snapshot = server.stats()
+        assert snapshot.requests_failed == 1
+        assert snapshot.requests_completed == 1
+
+    def test_bad_request_does_not_fail_tile_mates(self, replica, rng):
+        """A malformed request pooled into a tile fails alone."""
+        from repro.serve import TileExecutor
+
+        executor = TileExecutor(replica.build())
+        good_x = _inputs(rng)
+        outcomes = executor.execute(
+            [(good_x, CFG), (np.zeros((4, 7)), CFG), (good_x, CFG)]
+        )
+        assert outcomes[0][1] is None and outcomes[2][1] is None
+        assert isinstance(outcomes[1][1], Exception)
+        assert np.array_equal(outcomes[0][0], outcomes[2][0])
+
+    def test_pooled_tile_isolates_bad_request_end_to_end(self, replica, rng):
+        with PredictionServer(
+            replica, ServerConfig(max_batch_rows=64, max_wait_ms=200.0)
+        ) as server:
+            executor = server._executor
+            inner = executor.execute
+            entered = threading.Event()
+            release = threading.Event()
+
+            def gated_execute(requests):
+                entered.set()
+                release.wait(timeout=30.0)
+                return inner(requests)
+
+            executor.execute = gated_execute
+            decoy = server.submit(_inputs(rng), CFG)  # occupies the executor
+            assert entered.wait(timeout=10.0)
+            bad = server.submit(np.zeros((4, 7)), CFG)  # queues together...
+            good = server.submit(_inputs(rng), CFG)  # ...with this one
+            release.set()
+            with pytest.raises(Exception):
+                bad.result(timeout=30.0)
+            assert good.result(timeout=30.0) is not None
+            assert decoy.result(timeout=30.0) is not None
+
+    def test_request_arriving_during_flush_gets_served(self, replica, rng):
+        """A request submitted while a tile executes joins the next tile."""
+        with PredictionServer(
+            replica, ServerConfig(max_batch_rows=8, max_wait_ms=1.0)
+        ) as server:
+            executor = server._executor
+            inner = executor.execute
+            entered = threading.Event()
+
+            def slow_execute(requests):
+                entered.set()
+                time.sleep(0.1)
+                return inner(requests)
+
+            executor.execute = slow_execute
+            first = server.submit(_inputs(rng), CFG)
+            assert entered.wait(timeout=10.0)
+            second = server.submit(_inputs(rng), CFG)  # arrives mid-flush
+            first.result(timeout=30.0)
+            second.result(timeout=30.0)
+            assert server.stats().tiles_executed == 2
+
+    def test_close_drain_finishes_queued_work(self, replica, rng):
+        server = PredictionServer(
+            replica, ServerConfig(max_batch_rows=8, max_wait_ms=50.0)
+        ).start()
+        futures = [server.submit(_inputs(rng), CFG) for _ in range(5)]
+        server.close(drain=True)
+        for future in futures:
+            assert future.result(timeout=1.0) is not None
+
+    def test_close_without_drain_fails_queued_requests(self, replica, rng):
+        server = PredictionServer(
+            replica, ServerConfig(max_batch_rows=8, max_wait_ms=10_000.0)
+        ).start()
+        executor = server._executor
+        inner = executor.execute
+        entered = threading.Event()
+        release = threading.Event()
+
+        def stalling_execute(requests):
+            entered.set()
+            release.wait(timeout=30.0)
+            return inner(requests)
+
+        executor.execute = stalling_execute
+        in_flight = server.submit(_inputs(rng), CFG)
+        assert entered.wait(timeout=10.0)
+        queued = server.submit(_inputs(rng), CFG)  # stays in the batcher
+
+        closer = threading.Thread(target=server.close, kwargs={"drain": False})
+        closer.start()
+        with pytest.raises(ServerClosed):
+            queued.result(timeout=10.0)
+        release.set()  # let the in-flight tile finish
+        closer.join(timeout=30.0)
+        assert not closer.is_alive()
+        assert in_flight.result(timeout=10.0) is not None
+        with pytest.raises(ServerClosed):
+            server.submit(_inputs(rng), CFG)
+
+
+class TestWorkerPoolServer:
+    def test_round_trip_through_worker(self, replica, rng):
+        x = _inputs(rng)
+        reference = mc_predict(
+            replica.build(), x, n_samples=4, seed=5, grng_stride=64
+        )
+        with PredictionServer(
+            replica, ServerConfig(n_workers=1, max_wait_ms=1.0)
+        ) as server:
+            result = server.predict(x, CFG)
+        assert np.array_equal(
+            result.sample_probabilities, reference.sample_probabilities
+        )
+
+    def test_worker_side_error_surfaces_with_traceback(self, replica, rng):
+        with PredictionServer(
+            replica, ServerConfig(n_workers=1, max_wait_ms=1.0)
+        ) as server:
+            bad = server.submit(np.zeros((4, 7)), CFG)
+            error = bad.exception(timeout=60.0)
+            assert isinstance(error, TileExecutionError)
+            assert "Traceback" in str(error)
+            # the worker survives a raising tile and keeps serving
+            good = server.submit(_inputs(rng), CFG)
+            assert good.result(timeout=60.0) is not None
+
+    def test_worker_crash_fails_future_instead_of_hanging(self, replica, rng):
+        server = PredictionServer(
+            replica, ServerConfig(n_workers=1, max_wait_ms=1.0)
+        ).start()
+        try:
+            # sanity: the worker serves before being killed
+            server.predict(_inputs(rng), CFG)
+            process = server._pool.processes[0]
+            process.kill()
+            process.join(timeout=10.0)
+            assert not process.is_alive()
+            doomed = server.submit(_inputs(rng), CFG)
+            with pytest.raises(WorkerCrashError):
+                doomed.result(timeout=60.0)
+            # every later submission fails fast too -- no hangs once dead
+            also_doomed = server.submit(_inputs(rng), CFG)
+            with pytest.raises(WorkerCrashError):
+                also_doomed.result(timeout=60.0)
+            assert server.stats().requests_failed == 2
+        finally:
+            server.close(drain=False)

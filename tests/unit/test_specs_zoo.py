@@ -203,3 +203,53 @@ class TestSpecValidation:
         spec = ConvSpec("c", 8, 3)
         with pytest.raises(AttributeError):
             spec.out_channels = 16  # type: ignore[misc]
+
+
+class TestReplicaSpec:
+    def test_capture_and_build_round_trip_is_bit_exact(self, tiny_mlp_spec):
+        from repro.models import ReplicaSpec
+
+        source = tiny_mlp_spec.build_bayesian(seed=3)
+        # perturb so the replica cannot pass by re-initialisation alone
+        for parameter in source.parameters():
+            parameter.value += 0.125
+        replica = ReplicaSpec.capture(tiny_mlp_spec, source).build()
+        for original, copied in zip(source.parameters(), replica.parameters()):
+            assert original.name == copied.name
+            assert np.array_equal(original.value, copied.value)
+            assert original.value is not copied.value  # a real copy
+
+    def test_capture_state_is_a_snapshot(self, tiny_mlp_spec):
+        from repro.models import ReplicaSpec
+
+        source = tiny_mlp_spec.build_bayesian(seed=3)
+        replica_spec = ReplicaSpec.capture(tiny_mlp_spec, source)
+        before = {k: v.copy() for k, v in replica_spec.state.items()}
+        for parameter in source.parameters():
+            parameter.value += 1.0  # training continues after capture
+        for name, value in replica_spec.state.items():
+            assert np.array_equal(value, before[name])
+
+    def test_mismatched_state_raises(self, tiny_mlp_spec, tiny_conv_spec):
+        from repro.models import ReplicaSpec
+
+        source = tiny_mlp_spec.build_bayesian(seed=0)
+        captured = ReplicaSpec.capture(tiny_mlp_spec, source)
+        from dataclasses import replace
+
+        mismatched = replace(captured, spec=tiny_conv_spec)
+        with pytest.raises(ValueError):
+            mismatched.build()
+
+    def test_replica_spec_survives_pickling(self, tiny_mlp_spec):
+        import pickle
+
+        from repro.models import ReplicaSpec
+
+        source = tiny_mlp_spec.build_bayesian(seed=3)
+        replica_spec = pickle.loads(
+            pickle.dumps(ReplicaSpec.capture(tiny_mlp_spec, source))
+        )
+        replica = replica_spec.build()
+        for original, copied in zip(source.parameters(), replica.parameters()):
+            assert np.array_equal(original.value, copied.value)
