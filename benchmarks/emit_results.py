@@ -18,7 +18,13 @@ input; CI runs them in separate jobs and emits one report each):
 * the **serving** cases (``test_bench_serving``): per generator stride, the
   aggregate-throughput speedup of the micro-batching server (``inline`` and
   ``pool2`` worker modes, 8 concurrent clients x 4 requests) over the same
-  requests issued sequentially through per-request ``mc_predict``.
+  requests issued sequentially through per-request ``mc_predict``;
+* the **distributed-training** cases (``test_bench_distrib``): the sharded
+  training engine (``inline2``: two shards in-process; ``pool2``: two worker
+  processes) against the single-process batched baseline over the same
+  4-step schedule.  On a 1-CPU runner these ratios measure distribution
+  *overhead* (a parallel speedup needs cores); the acceptance bound asserts
+  the sharded code path stays within a small constant of the baseline.
 
 All compared modes produce bit-identical results (see
 ``tests/integration/test_batched_equivalence.py`` and
@@ -53,6 +59,13 @@ _ENGINE_PATTERN = re.compile(
 _SERVING_PATTERN = re.compile(
     r"test_bench_serving\[(?P<stride>\d+)-(?P<mode>\w+)\]"
 )
+_DISTRIB_PATTERN = re.compile(r"test_bench_distrib\[(?P<mode>\w+)\]")
+
+#: The acceptance bound of PR 4: the sharded-inline training path must keep
+#: at least this fraction of the single-process baseline's throughput (the
+#: shard/reduce/state-shipping machinery is bounded overhead, not a cliff).
+DISTRIB_THRESHOLD = 0.3
+DISTRIB_MODE = "inline2"
 
 
 def _stats(bench: dict) -> dict:
@@ -95,6 +108,19 @@ def parse_serving_cases(raw: dict) -> dict:
         # derived requests/s can never drift from the workload definition
         stats["n_requests"] = bench.get("extra_info", {}).get("n_requests")
         cases[(int(match.group("stride")), match.group("mode"))] = stats
+    return cases
+
+
+def parse_distrib_cases(raw: dict) -> dict:
+    """Extract {mode: stats} from the distributed-training benchmark cases."""
+    cases = {}
+    for bench in raw.get("benchmarks", []):
+        match = _DISTRIB_PATTERN.search(bench["name"])
+        if not match:
+            continue
+        stats = _stats(bench)
+        stats["n_steps"] = bench.get("extra_info", {}).get("n_steps")
+        cases[match.group("mode")] = stats
     return cases
 
 
@@ -143,12 +169,31 @@ def _serving_report(cases: dict, report: dict) -> None:
     report["serving"] = serving
 
 
+def _distrib_report(cases: dict, report: dict) -> None:
+    distrib: dict = {"cases": {}, "throughput_ratios": {}}
+    for mode, stats in sorted(cases.items()):
+        distrib["cases"][f"distrib[{mode}]"] = stats
+    baseline = cases.get("single")
+    if baseline:
+        for mode, stats in sorted(cases.items()):
+            if mode == "single":
+                continue
+            # >1 means the sharded mode was faster; on a 1-CPU runner expect
+            # <1 -- the ratio quantifies the distribution overhead
+            distrib["throughput_ratios"][f"{mode}_vs_single"] = round(
+                baseline["median_ms"] / stats["median_ms"], 3
+            )
+    report["distrib"] = distrib
+
+
 def build_report(raw: dict) -> dict:
     engine_cases = parse_engine_cases(raw)
     serving_cases = parse_serving_cases(raw)
+    distrib_cases = parse_distrib_cases(raw)
     report: dict = {
         "schema": "shift-bnn-bench/2",
-        "source": "benchmarks/test_bench_functional_training.py + benchmarks/test_bench_serving.py",
+        "source": "benchmarks/test_bench_functional_training.py + "
+        "benchmarks/test_bench_serving.py + benchmarks/test_bench_distrib.py",
         "machine": raw.get("machine_info", {}).get("cpu", {}).get("brand_raw")
         or raw.get("machine_info", {}).get("machine"),
         "datetime": raw.get("datetime"),
@@ -159,6 +204,8 @@ def build_report(raw: dict) -> dict:
     _engine_report(engine_cases, report)
     if serving_cases:
         _serving_report(serving_cases, report)
+    if distrib_cases:
+        _distrib_report(distrib_cases, report)
     if any(key[:3] == ENGINE_CASE for key in engine_cases):
         key = "{}[{}-S{}]".format(*ENGINE_CASE)
         measured = report["speedups"].get(key, {}).get("vs_sequential")
@@ -187,6 +234,21 @@ def build_report(raw: dict) -> dict:
                 "pass": measured is not None and measured >= SERVING_THRESHOLD,
             }
         )
+    if distrib_cases:
+        measured = report["distrib"]["throughput_ratios"].get(
+            f"{DISTRIB_MODE}_vs_single"
+        )
+        report["acceptance"].append(
+            {
+                "metric": f"distributed training ({DISTRIB_MODE}, 2 shards, "
+                "4-step schedule) throughput vs the single-process batched "
+                "engine (bounded-overhead check; bit-exactness is asserted "
+                "by the test suite)",
+                "threshold": DISTRIB_THRESHOLD,
+                "measured": measured,
+                "pass": measured is not None and measured >= DISTRIB_THRESHOLD,
+            }
+        )
     return report
 
 
@@ -209,8 +271,10 @@ def main(argv: list[str] | None = None) -> int:
     raw = json.loads(args.input.read_text())
     report = build_report(raw)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
-    total_cases = len(report["cases"]) + len(
-        report.get("serving", {}).get("cases", {})
+    total_cases = (
+        len(report["cases"])
+        + len(report.get("serving", {}).get("cases", {}))
+        + len(report.get("distrib", {}).get("cases", {}))
     )
     print(f"wrote {args.output}: {total_cases} cases")
     for acceptance in report["acceptance"]:

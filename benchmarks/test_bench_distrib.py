@@ -1,0 +1,106 @@
+"""Distributed training benchmark: sharded ``fit`` vs the single-process engine.
+
+A short training schedule (4 steps of the reduced B-MLP at ``S = 8``) runs
+through three bit-identical execution modes:
+
+* ``single`` -- the single-process batched pipeline (PR 2's engine, the
+  baseline);
+* ``inline2`` -- the distributed coordinator's sharded code path with two
+  shards executed inline (no processes): measures the pure
+  shard/reduce/state-shipping overhead;
+* ``pool2`` -- two worker processes: adds the real IPC cost of shipping
+  parameters out and per-sample gradient stacks back every step.
+
+On this repo's 1-CPU reference container the pool cannot run shards in
+parallel, so ``pool2`` measures distribution *overhead*, not speedup -- the
+number to watch is the ratio staying within a small constant of the
+baseline (the per-step payloads are O(model) and the arithmetic is
+unchanged).  On multi-core hardware the same code path shards the dominant
+FW/BW/GC work across cores.  Every mode's parameter trajectory is asserted
+bit-identical per round; ``benchmarks/emit_results.py`` turns a
+``--benchmark-json`` dump of this module into the ``BENCH_PR4.json``
+distributed-training report.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bnn import BNNTrainer, TrainerConfig
+from repro.datasets import BatchLoader, synthetic_mnist
+from repro.distrib import DistributedBackend
+from repro.models import ReplicaSpec, get_model
+
+N_SAMPLES = 8
+STEPS = 4
+
+#: mode -> (n_workers, n_shards); None marks the single-process baseline
+DISTRIB_MODES: dict[str, tuple[int, int] | None] = {
+    "single": None,
+    "inline2": (0, 2),
+    "pool2": (2, 2),
+}
+
+
+def _workload():
+    spec = get_model("B-MLP", reduced=True)
+    train, _ = synthetic_mnist(n_train=64, n_test=16, image_size=14, seed=3)
+    batches = BatchLoader(train, batch_size=16, flatten=True).batches()[:STEPS]
+    return spec, batches
+
+
+def _reference_parameters(spec, batches, config):
+    trainer = BNNTrainer(spec.build_bayesian(seed=42), config, policy="reversible")
+    trainer.fit(batches, epochs=1)
+    return [parameter.value.copy() for parameter in trainer.model.parameters()]
+
+
+@pytest.mark.parametrize("mode", list(DISTRIB_MODES))
+def test_bench_distrib(benchmark, mode):
+    benchmark.extra_info["n_steps"] = STEPS
+    spec, batches = _workload()
+    config = TrainerConfig(
+        n_samples=N_SAMPLES, learning_rate=5e-3, seed=11, grng_stride=256
+    )
+    reference = _reference_parameters(spec, batches, config)
+    workers = DISTRIB_MODES[mode]
+
+    if workers is None:
+
+        def run():
+            trainer = BNNTrainer(
+                spec.build_bayesian(seed=42), config, policy="reversible"
+            )
+            trainer.fit(batches, epochs=1)
+            return trainer
+
+        trainer = benchmark(run)
+    else:
+        n_workers, n_shards = workers
+        backend = DistributedBackend(
+            ReplicaSpec.structural(spec, build_seed=42),
+            n_workers=n_workers,
+            n_shards=n_shards,
+        )
+        trainer = None
+        try:
+
+            def run():
+                nonlocal trainer
+                trainer = BNNTrainer(
+                    spec.build_bayesian(seed=42),
+                    config,
+                    policy="reversible",
+                    backend=backend,
+                )
+                trainer.fit(batches, epochs=1)
+                return trainer
+
+            trainer = benchmark(run)
+        finally:
+            backend.close()
+
+    # distribution must never change the bits, no matter the timing
+    for parameter, expected in zip(trainer.model.parameters(), reference):
+        assert np.array_equal(parameter.value, expected), parameter.name

@@ -17,6 +17,9 @@ as a pure-Python library.  It is organised as:
 * :mod:`repro.serve` -- an asynchronous micro-batching serving front-end that
   pools prediction requests into ``(S, batch)`` tiles for the batched engine,
   optionally sharded across model-replica worker processes;
+* :mod:`repro.distrib` -- a data-parallel distributed training engine that
+  shards each training step's Monte-Carlo samples across worker processes
+  with deterministic fault tolerance, bit-identical to single-process runs;
 * :mod:`repro.experiments` -- one module per paper table / figure,
   regenerating the evaluation;
 * :mod:`repro.analysis` -- metric and table helpers.
@@ -33,7 +36,7 @@ Quick start::
     trainer.fit(BatchLoader(train, 64, flatten=True).batches(), epochs=5)
 """
 
-from . import accel, analysis, bnn, core, datasets, experiments, models, nn, serve
+from . import accel, analysis, bnn, core, datasets, distrib, experiments, models, nn, serve
 
 __version__ = "1.1.0"
 
@@ -47,5 +50,6 @@ __all__ = [
     "analysis",
     "experiments",
     "serve",
+    "distrib",
     "__version__",
 ]

@@ -6,10 +6,18 @@ from .model import BayesianNetwork
 from .posteriors import GaussianPosterior, inverse_softplus, softplus, softplus_grad
 from .predict import PredictiveResult, mc_forward, mc_predict
 from .priors import GaussianPrior, Prior, ScaleMixturePrior
-from .serialization import CheckpointMismatchError, load_parameters, save_parameters
+from .grad_tape import SampleGradientTape
+from .serialization import (
+    CheckpointMismatchError,
+    load_checkpoint,
+    load_parameters,
+    save_checkpoint,
+    save_parameters,
+)
 from .trainer import (
     BaselineBNNTrainer,
     BNNTrainer,
+    ExecutionBackend,
     ShiftBNNTrainer,
     TrainerConfig,
     TrainingHistory,
@@ -35,9 +43,13 @@ __all__ = [
     "mc_forward",
     "save_parameters",
     "load_parameters",
+    "save_checkpoint",
+    "load_checkpoint",
     "CheckpointMismatchError",
+    "SampleGradientTape",
     "TrainerConfig",
     "TrainingHistory",
+    "ExecutionBackend",
     "BNNTrainer",
     "BaselineBNNTrainer",
     "ShiftBNNTrainer",

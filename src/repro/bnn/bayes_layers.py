@@ -38,6 +38,7 @@ from ..nn.initializers import HeNormal, Initializer
 from ..nn.layers import Layer, Parameter
 from ..nn.quantization import QuantizationConfig
 from ..nn.tensor_utils import check_2d, check_4d, conv_output_size
+from .grad_tape import active_tape
 from .posteriors import GaussianPosterior
 from .priors import Prior
 
@@ -318,9 +319,17 @@ class BayesDense(BayesianLayer):
         grad3 = grad_out.reshape(n_samples, batch, self.out_features)
         grad_weight = F.sample_matmul(x3.transpose(0, 2, 1), grad3)
         if self.bias is not None:
-            # per-sample sums accumulated in sample order (sequential parity)
-            for s in range(n_samples):
-                self.bias.grad += grad3[s].sum(axis=0)
+            tape = active_tape()
+            if tape is not None:
+                # per-sample contributions captured for cross-shard reduction
+                tape.record(
+                    self.bias.name,
+                    np.stack([grad3[s].sum(axis=0) for s in range(n_samples)]),
+                )
+            else:
+                # per-sample sums accumulated in sample order (sequential parity)
+                for s in range(n_samples):
+                    self.bias.grad += grad3[s].sum(axis=0)
         grad_input = F.sample_matmul(grad3, weights.transpose(0, 2, 1))
         self.accumulate_sample_parameter_gradients(
             grad_weight=grad_weight,
@@ -439,9 +448,14 @@ class BayesConv2D(BayesianLayer):
             grad_out, cols, x_shape, weights, self.stride, self.padding, n_samples
         )
         if self.bias is not None:
-            # per-sample sums accumulated in sample order (sequential parity)
-            for s in range(n_samples):
-                self.bias.grad += grad_bias[s]
+            tape = active_tape()
+            if tape is not None:
+                # per-sample contributions captured for cross-shard reduction
+                tape.record(self.bias.name, np.asarray(grad_bias))
+            else:
+                # per-sample sums accumulated in sample order (sequential parity)
+                for s in range(n_samples):
+                    self.bias.grad += grad_bias[s]
         self.accumulate_sample_parameter_gradients(
             grad_weight=grad_weight,
             epsilon=epsilon,

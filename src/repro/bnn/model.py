@@ -27,6 +27,7 @@ from ..nn.layers import Layer, Parameter
 from ..nn.quantization import QuantizationConfig
 from .bayes_layers import BayesianLayer
 from .elbo import gaussian_kl_divergence
+from .grad_tape import active_tape
 from .priors import GaussianPrior, Prior
 
 __all__ = ["BayesianNetwork"]
@@ -253,12 +254,34 @@ class BayesianNetwork:
         ``backward`` calls then accumulate the parameter gradients in sample
         order -- bit-identical to ``S`` sequential passes, which one folded
         ``(S * batch)`` contraction is not.
+
+        With a :class:`~repro.bnn.grad_tape.SampleGradientTape` active, the
+        per-sample contributions are captured instead of accumulated: the
+        layer's gradients are zeroed before each sample's backward call so
+        each call leaves exactly that sample's contribution behind, which is
+        copied onto the tape (and the in-place accumulation is discarded --
+        the tape's consumer owns the reduction).
         """
+        tape = active_tape()
+        params = layer.parameters() if tape is not None else []
+        stacks = {
+            param.name: np.empty((n_samples,) + param.value.shape)
+            for param in params
+        }
         grad_input = np.empty_like(folded_input)
         for s in range(n_samples):
             rows = slice(s * batch, (s + 1) * batch)
+            if params:
+                for param in params:
+                    param.zero_grad()
             layer.forward(folded_input[rows])
             grad_input[rows] = layer.backward(grad[rows])
+            for param in params:
+                stacks[param.name][s] = param.grad
+        if tape is not None:
+            for param in params:
+                param.zero_grad()
+                tape.record(param.name, stacks[param.name])
         return grad_input
 
     # ------------------------------------------------------------------

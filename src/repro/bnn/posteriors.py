@@ -16,6 +16,7 @@ import numpy as np
 
 from ..nn.initializers import Initializer
 from ..nn.layers import Parameter
+from .grad_tape import active_tape
 
 __all__ = ["GaussianPosterior", "softplus", "softplus_grad", "inverse_softplus"]
 
@@ -172,6 +173,14 @@ class GaussianPosterior:
         if include_entropy_term:
             sigma_grad = sigma_grad - kl_weight / self.sigma
         rho_grad = sigma_grad * softplus_grad(self.rho.value)
+        tape = active_tape()
+        if tape is not None:
+            # Distributed capture: hand the per-sample stacks to the tape so
+            # the coordinator can accumulate them in canonical sample order
+            # across shards (slice [s] is exactly what the loop below adds).
+            tape.record(self.mu.name, total_w_grad)
+            tape.record(self.rho.name, rho_grad)
+            return
         # Per-sample accumulation in sample order: float addition is not
         # associative, and the sequential trainers add one sample at a time.
         for s in range(grad_weight.shape[0]):

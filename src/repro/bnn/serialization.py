@@ -1,26 +1,61 @@
-"""Saving and loading Bayesian network parameters.
+"""Saving and loading Bayesian networks and full training state.
 
-A trained BNN is defined by its variational parameters (every layer's ``mu``
-and ``rho``) plus the deterministic biases.  This module stores them in a
-single ``.npz`` archive keyed by parameter name, together with a small
-manifest used to verify that the checkpoint matches the network it is loaded
-into.  Epsilons are never part of a checkpoint -- they are regenerated (or
-resampled) at run time, which is the whole point of the paper.
+Two formats live here:
+
+* **Parameter archives** (:func:`save_parameters` / :func:`load_parameters`)
+  store just the trainable parameters -- the right format for a finished
+  model that will only be served.
+* **Training checkpoints** (:func:`save_checkpoint` / :func:`load_checkpoint`)
+  capture everything a run's trajectory depends on: the parameters, the
+  optimiser's slot tensors and step counter, every Monte-Carlo sample's GRNG
+  register/sum-register state, the per-sample epsilon-traffic counters, and
+  the trainer's step counter and history.  Restoring a checkpoint and
+  continuing (``trainer.fit(..., resume=True)``) follows **bit for bit** the
+  trajectory the uninterrupted run would have followed -- for the local
+  pipelines and for the distributed sample-sharded backend alike, because
+  the distributed coordinator keeps its canonical state in exactly the
+  structures checkpointed here.
+
+Epsilon *values* are never stored -- they are regenerated from the saved
+register states, which is the whole point of the paper.  Both loaders verify
+a manifest against the target and raise :class:`CheckpointMismatchError`
+early on any structural mismatch.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..core.checkpoint import LfsrSnapshot
 from .model import BayesianNetwork
 
-__all__ = ["save_parameters", "load_parameters", "CheckpointMismatchError"]
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from .trainer import BNNTrainer
+
+__all__ = [
+    "save_parameters",
+    "load_parameters",
+    "save_checkpoint",
+    "load_checkpoint",
+    "CheckpointMismatchError",
+]
 
 _MANIFEST_KEY = "__manifest__"
 _FORMAT_VERSION = 1
+_CHECKPOINT_VERSION = 2
+_HISTORY_FIELDS = (
+    "losses",
+    "nlls",
+    "complexities",
+    "train_accuracies",
+    "epoch_losses",
+    "epoch_accuracies",
+    "validation_accuracies",
+)
 
 
 class CheckpointMismatchError(RuntimeError):
@@ -43,9 +78,7 @@ def save_parameters(model: BayesianNetwork, path: str | Path) -> Path:
     Returns the path written.  The archive also records a manifest (model
     name, parameter names and shapes) so loading can detect mismatches early.
     """
-    path = Path(path)
-    if path.suffix != ".npz":
-        path = path.with_suffix(".npz")
+    path = _npz_path(path)
     names = _parameter_names(model)
     arrays = {name: parameter.value for name, parameter in zip(names, model.parameters())}
     manifest = {
@@ -78,15 +111,7 @@ def load_parameters(model: BayesianNetwork, path: str | Path, strict: bool = Tru
         model's parameters; when ``False`` missing parameters are left at
         their current values and extra entries are ignored.
     """
-    path = Path(path)
-    if not path.exists() and path.suffix != ".npz":
-        path = path.with_suffix(".npz")
-    with np.load(path, allow_pickle=False) as archive:
-        stored = {key: archive[key] for key in archive.files}
-    manifest_raw = stored.pop(_MANIFEST_KEY, None)
-    if manifest_raw is None:
-        raise CheckpointMismatchError(f"{path} is not a Shift-BNN checkpoint (no manifest)")
-    manifest = json.loads(bytes(manifest_raw.tolist()).decode("utf-8"))
+    manifest, stored = _read_archive(path)
     if manifest.get("format_version") != _FORMAT_VERSION:
         raise CheckpointMismatchError(
             f"unsupported checkpoint format version {manifest.get('format_version')!r}"
@@ -109,3 +134,203 @@ def load_parameters(model: BayesianNetwork, path: str | Path, strict: bool = Tru
                 f"model {parameter.value.shape}"
             )
         parameter.value[...] = value
+
+
+# ----------------------------------------------------------------------
+# full training checkpoints
+# ----------------------------------------------------------------------
+def _npz_path(path: str | Path) -> Path:
+    """Append ``.npz`` unless already present.
+
+    Appends rather than ``with_suffix`` so multi-dot names like
+    ``ckpt.step3`` map to distinct files (``ckpt.step3.npz``) instead of
+    collapsing onto one another.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
+def save_checkpoint(trainer: "BNNTrainer", path: str | Path) -> Path:
+    """Write a full training checkpoint of ``trainer`` to ``path`` (.npz).
+
+    Must be called at a step boundary (which is the only time a trainer is
+    observable from outside anyway): between steps every epsilon stream has
+    consumed its blocks, so the GRNG registers plus the traffic counters are
+    the bank's *complete* state.  The archive carries the parameters, the
+    optimiser slots and step counter, one
+    :class:`~repro.core.checkpoint.LfsrSnapshot` per Monte-Carlo sample
+    (register state and sum register, hex-encoded in the manifest), the
+    per-sample :class:`~repro.core.streams.StreamUsage` counters, and the
+    per-step history records.
+    """
+    path = _npz_path(path)
+    names = _parameter_names(trainer.model)
+    arrays: dict[str, np.ndarray] = {
+        f"param/{name}": parameter.value
+        for name, parameter in zip(names, trainer.model.parameters())
+    }
+    optimizer_state = trainer.optimizer.state_dict()
+    for slot, slot_arrays in optimizer_state["slots"].items():
+        for name, array in zip(names, slot_arrays):
+            arrays[f"opt/{slot}/{name}"] = array
+    history = trainer.history
+    for field in _HISTORY_FIELDS:
+        arrays[f"history/{field}"] = np.asarray(getattr(history, field), dtype=np.float64)
+    config = trainer.config
+    manifest = {
+        "format_version": _CHECKPOINT_VERSION,
+        "kind": "training-checkpoint",
+        "model_name": trainer.model.name,
+        "parameters": {
+            name: list(parameter.value.shape)
+            for name, parameter in zip(names, trainer.model.parameters())
+        },
+        "step_count": trainer.step_count,
+        "optimizer": {
+            "type": optimizer_state["type"],
+            "slots": sorted(optimizer_state["slots"]),
+            "step_count": optimizer_state["step_count"],
+        },
+        "trainer": {
+            "n_samples": config.n_samples,
+            "policy": trainer.bank.policy,
+            "lfsr_bits": config.lfsr_bits,
+            "grng_stride": config.grng_stride,
+            "seed": config.seed,
+            "quantization_bits": config.quantization_bits,
+        },
+        "grng": [
+            {
+                "n_bits": snapshot.n_bits,
+                "taps": list(snapshot.taps),
+                "state": hex(snapshot.state),
+                "sum_register": snapshot.sum_register,
+            }
+            for snapshot in trainer.bank.snapshots()
+        ],
+        "stream_usage": trainer.bank.usage_state_dicts(),
+    }
+    arrays[_MANIFEST_KEY] = np.frombuffer(
+        json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **arrays)
+    return path
+
+
+def _read_archive(path: str | Path) -> tuple[dict, dict[str, np.ndarray]]:
+    path = Path(path)
+    if not path.exists():
+        path = _npz_path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        stored = {key: archive[key] for key in archive.files}
+    manifest_raw = stored.pop(_MANIFEST_KEY, None)
+    if manifest_raw is None:
+        raise CheckpointMismatchError(f"{path} is not a Shift-BNN checkpoint (no manifest)")
+    manifest = json.loads(bytes(manifest_raw.tolist()).decode("utf-8"))
+    return manifest, stored
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise CheckpointMismatchError(message)
+
+
+def load_checkpoint(trainer: "BNNTrainer", path: str | Path) -> dict:
+    """Restore a full training checkpoint into ``trainer`` (in place).
+
+    The trainer must be *structurally* compatible with the run that saved
+    the checkpoint: same model parameters, same ``n_samples`` / stream
+    policy / LFSR geometry, same optimiser type.  Any mismatch raises
+    :class:`CheckpointMismatchError` before anything is modified.  On
+    success the trainer's parameters, optimiser state, generator registers,
+    traffic counters and history are exactly the saved run's, so continuing
+    (e.g. ``fit(..., resume=True)`` with the same schedule) reproduces the
+    uninterrupted trajectory bit for bit.  Returns the checkpoint manifest.
+    """
+    manifest, stored = _read_archive(path)
+    _check(
+        manifest.get("format_version") == _CHECKPOINT_VERSION
+        and manifest.get("kind") == "training-checkpoint",
+        f"not a training checkpoint (format {manifest.get('format_version')!r}, "
+        f"kind {manifest.get('kind')!r}); parameter archives load with "
+        "load_parameters()",
+    )
+    names = _parameter_names(trainer.model)
+    parameters = dict(zip(names, trainer.model.parameters()))
+    saved_params = manifest.get("parameters", {})
+    _check(
+        set(saved_params) == set(parameters),
+        "checkpoint does not match the model: "
+        f"missing={sorted(set(parameters) - set(saved_params))}, "
+        f"unexpected={sorted(set(saved_params) - set(parameters))}",
+    )
+    for name, parameter in parameters.items():
+        _check(
+            tuple(saved_params[name]) == parameter.value.shape,
+            f"shape mismatch for {name!r}: checkpoint "
+            f"{tuple(saved_params[name])}, model {parameter.value.shape}",
+        )
+    config = trainer.config
+    saved_trainer = manifest.get("trainer", {})
+    for key, current in (
+        ("n_samples", config.n_samples),
+        ("policy", trainer.bank.policy),
+        ("lfsr_bits", config.lfsr_bits),
+        ("grng_stride", config.grng_stride),
+        ("seed", config.seed),
+        ("quantization_bits", config.quantization_bits),
+    ):
+        _check(
+            saved_trainer.get(key) == current,
+            f"trainer {key} mismatch: checkpoint {saved_trainer.get(key)!r}, "
+            f"trainer {current!r}",
+        )
+    optimizer_state = trainer.optimizer.state_dict()
+    saved_optimizer = manifest.get("optimizer", {})
+    _check(
+        saved_optimizer.get("type") == optimizer_state["type"],
+        f"optimizer mismatch: checkpoint {saved_optimizer.get('type')!r}, "
+        f"trainer {optimizer_state['type']!r}",
+    )
+    grng_records = manifest.get("grng", [])
+    _check(
+        len(grng_records) == config.n_samples,
+        f"checkpoint carries {len(grng_records)} generator states for "
+        f"{config.n_samples} samples",
+    )
+    # ---- all checks passed; restore ----
+    for name, parameter in parameters.items():
+        parameter.value[...] = stored[f"param/{name}"]
+    slots = {
+        slot: [stored[f"opt/{slot}/{name}"] for name in names]
+        for slot in saved_optimizer.get("slots", [])
+    }
+    trainer.optimizer.load_state_dict(
+        {
+            "type": saved_optimizer["type"],
+            "slots": slots,
+            "step_count": saved_optimizer.get("step_count", 0),
+        }
+    )
+    snapshots = [
+        LfsrSnapshot(
+            n_bits=record["n_bits"],
+            taps=tuple(record["taps"]),
+            state=int(record["state"], 16),
+            sum_register=int(record["sum_register"]),
+        )
+        for record in grng_records
+    ]
+    trainer.bank.load_generator_states(snapshots)
+    trainer.bank.load_usage_state_dicts(manifest.get("stream_usage", []))
+    history = trainer.history
+    for field in _HISTORY_FIELDS:
+        values = stored.get(f"history/{field}")
+        records = getattr(history, field)
+        records.clear()
+        if values is not None:
+            records.extend(float(value) for value in values)
+    return manifest

@@ -19,14 +19,13 @@ storage, which feeds the characterisation experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Protocol, Sequence
 
 import numpy as np
 
 from ..core.checkpoint import StreamBank, StreamPolicy
 from ..core.lfsr import MAXIMAL_TAPS
-from ..nn.functional import softmax
-from ..nn.losses import Loss, SoftmaxCrossEntropy
+from ..nn.losses import Loss, SoftmaxCrossEntropy, loss_probabilities
 from ..nn.metrics import accuracy
 from ..nn.optim import SGD, Adam, Optimizer
 from ..nn.quantization import QuantizationConfig
@@ -37,10 +36,35 @@ from .predict import mc_predict
 __all__ = [
     "TrainerConfig",
     "TrainingHistory",
+    "ExecutionBackend",
     "BNNTrainer",
     "BaselineBNNTrainer",
     "ShiftBNNTrainer",
 ]
+
+
+class ExecutionBackend(Protocol):
+    """Pluggable executor of one ``train_step``'s FW / BW / GC stages.
+
+    ``run_step`` must leave the trainer's model holding the step's
+    accumulated (un-scaled) parameter gradients and the trainer's bank
+    holding the post-step generator states and traffic counters, and return
+    ``(total_nll, correct_probs)`` exactly as the built-in pipelines do --
+    the trainer then applies the optimiser update.  The distributed
+    sample-sharded engine (:class:`repro.distrib.DistributedBackend`) is the
+    canonical implementation; the contract is that any backend follows the
+    single-process parameter trajectory bit for bit.
+    """
+
+    def run_step(
+        self,
+        trainer: "BNNTrainer",
+        x: np.ndarray,
+        y: np.ndarray,
+        kl_weight: float,
+    ) -> tuple[float, np.ndarray]: ...
+
+    def close(self) -> None: ...
 
 
 @dataclass(frozen=True)
@@ -157,10 +181,12 @@ class BNNTrainer:
         config: TrainerConfig | None = None,
         loss: Loss | None = None,
         policy: StreamPolicy | None = None,
+        backend: ExecutionBackend | None = None,
     ) -> None:
         self.model = model
         self.config = config or TrainerConfig()
         self.loss = loss or SoftmaxCrossEntropy()
+        self.backend = backend
         if policy is not None:
             self.policy = policy
         self.bank = StreamBank(
@@ -179,6 +205,22 @@ class BNNTrainer:
         self._quantization = quantization
         self.optimizer = self._build_optimizer()
         self.history = TrainingHistory()
+
+    @property
+    def step_count(self) -> int:
+        """Number of optimisation steps this trainer has applied."""
+        return self.history.steps
+
+    def close(self) -> None:
+        """Release the execution backend (worker processes), if any."""
+        if self.backend is not None:
+            self.backend.close()
+
+    def __enter__(self) -> "BNNTrainer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def _build_optimizer(self) -> Optimizer:
         params = self.model.parameters()
@@ -207,8 +249,12 @@ class BNNTrainer:
         overrides the config's execution mode for this step; the batched and
         per-sample pipelines follow bit-identical parameter trajectories.
         """
-        use_batched = self.config.batched if batched is None else batched
-        if use_batched:
+        if self.backend is not None and batched is None:
+            # pluggable execution backend (e.g. the distributed sample-sharded
+            # engine); an explicit ``batched=`` forces the built-in pipelines,
+            # which is how equivalence tests compare the two in one process
+            total_nll, correct_probs = self.backend.run_step(self, x, y, kl_weight)
+        elif self.config.batched if batched is None else batched:
             total_nll, correct_probs = self._run_samples_batched(x, y, kl_weight)
         else:
             total_nll, correct_probs = self._run_samples_sequential(x, y, kl_weight)
@@ -274,10 +320,7 @@ class BNNTrainer:
 
     def _loss_probabilities(self, logits: np.ndarray) -> np.ndarray:
         """Predictive probabilities of the most recent loss forward."""
-        probabilities = getattr(self.loss, "probabilities", None)
-        if probabilities is not None:
-            return probabilities
-        return softmax(logits)
+        return loss_probabilities(self.loss, logits)
 
     def _apply_step(
         self,
@@ -312,12 +355,26 @@ class BNNTrainer:
         epochs: int = 1,
         validation: tuple[np.ndarray, np.ndarray] | None = None,
         verbose: bool = False,
+        resume: bool = False,
+        checkpoint_callback: Callable[["BNNTrainer", int], None] | None = None,
     ) -> TrainingHistory:
         """Train for ``epochs`` passes over ``batches``.
 
         ``batches`` is a sequence of ``(x, y)`` minibatches; when the trainer's
         ``kl_weight`` is unset it defaults to ``1 / total_training_examples``
         (per-example ELBO scaling, consistent with the per-example mean NLL).
+
+        With ``resume=True`` the first ``self.step_count`` steps of the
+        schedule are skipped: after :func:`~repro.bnn.serialization.load_checkpoint`
+        (same batches, same epochs) the run continues from the recorded step
+        onto the exact trajectory of the uninterrupted run.  Epoch aggregates
+        are computed from the per-step history records, so an epoch that
+        straddles the checkpoint still reports the full-epoch statistics.
+
+        ``checkpoint_callback`` (``callback(trainer, step_index)``), when
+        given, is invoked after every completed optimisation step -- the hook
+        the checkpoint layer and the distributed demo use to persist mid-run
+        state at step granularity.
         """
         batch_list = list(batches)
         if not batch_list:
@@ -326,16 +383,41 @@ class BNNTrainer:
         if kl_weight is None:
             total_examples = sum(x.shape[0] for x, _ in batch_list)
             kl_weight = 1.0 / max(total_examples, 1)
+        steps_per_epoch = len(batch_list)
+        if resume:
+            # schedule-absolute bookkeeping: the history up to the checkpoint
+            # belongs to this same schedule, so skip what is already recorded
+            start_step, base_step, base_epoch = self.step_count, 0, 0
+        else:
+            # a fresh schedule on top of whatever the trainer did before
+            start_step = 0
+            base_step = self.step_count
+            base_epoch = len(self.history.epoch_losses)
+        global_step = 0
         for epoch in range(epochs):
-            epoch_losses = []
-            epoch_accuracies = []
             for x, y in batch_list:
-                report = self.train_step(x, y, kl_weight=kl_weight)
-                epoch_losses.append(report.total)
-                epoch_accuracies.append(self.history.train_accuracies[-1])
-            self.history.epoch_losses.append(float(np.mean(epoch_losses)))
-            self.history.epoch_accuracies.append(float(np.mean(epoch_accuracies)))
-            if validation is not None:
+                if global_step >= start_step:
+                    self.train_step(x, y, kl_weight=kl_weight)
+                    if checkpoint_callback is not None:
+                        checkpoint_callback(self, global_step)
+                global_step += 1
+            # Epoch aggregates come from the per-step records, which a
+            # checkpoint preserves: a resumed run reports the same epoch
+            # statistics as the uninterrupted one.
+            begin = base_step + epoch * steps_per_epoch
+            end = begin + steps_per_epoch
+            epoch_slot = base_epoch + epoch
+            if len(self.history.epoch_losses) <= epoch_slot:
+                self.history.epoch_losses.append(
+                    float(np.mean(self.history.losses[begin:end]))
+                )
+                self.history.epoch_accuracies.append(
+                    float(np.mean(self.history.train_accuracies[begin:end]))
+                )
+            if (
+                validation is not None
+                and len(self.history.validation_accuracies) <= epoch_slot
+            ):
                 val_acc = self.evaluate(*validation)
                 self.history.validation_accuracies.append(val_acc)
             if verbose:

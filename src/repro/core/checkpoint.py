@@ -101,6 +101,13 @@ class StreamBank:
         request with its own kernel call -- the pre-lockstep per-sample
         behaviour, kept as a benchmark baseline and for workloads whose
         samples deliberately diverge.  Values are identical either way.
+    sample_indices:
+        Which of the run's canonical Monte-Carlo samples this bank hosts
+        (default: ``0 .. n_samples-1``).  A distributed shard worker passes
+        its shard here: row ``j`` is then seeded as canonical sample
+        ``sample_indices[j]`` would be, so the union of the shard banks
+        reproduces a full bank's epsilon bits exactly, regardless of how the
+        samples are partitioned.
     """
 
     _SEED_STRIDE = 1024
@@ -114,11 +121,22 @@ class StreamBank:
         bytes_per_value: int = 2,
         grng_stride: int = 1,
         lockstep: bool = True,
+        sample_indices: Sequence[int] | None = None,
     ) -> None:
         if n_samples < 1:
             raise ValueError("a stream bank needs at least one sample")
         if policy not in ("stored", "reversible", "reversible-hw"):
             raise ValueError(f"unknown stream policy {policy!r}")
+        if sample_indices is None:
+            sample_indices = range(n_samples)
+        self._sample_indices = tuple(int(index) for index in sample_indices)
+        if len(self._sample_indices) != n_samples:
+            raise ValueError(
+                f"sample_indices carries {len(self._sample_indices)} entries "
+                f"for {n_samples} samples"
+            )
+        if any(index < 0 for index in self._sample_indices):
+            raise ValueError("sample indices must be non-negative")
         self._n_samples = n_samples
         self._policy: StreamPolicy = policy
         self._seed = seed
@@ -132,7 +150,7 @@ class StreamBank:
             n_bits=lfsr_bits,
             seed_indices=[
                 seed * self._SEED_STRIDE + sample_index
-                for sample_index in range(n_samples)
+                for sample_index in self._sample_indices
             ],
             stride=grng_stride,
             lockstep=lockstep,
@@ -164,6 +182,11 @@ class StreamBank:
     def policy(self) -> StreamPolicy:
         """The epsilon-management policy used by every stream in the bank."""
         return self._policy
+
+    @property
+    def sample_indices(self) -> tuple[int, ...]:
+        """Canonical Monte-Carlo sample index hosted by each row."""
+        return self._sample_indices
 
     @property
     def streams(self) -> Sequence[EpsilonStream]:
@@ -217,6 +240,38 @@ class StreamBank:
             )
         for snapshot, stream in zip(snapshots, self._streams):
             snapshot.restore(stream.grng)
+
+    def load_generator_states(self, snapshots: Sequence[LfsrSnapshot]) -> None:
+        """Restore every generator at a step boundary and re-arm speculation.
+
+        :meth:`restore` marks the written rows dirty (suspending lockstep
+        speculation defensively); at a step boundary every row is restored
+        together and provably in phase, so the bank is immediately re-armed.
+        This is how a distributed shard worker adopts the coordinator's
+        canonical generator states before executing a step, and how
+        checkpoint loading rewinds a bank onto the saved trajectory.
+        """
+        self.restore(snapshots)
+        self._grng_bank.end_iteration()
+
+    def usage_state_dicts(self) -> list[dict[str, int]]:
+        """Per-sample traffic counters, in row order (checkpoint / wire format)."""
+        return [stream.usage.state_dict() for stream in self._streams]
+
+    def load_usage_state_dicts(self, states: Sequence[dict[str, int]]) -> None:
+        """Restore the per-sample traffic counters captured by
+        :meth:`usage_state_dicts`."""
+        if len(states) != self._n_samples:
+            raise ValueError(
+                f"expected {self._n_samples} usage records, got {len(states)}"
+            )
+        for stream, state in zip(self._streams, states):
+            stream.usage.load_state_dict(state)
+
+    def reset_usage(self) -> None:
+        """Zero every stream's traffic counters (shard workers, step start)."""
+        for stream in self._streams:
+            stream.usage.reset()
 
     @property
     def grng_bank(self) -> GrngBank:

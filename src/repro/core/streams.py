@@ -76,6 +76,57 @@ class StreamUsage:
     def record_release(self, count: int) -> None:
         self.stored_values_current = max(0, self.stored_values_current - count)
 
+    # ------------------------------------------------------------------
+    # state capture (distributed per-step deltas and training checkpoints)
+    # ------------------------------------------------------------------
+    _COUNTER_FIELDS = (
+        "generated_values",
+        "retrieved_values",
+        "stored_values_peak",
+        "stored_values_current",
+        "checkpoint_bits",
+        "checkpoint_bits_peak",
+    )
+
+    def reset(self) -> None:
+        """Zero every counter (``bytes_per_value`` is configuration, not state).
+
+        The distributed workers reset their shard streams' usage at each step
+        boundary so the counters they ship back are pure per-step deltas.
+        """
+        for name in self._COUNTER_FIELDS:
+            setattr(self, name, 0)
+
+    def state_dict(self) -> dict[str, int]:
+        """All counters as a plain dict (checkpoint / wire format)."""
+        state = {name: int(getattr(self, name)) for name in self._COUNTER_FIELDS}
+        state["bytes_per_value"] = self.bytes_per_value
+        return state
+
+    def load_state_dict(self, state: dict[str, int]) -> None:
+        """Restore counters captured by :meth:`state_dict` (exact, in place)."""
+        for name in self._COUNTER_FIELDS:
+            setattr(self, name, int(state[name]))
+
+    def merge_delta(self, delta: dict[str, int]) -> None:
+        """Fold one iteration's per-step delta counters into this record.
+
+        Valid at iteration boundaries, where ``stored_values_current`` and
+        ``checkpoint_bits`` have returned to zero: the additive counters sum
+        and the peaks take the running maximum, which reproduces exactly the
+        evolution a single-process run's counters would have followed.
+        """
+        self.generated_values += int(delta["generated_values"])
+        self.retrieved_values += int(delta["retrieved_values"])
+        self.stored_values_current += int(delta["stored_values_current"])
+        self.checkpoint_bits += int(delta["checkpoint_bits"])
+        self.stored_values_peak = max(
+            self.stored_values_peak, int(delta["stored_values_peak"])
+        )
+        self.checkpoint_bits_peak = max(
+            self.checkpoint_bits_peak, int(delta["checkpoint_bits_peak"])
+        )
+
     def record_checkpoint(self, bits: int) -> None:
         self.checkpoint_bits += bits
         self.checkpoint_bits_peak = max(self.checkpoint_bits_peak, self.checkpoint_bits)

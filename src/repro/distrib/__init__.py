@@ -1,0 +1,78 @@
+"""Distributed sample-sharded training with deterministic fault tolerance.
+
+This package shards one Bayes-by-Backprop ``train_step`` across worker
+processes along the Monte-Carlo sample axis.  Each worker rebuilds a
+bit-identical model replica from a :class:`~repro.models.zoo.ReplicaSpec`,
+owns exactly its shard's generator rows (rewound onto the coordinator's
+canonical states every step, so epsilon bits never depend on worker state),
+runs the batched FW/BW/GC engine on its shard, and ships **per-sample**
+gradient contributions back; the coordinator reduces them in canonical
+sample order, which keeps the parameter trajectory bit-for-bit identical to
+the single-process run at any worker count -- the paper's Fig. 9 property,
+extended across processes.  A dead worker's shard is re-executed from its
+payload on a surviving or respawned worker (never dropped), and the full
+checkpoint layer in :mod:`repro.bnn.serialization` captures everything
+needed to resume an interrupted run onto the exact uninterrupted
+trajectory.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .coordinator import DistributedBackend, DistributedStepError
+from .plan import ShardPlan, plan_shards
+from .reduce import DistributedReductionError, reduce_step_outputs
+from .respawn import RespawnBudget, RespawnPolicy
+from .worker import ShardEngine
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from ..bnn.trainer import BNNTrainer, TrainerConfig
+    from ..core.checkpoint import StreamPolicy
+    from ..models.specs import ModelSpec
+
+__all__ = [
+    "DistributedBackend",
+    "DistributedStepError",
+    "DistributedReductionError",
+    "RespawnPolicy",
+    "RespawnBudget",
+    "ShardEngine",
+    "ShardPlan",
+    "plan_shards",
+    "reduce_step_outputs",
+    "distributed_trainer",
+]
+
+
+def distributed_trainer(
+    spec: "ModelSpec",
+    config: "TrainerConfig | None" = None,
+    n_workers: int = 2,
+    n_shards: int | None = None,
+    policy: "StreamPolicy | None" = None,
+    build_seed: int = 0,
+    respawn: RespawnPolicy | None = RespawnPolicy(),
+    start_method: str | None = None,
+) -> "BNNTrainer":
+    """Build a :class:`~repro.bnn.trainer.BNNTrainer` on a distributed backend.
+
+    The model is built from ``spec`` (seeded with ``build_seed``) and every
+    worker rebuilds the same structure from the shared
+    :class:`~repro.models.zoo.ReplicaSpec`; because the coordinator ships
+    the current parameter values with every step, the replicas track the
+    coordinator's trajectory exactly.  Close the trainer (it is a context
+    manager) to shut the worker pool down.
+    """
+    from ..bnn.trainer import BNNTrainer
+    from ..models.zoo import ReplicaSpec
+
+    model = spec.build_bayesian(seed=build_seed)
+    backend = DistributedBackend(
+        ReplicaSpec.structural(spec, build_seed=build_seed),
+        n_workers=n_workers,
+        n_shards=n_shards,
+        respawn=respawn,
+        start_method=start_method,
+    )
+    return BNNTrainer(model, config, policy=policy, backend=backend)

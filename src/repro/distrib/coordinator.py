@@ -1,0 +1,425 @@
+"""Coordinator: data-parallel ``train_step`` execution over shard workers.
+
+:class:`DistributedBackend` plugs into
+:class:`~repro.bnn.trainer.BNNTrainer` as its execution backend.  Each
+optimisation step it:
+
+1. captures the trainer's canonical state -- parameter values and the
+   per-sample generator snapshots of the trainer's own
+   :class:`~repro.core.checkpoint.StreamBank` (which in distributed mode is
+   the *bookkeeping* bank: it never generates, it just holds the canonical
+   register states and traffic counters, which is also exactly what the
+   checkpoint layer saves);
+2. plans the shard partition and dispatches one self-contained task per
+   shard -- inline (``n_workers=0``) or onto worker processes, each of which
+   rebuilds a bit-identical replica from a
+   :class:`~repro.models.zoo.ReplicaSpec` and owns only its shard's
+   generator rows;
+3. collects the shard results with deterministic fault tolerance: a dead
+   worker's shard is re-dispatched (to a surviving or freshly respawned
+   worker, within the :class:`~repro.distrib.respawn.RespawnPolicy` bounds)
+   and re-executes from the same payload -- the shard is re-computed from
+   its seeds/states, never dropped, and re-execution is bit-identical
+   because nothing in the payload depends on worker state;
+4. reduces gradients, loss terms and probabilities in canonical sample
+   order (:func:`~repro.distrib.reduce.reduce_step_outputs`), folds the
+   workers' traffic-counter deltas into the canonical bank's usage records,
+   and writes the post-step generator snapshots back into the canonical
+   bank.
+
+The resulting parameter trajectory is bit-for-bit the single-process
+batched (and therefore also the sequential) trajectory, at any worker
+count.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from queue import Empty
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from .plan import plan_shards
+from .reduce import reduce_step_outputs
+from .respawn import RespawnBudget, RespawnPolicy
+from .worker import ShardEngine, _worker_main
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from ..bnn.trainer import BNNTrainer
+    from ..models.zoo import ReplicaSpec
+
+__all__ = ["DistributedBackend", "DistributedStepError"]
+
+_LIVENESS_POLL_S = 0.2
+
+
+class DistributedStepError(RuntimeError):
+    """A training step could not be completed by the worker pool."""
+
+
+@dataclass
+class _TrainWorker:
+    rank: int
+    process: multiprocessing.process.BaseProcess
+    task_queue: object
+    ready: bool = False
+    assigned: set[int] = field(default_factory=set)
+
+
+class DistributedBackend:
+    """Sample-sharded execution backend for ``BNNTrainer.train_step``.
+
+    Parameters
+    ----------
+    replica:
+        Recipe for the workers' model replicas.  Only the structure (spec +
+        build seed) matters: the coordinator ships the current parameter
+        values with every step, so a structural
+        ``ReplicaSpec(spec=..., build_seed=...)`` without captured state is
+        sufficient.
+    n_workers:
+        ``0`` executes the shards inline on the coordinator (same sharded
+        code path, no processes -- the degenerate cluster); ``>= 1`` forks
+        that many worker processes.
+    n_shards:
+        How many shards to cut each step into (default: one per worker, or
+        one for inline execution).  More shards than workers is allowed --
+        shards queue round-robin; inline execution with ``n_shards > 1``
+        exercises the full shard/reduce machinery in-process.
+    respawn:
+        Crash-recovery bounds; ``None`` disables respawning (a worker death
+        then fails the step as soon as no healthy worker can take the
+        shard).
+    step_timeout:
+        Seconds one step may take end-to-end before the backend gives up
+        (guards against a *hung* -- not dead -- worker).
+    """
+
+    def __init__(
+        self,
+        replica: "ReplicaSpec",
+        n_workers: int = 2,
+        n_shards: int | None = None,
+        respawn: RespawnPolicy | None = RespawnPolicy(),
+        start_method: str | None = None,
+        step_timeout: float = 300.0,
+    ) -> None:
+        if n_workers < 0:
+            raise ValueError("n_workers must be non-negative")
+        if n_shards is not None and n_shards < 1:
+            raise ValueError("n_shards must be at least 1")
+        self._replica = replica
+        self._n_workers = n_workers
+        self._n_shards = n_shards if n_shards is not None else max(n_workers, 1)
+        self._budget = RespawnBudget(respawn or RespawnPolicy(max_respawns=0))
+        self._step_timeout = step_timeout
+        if start_method is None:
+            available = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in available else available[0]
+        self._ctx = multiprocessing.get_context(start_method)
+        self._workers: list[_TrainWorker] = []
+        self._retired: list[_TrainWorker] = []
+        self._result_queue = None
+        self._inline_engine: ShardEngine | None = None
+        self._loss = None
+        self._next_rank = 0
+        self._task_counter = 0
+        self._step_index = 0
+        self._started = False
+        self._closed = False
+        #: Test-only fault injection: ``hook(step_index, worker_rank) -> bool``
+        #: evaluated at dispatch; ``True`` makes that worker die on receipt,
+        #: exactly like an external SIGKILL mid-step.
+        self.fault_hook: Callable[[int, int], bool] | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def n_workers(self) -> int:
+        return self._n_workers
+
+    @property
+    def alive_workers(self) -> int:
+        """Number of worker processes currently alive."""
+        return sum(1 for worker in self._workers if worker.process.is_alive())
+
+    @property
+    def respawns_used(self) -> int:
+        """How many replacement workers have been spawned so far."""
+        return self._budget.respawns_used
+
+    @property
+    def processes(self) -> list[multiprocessing.process.BaseProcess]:
+        """Current worker processes (tests and diagnostics)."""
+        return [worker.process for worker in self._workers]
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _spawn_worker(self) -> _TrainWorker:
+        rank = self._next_rank
+        self._next_rank += 1
+        task_queue = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(rank, self._replica, self._loss, task_queue, self._result_queue),
+            daemon=True,
+        )
+        process.start()
+        return _TrainWorker(rank=rank, process=process, task_queue=task_queue)
+
+    def _start(self, trainer: "BNNTrainer") -> None:
+        self._started = True
+        self._loss = trainer.loss
+        if self._n_workers == 0:
+            self._inline_engine = ShardEngine(self._replica.build(), trainer.loss)
+            return
+        self._result_queue = self._ctx.Queue()
+        for _ in range(self._n_workers):
+            self._workers.append(self._spawn_worker())
+        deadline = time.monotonic() + self._step_timeout
+        ready = 0
+        while ready < self._n_workers:
+            try:
+                kind, rank, payload = self._result_queue.get(
+                    timeout=max(0.01, deadline - time.monotonic())
+                )
+            except Empty as exc:
+                self.close(abort=True)
+                raise DistributedStepError(
+                    f"only {ready}/{self._n_workers} training workers became ready"
+                ) from exc
+            if kind == "fatal":
+                self.close(abort=True)
+                raise DistributedStepError(
+                    f"worker failed to build its replica:\n{payload}"
+                )
+            if kind == "ready":
+                self._mark_ready(rank)
+                ready += 1
+
+    def _mark_ready(self, rank: int) -> None:
+        for worker in self._workers:
+            if worker.rank == rank:
+                worker.ready = True
+
+    def close(self, abort: bool = False, timeout: float = 10.0) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        workers = self._workers + self._retired
+        for worker in workers:
+            if abort:
+                if worker.process.is_alive():
+                    worker.process.terminate()
+            else:
+                try:
+                    worker.task_queue.put(None)
+                except Exception:  # pragma: no cover - queue already broken
+                    pass
+        for worker in workers:
+            worker.process.join(timeout=timeout)
+            if worker.process.is_alive():  # pragma: no cover - stuck worker
+                worker.process.kill()
+                worker.process.join(timeout=timeout)
+        self._workers = []
+        self._retired = []
+
+    def __enter__(self) -> "DistributedBackend":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(abort=exc_type is not None)
+
+    # ------------------------------------------------------------------
+    # one step
+    # ------------------------------------------------------------------
+    def run_step(
+        self,
+        trainer: "BNNTrainer",
+        x: np.ndarray,
+        y: np.ndarray,
+        kl_weight: float,
+    ) -> tuple[float, np.ndarray]:
+        """Execute one sharded FW/BW/GC pass; returns ``(total_nll, correct_probs)``.
+
+        On return the trainer's model holds the canonically-reduced
+        gradients, its bank holds the post-step generator states and updated
+        traffic counters -- exactly the state the single-process pipelines
+        leave behind before the optimiser update.
+        """
+        if self._closed:
+            raise RuntimeError("backend is closed")
+        if not self._started:
+            self._start(trainer)
+        config = trainer.config
+        plan = plan_shards(config.n_samples, self._n_shards)
+        snapshots = trainer.bank.snapshots()
+        params = {
+            param.name: param.value for param in trainer.model.parameters()
+        }
+        bank_cfg = {
+            "policy": trainer.bank.policy,
+            "seed": config.seed,
+            "lfsr_bits": config.lfsr_bits,
+            "grng_stride": config.grng_stride,
+            "lockstep": config.lockstep,
+        }
+        payloads = []
+        for shard in plan.shards:
+            payloads.append(
+                {
+                    "step_index": self._step_index,
+                    "shard": shard,
+                    "snapshots": [snapshots[index] for index in shard],
+                    "params": params,
+                    "x": x,
+                    "y": y,
+                    "kl_weight": kl_weight,
+                    "include_entropy_term": config.include_entropy_term,
+                    "quantization_bits": config.quantization_bits,
+                    "bank": bank_cfg,
+                }
+            )
+        if self._inline_engine is not None:
+            shard_results = [
+                self._inline_engine.run_step(payload) for payload in payloads
+            ]
+        else:
+            shard_results = self._run_pooled(payloads)
+        self._step_index += 1
+        total_nll, correct_probs = reduce_step_outputs(
+            trainer.model, plan, shard_results
+        )
+        # fold the per-step traffic deltas and post-step generator states
+        # back into the canonical (bookkeeping) bank
+        new_snapshots = list(snapshots)
+        for shard, result in zip(plan.shards, shard_results):
+            for local_index, sample_index in enumerate(shard):
+                new_snapshots[sample_index] = result["snapshots"][local_index]
+                trainer.bank.streams[sample_index].usage.merge_delta(
+                    result["usage"][local_index]
+                )
+        trainer.bank.restore(new_snapshots)
+        return total_nll, correct_probs
+
+    # ------------------------------------------------------------------
+    # pooled dispatch with deterministic crash recovery
+    # ------------------------------------------------------------------
+    def _dispatch(self, task_id: int, payload: dict) -> _TrainWorker:
+        alive = [w for w in self._workers if w.process.is_alive()]
+        if not alive:
+            raise DistributedStepError(
+                "no healthy training workers remain and the respawn budget "
+                f"is exhausted ({self._budget.respawns_used} respawns used)"
+            )
+        # prefer workers whose replica is built (a freshly respawned
+        # replacement is alive but still constructing); least-loaded first
+        candidates = [w for w in alive if w.ready] or alive
+        worker = min(candidates, key=lambda w: len(w.assigned))
+        if self.fault_hook is not None and self.fault_hook(
+            self._step_index, worker.rank
+        ):
+            payload = dict(payload, test_crash=True)
+        worker.assigned.add(task_id)
+        worker.task_queue.put((task_id, payload))
+        return worker
+
+    def _replenish(self) -> None:
+        """Retire workers that died between steps and respawn within budget."""
+        for worker in [w for w in self._workers if not w.process.is_alive()]:
+            self._workers.remove(worker)
+            self._retired.append(worker)
+        while len(self._workers) < self._n_workers and self._budget.try_respawn():
+            self._workers.append(self._spawn_worker())
+
+    def _run_pooled(self, payloads: list[dict]) -> list[dict]:
+        self._replenish()
+        pending: dict[int, dict] = {}
+        assigned: dict[int, _TrainWorker] = {}
+        results: dict[int, dict] = {}
+        task_shard: dict[int, int] = {}
+        for shard_index, payload in enumerate(payloads):
+            task_id = self._task_counter
+            self._task_counter += 1
+            pending[task_id] = payload
+            task_shard[task_id] = shard_index
+            assigned[task_id] = self._dispatch(task_id, payload)
+        deadline = time.monotonic() + self._step_timeout
+        try:
+            while pending:
+                if time.monotonic() > deadline:
+                    raise DistributedStepError(
+                        f"step did not complete within {self._step_timeout}s; "
+                        f"{len(pending)} shard task(s) still outstanding"
+                    )
+                try:
+                    message = self._result_queue.get(timeout=_LIVENESS_POLL_S)
+                except Empty:
+                    self._recover_dead(pending, assigned)
+                    continue
+                kind, key, payload = message
+                if kind == "ready":
+                    self._mark_ready(key)
+                elif kind == "done":
+                    if key in pending:
+                        results[key] = payload
+                        worker = assigned.pop(key)
+                        worker.assigned.discard(key)
+                        del pending[key]
+                        self._budget.forget(key)
+                elif kind == "error":
+                    if key in pending:
+                        raise DistributedStepError(
+                            f"shard task failed in worker:\n{payload}"
+                        )
+        except DistributedStepError:
+            # release this step's bookkeeping before propagating so a caller
+            # that retries train_step starts clean: abandoned task ids must
+            # not keep skewing the load balancer, and their stale queue
+            # messages are ignored via the pending-key guard (task ids are
+            # never reused)
+            for task_id, worker in assigned.items():
+                worker.assigned.discard(task_id)
+            raise
+        return [
+            results[task_id]
+            for task_id in sorted(results, key=lambda t: task_shard[t])
+        ]
+
+    def _recover_dead(
+        self, pending: dict[int, dict], assigned: dict[int, _TrainWorker]
+    ) -> None:
+        """Re-dispatch the shard tasks of dead workers (bounded, deterministic).
+
+        Called when the result queue went quiet: any task whose worker is no
+        longer alive at this point was lost mid-execution.  The task is
+        re-queued unchanged -- its payload fully determines its bits -- onto
+        a surviving worker, or onto a freshly spawned replacement when none
+        survives and the respawn budget allows one.
+        """
+        orphaned = [
+            task_id
+            for task_id, worker in assigned.items()
+            if not worker.process.is_alive()
+        ]
+        if not orphaned:
+            return
+        # retire dead workers first so dispatch never targets them
+        dead = {assigned[task_id].rank for task_id in orphaned}
+        for worker in [w for w in self._workers if w.rank in dead]:
+            self._workers.remove(worker)
+            self._retired.append(worker)
+        # keep the pool at strength within the respawn budget
+        while len(self._workers) < self._n_workers and self._budget.try_respawn():
+            self._workers.append(self._spawn_worker())
+        for task_id in orphaned:
+            if not self._budget.try_retry(task_id):
+                raise DistributedStepError(
+                    f"shard task {task_id} lost its worker more than "
+                    f"{self._budget.policy.max_task_retries} time(s)"
+                )
+            assigned[task_id] = self._dispatch(task_id, pending[task_id])

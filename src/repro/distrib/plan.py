@@ -1,0 +1,72 @@
+"""Shard planning: partition the ``S`` Monte-Carlo samples across workers.
+
+A training step's FW/BW/GC work is embarrassingly parallel along the sample
+axis; the planner cuts the canonical sample range ``0 .. S-1`` into
+contiguous, balanced shards.  Contiguity is a convenience (shards print
+nicely and keep cache-friendly slice semantics on the coordinator), not a
+correctness requirement -- the reduction is performed per canonical sample
+index, so *any* partition of the samples produces a bit-identical parameter
+trajectory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ShardPlan", "plan_shards"]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The partition of one step's Monte-Carlo samples into worker shards."""
+
+    n_samples: int
+    shards: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        seen: set[int] = set()
+        for shard in self.shards:
+            if not shard:
+                raise ValueError("a shard plan must not contain empty shards")
+            seen.update(shard)
+        if seen != set(range(self.n_samples)):
+            raise ValueError(
+                f"shards {self.shards} do not partition 0..{self.n_samples - 1}"
+            )
+        if sum(len(shard) for shard in self.shards) != self.n_samples:
+            raise ValueError("shards overlap")
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def owner_of(self, sample_index: int) -> tuple[int, int]:
+        """``(shard_index, local_index)`` of a canonical sample index."""
+        for shard_index, shard in enumerate(self.shards):
+            try:
+                return shard_index, shard.index(sample_index)
+            except ValueError:
+                continue
+        raise KeyError(f"sample {sample_index} is in no shard")
+
+
+def plan_shards(n_samples: int, n_shards: int) -> ShardPlan:
+    """Cut ``0 .. n_samples-1`` into at most ``n_shards`` contiguous shards.
+
+    Shard sizes differ by at most one (the first ``n_samples % n_shards``
+    shards take the extra sample); when there are more shards than samples
+    the surplus shards are simply not created -- every shard is non-empty.
+    """
+    if n_samples < 1:
+        raise ValueError("n_samples must be at least 1")
+    if n_shards < 1:
+        raise ValueError("n_shards must be at least 1")
+    n_shards = min(n_shards, n_samples)
+    base, extra = divmod(n_samples, n_shards)
+    shards: list[tuple[int, ...]] = []
+    start = 0
+    for shard_index in range(n_shards):
+        size = base + (1 if shard_index < extra else 0)
+        shards.append(tuple(range(start, start + size)))
+        start += size
+    return ShardPlan(n_samples=n_samples, shards=tuple(shards))

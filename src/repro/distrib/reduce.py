@@ -1,0 +1,92 @@
+"""Canonical-order gradient reduction for distributed training.
+
+The single-process GC stage accumulates every parameter's gradient one
+Monte-Carlo sample at a time, left to right: ``grad = ((c0 + c1) + c2) + ...``
+Float addition is not associative, so shard-level *partial sums* cannot be
+combined into that value bit-exactly.  The reducer therefore consumes the
+**per-sample contribution stacks** the shard workers captured on their
+gradient tapes and replays the additions in canonical sample order across
+shards -- the identical sequence of float operations the single-process
+batched (and sequential) trainers perform.  The same canonical-order replay
+reduces the scalar loss terms and the summed predictive probabilities.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from .plan import ShardPlan
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..bnn.model import BayesianNetwork
+
+__all__ = ["DistributedReductionError", "reduce_step_outputs"]
+
+
+class DistributedReductionError(RuntimeError):
+    """A shard result does not fit the step's plan or the model's parameters."""
+
+
+def _validate(
+    model: "BayesianNetwork", plan: ShardPlan, shard_results: Sequence[dict]
+) -> None:
+    if len(shard_results) != plan.n_shards:
+        raise DistributedReductionError(
+            f"{len(shard_results)} shard results for {plan.n_shards} shards"
+        )
+    names = {param.name for param in model.parameters()}
+    for shard, result in zip(plan.shards, shard_results):
+        if tuple(result["shard"]) != shard:
+            raise DistributedReductionError(
+                f"result shard {result['shard']} does not match plan shard {shard}"
+            )
+        contributions = result["contributions"]
+        missing = sorted(names - set(contributions))
+        unexpected = sorted(set(contributions) - names)
+        if missing or unexpected:
+            raise DistributedReductionError(
+                f"shard {shard} contributions do not match the model: "
+                f"missing={missing}, unexpected={unexpected}"
+            )
+        for name, stack in contributions.items():
+            if stack.shape[0] != len(shard):
+                raise DistributedReductionError(
+                    f"shard {shard} stack for {name!r} carries {stack.shape[0]} "
+                    f"samples, expected {len(shard)}"
+                )
+        if len(result["nlls"]) != len(shard):
+            raise DistributedReductionError(
+                f"shard {shard} returned {len(result['nlls'])} loss terms"
+            )
+
+
+def reduce_step_outputs(
+    model: "BayesianNetwork",
+    plan: ShardPlan,
+    shard_results: Sequence[dict],
+) -> tuple[float, np.ndarray]:
+    """Reduce one step's shard results into the coordinator's model.
+
+    Zeroes the model's gradients, then accumulates every parameter's
+    per-sample contributions, the per-sample loss terms and the predictive
+    probabilities in canonical sample order.  Returns ``(total_nll,
+    correct_probs)`` exactly as the single-process pipelines produce them.
+    """
+    _validate(model, plan, shard_results)
+    owners = [plan.owner_of(s) for s in range(plan.n_samples)]
+    model.zero_grad()
+    for param in model.parameters():
+        grad = param.grad
+        for shard_index, local_index in owners:
+            grad += shard_results[shard_index]["contributions"][param.name][
+                local_index
+            ]
+    total_nll = 0.0
+    correct_probs = np.zeros(shard_results[0]["probabilities"].shape[1:])
+    for shard_index, local_index in owners:
+        result = shard_results[shard_index]
+        total_nll += result["nlls"][local_index]
+        correct_probs += result["probabilities"][local_index]
+    return total_nll, correct_probs

@@ -415,6 +415,18 @@ class ReplicaSpec:
     quantization: object | None = field(default=None, repr=False)
 
     @classmethod
+    def structural(cls, spec: ModelSpec, build_seed: int = 0) -> "ReplicaSpec":
+        """A replica recipe carrying only the structure, no trained state.
+
+        The distributed *training* workers rebuild from this: the coordinator
+        ships the current parameter values with every step, so capturing a
+        parameter snapshot here would be dead weight -- only the layer
+        structure (and the build seed, for any structural randomness) must
+        match the coordinator's model.
+        """
+        return cls(spec=spec, build_seed=build_seed)
+
+    @classmethod
     def capture(
         cls, spec: ModelSpec, model: "BayesianNetwork", build_seed: int = 0
     ) -> "ReplicaSpec":

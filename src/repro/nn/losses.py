@@ -13,7 +13,25 @@ import numpy as np
 from .functional import softmax
 from .tensor_utils import one_hot
 
-__all__ = ["Loss", "SoftmaxCrossEntropy", "MeanSquaredError"]
+__all__ = ["Loss", "SoftmaxCrossEntropy", "MeanSquaredError", "loss_probabilities"]
+
+
+def loss_probabilities(loss: "Loss", logits: np.ndarray) -> np.ndarray:
+    """Predictive probabilities of the most recent ``loss.forward(logits, ...)``.
+
+    Losses that already computed a predictive distribution expose it as a
+    ``probabilities`` attribute (e.g. :class:`SoftmaxCrossEntropy`'s cached
+    softmax) and it is reused; otherwise the softmax of ``logits`` is
+    computed here.  Both the single-process trainers and the distributed
+    shard workers derive their per-sample probabilities through this one
+    helper, so the two can never drift apart on the tie-break between
+    cached and recomputed values (a bit-exactness contract, not a style
+    point).
+    """
+    probabilities = getattr(loss, "probabilities", None)
+    if probabilities is not None:
+        return probabilities
+    return softmax(logits)
 
 
 class Loss:

@@ -29,6 +29,60 @@ class Optimizer:
         """Apply one update using the currently accumulated gradients."""
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def slot_arrays(self) -> dict[str, list[np.ndarray]]:
+        """Per-parameter optimiser slot tensors, keyed by slot name.
+
+        Each value is a list aligned with :attr:`parameters`; subclasses
+        override.  Resuming a run from a checkpoint restores these exactly --
+        momentum / moment estimates are part of the parameter trajectory.
+        """
+        return {}
+
+    def state_dict(self) -> dict:
+        """Optimiser state in checkpoint form (slot tensors + step counter)."""
+        return {
+            "type": type(self).__name__.lower(),
+            "slots": {
+                slot: [array.copy() for array in arrays]
+                for slot, arrays in self.slot_arrays().items()
+            },
+            "step_count": getattr(self, "_step_count", 0),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict` (exact, in place)."""
+        if state.get("type") != type(self).__name__.lower():
+            raise ValueError(
+                f"optimizer state is for {state.get('type')!r}, "
+                f"this optimizer is {type(self).__name__.lower()!r}"
+            )
+        slots = self.slot_arrays()
+        saved = state.get("slots", {})
+        if set(saved) != set(slots):
+            raise ValueError(
+                f"optimizer slots do not match: checkpoint {sorted(saved)}, "
+                f"optimizer {sorted(slots)}"
+            )
+        for slot, arrays in slots.items():
+            stored = saved[slot]
+            if len(stored) != len(arrays):
+                raise ValueError(
+                    f"slot {slot!r} carries {len(stored)} tensors for "
+                    f"{len(arrays)} parameters"
+                )
+            for array, value in zip(arrays, stored):
+                if array.shape != value.shape:
+                    raise ValueError(
+                        f"slot {slot!r} shape mismatch: checkpoint "
+                        f"{value.shape}, optimizer {array.shape}"
+                    )
+                array[...] = value
+        if hasattr(self, "_step_count"):
+            self._step_count = int(state.get("step_count", 0))
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay."""
@@ -46,6 +100,9 @@ class SGD(Optimizer):
         self.momentum = momentum
         self.weight_decay = weight_decay
         self._velocity = [np.zeros_like(p.value) for p in self.parameters]
+
+    def slot_arrays(self) -> dict[str, list[np.ndarray]]:
+        return {"velocity": self._velocity}
 
     def step(self) -> None:
         for param, velocity in zip(self.parameters, self._velocity):
@@ -81,6 +138,9 @@ class Adam(Optimizer):
         self._step_count = 0
         self._m = [np.zeros_like(p.value) for p in self.parameters]
         self._v = [np.zeros_like(p.value) for p in self.parameters]
+
+    def slot_arrays(self) -> dict[str, list[np.ndarray]]:
+        return {"m": self._m, "v": self._v}
 
     def step(self) -> None:
         self._step_count += 1

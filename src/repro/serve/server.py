@@ -41,6 +41,7 @@ from ..models.zoo import ReplicaSpec
 from .executor import SamplingConfig, TileExecutor
 from .microbatcher import MicroBatcher, PendingItem, QueueClosed
 from .stats import ServerStats, StatsSnapshot
+from ..distrib.respawn import RespawnPolicy
 from .worker import WorkerPool
 
 __all__ = ["PredictionServer", "ServerConfig", "ServerClosed"]
@@ -65,6 +66,12 @@ class ServerConfig:
     tiles across that many replica processes."""
     start_method: str | None = None
     """Multiprocessing start method (``None``: fork where available)."""
+    worker_respawns: int = 0
+    """Total replacement workers the pool may spawn after crashes.  ``0``
+    keeps the fail-fast semantics (a dead worker's tiles fail immediately);
+    ``>= 1`` also re-queues a dead worker's in-flight tiles once before
+    failing their futures -- retried tiles return byte-identical results
+    because tile epsilons derive from the request's seed, not worker state."""
     max_cached_configs: int = 8
     """Epsilon-cache entries kept per executor (one per sampling config)."""
     latency_window: int = 4096
@@ -73,6 +80,8 @@ class ServerConfig:
     def __post_init__(self) -> None:
         if self.n_workers < 0:
             raise ValueError("n_workers must be non-negative")
+        if self.worker_respawns < 0:
+            raise ValueError("worker_respawns must be non-negative")
 
 
 @dataclass
@@ -130,12 +139,18 @@ class PredictionServer:
         self._started = True
         if self._config.n_workers:
             # fork the workers BEFORE any service thread exists
+            respawn = (
+                RespawnPolicy(max_respawns=self._config.worker_respawns)
+                if self._config.worker_respawns
+                else None
+            )
             self._pool = WorkerPool(
                 self._replica,
                 n_workers=self._config.n_workers,
                 result_handler=self._on_tile_result,
                 max_cached_configs=self._config.max_cached_configs,
                 start_method=self._config.start_method,
+                respawn=respawn,
             )
             self._pool.start()
         else:

@@ -13,11 +13,19 @@ assignment.
 
 Tiles are sharded round-robin onto per-worker task queues (rather than one
 shared queue) so that every in-flight tile has a known owner: when a worker
-dies, exactly its outstanding tiles can be failed fast with
-:class:`WorkerCrashError` instead of hanging, and tiles queued to healthy
-workers are unaffected.  A single collector thread drains the shared result
-queue, watches worker liveness, and reports completions to the server
-through a callback.
+dies, exactly its outstanding tiles are affected, and tiles queued to
+healthy workers are unaffected.  A single collector thread drains the
+shared result queue, watches worker liveness, and reports completions to
+the server through a callback.
+
+With a :class:`~repro.distrib.respawn.RespawnPolicy` the pool also
+*recovers*: a crashed worker is replaced (bounded by the policy's respawn
+budget) and its orphaned tiles are re-queued onto healthy workers (bounded
+per tile) before anything is failed with :class:`WorkerCrashError`.
+Re-execution is safe because a tile's epsilons derive from the request's
+seed, never from worker state -- a retried tile returns byte-identical
+probabilities.  Without a policy (the default) a dead worker's tiles fail
+fast, the pre-respawn behaviour.
 """
 
 from __future__ import annotations
@@ -32,6 +40,7 @@ from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
+from ..distrib.respawn import RespawnBudget, RespawnPolicy
 from .executor import SamplingConfig, TileExecutor
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
@@ -51,6 +60,7 @@ class TileExecutionError(RuntimeError):
 
 
 def _worker_main(
+    rank: int,
     replica: "ReplicaSpec",
     max_cached_configs: int,
     task_queue,
@@ -59,9 +69,9 @@ def _worker_main(
     """Worker process body: rebuild the replica, then serve tiles forever."""
     try:
         executor = TileExecutor(replica.build(), max_cached_configs=max_cached_configs)
-        result_queue.put(("ready", None, None))
+        result_queue.put(("ready", rank, None))
     except BaseException:  # pragma: no cover - defensive startup reporting
-        result_queue.put(("fatal", None, traceback.format_exc()))
+        result_queue.put(("fatal", rank, traceback.format_exc()))
         return
     while True:
         task = task_queue.get()
@@ -85,9 +95,12 @@ def _worker_main(
 
 @dataclass
 class _Worker:
+    rank: int
     process: multiprocessing.process.BaseProcess
     task_queue: object
-    outstanding: set[int] = field(default_factory=set)
+    # tile_id -> the dispatched requests, kept so a respawn-enabled pool can
+    # re-queue exactly what a dead worker was holding
+    outstanding: dict[int, list] = field(default_factory=dict)
     ready: bool = False
 
 
@@ -111,6 +124,7 @@ class WorkerPool:
         ],
         max_cached_configs: int = 8,
         start_method: str | None = None,
+        respawn: RespawnPolicy | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("a worker pool needs at least one worker")
@@ -125,10 +139,17 @@ class WorkerPool:
         self._n_workers = n_workers
         self._max_cached_configs = max_cached_configs
         self._result_handler = result_handler
+        # no policy: the pre-respawn semantics -- dead workers are not
+        # replaced and their tiles fail immediately
+        self._budget = RespawnBudget(
+            respawn or RespawnPolicy(max_respawns=0, max_task_retries=0)
+        )
         self._workers: list[_Worker] = []
+        self._retired: list[_Worker] = []
         self._result_queue = self._ctx.Queue()
         self._lock = threading.Lock()
         self._next_worker = 0
+        self._next_rank = 0
         self._collector: threading.Thread | None = None
         self._stop_event = threading.Event()
         self._started = False
@@ -145,26 +166,37 @@ class WorkerPool:
         """The worker processes (exposed for tests and diagnostics)."""
         return [worker.process for worker in self._workers]
 
+    @property
+    def respawns_used(self) -> int:
+        """How many replacement workers have been spawned so far."""
+        return self._budget.respawns_used
+
     # ------------------------------------------------------------------
+    def _spawn_worker(self) -> _Worker:
+        task_queue = self._ctx.Queue()
+        rank = self._next_rank
+        self._next_rank += 1
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                rank,
+                self._replica,
+                self._max_cached_configs,
+                task_queue,
+                self._result_queue,
+            ),
+            daemon=True,
+        )
+        process.start()
+        return _Worker(rank=rank, process=process, task_queue=task_queue)
+
     def start(self, timeout: float = 60.0) -> None:
         """Fork the workers and wait until every replica reports ready."""
         if self._started:
             raise RuntimeError("worker pool already started")
         self._started = True
         for _ in range(self._n_workers):
-            task_queue = self._ctx.Queue()
-            process = self._ctx.Process(
-                target=_worker_main,
-                args=(
-                    self._replica,
-                    self._max_cached_configs,
-                    task_queue,
-                    self._result_queue,
-                ),
-                daemon=True,
-            )
-            process.start()
-            self._workers.append(_Worker(process=process, task_queue=task_queue))
+            self._workers.append(self._spawn_worker())
         ready = 0
         while ready < self._n_workers:
             try:
@@ -201,12 +233,16 @@ class WorkerPool:
         # pooled and inline execution can never diverge on a config field
         payload = list(requests)
         with self._lock:
-            candidates = [w for w in self._workers if w.process.is_alive()]
-            if not candidates:
+            alive = [w for w in self._workers if w.process.is_alive()]
+            if not alive:
                 raise WorkerCrashError("no healthy workers remain in the pool")
+            # prefer workers whose replica is built (a freshly respawned
+            # replacement is alive but still constructing); fall back to the
+            # spawning ones -- their queue simply drains once they are up
+            candidates = [w for w in alive if w.ready] or alive
             worker = candidates[self._next_worker % len(candidates)]
             self._next_worker += 1
-            worker.outstanding.add(tile_id)
+            worker.outstanding[tile_id] = payload
         worker.task_queue.put((tile_id, payload))
 
     # ------------------------------------------------------------------
@@ -225,6 +261,13 @@ class WorkerPool:
 
     def _handle_message(self, message) -> None:
         kind, tile_id, payload = message
+        if kind == "ready":
+            # a respawned replacement finished building its replica
+            with self._lock:
+                for worker in self._workers:
+                    if worker.rank == tile_id:
+                        worker.ready = True
+            return
         if kind == "done":
             outcomes = [
                 (value, None)
@@ -239,22 +282,27 @@ class WorkerPool:
                 None,
                 TileExecutionError(f"tile {tile_id} failed in worker:\n{payload}"),
             )
-        # "ready"/"fatal" past startup cannot occur; ignore defensively
+        # "fatal" past startup means a respawned replacement failed to build;
+        # its process exits right after, so the liveness reaper handles it
 
     def _finish(self, tile_id: int, results, error) -> None:
         with self._lock:
-            for worker in self._workers:
-                worker.outstanding.discard(tile_id)
+            for worker in self._workers + self._retired:
+                worker.outstanding.pop(tile_id, None)
+        self._budget.forget(tile_id)
         self._result_handler(tile_id, results, error)
 
     def _reap_dead_workers(self) -> None:
         with self._lock:
-            any_dead_with_work = any(
-                not worker.process.is_alive() and worker.outstanding
-                for worker in self._workers
-            )
-        if not any_dead_with_work:
-            return
+            dead = [w for w in self._workers if not w.process.is_alive()]
+            any_dead_with_work = any(worker.outstanding for worker in dead)
+            # without a respawn budget an *idle* dead worker needs no action
+            # (dispatch skips it); with one, replace it right away
+            if not dead or not (
+                any_dead_with_work
+                or self._budget.respawns_used < self._budget.policy.max_respawns
+            ):
+                return
         # A worker may have completed tiles (results already on the queue)
         # before dying mid-way through a later one.  Deliver every queued
         # result first so only genuinely unfinished tiles are orphaned; the
@@ -264,14 +312,32 @@ class WorkerPool:
                 self._handle_message(self._result_queue.get(timeout=0.1))
             except Empty:
                 break
-        orphaned: list[int] = []
+        orphaned: list[tuple[int, list]] = []
         with self._lock:
-            for worker in self._workers:
-                if worker.process.is_alive() or not worker.outstanding:
+            for worker in list(self._workers):
+                if worker.process.is_alive():
                     continue
-                orphaned.extend(worker.outstanding)
+                # retire the dead worker so dispatch never targets it again
+                self._workers.remove(worker)
+                self._retired.append(worker)
+                orphaned.extend(worker.outstanding.items())
                 worker.outstanding.clear()
-        for tile_id in orphaned:
+            # keep the pool at strength within the respawn budget
+            while len(self._workers) < self._n_workers and self._budget.try_respawn():
+                self._workers.append(self._spawn_worker())
+        for tile_id, payload in orphaned:
+            # a tile may lose its worker max_task_retries times before its
+            # futures fail; with no respawn policy (max_task_retries used
+            # with max_respawns=0) a retry still succeeds when another
+            # healthy worker can take the tile
+            if self._budget.policy.max_task_retries and self._budget.try_retry(
+                tile_id
+            ):
+                try:
+                    self.dispatch(tile_id, payload)
+                    continue
+                except WorkerCrashError:
+                    pass  # no healthy worker left for the retry: fail below
             self._result_handler(
                 tile_id,
                 None,
@@ -300,7 +366,7 @@ class WorkerPool:
                     worker.task_queue.put(None)
                 except Exception:  # pragma: no cover - queue already broken
                     pass
-        for worker in self._workers:
+        for worker in self._workers + self._retired:
             worker.process.join(timeout=timeout)
             if worker.process.is_alive():  # pragma: no cover - stuck worker
                 worker.process.kill()

@@ -1,0 +1,247 @@
+"""Unit tests for the distributed-training building blocks.
+
+Covers the shard planner, the respawn budget, the per-sample gradient tape
+(including the trainable-deterministic-layer capture path), the canonical
+order reducer's validation, and the shard-aware ``StreamBank`` seeding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bnn import BNNTrainer, SampleGradientTape, TrainerConfig
+from repro.bnn.grad_tape import active_tape
+from repro.core.checkpoint import StreamBank
+from repro.core.streams import StreamUsage
+from repro.distrib import (
+    DistributedReductionError,
+    RespawnBudget,
+    RespawnPolicy,
+    ShardPlan,
+    plan_shards,
+    reduce_step_outputs,
+)
+from repro.models import get_model
+
+
+class TestShardPlanner:
+    def test_even_partition(self):
+        plan = plan_shards(8, 4)
+        assert plan.shards == ((0, 1), (2, 3), (4, 5), (6, 7))
+
+    def test_uneven_partition_front_loads_extras(self):
+        plan = plan_shards(7, 3)
+        assert plan.shards == ((0, 1, 2), (3, 4), (5, 6))
+
+    def test_more_shards_than_samples_drops_empties(self):
+        plan = plan_shards(2, 5)
+        assert plan.shards == ((0,), (1,))
+
+    def test_single_shard(self):
+        assert plan_shards(4, 1).shards == ((0, 1, 2, 3),)
+
+    def test_owner_lookup(self):
+        plan = plan_shards(5, 2)
+        assert plan.owner_of(0) == (0, 0)
+        assert plan.owner_of(3) == (1, 0)
+        assert plan.owner_of(4) == (1, 1)
+        with pytest.raises(KeyError):
+            plan.owner_of(5)
+
+    def test_invalid_plans_rejected(self):
+        with pytest.raises(ValueError):
+            plan_shards(0, 1)
+        with pytest.raises(ValueError):
+            plan_shards(4, 0)
+        with pytest.raises(ValueError):
+            ShardPlan(n_samples=3, shards=((0, 1),))  # sample 2 unowned
+        with pytest.raises(ValueError):
+            ShardPlan(n_samples=2, shards=((0, 1), ()))
+
+
+class TestRespawnBudget:
+    def test_respawns_bounded(self):
+        budget = RespawnBudget(RespawnPolicy(max_respawns=2))
+        assert budget.try_respawn() and budget.try_respawn()
+        assert not budget.try_respawn()
+        assert budget.respawns_used == 2
+
+    def test_task_retries_bounded_per_task(self):
+        budget = RespawnBudget(RespawnPolicy(max_task_retries=1))
+        assert budget.try_retry("a")
+        assert not budget.try_retry("a")
+        assert budget.try_retry("b")
+        budget.forget("a")
+        assert budget.try_retry("a")
+
+    def test_negative_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            RespawnPolicy(max_respawns=-1)
+
+
+class TestSampleGradientTape:
+    def test_nesting_and_duplicate_detection(self):
+        assert active_tape() is None
+        with SampleGradientTape() as tape:
+            assert active_tape() is tape
+            tape.record("w", np.zeros((2, 3)))
+            with pytest.raises(ValueError):
+                tape.record("w", np.zeros((2, 3)))
+        assert active_tape() is None
+        assert set(tape.contributions) == {"w"}
+
+    def test_capture_matches_accumulation_bit_for_bit(self):
+        """A taped pass records exactly what the untaped pass accumulates."""
+        spec = get_model("B-MLP", reduced=True)
+        config = TrainerConfig(n_samples=3, seed=5, grng_stride=32)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(8, 196))
+        y = rng.integers(0, 10, size=8)
+
+        def run(taped):
+            trainer = BNNTrainer(spec.build_bayesian(seed=7), config)
+            trainer.model.train()
+            trainer.model.zero_grad()
+            sampler = trainer.bank.batched_sampler()
+            tape = SampleGradientTape()
+            if taped:
+                tape.__enter__()
+            try:
+                logits = trainer.model.forward_samples(x, sampler)
+                grad_logits = np.empty_like(logits)
+                for s in range(config.n_samples):
+                    trainer.loss.forward(logits[s], y)
+                    grad_logits[s] = trainer.loss.backward()
+                trainer.model.backward_samples(grad_logits, sampler, kl_weight=0.1)
+            finally:
+                if taped:
+                    tape.__exit__(None, None, None)
+            trainer.bank.finish_iteration()
+            return trainer, tape
+
+        accumulated, _ = run(taped=False)
+        _, tape = run(taped=True)
+        for param in accumulated.model.parameters():
+            stack = tape.contributions[param.name]
+            assert stack.shape == (config.n_samples,) + param.value.shape
+            replayed = np.zeros_like(param.grad)
+            for s in range(config.n_samples):
+                replayed += stack[s]
+            assert np.array_equal(replayed, param.grad), param.name
+
+    def test_deterministic_trainable_layer_captured_per_sample(self):
+        """The det-layer fallback captures per-sample contributions exactly."""
+        from repro.bnn import BayesDense, BayesianNetwork
+        from repro.nn.layers import Dense, ReLU
+
+        def build():
+            return BayesianNetwork(
+                [
+                    BayesDense(6, 5, rng=np.random.default_rng(3)),
+                    ReLU(),
+                    Dense(5, 4, rng=np.random.default_rng(4)),
+                ]
+            )
+
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(4, 6))
+        grad_out = rng.normal(size=(3, 4, 4))
+
+        def run(taped):
+            model = build()
+            bank = StreamBank(n_samples=3, seed=9, grng_stride=16)
+            model.train()
+            model.zero_grad()
+            sampler = bank.batched_sampler()
+            model.forward_samples(x, sampler)
+            tape = SampleGradientTape()
+            if taped:
+                with tape:
+                    model.backward_samples(grad_out, sampler, kl_weight=0.0)
+            else:
+                model.backward_samples(grad_out, sampler, kl_weight=0.0)
+            bank.finish_iteration()
+            return model, tape
+
+        accumulated, _ = run(taped=False)
+        _, tape = run(taped=True)
+        for param in accumulated.parameters():
+            replayed = np.zeros_like(param.grad)
+            for s in range(3):
+                replayed += tape.contributions[param.name][s]
+            assert np.array_equal(replayed, param.grad), param.name
+
+
+class TestReducerValidation:
+    def _plan_and_result(self):
+        plan = plan_shards(2, 2)
+        result = {
+            "shard": (0,),
+            "contributions": {},
+            "nlls": [0.0],
+            "probabilities": np.zeros((1, 2, 3)),
+        }
+        return plan, result
+
+    def test_shard_count_mismatch_rejected(self):
+        spec = get_model("B-MLP", reduced=True)
+        model = spec.build_bayesian(seed=1)
+        plan, result = self._plan_and_result()
+        with pytest.raises(DistributedReductionError):
+            reduce_step_outputs(model, plan, [result])
+
+    def test_contribution_names_validated(self):
+        spec = get_model("B-MLP", reduced=True)
+        model = spec.build_bayesian(seed=1)
+        plan = plan_shards(1, 1)
+        result = {
+            "shard": (0,),
+            "contributions": {"nope": np.zeros((1, 2))},
+            "nlls": [0.0],
+            "probabilities": np.zeros((1, 2, 10)),
+        }
+        with pytest.raises(DistributedReductionError, match="missing"):
+            reduce_step_outputs(model, plan, [result])
+
+
+class TestShardedStreamBank:
+    def test_shard_rows_match_full_bank_rows(self):
+        """Row j of a shard bank == canonical row shard[j] of the full bank."""
+        full = StreamBank(n_samples=4, seed=3, grng_stride=8)
+        shard = StreamBank(
+            n_samples=2, seed=3, grng_stride=8, sample_indices=(1, 3)
+        )
+        full_blocks = [
+            stream.forward_block((5,)) for stream in full.streams
+        ]
+        shard_blocks = [
+            stream.forward_block((5,)) for stream in shard.streams
+        ]
+        assert np.array_equal(shard_blocks[0], full_blocks[1])
+        assert np.array_equal(shard_blocks[1], full_blocks[3])
+
+    def test_sample_indices_validated(self):
+        with pytest.raises(ValueError):
+            StreamBank(n_samples=2, sample_indices=(0,))
+        with pytest.raises(ValueError):
+            StreamBank(n_samples=1, sample_indices=(-1,))
+
+    def test_usage_state_roundtrip_and_merge(self):
+        usage = StreamUsage()
+        usage.record_generate(10)
+        usage.record_store(10)
+        usage.record_retrieve(10)
+        usage.record_release(10)
+        state = usage.state_dict()
+        other = StreamUsage()
+        other.load_state_dict(state)
+        assert other.state_dict() == state
+        other.reset()
+        assert other.generated_values == 0
+        # merging two per-iteration deltas reproduces two recorded iterations
+        merged = StreamUsage()
+        merged.merge_delta(state)
+        merged.merge_delta(state)
+        assert merged.generated_values == 20
+        assert merged.stored_values_peak == 10

@@ -245,3 +245,98 @@ class TestWorkerPoolServer:
             assert server.stats().requests_failed == 2
         finally:
             server.close(drain=False)
+
+
+class TestWorkerRespawn:
+    """Crash recovery: bounded respawns, one requeue per in-flight tile."""
+
+    def test_killed_worker_is_replaced_and_serving_continues(self, replica, rng):
+        x = _inputs(rng)
+        server = PredictionServer(
+            replica,
+            ServerConfig(n_workers=2, max_wait_ms=1.0, worker_respawns=2),
+        ).start()
+        try:
+            reference = server.predict(x, CFG)
+            victim = server._pool.processes[0]
+            victim.kill()
+            victim.join(timeout=10.0)
+            # requests keep being served (by survivors or the replacement),
+            # bit-identically
+            for _ in range(3):
+                result = server.predict(x, CFG)
+                assert np.array_equal(
+                    result.sample_probabilities, reference.sample_probabilities
+                )
+            deadline = time.monotonic() + 15.0
+            while (
+                time.monotonic() < deadline and server._pool.alive_workers < 2
+            ):
+                time.sleep(0.05)
+            assert server._pool.alive_workers == 2
+            assert server._pool.respawns_used == 1
+            assert server.stats().requests_failed == 0
+        finally:
+            server.close(drain=False)
+
+    def test_inflight_tile_requeued_once_before_failing(self, replica, rng):
+        """A tile queued on a worker that dies is re-executed, not failed."""
+        import os
+        import signal
+
+        from repro.distrib.respawn import RespawnPolicy
+        from repro.serve.worker import WorkerPool
+
+        x = _inputs(rng)
+        reference = mc_predict(
+            replica.build(), x, n_samples=4, seed=5, grng_stride=64
+        )
+        done = {}
+        event = threading.Event()
+
+        def handler(tile_id, outcomes, error):
+            done[tile_id] = (outcomes, error)
+            event.set()
+
+        pool = WorkerPool(
+            replica,
+            n_workers=2,
+            result_handler=handler,
+            respawn=RespawnPolicy(max_respawns=1, max_task_retries=1),
+        )
+        pool.start()
+        try:
+            victim = pool._workers[0]
+            # freeze the worker so the tile provably sits in its queue, then
+            # kill it -- the deterministic version of "died mid-tile"
+            os.kill(victim.process.pid, signal.SIGSTOP)
+            pool._next_worker = 0  # route the tile to the frozen worker
+            pool.dispatch(7, [(x, CFG)])
+            time.sleep(0.2)
+            os.kill(victim.process.pid, signal.SIGKILL)
+            assert event.wait(timeout=60.0), "requeued tile never completed"
+            outcomes, error = done[7]
+            assert error is None
+            probabilities, request_error = outcomes[0]
+            assert request_error is None
+            assert np.array_equal(probabilities, reference.sample_probabilities)
+            assert pool.respawns_used == 1
+        finally:
+            pool.stop(abort=True)
+
+    def test_without_policy_dead_worker_still_fails_fast(self, replica, rng):
+        """worker_respawns=0 keeps the pre-respawn fail-fast semantics."""
+        server = PredictionServer(
+            replica, ServerConfig(n_workers=1, max_wait_ms=1.0)
+        ).start()
+        try:
+            server.predict(_inputs(rng), CFG)
+            process = server._pool.processes[0]
+            process.kill()
+            process.join(timeout=10.0)
+            doomed = server.submit(_inputs(rng), CFG)
+            with pytest.raises(WorkerCrashError):
+                doomed.result(timeout=60.0)
+            assert server._pool.respawns_used == 0
+        finally:
+            server.close(drain=False)
