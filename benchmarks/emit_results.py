@@ -4,7 +4,12 @@ Usage::
 
     PYTHONPATH=src python -m pytest benchmarks/test_bench_functional_training.py \
         benchmarks/test_bench_serving.py -q --benchmark-json bench_raw.json
-    python benchmarks/emit_results.py --input bench_raw.json --output BENCH_PR3.json
+    python benchmarks/emit_results.py --input bench_raw.json --tag engine
+
+``--tag NAME`` names the report ``BENCH_<NAME>.json`` (CI uses ``engine`` /
+``serving`` / ``distrib`` per job, so artifacts are named after what was
+measured rather than after the PR that introduced the job); ``--output``
+overrides the path explicitly.
 
 Two benchmark families are recognised (either or both may be present in the
 input; CI runs them in separate jobs and emits one report each):
@@ -258,7 +263,13 @@ def main(argv: list[str] | None = None) -> int:
         "--input", required=True, type=Path, help="pytest-benchmark JSON dump"
     )
     parser.add_argument(
-        "--output", default=Path("BENCH_PR3.json"), type=Path, help="report path"
+        "--output", default=None, type=Path, help="explicit report path"
+    )
+    parser.add_argument(
+        "--tag",
+        default=None,
+        help="name the report BENCH_<tag>.json (e.g. --tag engine writes "
+        "BENCH_engine.json); mutually exclusive with --output",
     )
     parser.add_argument(
         "--enforce",
@@ -268,15 +279,25 @@ def main(argv: list[str] | None = None) -> int:
         "on wall-clock ratios, so CI records the trajectory as an artifact)",
     )
     args = parser.parse_args(argv)
+    if args.tag is not None and args.output is not None:
+        parser.error("--tag and --output are mutually exclusive")
+    if args.tag is not None:
+        if not re.fullmatch(r"[A-Za-z0-9._-]+", args.tag):
+            parser.error(f"--tag {args.tag!r} is not a safe file-name fragment")
+        output = Path(f"BENCH_{args.tag}.json")
+    else:
+        output = args.output or Path("BENCH_results.json")
     raw = json.loads(args.input.read_text())
     report = build_report(raw)
-    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    if args.tag is not None:
+        report["tag"] = args.tag
+    output.write_text(json.dumps(report, indent=2) + "\n")
     total_cases = (
         len(report["cases"])
         + len(report.get("serving", {}).get("cases", {}))
         + len(report.get("distrib", {}).get("cases", {}))
     )
-    print(f"wrote {args.output}: {total_cases} cases")
+    print(f"wrote {output}: {total_cases} cases")
     for acceptance in report["acceptance"]:
         print(
             f"  acceptance: {acceptance['metric']}: {acceptance['measured']}x "

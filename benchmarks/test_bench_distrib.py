@@ -18,11 +18,13 @@ baseline (the per-step payloads are O(model) and the arithmetic is
 unchanged).  On multi-core hardware the same code path shards the dominant
 FW/BW/GC work across cores.  Every mode's parameter trajectory is asserted
 bit-identical per round; ``benchmarks/emit_results.py`` turns a
-``--benchmark-json`` dump of this module into the ``BENCH_PR4.json``
+``--benchmark-json`` dump of this module into the ``BENCH_distrib.json``
 distributed-training report.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
@@ -34,6 +36,9 @@ from repro.models import ReplicaSpec, get_model
 
 N_SAMPLES = 8
 STEPS = 4
+#: Library-default strided GRNG by default; the nightly CI run also exercises
+#: the hardware-faithful stride (``BENCH_GRNG_STRIDE=1``).
+_BENCH_STRIDE = int(os.environ.get("BENCH_GRNG_STRIDE", "256"))
 
 #: mode -> (n_workers, n_shards); None marks the single-process baseline
 DISTRIB_MODES: dict[str, tuple[int, int] | None] = {
@@ -61,7 +66,7 @@ def test_bench_distrib(benchmark, mode):
     benchmark.extra_info["n_steps"] = STEPS
     spec, batches = _workload()
     config = TrainerConfig(
-        n_samples=N_SAMPLES, learning_rate=5e-3, seed=11, grng_stride=256
+        n_samples=N_SAMPLES, learning_rate=5e-3, seed=11, grng_stride=_BENCH_STRIDE
     )
     reference = _reference_parameters(spec, batches, config)
     workers = DISTRIB_MODES[mode]

@@ -21,7 +21,7 @@ strides:
 Every mode returns bit-identical answers (asserted here per round and
 property-tested in ``tests/integration/test_serving_equivalence.py``);
 ``benchmarks/emit_results.py`` turns a ``--benchmark-json`` dump of this
-module into the ``BENCH_PR3.json`` serving-speedup report.
+module into the ``BENCH_serving.json`` serving-speedup report.
 """
 
 from __future__ import annotations

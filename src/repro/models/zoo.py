@@ -20,6 +20,7 @@ in seconds on a CPU.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -446,6 +447,33 @@ class ReplicaSpec:
             state=state,
             quantization=model.quantization,
         )
+
+    def fingerprint(self) -> str:
+        """Content hash identifying the replica this spec rebuilds.
+
+        Covers everything :meth:`build` consumes: the structural spec, the
+        builder seed, every captured parameter tensor (name, shape, dtype and
+        raw bytes) and the quantization setting.  Two specs with equal
+        fingerprints rebuild bit-identical models, so the serving model
+        registry can use the digest both as a version identity check (the
+        same version name may not be re-registered with different contents)
+        and as the provenance tag reported over the wire.
+        """
+        digest = hashlib.sha256()
+        # frozen-dataclass reprs are deterministic and cover nested layer specs
+        digest.update(repr(self.spec).encode())
+        digest.update(f"build_seed={self.build_seed}".encode())
+        if self.state is None:
+            digest.update(b"structural")
+        else:
+            for name in sorted(self.state):
+                value = np.ascontiguousarray(self.state[name])
+                digest.update(name.encode())
+                digest.update(f"{value.dtype}{value.shape}".encode())
+                digest.update(value.tobytes())
+        if self.quantization is not None:
+            digest.update(repr(self.quantization).encode())
+        return digest.hexdigest()
 
     def build(self) -> "BayesianNetwork":
         """Instantiate the replica (bit-identical parameters to the source)."""

@@ -28,11 +28,22 @@ Quick start::
 
 from .executor import (
     EpsilonCache,
+    MultiVersionExecutor,
     PrecomputedEpsilonSampler,
     SamplingConfig,
     TileExecutor,
 )
+from .gateway import GatewayConfig, ServingGateway
 from .microbatcher import MicroBatcher, PendingItem, QueueClosed, QueueFull
+from .registry import (
+    DEFAULT_VERSION,
+    Deployment,
+    ModelRegistry,
+    ModelVersion,
+    RollbackUnavailableError,
+    UnknownVersionError,
+    VersionConflictError,
+)
 from .server import PredictionServer, ServerClosed, ServerConfig
 from .stats import ServerStats, StatsSnapshot
 from .worker import TileExecutionError, WorkerCrashError, WorkerPool
@@ -42,6 +53,7 @@ __all__ = [
     "EpsilonCache",
     "PrecomputedEpsilonSampler",
     "TileExecutor",
+    "MultiVersionExecutor",
     "MicroBatcher",
     "PendingItem",
     "QueueClosed",
@@ -54,4 +66,13 @@ __all__ = [
     "WorkerPool",
     "WorkerCrashError",
     "TileExecutionError",
+    "ModelRegistry",
+    "ModelVersion",
+    "Deployment",
+    "DEFAULT_VERSION",
+    "UnknownVersionError",
+    "VersionConflictError",
+    "RollbackUnavailableError",
+    "ServingGateway",
+    "GatewayConfig",
 ]

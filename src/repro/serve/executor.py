@@ -32,9 +32,10 @@ per-tile softmax allocations.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
@@ -42,15 +43,18 @@ from ..bnn.predict import mc_forward
 from ..core.checkpoint import StreamBank
 from ..core.sampler import BatchedWeightSampler, SampledWeightsBatch
 from ..core.streams import StreamOrderError
+from .registry import UnknownVersionError
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from ..bnn.model import BayesianNetwork
+    from ..models.zoo import ReplicaSpec
 
 __all__ = [
     "SamplingConfig",
     "EpsilonCache",
     "PrecomputedEpsilonSampler",
     "TileExecutor",
+    "MultiVersionExecutor",
 ]
 
 
@@ -153,6 +157,15 @@ class EpsilonCache:
         self._entries.move_to_end(config)
         while len(self._entries) > self._max_entries:
             self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every cached sweep (the hit/miss counters are kept).
+
+        Safe at any time: entries are a pure deterministic function of their
+        :class:`SamplingConfig` and the model's layer schedule, so dropping
+        them costs one regeneration kernel sweep and can never change bytes.
+        """
+        self._entries.clear()
 
 
 class TileExecutor:
@@ -280,3 +293,131 @@ class TileExecutor:
             except Exception as exc:
                 outcomes.append((None, exc))
         return outcomes
+
+
+class MultiVersionExecutor:
+    """Route per-request execution to per-model-version :class:`TileExecutor`s.
+
+    The hot-swap execution core: it holds one fully independent executor
+    (model replica, epsilon cache, scratch buffers) per *loaded* version, and
+    executes each request of a tile against the executor of the version the
+    request was pinned to at admission.  A tile dispatched across a deploy
+    may therefore legitimately mix versions -- every request still sees
+    exactly its pinned model's bytes, which is the no-cross-version-mixing
+    guarantee the swap tests assert.
+
+    Structural cache isolation: because every version owns a private
+    :class:`EpsilonCache`, a swapped-in model can never replay a sweep that
+    was validated against another version's layer schedule.  ``invalidate``
+    additionally drops a version's cached sweeps outright (the server calls
+    it for every non-active version on a swap, so cold versions do not pin
+    cache memory); entries regenerate deterministically on the next request.
+
+    Thread-safety: execution is per-request under an internal lock, so the
+    control operations (``load``/``unload``/``invalidate``, which arrive from
+    a deploy on another thread in the inline server) interleave between
+    requests, never mid-forward.  In a worker process both tiles and control
+    messages arrive through one task queue, so the lock is uncontended there.
+    """
+
+    def __init__(
+        self,
+        replicas: "Mapping[str, ReplicaSpec]",
+        max_cached_configs: int = 8,
+    ) -> None:
+        if not replicas:
+            raise ValueError("need at least one replica version to execute")
+        self._max_cached_configs = max_cached_configs
+        self._lock = threading.Lock()
+        self._executors: dict[str, TileExecutor] = {
+            version: TileExecutor(replica.build(), max_cached_configs)
+            for version, replica in replicas.items()
+        }
+
+    # ------------------------------------------------------------------
+    def versions(self) -> list[str]:
+        """The currently loaded version names (sorted)."""
+        with self._lock:
+            return sorted(self._executors)
+
+    def executor_for(self, version: str) -> TileExecutor:
+        """The loaded executor for ``version`` (for stats and tests)."""
+        with self._lock:
+            return self._require_locked(version)
+
+    def _require_locked(self, version: str) -> TileExecutor:
+        executor = self._executors.get(version)
+        if executor is None:
+            raise UnknownVersionError(
+                f"model version {version!r} is not loaded in this executor; "
+                f"loaded: {sorted(self._executors)}"
+            )
+        return executor
+
+    # ------------------------------------------------------------------
+    # control plane (deploy / retire)
+    # ------------------------------------------------------------------
+    def load(self, version: str, replica: "ReplicaSpec") -> None:
+        """Build and install the executor for ``version`` (idempotent).
+
+        The replica is built *outside* the lock -- construction is the
+        expensive part, and requests pinned to already-loaded versions must
+        not stall behind it.
+        """
+        with self._lock:
+            if version in self._executors:
+                return
+        executor = TileExecutor(replica.build(), self._max_cached_configs)
+        with self._lock:
+            self._executors.setdefault(version, executor)
+
+    def unload(self, version: str) -> None:
+        """Drop a version's executor (replica, epsilon cache, scratch)."""
+        with self._lock:
+            self._executors.pop(version, None)
+
+    def invalidate(self, version: str) -> None:
+        """Clear a loaded version's epsilon cache; unknown versions are a no-op."""
+        with self._lock:
+            executor = self._executors.get(version)
+            if executor is not None:
+                executor.cache.clear()
+
+    # ------------------------------------------------------------------
+    # data plane
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        requests: Sequence[tuple],
+    ) -> list[tuple[np.ndarray | None, Exception | None]]:
+        """Execute a (possibly version-mixed) tile; element ``i`` answers request ``i``.
+
+        Each request is ``(x, config, version)``; a 2-element ``(x, config)``
+        request is accepted when exactly one version is loaded (the
+        single-model :class:`~repro.serve.worker.WorkerPool` surface).  Error
+        isolation matches :meth:`TileExecutor.execute`: a request pinned to
+        an unloaded version fails alone with :class:`UnknownVersionError`.
+        """
+        outcomes: list[tuple[np.ndarray | None, Exception | None]] = []
+        for request in requests:
+            try:
+                if len(request) == 3:
+                    x, config, version = request
+                else:
+                    x, config = request
+                    version = self._sole_version()
+                with self._lock:
+                    executor = self._require_locked(version)
+                    outcomes.append((executor.execute_one(x, config), None))
+            except Exception as exc:
+                outcomes.append((None, exc))
+        return outcomes
+
+    def _sole_version(self) -> str:
+        with self._lock:
+            if len(self._executors) != 1:
+                raise UnknownVersionError(
+                    "a request without a version pin needs a single-version "
+                    f"executor; loaded: {sorted(self._executors)}"
+                )
+            return next(iter(self._executors))

@@ -1,0 +1,514 @@
+"""HTTP serving gateway: the wire protocol in front of ``PredictionServer``.
+
+This is the boundary real clients cross: a stdlib-only
+(:class:`http.server.ThreadingHTTPServer`) JSON-over-HTTP front-end layered
+on the versioned serving stack.  The endpoints:
+
+``POST /predict``
+    Body ``{"x": [[...], ...], "sampling": {...}, "version": "v2"?}``.
+    ``x`` is one request's input batch (first axis = rows); ``sampling``
+    holds any subset of the :class:`~repro.serve.executor.SamplingConfig`
+    fields; ``version`` optionally pins a loaded model version (canary
+    traffic), otherwise the request is pinned to the version active at
+    admission.  The response carries the pin (``version``, ``generation``)
+    plus ``predictions``, ``entropy``, ``mean_probabilities`` and
+    ``sample_probabilities``.
+
+``GET /healthz``
+    Liveness and rollout state (active version/generation, worker count).
+
+``GET /stats``
+    The :class:`~repro.serve.stats.StatsSnapshot`, including the per-version
+    request counters.
+
+``GET /models``
+    Registered versions (fingerprints, loaded flags), the active deployment
+    and the deploy history.
+
+``POST /models/deploy`` / ``POST /models/rollback``
+    Hot swap: ``{"version": "v2"}`` activates a registered version;
+    rollback re-activates the previously active one.  In-flight requests
+    finish on their pinned version -- see
+    :meth:`~repro.serve.server.PredictionServer.deploy`.
+
+Bit-exactness across the wire: responses are JSON with floats serialised via
+``repr`` (Python's shortest round-trip representation), so a client parsing
+``sample_probabilities`` back into a float64 array recovers **byte-identical**
+values to a direct in-process ``mc_predict`` call -- the integration suite
+asserts exactly that through a real socket.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import asdict, dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .executor import SamplingConfig
+from .microbatcher import QueueFull
+from .registry import (
+    ModelRegistry,
+    RollbackUnavailableError,
+    UnknownVersionError,
+    VersionConflictError,
+)
+from .server import PredictionServer, ServerClosed, ServerConfig
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from ..models.zoo import ReplicaSpec
+
+__all__ = ["ServingGateway", "GatewayConfig"]
+
+_SAMPLING_FIELDS = frozenset(SamplingConfig.__dataclass_fields__)
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Wire-level knobs of the HTTP gateway."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    """TCP port; ``0`` binds an ephemeral port (read it from ``address``)."""
+    predict_timeout_s: float = 60.0
+    """Per-request budget awaiting the serving future; exceeding it is 504."""
+    max_body_bytes: int = 64 * 1024 * 1024
+    """Requests with a larger ``Content-Length`` are refused with 413."""
+    include_sample_probabilities: bool = True
+    """Whether ``/predict`` responses carry the full ``(S, rows, classes)``
+    tensor (the bit-exactness surface) in addition to the summaries."""
+
+
+class _GatewayError(Exception):
+    """Internal: an HTTP error response with a status code and message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler; the owning gateway hangs off the HTTP server object."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-gateway/1.0"
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    @property
+    def gateway(self) -> "ServingGateway":
+        return self.server.gateway  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # a serving hot path must not write to stderr per request
+
+    def _respond(self, status: int, payload: dict) -> None:
+        if status >= 400:
+            # an error may leave an unread request body on the socket, which
+            # would corrupt the next keep-alive request; drop the connection
+            self.close_connection = True
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json_body(self) -> dict:
+        length = self.headers.get("Content-Length")
+        if length is None:
+            raise _GatewayError(411, "Content-Length is required")
+        try:
+            n_bytes = int(length)
+        except ValueError:
+            raise _GatewayError(400, "malformed Content-Length") from None
+        if n_bytes < 0:
+            # read(-1) would block until the client closes the socket
+            raise _GatewayError(400, "malformed Content-Length")
+        if n_bytes > self.gateway.config.max_body_bytes:
+            raise _GatewayError(
+                413, f"request body exceeds {self.gateway.config.max_body_bytes} bytes"
+            )
+        raw = self.rfile.read(n_bytes)
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise _GatewayError(400, f"request body is not valid JSON: {exc}") from None
+        if not isinstance(body, dict):
+            raise _GatewayError(400, "request body must be a JSON object")
+        return body
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        self._route("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        self._route("POST")
+
+    def _route(self, method: str) -> None:
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        routes = {
+            ("GET", "/healthz"): self._handle_healthz,
+            ("GET", "/stats"): self._handle_stats,
+            ("GET", "/models"): self._handle_models,
+            ("POST", "/predict"): self._handle_predict,
+            ("POST", "/models/deploy"): self._handle_deploy,
+            ("POST", "/models/rollback"): self._handle_rollback,
+        }
+        handler = routes.get((method, path))
+        try:
+            if handler is None:
+                known = sorted({p for (_, p) in routes})
+                raise _GatewayError(
+                    404, f"no route for {method} {path}; endpoints: {known}"
+                )
+            handler()
+        except _GatewayError as exc:
+            self._respond(exc.status, {"error": str(exc)})
+        except Exception as exc:  # pragma: no cover - last-resort isolation
+            self._respond(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def _handle_healthz(self) -> None:
+        gateway = self.gateway
+        active = gateway.prediction_server.active_deployment()
+        self._respond(
+            200,
+            {
+                "status": "ok",
+                "active_version": active.version,
+                "generation": active.generation,
+                "n_workers": gateway.server_config.n_workers,
+                "loaded_versions": gateway.prediction_server.loaded_versions(),
+            },
+        )
+
+    def _handle_stats(self) -> None:
+        snapshot = asdict(self.gateway.prediction_server.stats())
+        # JSON object keys are strings; make the int-keyed histogram explicit
+        snapshot["occupancy_histogram"] = {
+            str(key): value
+            for key, value in snapshot["occupancy_histogram"].items()
+        }
+        self._respond(200, snapshot)
+
+    def _handle_models(self) -> None:
+        gateway = self.gateway
+        registry = gateway.registry
+        active = registry.active
+        loaded = set(gateway.prediction_server.loaded_versions())
+        self._respond(
+            200,
+            {
+                "active_version": active.version if active else None,
+                "generation": active.generation if active else 0,
+                "rollback_target": registry.rollback_target,
+                "versions": [
+                    {
+                        "version": entry.version,
+                        "fingerprint": entry.fingerprint,
+                        "loaded": entry.version in loaded,
+                        "active": bool(active and active.version == entry.version),
+                    }
+                    for entry in registry.versions()
+                ],
+                "history": [
+                    {
+                        "version": deployment.version,
+                        "generation": deployment.generation,
+                        "deployed_at": deployment.deployed_at,
+                        "rolled_back": deployment.rolled_back,
+                    }
+                    for deployment in registry.history()
+                ],
+            },
+        )
+
+    def _parse_sampling(self, body: dict) -> SamplingConfig:
+        sampling = body.get("sampling", {})
+        if not isinstance(sampling, dict):
+            raise _GatewayError(400, '"sampling" must be a JSON object')
+        unknown = sorted(set(sampling) - _SAMPLING_FIELDS)
+        if unknown:
+            raise _GatewayError(
+                400,
+                f"unknown sampling fields {unknown}; "
+                f"allowed: {sorted(_SAMPLING_FIELDS)}",
+            )
+        try:
+            return SamplingConfig(**sampling)
+        except (TypeError, ValueError) as exc:
+            raise _GatewayError(400, f"invalid sampling config: {exc}") from None
+
+    def _parse_inputs(self, body: dict) -> np.ndarray:
+        if "x" not in body:
+            raise _GatewayError(400, 'the request body needs an "x" input batch')
+        try:
+            x = np.asarray(body["x"], dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise _GatewayError(
+                400, f'"x" is not a numeric array: {exc}'
+            ) from None
+        if x.ndim < 2:
+            raise _GatewayError(
+                400,
+                "a request must be batched: expected (rows, ...) input, got "
+                f"shape {x.shape}",
+            )
+        return x
+
+    def _handle_predict(self) -> None:
+        gateway = self.gateway
+        body = self._read_json_body()
+        x = self._parse_inputs(body)
+        sampling = self._parse_sampling(body)
+        requested = body.get("version")
+        if requested is not None and not isinstance(requested, str):
+            raise _GatewayError(400, '"version" must be a string')
+        try:
+            # the admission point: resolve once, report exactly this pin, and
+            # submit with the explicit version so a concurrent deploy cannot
+            # change what the request is served with
+            version, generation = gateway.prediction_server.resolve_version(requested)
+            future = gateway.prediction_server.submit(x, sampling, version=version)
+        except UnknownVersionError as exc:
+            raise _GatewayError(404, str(exc)) from None
+        except QueueFull as exc:
+            raise _GatewayError(429, str(exc)) from None
+        except (ServerClosed, RuntimeError) as exc:
+            raise _GatewayError(503, str(exc)) from None
+        except ValueError as exc:
+            raise _GatewayError(400, str(exc)) from None
+        try:
+            result = future.result(timeout=gateway.config.predict_timeout_s)
+        except TimeoutError:
+            raise _GatewayError(
+                504,
+                f"prediction did not complete within "
+                f"{gateway.config.predict_timeout_s}s",
+            ) from None
+        except ServerClosed as exc:
+            raise _GatewayError(503, str(exc)) from None
+        except Exception as exc:
+            raise _GatewayError(500, f"{type(exc).__name__}: {exc}") from None
+        payload = {
+            "version": version,
+            "generation": generation,
+            "predictions": result.predictions.tolist(),
+            "entropy": result.entropy.tolist(),
+            "mean_probabilities": result.mean_probabilities.tolist(),
+        }
+        if gateway.config.include_sample_probabilities:
+            payload["sample_probabilities"] = result.sample_probabilities.tolist()
+        self._respond(200, payload)
+
+    def _handle_deploy(self) -> None:
+        body = self._read_json_body()
+        version = body.get("version")
+        if not isinstance(version, str) or not version:
+            raise _GatewayError(400, 'the body needs a "version" string')
+        try:
+            deployment = self.gateway.prediction_server.deploy(version)
+        except UnknownVersionError as exc:
+            raise _GatewayError(404, str(exc)) from None
+        except VersionConflictError as exc:
+            raise _GatewayError(409, str(exc)) from None
+        except RuntimeError as exc:
+            raise _GatewayError(503, str(exc)) from None
+        self._respond(
+            200,
+            {
+                "active_version": deployment.version,
+                "generation": deployment.generation,
+                "rolled_back": deployment.rolled_back,
+            },
+        )
+
+    def _handle_rollback(self) -> None:
+        length = self.headers.get("Content-Length")
+        if length and length.strip() != "0":
+            self._read_json_body()  # body is optional; drain it if present
+        try:
+            deployment = self.gateway.prediction_server.rollback()
+        except RollbackUnavailableError as exc:
+            raise _GatewayError(409, str(exc)) from None
+        except RuntimeError as exc:
+            raise _GatewayError(503, str(exc)) from None
+        self._respond(
+            200,
+            {
+                "active_version": deployment.version,
+                "generation": deployment.generation,
+                "rolled_back": deployment.rolled_back,
+            },
+        )
+
+
+class _GatewayHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    gateway: "ServingGateway"
+
+
+class ServingGateway:
+    """HTTP front door over a :class:`PredictionServer` + model registry.
+
+    Lifecycle mirrors the server's: :meth:`start` (or a ``with`` block) boots
+    the prediction server, binds the socket and begins answering on a
+    daemon thread; :meth:`close` shuts the HTTP listener down first (no new
+    admissions) and then the serving stack (draining by default).
+
+    ::
+
+        registry = ModelRegistry()
+        registry.register("v1", ReplicaSpec.capture(spec, model_v1))
+        registry.deploy("v1")
+        with ServingGateway(registry, ServerConfig(n_workers=2)) as gateway:
+            url = f"http://{gateway.address[0]}:{gateway.address[1]}"
+            ...  # POST {url}/predict, POST {url}/models/deploy, ...
+    """
+
+    def __init__(
+        self,
+        model_source: "ModelRegistry | ReplicaSpec",
+        server_config: ServerConfig | None = None,
+        config: GatewayConfig | None = None,
+    ) -> None:
+        self.prediction_server = PredictionServer(model_source, server_config)
+        self.server_config = server_config or ServerConfig()
+        self.config = config or GatewayConfig()
+        self._httpd: _GatewayHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+        self._closed = False
+
+    @property
+    def registry(self) -> ModelRegistry:
+        """The model registry backing the serving stack."""
+        return self.prediction_server.registry
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)``; resolves ephemeral port 0."""
+        if self._httpd is None:
+            raise RuntimeError("the gateway is not started")
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running gateway."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ServingGateway":
+        """Boot the serving stack and start answering HTTP requests."""
+        if self._httpd is not None:
+            raise RuntimeError("gateway already started")
+        self.prediction_server.start()
+        try:
+            self._httpd = _GatewayHTTPServer(
+                (self.config.host, self.config.port), _Handler
+            )
+        except BaseException:
+            self.prediction_server.close(drain=False)
+            raise
+        self._httpd.gateway = self
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="serve-gateway",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def __enter__(self) -> "ServingGateway":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(drain=exc_type is None)
+
+    def close(self, drain: bool = True) -> None:
+        """Stop listening, then shut the serving stack down."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self.prediction_server.close(drain=drain)
+
+    def serve_forever(self) -> None:
+        """Block the calling thread until :meth:`close` (CLI convenience)."""
+        if self._thread is None:
+            raise RuntimeError("the gateway is not started")
+        try:
+            while self._thread.is_alive():
+                self._thread.join(timeout=0.5)
+        except KeyboardInterrupt:
+            self.close(drain=False)
+
+
+# ----------------------------------------------------------------------
+# CLI: boot a demo gateway (used by the CI gateway job's curl probes)
+# ----------------------------------------------------------------------
+def _build_demo_registry(model_name: str, n_versions: int) -> ModelRegistry:
+    from ..models.zoo import ReplicaSpec, get_model
+
+    spec = get_model(model_name, reduced=True)
+    registry = ModelRegistry()
+    for index in range(1, n_versions + 1):
+        # distinct build seeds -> genuinely different weights per version, so
+        # a deploy/rollback visibly changes the served bytes
+        replica = ReplicaSpec.capture(
+            spec, spec.build_bayesian(seed=100 + index), build_seed=0
+        )
+        registry.register(f"v{index}", replica)
+    registry.deploy("v1")
+    return registry
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.serve.gateway``: serve a freshly built model zoo entry."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8123)
+    parser.add_argument("--model", default="B-MLP", help="zoo name (reduced variant)")
+    parser.add_argument(
+        "--versions", type=int, default=2, help="how many versions to register"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0, help="worker processes (0 = inline)"
+    )
+    args = parser.parse_args(argv)
+    registry = _build_demo_registry(args.model, args.versions)
+    gateway = ServingGateway(
+        registry,
+        ServerConfig(n_workers=args.workers),
+        GatewayConfig(host=args.host, port=args.port),
+    )
+    gateway.start()
+    host, port = gateway.address
+    print(f"serving {args.model} ({args.versions} versions) on http://{host}:{port}",
+          flush=True)
+    gateway.serve_forever()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by the CI job
+    import sys
+
+    sys.exit(main())

@@ -24,6 +24,14 @@ Failure semantics: a tile that raises fails only its own requests
 tiles (:class:`WorkerCrashError`, never a hang); ``close(drain=True)``
 finishes queued work first, ``close(drain=False)`` fails it fast with
 :class:`ServerClosed`.
+
+Hot model swap: constructed from a
+:class:`~repro.serve.registry.ModelRegistry`, the server pins every request
+to a ``(version, generation)`` at admission and serves it with exactly that
+version's replica; :meth:`~PredictionServer.deploy` /
+:meth:`~PredictionServer.rollback` atomically move the active pointer for
+future requests only.  The HTTP boundary lives in
+:mod:`repro.serve.gateway`.
 """
 
 from __future__ import annotations
@@ -38,8 +46,9 @@ import numpy as np
 
 from ..bnn.predict import PredictiveResult
 from ..models.zoo import ReplicaSpec
-from .executor import SamplingConfig, TileExecutor
+from .executor import MultiVersionExecutor, SamplingConfig
 from .microbatcher import MicroBatcher, PendingItem, QueueClosed
+from .registry import Deployment, ModelRegistry, UnknownVersionError
 from .stats import ServerStats, StatsSnapshot
 from ..distrib.respawn import RespawnPolicy
 from .worker import WorkerPool
@@ -90,13 +99,41 @@ class _Request:
     config: SamplingConfig
     future: Future
     rows: int
+    version: str
+    """Model version the request was pinned to at admission."""
+    generation: int
+    """Registry generation at admission (tags the response for operators)."""
 
 
 class PredictionServer:
-    """Async micro-batching front-end over the batched Monte-Carlo engine."""
+    """Async micro-batching front-end over the batched Monte-Carlo engine.
 
-    def __init__(self, replica: ReplicaSpec, config: ServerConfig | None = None) -> None:
-        self._replica = replica
+    The server is constructed either from a bare
+    :class:`~repro.models.zoo.ReplicaSpec` (single-model serving, the PR 3
+    surface: the replica becomes version ``v1`` of an internal registry) or
+    from a :class:`~repro.serve.registry.ModelRegistry` with a deployed
+    active version (versioned serving with hot swap).
+
+    Hot swap contract: every request is pinned to a ``(version, generation)``
+    at :meth:`submit` time; :meth:`deploy` / :meth:`rollback` atomically move
+    the *active* pointer for future requests while queued and in-flight
+    requests finish on their pinned version's replica.  A swap ships the
+    incoming version's replica to every execution site (inline executor or
+    all pool workers -- respawned replacements rebuild it too) *before* the
+    pointer moves, and invalidates the epsilon caches of every non-active
+    version afterwards; previously loaded versions stay resident so
+    ``rollback`` (and explicitly pinned canary requests) serve instantly.
+    """
+
+    def __init__(
+        self,
+        model_source: ReplicaSpec | ModelRegistry,
+        config: ServerConfig | None = None,
+    ) -> None:
+        if isinstance(model_source, ModelRegistry):
+            self._registry = model_source
+        else:
+            self._registry = ModelRegistry.single(model_source)
         self._config = config or ServerConfig()
         self._batcher: MicroBatcher[_Request] = MicroBatcher(
             max_batch_rows=self._config.max_batch_rows,
@@ -105,11 +142,16 @@ class PredictionServer:
         )
         self._stats = ServerStats(latency_window=self._config.latency_window)
         self._tile_ids = itertools.count()
-        self._executor: TileExecutor | None = None
+        self._executor: MultiVersionExecutor | None = None
         self._pool: WorkerPool | None = None
         self._dispatcher: threading.Thread | None = None
         self._inflight_lock = threading.Lock()
         self._inflight: dict[int, list[PendingItem[_Request]]] = {}
+        # version control plane: which versions are loaded at the execution
+        # sites, and how many admitted requests are pinned to each
+        self._version_lock = threading.Lock()
+        self._loaded: set[str] = set()
+        self._pins: dict[str, int] = {}
         self._idle = threading.Event()
         self._idle.set()
         self._started = False
@@ -136,7 +178,15 @@ class PredictionServer:
         """Build the executor (or fork the worker pool) and start dispatching."""
         if self._started:
             raise RuntimeError("server already started")
+        active = self._registry.active
+        if active is None:
+            raise RuntimeError(
+                "the model registry has no deployed version; call "
+                "registry.deploy(version) before starting the server"
+            )
         self._started = True
+        initial = {active.version: self._registry.get(active.version).replica}
+        self._loaded = set(initial)
         if self._config.n_workers:
             # fork the workers BEFORE any service thread exists
             respawn = (
@@ -145,7 +195,7 @@ class PredictionServer:
                 else None
             )
             self._pool = WorkerPool(
-                self._replica,
+                initial,
                 n_workers=self._config.n_workers,
                 result_handler=self._on_tile_result,
                 max_cached_configs=self._config.max_cached_configs,
@@ -154,8 +204,8 @@ class PredictionServer:
             )
             self._pool.start()
         else:
-            self._executor = TileExecutor(
-                self._replica.build(),
+            self._executor = MultiVersionExecutor(
+                initial,
                 max_cached_configs=self._config.max_cached_configs,
             )
         self._stats.reset_clock()
@@ -205,6 +255,7 @@ class PredictionServer:
         sampling: SamplingConfig | None = None,
         block: bool = True,
         timeout: float | None = None,
+        version: str | None = None,
     ) -> Future:
         """Queue one prediction request; resolves to a ``PredictiveResult``.
 
@@ -213,6 +264,12 @@ class PredictionServer:
         one cached epsilon sweep.  Under backpressure the call blocks, or
         raises :class:`~repro.serve.microbatcher.QueueFull` when
         ``block=False`` / the timeout expires.
+
+        ``version`` pins the request to a specific *loaded* model version
+        (canary / pinned-client traffic); ``None`` pins it to the version
+        active at this instant.  Either way the pin is immutable once
+        admitted -- a concurrent :meth:`deploy` affects later submissions
+        only.
         """
         if not self._started:
             raise RuntimeError("server not started; call start() or use a with-block")
@@ -224,27 +281,212 @@ class PredictionServer:
                 "a request must be batched: expected (rows, ...) input, got "
                 f"shape {x.shape}"
             )
+        pinned_version, generation = self._admit(version)
         request = _Request(
             x=x,
             config=sampling or SamplingConfig(),
             future=Future(),
             rows=int(x.shape[0]),
+            version=pinned_version,
+            generation=generation,
         )
         try:
             self._batcher.submit(request, rows=request.rows, block=block, timeout=timeout)
         except QueueClosed:
+            self._unpin(pinned_version)
             raise ServerClosed("the server is shut down") from None
+        except BaseException:
+            self._unpin(pinned_version)
+            raise
         return request.future
 
     def predict(
-        self, x: np.ndarray, sampling: SamplingConfig | None = None
+        self,
+        x: np.ndarray,
+        sampling: SamplingConfig | None = None,
+        version: str | None = None,
     ) -> PredictiveResult:
         """Blocking convenience wrapper around :meth:`submit`."""
-        return self.submit(x, sampling=sampling).result()
+        return self.submit(x, sampling=sampling, version=version).result()
 
     def stats(self) -> StatsSnapshot:
         """Throughput / latency / occupancy snapshot."""
         return self._stats.snapshot()
+
+    # ------------------------------------------------------------------
+    # version control plane (hot model swap)
+    # ------------------------------------------------------------------
+    @property
+    def registry(self) -> ModelRegistry:
+        """The model registry backing this server."""
+        return self._registry
+
+    def loaded_versions(self) -> list[str]:
+        """Versions currently resident at the execution sites (sorted)."""
+        with self._version_lock:
+            return sorted(self._loaded)
+
+    def active_deployment(self) -> Deployment:
+        """The registry's current deployment."""
+        active = self._registry.active
+        assert active is not None  # enforced by start()
+        return active
+
+    def resolve_version(self, version: str | None = None) -> tuple[str, int]:
+        """Resolve ``(version, generation)`` at this instant, without pinning.
+
+        The gateway uses this to *report* the pin it is about to request; the
+        authoritative (atomic) admission happens inside :meth:`submit`, which
+        re-validates the explicit version under the same lock that guards
+        :meth:`retire_version`.  An explicit version must be registered *and*
+        loaded.
+        """
+        with self._version_lock:
+            return self._resolve_locked(version)
+
+    def _resolve_locked(self, version: str | None) -> tuple[str, int]:
+        pinned, generation = self._registry.resolve(version)
+        if version is not None and pinned not in self._loaded:
+            raise UnknownVersionError(
+                f"model version {version!r} is registered but not "
+                "loaded; deploy it or call load_version() first"
+            )
+        return pinned, generation
+
+    def _admit(self, version: str | None) -> tuple[str, int]:
+        """Atomically resolve a request's pin AND count it as in flight.
+
+        One lock acquisition covers the loaded-check and the pin increment,
+        so :meth:`retire_version` (which refuses while pins exist, under the
+        same lock) can never unload a version between a request's admission
+        check and its pin.
+        """
+        with self._version_lock:
+            pinned, generation = self._resolve_locked(version)
+            self._pins[pinned] = self._pins.get(pinned, 0) + 1
+            return pinned, generation
+
+    def load_version(self, version: str) -> None:
+        """Make a registered version resident without activating it.
+
+        Canary workflow: load ``v2``, steer pinned traffic at it with
+        ``submit(..., version="v2")``, then :meth:`deploy` once satisfied.
+        """
+        if not self._started or self._closed:
+            raise RuntimeError("the server is not running")
+        self._ensure_loaded(version)
+
+    def _ensure_loaded(self, version: str) -> None:
+        replica = self._registry.get(version).replica
+        with self._version_lock:
+            if version in self._loaded:
+                return
+            if self._pool is not None:
+                # shipping to workers is a cheap queue put; the build cost is
+                # paid inside each worker without blocking admissions here
+                self._pool.load_version(version, replica)
+                self._loaded.add(version)
+                return
+        # inline: building the replica is the expensive part -- do it OUTSIDE
+        # the version lock so admissions and completions (which take the lock
+        # to pin/unpin) keep flowing during a multi-second build
+        assert self._executor is not None
+        self._executor.load(version, replica)
+        with self._version_lock:
+            self._loaded.add(version)
+
+    def deploy(self, version: str) -> Deployment:
+        """Hot-swap the active version; in-flight requests keep their pin.
+
+        Ordering inside the swap: the incoming replica is shipped to every
+        execution site *before* the registry pointer moves (per-worker task
+        queues are FIFO, so a request pinned after the swap can only reach a
+        worker that has already applied the load), and every *other* loaded
+        version's epsilon cache is invalidated after it.  Returns the new
+        :class:`~repro.serve.registry.Deployment`.
+        """
+        if not self._started or self._closed:
+            raise RuntimeError("the server is not running")
+        # pre-load outside the version lock (inline replica builds are slow);
+        # _swap_locked keeps a load fallback for the rare concurrent retire
+        self._ensure_loaded(version)
+        with self._version_lock:
+            return self._swap_locked(version, lambda: self._registry.deploy(version))
+
+    def rollback(self) -> Deployment:
+        """Swap back to the previously active version (a new generation)."""
+        if not self._started or self._closed:
+            raise RuntimeError("the server is not running")
+        with self._version_lock:
+            target = self._registry.rollback_target
+            if target is None:
+                # delegate the error to the registry for a consistent exception
+                return self._registry.rollback()
+            return self._swap_locked(target, self._registry.rollback)
+
+    def _swap_locked(self, version: str, registry_op) -> Deployment:
+        """Load ``version`` everywhere, swap the registry, invalidate caches."""
+        replica = self._registry.get(version).replica
+        if version not in self._loaded:
+            if self._pool is not None:
+                self._pool.load_version(version, replica)
+            else:
+                assert self._executor is not None
+                self._executor.load(version, replica)
+            self._loaded.add(version)
+        deployment = registry_op()
+        # swap invalidation: cold versions keep their replicas (rollback
+        # and pinned traffic stay instant) but drop their cached epsilon
+        # sweeps -- they regenerate deterministically on the next request
+        for other in self._loaded - {version}:
+            if self._pool is not None:
+                self._pool.invalidate_version(other)
+            else:
+                assert self._executor is not None
+                self._executor.invalidate(other)
+        return deployment
+
+    def retire_version(self, version: str) -> None:
+        """Unload a version from every execution site and free its caches.
+
+        Refused while the version is active, is the rollback target, or has
+        admitted requests still in flight -- retiring must never lose a
+        pinned request.  The registration itself is kept: a later
+        :meth:`deploy` reloads the version.
+        """
+        if not self._started or self._closed:
+            raise RuntimeError("the server is not running")
+        self._registry.get(version)  # unknown names are an error, not a no-op
+        with self._version_lock:
+            active = self._registry.active
+            if active is not None and active.version == version:
+                raise ValueError(f"cannot retire the active version {version!r}")
+            if self._registry.rollback_target == version:
+                raise ValueError(
+                    f"cannot retire the rollback target {version!r}; deploy "
+                    "another version first"
+                )
+            if self._pins.get(version):
+                raise RuntimeError(
+                    f"version {version!r} still has {self._pins[version]} "
+                    "requests in flight; retry once they drain"
+                )
+            if version not in self._loaded:
+                return
+            if self._pool is not None:
+                self._pool.unload_version(version)
+            else:
+                assert self._executor is not None
+                self._executor.unload(version)
+            self._loaded.discard(version)
+
+    def _unpin(self, version: str) -> None:
+        with self._version_lock:
+            count = self._pins.get(version, 0) - 1
+            if count > 0:
+                self._pins[version] = count
+            else:
+                self._pins.pop(version, None)
 
     # ------------------------------------------------------------------
     # dispatcher
@@ -261,20 +503,18 @@ class PredictionServer:
             with self._inflight_lock:
                 self._inflight[tile_id] = tile
                 self._idle.clear()
+            requests = [
+                (item.item.x, item.item.config, item.item.version) for item in tile
+            ]
             if self._pool is not None:
                 try:
-                    self._pool.dispatch(
-                        tile_id,
-                        [(item.item.x, item.item.config) for item in tile],
-                    )
+                    self._pool.dispatch(tile_id, requests)
                 except Exception as exc:
                     self._on_tile_result(tile_id, None, exc)
             else:
                 assert self._executor is not None
                 try:
-                    results = self._executor.execute(
-                        [(item.item.x, item.item.config) for item in tile]
-                    )
+                    results = self._executor.execute(requests)
                 except Exception as exc:
                     self._on_tile_result(tile_id, None, exc)
                 else:
@@ -305,14 +545,20 @@ class PredictionServer:
             if request_error is not None:
                 self._fail(pending.item, request_error)
                 continue
+            self._unpin(pending.item.version)
             if not pending.item.future.set_running_or_notify_cancel():
                 continue  # client cancelled while queued
             pending.item.future.set_result(
                 PredictiveResult(sample_probabilities=probabilities)
             )
-            self._stats.record_completion(now - pending.enqueued_at, rows=pending.rows)
+            self._stats.record_completion(
+                now - pending.enqueued_at,
+                rows=pending.rows,
+                version=pending.item.version,
+            )
 
     def _fail(self, request: _Request, error: Exception) -> None:
+        self._unpin(request.version)
         if request.future.set_running_or_notify_cancel():
             request.future.set_exception(error)
-        self._stats.record_failure()
+        self._stats.record_failure(version=request.version)

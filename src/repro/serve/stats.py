@@ -45,6 +45,10 @@ class StatsSnapshot:
     mean_batch_occupancy: float | None = None
     """Average number of pooled requests per executed tile."""
     mean_rows_per_tile: float | None = None
+    per_version: dict[str, dict[str, int]] = field(default_factory=dict)
+    """Per-model-version request counters:
+    ``{version: {"completed", "failed", "rows"}}``.  Untagged requests (the
+    single-model server surface) are not counted here."""
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         p50 = f"{self.latency_p50_ms:.2f}" if self.latency_p50_ms is not None else "-"
@@ -80,23 +84,39 @@ class ServerStats:
         self._tile_requests = 0
         self._tile_rows = 0
         self._occupancy: Counter[int] = Counter()
+        self._per_version: dict[str, dict[str, int]] = {}
 
     def reset_clock(self) -> None:
         """Restart the uptime window (called when the server starts)."""
         with self._lock:
             self._started_at = self._clock()
 
-    def record_completion(self, latency_s: float, rows: int) -> None:
+    def _version_counters_locked(self, version: str) -> dict[str, int]:
+        counters = self._per_version.get(version)
+        if counters is None:
+            counters = {"completed": 0, "failed": 0, "rows": 0}
+            self._per_version[version] = counters
+        return counters
+
+    def record_completion(
+        self, latency_s: float, rows: int, version: str | None = None
+    ) -> None:
         """One request finished successfully after ``latency_s`` seconds."""
         with self._lock:
             self._requests_completed += 1
             self._rows_completed += int(rows)
             self._latencies_s.append(float(latency_s))
+            if version is not None:
+                counters = self._version_counters_locked(version)
+                counters["completed"] += 1
+                counters["rows"] += int(rows)
 
-    def record_failure(self) -> None:
+    def record_failure(self, version: str | None = None) -> None:
         """One request resolved with an error."""
         with self._lock:
             self._requests_failed += 1
+            if version is not None:
+                self._version_counters_locked(version)["failed"] += 1
 
     def record_tile(self, n_requests: int, rows: int) -> None:
         """One tile was handed to an executor with ``n_requests`` pooled."""
@@ -131,4 +151,8 @@ class ServerStats:
                 occupancy_histogram=dict(sorted(self._occupancy.items())),
                 mean_batch_occupancy=(self._tile_requests / tiles) if tiles else None,
                 mean_rows_per_tile=(self._tile_rows / tiles) if tiles else None,
+                per_version={
+                    version: dict(counters)
+                    for version, counters in sorted(self._per_version.items())
+                },
             )

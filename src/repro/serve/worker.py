@@ -26,6 +26,14 @@ Re-execution is safe because a tile's epsilons derive from the request's
 seed, never from worker state -- a retried tile returns byte-identical
 probabilities.  Without a policy (the default) a dead worker's tiles fail
 fast, the pre-respawn behaviour.
+
+Versioned serving: each worker owns a
+:class:`~repro.serve.executor.MultiVersionExecutor` (one replica + epsilon
+cache per loaded model version); hot-swap control messages
+(``load``/``invalidate``/``unload``) ride the same per-worker FIFO task
+queues as tiles, so they order deterministically against dispatched work,
+and the pool's replica *template* is updated first -- a respawned
+replacement rebuilds the post-swap version set.
 """
 
 from __future__ import annotations
@@ -36,12 +44,13 @@ import time
 import traceback
 from queue import Empty
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 import numpy as np
 
 from ..distrib.respawn import RespawnBudget, RespawnPolicy
-from .executor import SamplingConfig, TileExecutor
+from .executor import MultiVersionExecutor, SamplingConfig
+from .registry import DEFAULT_VERSION
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from ..models.zoo import ReplicaSpec
@@ -61,14 +70,25 @@ class TileExecutionError(RuntimeError):
 
 def _worker_main(
     rank: int,
-    replica: "ReplicaSpec",
+    replicas: "dict[str, ReplicaSpec]",
     max_cached_configs: int,
     task_queue,
     result_queue,
 ) -> None:
-    """Worker process body: rebuild the replica, then serve tiles forever."""
+    """Worker process body: rebuild the replica set, then serve tiles forever.
+
+    The task queue carries two kinds of messages in one FIFO stream: tiles
+    (``("tile", tile_id, requests)``) and version-control operations
+    (``("load", version, replica)`` / ``("invalidate", version)`` /
+    ``("unload", version)``), plus ``None`` as the shutdown sentinel.  The
+    shared ordering is what makes hot swap race-free per worker: a control
+    message enqueued at deploy time is applied before any tile dispatched
+    after the deploy, and after every tile dispatched before it.
+    """
     try:
-        executor = TileExecutor(replica.build(), max_cached_configs=max_cached_configs)
+        executor = MultiVersionExecutor(
+            replicas, max_cached_configs=max_cached_configs
+        )
         result_queue.put(("ready", rank, None))
     except BaseException:  # pragma: no cover - defensive startup reporting
         result_queue.put(("fatal", rank, traceback.format_exc()))
@@ -77,20 +97,34 @@ def _worker_main(
         task = task_queue.get()
         if task is None:
             break
-        tile_id, requests = task
-        try:
-            outcomes = executor.execute(requests)
-            # exceptions cross the process boundary as formatted tracebacks
-            # (picklable, and the parent-side error message keeps the frames)
-            payload = [
-                ("ok", probabilities)
-                if error is None
-                else ("err", "".join(traceback.format_exception(error)))
-                for probabilities, error in outcomes
-            ]
-            result_queue.put(("done", tile_id, payload))
-        except BaseException:
-            result_queue.put(("error", tile_id, traceback.format_exc()))
+        kind = task[0]
+        if kind == "tile":
+            _, tile_id, requests = task
+            try:
+                outcomes = executor.execute(requests)
+                # exceptions cross the process boundary as formatted tracebacks
+                # (picklable, and the parent-side error message keeps the frames)
+                payload = [
+                    ("ok", probabilities)
+                    if error is None
+                    else ("err", "".join(traceback.format_exception(error)))
+                    for probabilities, error in outcomes
+                ]
+                result_queue.put(("done", tile_id, payload))
+            except BaseException:
+                result_queue.put(("error", tile_id, traceback.format_exc()))
+        elif kind == "load":
+            _, version, replica = task
+            try:
+                executor.load(version, replica)
+            except BaseException:
+                # requests pinned to this version will fail per-request with
+                # UnknownVersionError; surface the build failure for operators
+                result_queue.put(("control_error", rank, traceback.format_exc()))
+        elif kind == "invalidate":
+            executor.invalidate(task[1])
+        elif kind == "unload":
+            executor.unload(task[1])
 
 
 @dataclass
@@ -116,7 +150,7 @@ class WorkerPool:
 
     def __init__(
         self,
-        replica: "ReplicaSpec",
+        replicas: "ReplicaSpec | Mapping[str, ReplicaSpec]",
         n_workers: int,
         result_handler: Callable[
             [int, list[tuple[np.ndarray | None, Exception | None]] | None, Exception | None],
@@ -135,7 +169,14 @@ class WorkerPool:
             available = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in available else available[0]
         self._ctx = multiprocessing.get_context(start_method)
-        self._replica = replica
+        # a bare replica is the single-model surface: one default version,
+        # requests may omit the version pin
+        if isinstance(replicas, Mapping):
+            self._replicas: dict[str, "ReplicaSpec"] = dict(replicas)
+        else:
+            self._replicas = {DEFAULT_VERSION: replicas}
+        if not self._replicas:
+            raise ValueError("a worker pool needs at least one replica version")
         self._n_workers = n_workers
         self._max_cached_configs = max_cached_configs
         self._result_handler = result_handler
@@ -153,6 +194,8 @@ class WorkerPool:
         self._collector: threading.Thread | None = None
         self._stop_event = threading.Event()
         self._started = False
+        #: Last worker-side version-load traceback, if any (diagnostics).
+        self.last_control_error: str | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -180,7 +223,9 @@ class WorkerPool:
             target=_worker_main,
             args=(
                 rank,
-                self._replica,
+                # snapshot of the *current* replica set: a worker respawned
+                # after a deploy rebuilds every version loaded at spawn time
+                dict(self._replicas),
                 self._max_cached_configs,
                 task_queue,
                 self._result_queue,
@@ -225,6 +270,10 @@ class WorkerPool:
     ) -> None:
         """Assign a tile to the next healthy worker (round-robin).
 
+        Requests are ``(x, config)`` pairs (single-model pools) or
+        ``(x, config, version)`` triples (versioned serving; a tile may mix
+        versions, each request executes on its own pinned replica).
+
         Raises :class:`WorkerCrashError` when no healthy worker remains, so
         the server can fail the tile's futures instead of queueing into the
         void.
@@ -243,7 +292,43 @@ class WorkerPool:
             worker = candidates[self._next_worker % len(candidates)]
             self._next_worker += 1
             worker.outstanding[tile_id] = payload
-        worker.task_queue.put((tile_id, payload))
+        worker.task_queue.put(("tile", tile_id, payload))
+
+    # ------------------------------------------------------------------
+    # version control plane (hot model swap)
+    # ------------------------------------------------------------------
+    def _broadcast(self, message: tuple) -> None:
+        with self._lock:
+            targets = [w for w in self._workers if w.process.is_alive()]
+        for worker in targets:
+            try:
+                worker.task_queue.put(message)
+            except Exception:  # pragma: no cover - queue torn down mid-stop
+                pass
+
+    def load_version(self, version: str, replica: "ReplicaSpec") -> None:
+        """Ship ``version``'s replica to every worker (and future respawns).
+
+        The load message rides each worker's ordinary task queue, so it is
+        applied after every tile dispatched before the deploy and before any
+        tile dispatched after it -- a request pinned to the new version can
+        never reach a worker that has not built it yet.  Updating the replica
+        template first is what reuses the respawn plumbing: a replacement
+        worker spawned later rebuilds the new version along with the rest.
+        """
+        with self._lock:
+            self._replicas[version] = replica
+        self._broadcast(("load", version, replica))
+
+    def invalidate_version(self, version: str) -> None:
+        """Clear every worker's epsilon cache for ``version`` (kept loaded)."""
+        self._broadcast(("invalidate", version))
+
+    def unload_version(self, version: str) -> None:
+        """Drop ``version`` from every worker and from the respawn template."""
+        with self._lock:
+            self._replicas.pop(version, None)
+        self._broadcast(("unload", version))
 
     # ------------------------------------------------------------------
     def _collect(self) -> None:
@@ -261,6 +346,12 @@ class WorkerPool:
 
     def _handle_message(self, message) -> None:
         kind, tile_id, payload = message
+        if kind == "control_error":
+            # a version-load failed in worker `tile_id` (the rank); requests
+            # pinned to that version fail per-request on that worker, so this
+            # is surfaced for operators rather than failing any tile here
+            self.last_control_error = payload
+            return
         if kind == "ready":
             # a respawned replacement finished building its replica
             with self._lock:

@@ -1,0 +1,153 @@
+"""Unit tests for the generation-tagged model registry and replica fingerprints."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.models import ModelSpec, ReplicaSpec
+from repro.serve import (
+    DEFAULT_VERSION,
+    ModelRegistry,
+    RollbackUnavailableError,
+    UnknownVersionError,
+    VersionConflictError,
+)
+
+
+@pytest.fixture
+def replica_a(tiny_mlp_spec: ModelSpec) -> ReplicaSpec:
+    return ReplicaSpec.capture(tiny_mlp_spec, tiny_mlp_spec.build_bayesian(seed=1))
+
+
+@pytest.fixture
+def replica_b(tiny_mlp_spec: ModelSpec) -> ReplicaSpec:
+    return ReplicaSpec.capture(tiny_mlp_spec, tiny_mlp_spec.build_bayesian(seed=2))
+
+
+class TestFingerprint:
+    def test_deterministic_and_weight_sensitive(self, tiny_mlp_spec, replica_a):
+        same = ReplicaSpec.capture(
+            tiny_mlp_spec, tiny_mlp_spec.build_bayesian(seed=1)
+        )
+        other = ReplicaSpec.capture(
+            tiny_mlp_spec, tiny_mlp_spec.build_bayesian(seed=2)
+        )
+        assert replica_a.fingerprint() == same.fingerprint()
+        assert replica_a.fingerprint() != other.fingerprint()
+
+    def test_survives_pickling(self, replica_a):
+        clone = pickle.loads(pickle.dumps(replica_a))
+        assert clone.fingerprint() == replica_a.fingerprint()
+
+    def test_structural_differs_from_captured(self, tiny_mlp_spec, replica_a):
+        structural = ReplicaSpec.structural(tiny_mlp_spec)
+        assert structural.fingerprint() != replica_a.fingerprint()
+
+    def test_build_seed_matters(self, tiny_mlp_spec):
+        assert (
+            ReplicaSpec.structural(tiny_mlp_spec, build_seed=0).fingerprint()
+            != ReplicaSpec.structural(tiny_mlp_spec, build_seed=1).fingerprint()
+        )
+
+
+class TestRegistration:
+    def test_register_and_get(self, replica_a):
+        registry = ModelRegistry()
+        entry = registry.register("v1", replica_a)
+        assert entry.version == "v1"
+        assert entry.fingerprint == replica_a.fingerprint()
+        assert registry.get("v1") is entry
+        assert "v1" in registry and "v2" not in registry
+
+    def test_register_identical_contents_is_idempotent(self, replica_a):
+        registry = ModelRegistry()
+        first = registry.register("v1", replica_a)
+        again = registry.register("v1", replica_a)
+        assert again is first
+        assert len(registry.versions()) == 1
+
+    def test_register_conflicting_contents_raises(self, replica_a, replica_b):
+        registry = ModelRegistry()
+        registry.register("v1", replica_a)
+        with pytest.raises(VersionConflictError):
+            registry.register("v1", replica_b)
+
+    def test_unknown_version_raises(self, replica_a):
+        registry = ModelRegistry()
+        with pytest.raises(UnknownVersionError):
+            registry.get("missing")
+        with pytest.raises(ValueError):
+            registry.register("", replica_a)
+
+
+class TestDeployment:
+    def test_deploy_bumps_generation_and_logs_history(self, replica_a, replica_b):
+        registry = ModelRegistry()
+        registry.register("v1", replica_a)
+        registry.register("v2", replica_b)
+        assert registry.active is None and registry.generation == 0
+        first = registry.deploy("v1")
+        assert (first.version, first.generation) == ("v1", 1)
+        second = registry.deploy("v2")
+        assert (second.version, second.generation) == ("v2", 2)
+        assert [d.version for d in registry.history()] == ["v1", "v2"]
+
+    def test_deploy_active_version_is_a_noop(self, replica_a):
+        registry = ModelRegistry.single(replica_a)
+        before = registry.active
+        assert registry.deploy(DEFAULT_VERSION) == before
+        assert registry.generation == before.generation
+
+    def test_deploy_unregistered_raises(self, replica_a):
+        registry = ModelRegistry.single(replica_a)
+        with pytest.raises(UnknownVersionError):
+            registry.deploy("v9")
+
+    def test_rollback_swaps_back_and_is_tagged(self, replica_a, replica_b):
+        registry = ModelRegistry()
+        registry.register("v1", replica_a)
+        registry.register("v2", replica_b)
+        registry.deploy("v1")
+        registry.deploy("v2")
+        assert registry.rollback_target == "v1"
+        restored = registry.rollback()
+        assert restored.version == "v1"
+        assert restored.generation == 3  # rollbacks are new generations
+        assert restored.rolled_back is True
+        # the deploy log is append-only: nothing was rewritten
+        assert [d.version for d in registry.history()] == ["v1", "v2", "v1"]
+        # rolling back again toggles to v2
+        assert registry.rollback().version == "v2"
+
+    def test_rollback_without_history_raises(self, replica_a):
+        registry = ModelRegistry()
+        with pytest.raises(RollbackUnavailableError):
+            registry.rollback()
+        registry.register("v1", replica_a)
+        registry.deploy("v1")
+        with pytest.raises(RollbackUnavailableError):
+            registry.rollback()  # one deploy: nothing to return to
+
+
+class TestResolve:
+    def test_resolve_pins_active_and_explicit(self, replica_a, replica_b):
+        registry = ModelRegistry()
+        registry.register("v1", replica_a)
+        registry.register("v2", replica_b)
+        with pytest.raises(RollbackUnavailableError):
+            registry.resolve()  # nothing deployed yet
+        registry.deploy("v1")
+        assert registry.resolve() == ("v1", 1)
+        assert registry.resolve("v2") == ("v2", 1)
+        with pytest.raises(UnknownVersionError):
+            registry.resolve("v3")
+        registry.deploy("v2")
+        assert registry.resolve() == ("v2", 2)
+        assert registry.resolve("v1") == ("v1", 2)
+
+    def test_single_constructor_registers_and_deploys(self, replica_a):
+        registry = ModelRegistry.single(replica_a)
+        assert registry.resolve() == (DEFAULT_VERSION, 1)
+        assert registry.get(DEFAULT_VERSION).replica is replica_a

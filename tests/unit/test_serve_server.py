@@ -11,11 +11,13 @@ import pytest
 from repro.bnn import mc_predict
 from repro.models import ModelSpec, ReplicaSpec
 from repro.serve import (
+    ModelRegistry,
     PredictionServer,
     SamplingConfig,
     ServerClosed,
     ServerConfig,
     TileExecutionError,
+    UnknownVersionError,
     WorkerCrashError,
 )
 
@@ -340,3 +342,142 @@ class TestWorkerRespawn:
             assert server._pool.respawns_used == 0
         finally:
             server.close(drain=False)
+
+
+class TestVersionedServer:
+    """Hot-swap control plane of the server itself (no HTTP in the loop)."""
+
+    @pytest.fixture
+    def registry(self, tiny_mlp_spec: ModelSpec) -> ModelRegistry:
+        registry = ModelRegistry()
+        registry.register(
+            "v1",
+            ReplicaSpec.capture(tiny_mlp_spec, tiny_mlp_spec.build_bayesian(seed=11)),
+        )
+        registry.register(
+            "v2",
+            ReplicaSpec.capture(tiny_mlp_spec, tiny_mlp_spec.build_bayesian(seed=22)),
+        )
+        registry.deploy("v1")
+        return registry
+
+    def test_start_requires_a_deployed_version(self, tiny_mlp_spec):
+        registry = ModelRegistry()
+        registry.register(
+            "v1",
+            ReplicaSpec.capture(tiny_mlp_spec, tiny_mlp_spec.build_bayesian(seed=11)),
+        )
+        server = PredictionServer(registry, ServerConfig(max_wait_ms=1.0))
+        with pytest.raises(RuntimeError, match="no deployed version"):
+            server.start()
+
+    def test_requests_pin_the_version_active_at_submit(
+        self, registry, tiny_mlp_spec, rng
+    ):
+        x = _inputs(rng)
+        v1 = mc_predict(tiny_mlp_spec.build_bayesian(seed=11), x,
+                        n_samples=4, seed=5, grng_stride=64)
+        v2 = mc_predict(tiny_mlp_spec.build_bayesian(seed=22), x,
+                        n_samples=4, seed=5, grng_stride=64)
+        assert not np.array_equal(v1.sample_probabilities, v2.sample_probabilities)
+        with PredictionServer(registry, ServerConfig(max_wait_ms=1.0)) as server:
+            before = server.predict(x, CFG)
+            deployment = server.deploy("v2")
+            assert (deployment.version, deployment.generation) == ("v2", 2)
+            after = server.predict(x, CFG)
+            restored = server.rollback()
+            assert restored.version == "v1" and restored.rolled_back
+            back = server.predict(x, CFG)
+        assert np.array_equal(before.sample_probabilities, v1.sample_probabilities)
+        assert np.array_equal(after.sample_probabilities, v2.sample_probabilities)
+        assert np.array_equal(back.sample_probabilities, v1.sample_probabilities)
+
+    def test_canary_pinning_via_load_version(self, registry, tiny_mlp_spec, rng):
+        x = _inputs(rng)
+        v2 = mc_predict(tiny_mlp_spec.build_bayesian(seed=22), x,
+                        n_samples=4, seed=5, grng_stride=64)
+        with PredictionServer(registry, ServerConfig(max_wait_ms=1.0)) as server:
+            with pytest.raises(UnknownVersionError):
+                server.predict(x, CFG, version="v2")  # not loaded yet
+            server.load_version("v2")
+            assert server.loaded_versions() == ["v1", "v2"]
+            canary = server.predict(x, CFG, version="v2")
+            # the canary never moved the active pointer
+            assert server.active_deployment().version == "v1"
+            snapshot = server.stats()
+        assert np.array_equal(canary.sample_probabilities, v2.sample_probabilities)
+        assert snapshot.per_version["v2"]["completed"] == 1
+
+    def test_retire_guards_and_reload(self, registry, rng):
+        x = _inputs(rng)
+        with PredictionServer(registry, ServerConfig(max_wait_ms=1.0)) as server:
+            with pytest.raises(ValueError, match="active"):
+                server.retire_version("v1")
+            server.deploy("v2")
+            with pytest.raises(ValueError, match="rollback target"):
+                server.retire_version("v1")
+            server.deploy("v2")  # no-op; v1 is still the rollback target
+            server.load_version("v1")  # idempotent: already loaded
+            # make v2 the rollback target by deploying v1 again, then retire v2
+            server.deploy("v1")
+            with pytest.raises(ValueError, match="rollback target"):
+                server.retire_version("v2")
+            server.deploy("v1")  # no-op
+            server.rollback()    # active=v2, rollback target v1
+            server.rollback()    # active=v1, rollback target v2
+            assert server.active_deployment().version == "v1"
+            # retiring an unknown version surfaces from the registry
+            with pytest.raises(UnknownVersionError):
+                server.retire_version("ghost")
+            server.predict(x, CFG)
+        # drained server: deploy after close is refused
+        with pytest.raises(RuntimeError):
+            server.deploy("v2")
+
+    def test_retire_unloads_and_deploy_reloads(self, tiny_mlp_spec, rng):
+        registry = ModelRegistry()
+        for index, seed in enumerate((11, 22, 33), start=1):
+            registry.register(
+                f"v{index}",
+                ReplicaSpec.capture(
+                    tiny_mlp_spec, tiny_mlp_spec.build_bayesian(seed=seed)
+                ),
+            )
+        registry.deploy("v1")
+        x = _inputs(rng)
+        v2 = mc_predict(tiny_mlp_spec.build_bayesian(seed=22), x,
+                        n_samples=4, seed=5, grng_stride=64)
+        with PredictionServer(registry, ServerConfig(max_wait_ms=1.0)) as server:
+            server.deploy("v2")
+            server.deploy("v3")  # rollback target is now v2
+            assert server.loaded_versions() == ["v1", "v2", "v3"]
+            server.retire_version("v1")
+            assert server.loaded_versions() == ["v2", "v3"]
+            with pytest.raises(UnknownVersionError):
+                server.predict(x, CFG, version="v1")  # unloaded
+            redeployed = server.deploy("v2")
+            assert redeployed.version == "v2"
+            result = server.predict(x, CFG)
+        assert np.array_equal(result.sample_probabilities, v2.sample_probabilities)
+
+    def test_swap_through_worker_pool_respawn_template(
+        self, registry, tiny_mlp_spec, rng
+    ):
+        """A worker respawned after a deploy rebuilds the post-swap versions."""
+        x = _inputs(rng)
+        v2 = mc_predict(tiny_mlp_spec.build_bayesian(seed=22), x,
+                        n_samples=4, seed=5, grng_stride=64)
+        config = ServerConfig(n_workers=1, max_wait_ms=1.0, worker_respawns=1)
+        with PredictionServer(registry, config) as server:
+            server.predict(x, CFG)
+            server.deploy("v2")
+            # kill the only worker *after* the swap: the respawned
+            # replacement must rebuild v2 from the updated template
+            process = server._pool.processes[0]
+            process.kill()
+            process.join(timeout=10.0)
+            deadline = time.monotonic() + 30.0
+            while server._pool.alive_workers < 1 and time.monotonic() < deadline:
+                time.sleep(0.05)
+            result = server.predict(x, CFG)
+        assert np.array_equal(result.sample_probabilities, v2.sample_probabilities)

@@ -1,0 +1,117 @@
+"""Edge-case tests for the serving telemetry accumulator.
+
+Covers the cases the serving tests only brush past: an empty latency window
+(no completions yet), window wraparound (the bounded deque must forget old
+latencies, not the lifetime counters), and the per-model-version request
+counters added with the versioned serving stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serve import ServerStats
+
+
+class _FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def test_empty_window_percentiles_are_none():
+    stats = ServerStats(latency_window=8, clock=_FakeClock())
+    snapshot = stats.snapshot()
+    assert snapshot.latency_p50_ms is None
+    assert snapshot.latency_p99_ms is None
+    assert snapshot.latency_mean_ms is None
+    assert snapshot.requests_completed == 0
+    assert snapshot.requests_failed == 0
+    assert snapshot.throughput_rps == 0.0
+    assert snapshot.occupancy_histogram == {}
+    assert snapshot.mean_batch_occupancy is None
+    assert snapshot.per_version == {}
+
+
+def test_failures_only_still_report_empty_window():
+    stats = ServerStats(latency_window=4, clock=_FakeClock())
+    stats.record_failure()
+    snapshot = stats.snapshot()
+    assert snapshot.requests_failed == 1
+    assert snapshot.latency_p50_ms is None and snapshot.latency_p99_ms is None
+
+
+def test_window_wraparound_keeps_only_recent_latencies():
+    clock = _FakeClock()
+    stats = ServerStats(latency_window=4, clock=clock)
+    # 3 old slow requests, then 4 fast ones: the window holds the last 4
+    for latency in (1.0, 1.0, 1.0, 0.010, 0.010, 0.010, 0.010):
+        stats.record_completion(latency, rows=2)
+    snapshot = stats.snapshot()
+    assert snapshot.requests_completed == 7  # lifetime counter is not windowed
+    assert snapshot.rows_completed == 14
+    assert snapshot.latency_p50_ms == 10.0
+    assert snapshot.latency_p99_ms == 10.0
+    assert snapshot.latency_mean_ms == 10.0
+
+
+def test_window_wraparound_percentiles_match_numpy_on_the_window():
+    clock = _FakeClock()
+    stats = ServerStats(latency_window=5, clock=clock)
+    latencies = [0.5, 0.4, 0.1, 0.2, 0.3, 0.4, 0.5]
+    for latency in latencies:
+        stats.record_completion(latency, rows=1)
+    window = np.asarray(latencies[-5:])
+    expected_p50, expected_p99 = np.percentile(window, [50.0, 99.0]) * 1e3
+    snapshot = stats.snapshot()
+    assert snapshot.latency_p50_ms == float(expected_p50)
+    assert snapshot.latency_p99_ms == float(expected_p99)
+
+
+def test_uptime_and_throughput_use_the_injected_clock():
+    clock = _FakeClock()
+    stats = ServerStats(latency_window=8, clock=clock)
+    clock.now += 5.0
+    stats.record_completion(0.010, rows=4)
+    stats.record_completion(0.010, rows=4)
+    snapshot = stats.snapshot()
+    assert snapshot.uptime_s == 5.0
+    assert snapshot.throughput_rps == 2 / 5.0
+    assert snapshot.throughput_rows_per_s == 8 / 5.0
+    # reset_clock restarts the uptime window
+    stats.reset_clock()
+    clock.now += 1.0
+    assert stats.snapshot().uptime_s == 1.0
+
+
+def test_per_version_counters_track_completions_and_failures():
+    stats = ServerStats(latency_window=8, clock=_FakeClock())
+    stats.record_completion(0.010, rows=4, version="v1")
+    stats.record_completion(0.020, rows=2, version="v1")
+    stats.record_completion(0.030, rows=8, version="v2")
+    stats.record_failure(version="v2")
+    snapshot = stats.snapshot()
+    assert snapshot.per_version == {
+        "v1": {"completed": 2, "failed": 0, "rows": 6},
+        "v2": {"completed": 1, "failed": 1, "rows": 8},
+    }
+    # aggregate counters include the per-version traffic
+    assert snapshot.requests_completed == 3
+    assert snapshot.requests_failed == 1
+
+
+def test_untagged_requests_do_not_create_version_buckets():
+    stats = ServerStats(latency_window=8, clock=_FakeClock())
+    stats.record_completion(0.010, rows=1)
+    stats.record_failure()
+    assert stats.snapshot().per_version == {}
+
+
+def test_snapshot_per_version_is_a_frozen_copy():
+    stats = ServerStats(latency_window=8, clock=_FakeClock())
+    stats.record_completion(0.010, rows=1, version="v1")
+    snapshot = stats.snapshot()
+    snapshot.per_version["v1"]["completed"] = 999
+    assert stats.snapshot().per_version["v1"]["completed"] == 1
