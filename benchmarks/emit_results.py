@@ -24,6 +24,13 @@ input; CI runs them in separate jobs and emits one report each):
   aggregate-throughput speedup of the micro-batching server (``inline`` and
   ``pool2`` worker modes, 8 concurrent clients x 4 requests) over the same
   requests issued sequentially through per-request ``mc_predict``;
+* the **per-kernel dispatch** cases (``test_bench_kernel``): per (kernel,
+  backend) pair the speed of every registered backend relative to the
+  always-available NumPy reference oracle, plus an ``auto`` case measuring
+  the default selection chain.  Acceptance: the auto-selected backend of
+  every dispatch point stays at least ``KERNELS_THRESHOLD`` of reference
+  speed (all backends are bit-identical by the conformance gate, so this is
+  purely a wall-clock check);
 * the **distributed-training** cases (``test_bench_distrib``): the sharded
   training engine (``inline2``: two shards in-process; ``pool2``: two worker
   processes) against the single-process batched baseline over the same
@@ -65,6 +72,15 @@ _SERVING_PATTERN = re.compile(
     r"test_bench_serving\[(?P<stride>\d+)-(?P<mode>\w+)\]"
 )
 _DISTRIB_PATTERN = re.compile(r"test_bench_distrib\[(?P<mode>\w+)\]")
+_KERNEL_PATTERN = re.compile(
+    r"test_bench_kernel\[(?P<kernel>[a-z0-9_]+)-(?P<backend>\w+)\]"
+)
+
+#: The acceptance bound of PR 6: for every dispatch point the auto-selected
+#: backend must be at least this fraction of the reference oracle's speed
+#: (i.e. never slower than reference beyond benchmark noise; >1 means the
+#: selected backend is genuinely faster).
+KERNELS_THRESHOLD = 0.8
 
 #: The acceptance bound of PR 4: the sharded-inline training path must keep
 #: at least this fraction of the single-process baseline's throughput (the
@@ -127,6 +143,41 @@ def parse_distrib_cases(raw: dict) -> dict:
         stats["n_steps"] = bench.get("extra_info", {}).get("n_steps")
         cases[match.group("mode")] = stats
     return cases
+
+
+def parse_kernel_cases(raw: dict) -> dict:
+    """Extract {(kernel, backend): stats} from the per-kernel bench cases.
+
+    ``backend`` is a registered backend name or ``auto`` (the default
+    selection chain, i.e. whatever the dispatch layer actually runs in
+    production).  Self-skipped backends simply do not appear.
+    """
+    cases = {}
+    for bench in raw.get("benchmarks", []):
+        match = _KERNEL_PATTERN.search(bench["name"])
+        if not match:
+            continue
+        cases[(match.group("kernel"), match.group("backend"))] = _stats(bench)
+    return cases
+
+
+def _kernel_report(cases: dict, report: dict) -> None:
+    kernels: dict = {"cases": {}, "speedup_vs_reference": {}}
+    for (kernel, backend), stats in sorted(cases.items()):
+        kernels["cases"][f"kernel[{kernel}-{backend}]"] = stats
+    for kernel in sorted({key[0] for key in cases}):
+        reference = cases.get((kernel, "reference"))
+        if not reference:
+            continue
+        entry = {}
+        for backend in sorted({k[1] for k in cases if k[0] == kernel}):
+            if backend == "reference":
+                continue
+            entry[backend] = round(
+                reference["median_ms"] / cases[(kernel, backend)]["median_ms"], 3
+            )
+        kernels["speedup_vs_reference"][kernel] = entry
+    report["kernels"] = kernels
 
 
 def _engine_report(cases: dict, report: dict) -> None:
@@ -195,10 +246,12 @@ def build_report(raw: dict) -> dict:
     engine_cases = parse_engine_cases(raw)
     serving_cases = parse_serving_cases(raw)
     distrib_cases = parse_distrib_cases(raw)
+    kernel_cases = parse_kernel_cases(raw)
     report: dict = {
         "schema": "shift-bnn-bench/2",
         "source": "benchmarks/test_bench_functional_training.py + "
-        "benchmarks/test_bench_serving.py + benchmarks/test_bench_distrib.py",
+        "benchmarks/test_bench_serving.py + benchmarks/test_bench_distrib.py "
+        "+ benchmarks/test_bench_kernels.py",
         "machine": raw.get("machine_info", {}).get("cpu", {}).get("brand_raw")
         or raw.get("machine_info", {}).get("machine"),
         "datetime": raw.get("datetime"),
@@ -211,6 +264,8 @@ def build_report(raw: dict) -> dict:
         _serving_report(serving_cases, report)
     if distrib_cases:
         _distrib_report(distrib_cases, report)
+    if kernel_cases:
+        _kernel_report(kernel_cases, report)
     if any(key[:3] == ENGINE_CASE for key in engine_cases):
         key = "{}[{}-S{}]".format(*ENGINE_CASE)
         measured = report["speedups"].get(key, {}).get("vs_sequential")
@@ -252,6 +307,28 @@ def build_report(raw: dict) -> dict:
                 "threshold": DISTRIB_THRESHOLD,
                 "measured": measured,
                 "pass": measured is not None and measured >= DISTRIB_THRESHOLD,
+            }
+        )
+    if kernel_cases:
+        # the acceptance is over the production path: auto (the default
+        # selection chain) must never be slower than reference beyond noise,
+        # for ANY dispatch point -- so gate on the worst kernel
+        auto_ratios = {
+            kernel: entry["auto"]
+            for kernel, entry in report["kernels"]["speedup_vs_reference"].items()
+            if "auto" in entry
+        }
+        measured = min(auto_ratios.values()) if auto_ratios else None
+        worst = (
+            min(auto_ratios, key=auto_ratios.get) if auto_ratios else "n/a"
+        )
+        report["acceptance"].append(
+            {
+                "metric": "per-kernel dispatch: auto-selected backend speed "
+                f"vs the reference oracle, worst kernel ({worst})",
+                "threshold": KERNELS_THRESHOLD,
+                "measured": measured,
+                "pass": measured is not None and measured >= KERNELS_THRESHOLD,
             }
         )
     return report
@@ -296,6 +373,7 @@ def main(argv: list[str] | None = None) -> int:
         len(report["cases"])
         + len(report.get("serving", {}).get("cases", {}))
         + len(report.get("distrib", {}).get("cases", {}))
+        + len(report.get("kernels", {}).get("cases", {}))
     )
     print(f"wrote {output}: {total_cases} cases")
     for acceptance in report["acceptance"]:

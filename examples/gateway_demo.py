@@ -17,7 +17,9 @@ The full operational story of the serving stack, over a real socket:
    epsilon cache, the swap machinery and JSON float round-tripping change
    throughput, never bytes;
 5. read the operator surface: ``/healthz``, ``/models`` (fingerprints,
-   deploy history) and ``/stats`` (per-version request counters).
+   deploy history) and ``/stats`` (per-version request counters plus the
+   kernel-backend identity and per-kernel call/row counters from the
+   :mod:`repro.core.backend` dispatch layer).
 
 Run with::
 
@@ -156,6 +158,13 @@ def main() -> None:
     print("per-version counters:", stats["per_version"])
     print(f"tiles executed: {stats['tiles_executed']}, "
           f"mean occupancy {stats['mean_batch_occupancy']:.2f} req/tile")
+    print("kernel backends (selection; calls/rows per backend):")
+    for kernel, info in sorted(stats["kernel_backends"].items()):
+        used = ", ".join(
+            f"{name}: {c['calls']} calls / {c['rows']} rows"
+            for name, c in sorted(info["backends"].items())
+        ) or "unused"
+        print(f"  {kernel:18s} selection={info['selection']:<10s} {used}")
 
 
 if __name__ == "__main__":

@@ -26,6 +26,13 @@ the sample axis in sample order.  The batched pipeline is bit-identical to
 looping the per-sample stages (shared factors are computed once, every
 per-sample matmul sees byte-identical operands, and float accumulations keep
 the sequential order) -- it changes wall-clock time, never the trajectory.
+
+The hot tensor primitives the batched stages lean on
+(:func:`~repro.nn.functional.sample_matmul`, :func:`~repro.nn.functional.im2col`)
+route through the pluggable kernel-backend dispatch layer in
+:mod:`repro.core.backend`; every registered backend is bit-identical to the
+NumPy reference oracle by the conformance gate, so backend selection can never
+move a training trajectory or a served probability.
 """
 
 from __future__ import annotations

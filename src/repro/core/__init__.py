@@ -6,6 +6,12 @@ sampling by shifting the generating LFSR backwards, so that nothing has to be
 stored between the forward and backward training stages.
 """
 
+from .backend import (
+    BackendConformanceError,
+    KernelBackendError,
+    KernelRegistry,
+    UnknownBackendError,
+)
 from .checkpoint import LfsrSnapshot, StreamBank, StreamPolicy
 from .grng import GRNGMode, LfsrGaussianRNG, ReplayError
 from .grng_bank import BankedGaussianRNG, GrngBank, LfsrRowView
@@ -34,6 +40,10 @@ from .streams import (
 )
 
 __all__ = [
+    "BackendConformanceError",
+    "KernelBackendError",
+    "KernelRegistry",
+    "UnknownBackendError",
     "MAXIMAL_TAPS",
     "FibonacciLFSR",
     "LFSRStateError",

@@ -1,0 +1,1226 @@
+"""Pluggable kernel-backend dispatch with a bit-exactness conformance gate.
+
+Every hot kernel of the engine -- packed LFSR stepping, strided window
+popcounts, CLT standardisation, per-sample matmul and the im2col lowering --
+is a named *dispatch point* in this registry.  The NumPy code the repo grew up
+with is registered under the name ``"reference"`` for each point and is the
+always-available oracle; alternative implementations (a different NumPy
+strategy, an optional numba jit, one day a C extension or GPU path) register
+against the same dispatch point and become *eligible* only after passing that
+point's conformance gate: a fixed battery of inputs spanning the kernel's
+domain (dtypes, strides 1 and 256, degenerate shapes) on which the candidate
+must reproduce the oracle **bit for bit**.  The repo's crown-jewel contract --
+served and distributed answers byte-identical to the standalone engine -- is
+thereby preserved by construction: a backend that would change a single bit
+can never be dispatched to.
+
+Selection
+---------
+Per-kernel selection is explicit and observable:
+
+* the environment variable ``REPRO_BACKEND`` (read once at import, reloadable
+  via :meth:`KernelRegistry.load_env`) accepts a comma-separated list of
+  ``kernel=backend`` pairs and/or bare backend names; a bare name applies to
+  every dispatch point that registers it, so ``REPRO_BACKEND=reference``
+  forces the oracle everywhere;
+* :func:`set_backend` / :func:`using` force a backend programmatically (tests
+  and benchmarks);
+* without a forced choice each dispatch point walks its *default chain* --
+  an ordered preference list -- and picks the first backend that is available,
+  gate-eligible and whose :attr:`BackendImpl.supports` predicate accepts the
+  call's actual arguments.  Domain-restricted fast paths (the word-aligned
+  packed popcount) therefore fall back per call, exactly like the hand-written
+  branches they replaced.
+
+The active selection is captured in
+:class:`~repro.models.zoo.ReplicaSpec` so serving and distributed workers
+rebuild replicas on the same backends as the process that captured them, and
+per-(kernel, backend) call/row counters feed ``ServerStats`` and the gateway's
+``GET /stats`` so operators can see which implementations actually ran.
+
+``python -m repro.core.backend --list`` prints the registry; ``--verify``
+runs every available backend through its conformance gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import threading
+import warnings
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from importlib.util import find_spec
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from . import bitops
+
+__all__ = [
+    "BackendConformanceError",
+    "BackendImpl",
+    "KernelBackendError",
+    "KernelRegistry",
+    "UnknownBackendError",
+    "apply_selection",
+    "counters_snapshot",
+    "current_selection",
+    "dispatch",
+    "kernel_names",
+    "list_backends",
+    "registry",
+    "reset_counters",
+    "set_backend",
+    "stats_snapshot",
+    "using",
+    "verify_backend",
+]
+
+
+class KernelBackendError(RuntimeError):
+    """Base error for kernel-backend registry problems."""
+
+
+class UnknownBackendError(KernelBackendError):
+    """An unregistered kernel or backend name was requested."""
+
+
+class BackendConformanceError(KernelBackendError):
+    """A backend failed its bit-exactness conformance gate.
+
+    Raised when a forced backend is not bit-identical to the reference oracle
+    on the gate's input battery; such a backend is never dispatched to.
+    """
+
+
+@dataclass(frozen=True)
+class BackendImpl:
+    """One registered implementation of a dispatch point.
+
+    ``fn`` takes the kernel's canonical arguments.  ``supports`` (called with
+    the same arguments) narrows the input domain the backend handles --
+    unsupported calls fall through to the next backend in the chain.
+    ``available`` gates on the environment (e.g. an importable toolchain);
+    unavailable backends self-skip everywhere, including the conformance
+    suite, so optional numba/cython registrations cost nothing in containers
+    without the toolchain.
+    """
+
+    name: str
+    fn: Callable[..., Any]
+    description: str = ""
+    supports: Callable[..., bool] | None = field(default=None, repr=False)
+    available: Callable[[], bool] | None = field(default=None, repr=False)
+
+    def is_available(self) -> bool:
+        if self.available is None:
+            return True
+        try:
+            return bool(self.available())
+        except Exception:  # pragma: no cover - defensive
+            return False
+
+
+@dataclass
+class _Kernel:
+    """A dispatch point: its backends, default chain and conformance gate."""
+
+    name: str
+    doc: str
+    chain: tuple[str, ...]
+    rows_of: Callable[..., int]
+    conformance_cases: Callable[[], list[dict[str, Any]]]
+    check: Callable[[dict[str, Any], Any, Any], None]
+    backends: dict[str, BackendImpl] = field(default_factory=dict)
+
+    #: Name every kernel's oracle is registered under.
+    REFERENCE = "reference"
+
+
+def _copy_case(case: Mapping[str, Any]) -> dict[str, Any]:
+    """Deep-copy the array arguments of a conformance case.
+
+    Each backend (and the oracle) runs on its own copies, so kernels that
+    write into an ``out`` argument cannot leak state between runs.
+    """
+    return {
+        key: value.copy() if isinstance(value, np.ndarray) else value
+        for key, value in case.items()
+    }
+
+
+class KernelRegistry:
+    """Thread-safe registry of dispatch points and their backends."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._kernels: dict[str, _Kernel] = {}
+        self._forced: dict[str, str] = {}
+        # (kernel, backend) -> True | the stored gate failure.  The gate runs
+        # lazily on a backend's first non-reference dispatch and is cached.
+        self._eligibility: dict[tuple[str, str], Any] = {}
+        self._counters: dict[tuple[str, str], list[int]] = {}
+        self._warned: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register_kernel(
+        self,
+        name: str,
+        *,
+        doc: str,
+        chain: Sequence[str],
+        rows_of: Callable[..., int],
+        conformance_cases: Callable[[], list[dict[str, Any]]],
+        check: Callable[[dict[str, Any], Any, Any], None],
+    ) -> None:
+        with self._lock:
+            if name in self._kernels:
+                raise KernelBackendError(f"kernel {name!r} is already registered")
+            self._kernels[name] = _Kernel(
+                name=name,
+                doc=doc,
+                chain=tuple(chain),
+                rows_of=rows_of,
+                conformance_cases=conformance_cases,
+                check=check,
+            )
+
+    def register_backend(self, kernel: str, impl: BackendImpl) -> None:
+        with self._lock:
+            entry = self._kernel(kernel)
+            if impl.name in entry.backends:
+                raise KernelBackendError(
+                    f"backend {impl.name!r} is already registered for {kernel!r}"
+                )
+            entry.backends[impl.name] = impl
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def _kernel(self, name: str) -> _Kernel:
+        try:
+            return self._kernels[name]
+        except KeyError:
+            raise UnknownBackendError(
+                f"unknown kernel {name!r}; registered: {sorted(self._kernels)}"
+            ) from None
+
+    def kernel_names(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._kernels))
+
+    def backend_names(self, kernel: str) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._kernel(kernel).backends))
+
+    # ------------------------------------------------------------------
+    # selection
+    # ------------------------------------------------------------------
+    def set_backend(self, kernel: str, backend: str | None) -> None:
+        """Force ``kernel`` onto ``backend`` (``None`` restores the chain)."""
+        with self._lock:
+            entry = self._kernel(kernel)
+            if backend is None:
+                self._forced.pop(kernel, None)
+                return
+            if backend not in entry.backends:
+                raise UnknownBackendError(
+                    f"unknown backend {backend!r} for kernel {kernel!r}; "
+                    f"registered: {sorted(entry.backends)}"
+                )
+            self._forced[kernel] = backend
+
+    @contextmanager
+    def using(self, kernel: str, backend: str | None) -> Iterator[None]:
+        """Temporarily force a backend (benchmarks and tests)."""
+        with self._lock:
+            previous = self._forced.get(kernel)
+        self.set_backend(kernel, backend)
+        try:
+            yield
+        finally:
+            self.set_backend(kernel, previous)
+
+    def current_selection(self) -> dict[str, str]:
+        """The explicitly forced ``{kernel: backend}`` choices (may be empty)."""
+        with self._lock:
+            return dict(self._forced)
+
+    def apply_selection(self, selection: Mapping[str, str]) -> None:
+        """Replace the forced choices wholesale (replica rebuilds use this)."""
+        items = dict(selection)
+        with self._lock:
+            for kernel, backend in items.items():
+                entry = self._kernel(kernel)
+                if backend not in entry.backends:
+                    raise UnknownBackendError(
+                        f"unknown backend {backend!r} for kernel {kernel!r}"
+                    )
+            self._forced = items
+
+    def load_env(self, value: str | None = None) -> None:
+        """Parse ``REPRO_BACKEND`` into forced selections.
+
+        ``value=None`` reads the environment variable.  The format is a
+        comma-separated list of ``kernel=backend`` pairs and/or bare backend
+        names; a bare name is applied to every kernel that registers a
+        backend of that name.  Unknown names warn and are skipped (a typo in
+        the environment must not take the engine down).
+        """
+        if value is None:
+            value = os.environ.get("REPRO_BACKEND", "")
+        selection: dict[str, str] = {}
+        for token in value.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            if "=" in token:
+                kernel, _, backend = token.partition("=")
+                kernel, backend = kernel.strip(), backend.strip()
+                with self._lock:
+                    entry = self._kernels.get(kernel)
+                if entry is None or backend not in entry.backends:
+                    self._warn_once(
+                        f"REPRO_BACKEND: ignoring unknown selection {token!r}"
+                    )
+                    continue
+                selection[kernel] = backend
+            else:
+                matched = False
+                with self._lock:
+                    for kernel, entry in self._kernels.items():
+                        if token in entry.backends:
+                            selection[kernel] = token
+                            matched = True
+                if not matched:
+                    self._warn_once(
+                        f"REPRO_BACKEND: no kernel registers a backend "
+                        f"named {token!r}; ignoring"
+                    )
+        with self._lock:
+            self._forced = selection
+
+    def _warn_once(self, message: str) -> None:
+        with self._lock:
+            if message in self._warned:
+                return
+            self._warned.add(message)
+        warnings.warn(message, RuntimeWarning, stacklevel=3)
+
+    # ------------------------------------------------------------------
+    # conformance gate
+    # ------------------------------------------------------------------
+    def verify_backend(self, kernel: str, backend: str) -> bool:
+        """Run the conformance gate for ``backend`` now (bypassing the cache).
+
+        Returns ``True`` on a bit-identical pass; raises
+        :class:`BackendConformanceError` on any mismatch and
+        :class:`KernelBackendError` when the backend is unavailable in this
+        environment.
+        """
+        entry = self._kernel(kernel)
+        if backend not in entry.backends:
+            raise UnknownBackendError(
+                f"unknown backend {backend!r} for kernel {kernel!r}"
+            )
+        impl = entry.backends[backend]
+        if not impl.is_available():
+            raise KernelBackendError(
+                f"backend {backend!r} for kernel {kernel!r} is not available "
+                "in this environment"
+            )
+        outcome = self._run_conformance(entry, impl)
+        with self._lock:
+            self._eligibility[(kernel, backend)] = outcome
+        if outcome is not True:
+            raise outcome
+        return True
+
+    def _run_conformance(
+        self, kernel: _Kernel, impl: BackendImpl
+    ) -> Any:
+        """Gate ``impl`` against the oracle; return ``True`` or the failure."""
+        reference = kernel.backends[_Kernel.REFERENCE]
+        for index, case in enumerate(kernel.conformance_cases()):
+            if impl.supports is not None and not impl.supports(**_copy_case(case)):
+                continue
+            expected = reference.fn(**_copy_case(case))
+            try:
+                got = impl.fn(**_copy_case(case))
+                kernel.check(case, expected, got)
+            except Exception as exc:
+                shapes = {
+                    key: (value.shape, str(value.dtype))
+                    if isinstance(value, np.ndarray)
+                    else value
+                    for key, value in case.items()
+                }
+                return BackendConformanceError(
+                    f"backend {impl.name!r} failed the {kernel.name!r} "
+                    f"conformance gate on case {index} ({shapes}): {exc}"
+                )
+        return True
+
+    def _is_eligible(self, kernel: _Kernel, impl: BackendImpl) -> bool:
+        """Lazily gate ``impl``; the reference oracle is eligible by fiat."""
+        if impl.name == _Kernel.REFERENCE:
+            return True
+        key = (kernel.name, impl.name)
+        with self._lock:
+            outcome = self._eligibility.get(key)
+        if outcome is None:
+            outcome = self._run_conformance(kernel, impl)
+            with self._lock:
+                self._eligibility[key] = outcome
+        return outcome is True
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _resolve(self, kernel: _Kernel, args: tuple, kwargs: dict) -> BackendImpl:
+        with self._lock:
+            forced = self._forced.get(kernel.name)
+        if forced is not None:
+            impl = kernel.backends.get(forced)
+            if impl is None:  # pragma: no cover - set_backend validates
+                raise UnknownBackendError(
+                    f"unknown backend {forced!r} for kernel {kernel.name!r}"
+                )
+            if impl.is_available():
+                if not self._is_eligible(kernel, impl):
+                    # An explicitly selected backend that fails the gate is a
+                    # hard error: silently answering from the oracle would
+                    # mask the nonconformance the selection was probing.
+                    with self._lock:
+                        raise self._eligibility[(kernel.name, impl.name)]
+                if impl.supports is None or impl.supports(*args, **kwargs):
+                    return impl
+                # Forced but outside the backend's input domain: the oracle
+                # answers (bit-identical by definition of eligibility).
+            else:
+                self._warn_once(
+                    f"backend {forced!r} for kernel {kernel.name!r} is not "
+                    "available in this environment; using the default chain"
+                )
+                return self._resolve_chain(kernel, args, kwargs)
+            return kernel.backends[_Kernel.REFERENCE]
+        return self._resolve_chain(kernel, args, kwargs)
+
+    def _resolve_chain(
+        self, kernel: _Kernel, args: tuple, kwargs: dict
+    ) -> BackendImpl:
+        for name in kernel.chain:
+            impl = kernel.backends[name]
+            if not impl.is_available():
+                continue
+            if not self._is_eligible(kernel, impl):
+                continue
+            if impl.supports is not None and not impl.supports(*args, **kwargs):
+                continue
+            return impl
+        return kernel.backends[_Kernel.REFERENCE]
+
+    def call(self, kernel_name: str, /, *args: Any, **kwargs: Any) -> Any:
+        """Dispatch one kernel call through the selected backend."""
+        kernel = self._kernel(kernel_name)
+        impl = self._resolve(kernel, args, kwargs)
+        rows = kernel.rows_of(*args, **kwargs)
+        key = (kernel_name, impl.name)
+        with self._lock:
+            counter = self._counters.get(key)
+            if counter is None:
+                counter = self._counters[key] = [0, 0]
+            counter[0] += 1
+            counter[1] += int(rows)
+        return impl.fn(*args, **kwargs)
+
+    def dispatch(self, kernel: str) -> Callable[..., Any]:
+        """A callable bound to ``kernel`` that resolves its backend per call."""
+        self._kernel(kernel)  # fail fast on typos at import time
+
+        def run(*args: Any, **kwargs: Any) -> Any:
+            return self.call(kernel, *args, **kwargs)
+
+        run.__name__ = kernel
+        run.__qualname__ = f"dispatch({kernel!r})"
+        run.__doc__ = self._kernels[kernel].doc
+        return run
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def reset_counters(self) -> None:
+        with self._lock:
+            self._counters.clear()
+
+    def counters_snapshot(self) -> dict[str, dict[str, dict[str, int]]]:
+        """``{kernel: {backend: {"calls", "rows"}}}`` for backends that ran."""
+        with self._lock:
+            snapshot: dict[str, dict[str, dict[str, int]]] = {}
+            for (kernel, backend), (calls, rows) in sorted(self._counters.items()):
+                snapshot.setdefault(kernel, {})[backend] = {
+                    "calls": calls,
+                    "rows": rows,
+                }
+            return snapshot
+
+    def stats_snapshot(self) -> dict[str, dict[str, Any]]:
+        """The selection and counters per kernel, for ``ServerStats``.
+
+        ``selection`` is the forced backend name or ``"auto"`` (default
+        chain); ``backends`` holds the call/row counters of every backend
+        that actually ran in this process.
+        """
+        counters = self.counters_snapshot()
+        with self._lock:
+            return {
+                name: {
+                    "selection": self._forced.get(name, "auto"),
+                    "backends": counters.get(name, {}),
+                }
+                for name in sorted(self._kernels)
+            }
+
+    def list_backends(self) -> list[dict[str, Any]]:
+        """Registry contents for the CLI and tests (no gate side effects)."""
+        with self._lock:
+            listing = []
+            for name in sorted(self._kernels):
+                kernel = self._kernels[name]
+                backends = []
+                for backend_name in sorted(kernel.backends):
+                    impl = kernel.backends[backend_name]
+                    outcome = self._eligibility.get((name, backend_name))
+                    if backend_name == _Kernel.REFERENCE:
+                        verified = "oracle"
+                    elif outcome is True:
+                        verified = "passed"
+                    elif outcome is not None:
+                        verified = "failed"
+                    else:
+                        verified = "unverified"
+                    backends.append(
+                        {
+                            "name": backend_name,
+                            "description": impl.description,
+                            "available": impl.is_available(),
+                            "conformance": verified,
+                        }
+                    )
+                listing.append(
+                    {
+                        "kernel": name,
+                        "doc": kernel.doc,
+                        "selection": self._forced.get(name, "auto"),
+                        "chain": list(kernel.chain),
+                        "backends": backends,
+                    }
+                )
+            return listing
+
+
+# ----------------------------------------------------------------------
+# built-in dispatch points
+# ----------------------------------------------------------------------
+def _numba_available() -> bool:
+    return find_spec("numba") is not None
+
+
+# -- lfsr_step_block ---------------------------------------------------
+def _lfsr_step_block_reference(state_words, n_bits, count, offsets, reverse):
+    return bitops.run_lfsr_block_packed(state_words, n_bits, count, offsets, reverse)
+
+
+#: Bits produced per chunk by the chunked LFSR fill (a cache-locality knob).
+_CHUNK_BITS = 1 << 16
+
+
+def _lfsr_step_block_chunked(state_words, n_bits, count, offsets, reverse):
+    # The recurrence has a unique extension given ``n_bits`` of history, so
+    # producing it in bounded chunks (each continuing from the bits the
+    # previous chunk deposited) is bit-identical to one whole-block fill;
+    # only the leapfrog scheduling -- and therefore the working set -- moves.
+    total = n_bits + count
+    seq = np.zeros(
+        (state_words.shape[0], bitops.words_for_bits(total) + 2), dtype=np.uint64
+    )
+    state_bits = bitops.unpack_bits(state_words, n_bits)
+    history = state_bits if reverse else state_bits[:, ::-1]
+    seq[:, : bitops.words_for_bits(n_bits)] = bitops.pack_bits(history)
+    produced = 0
+    while produced < count:
+        size = min(_CHUNK_BITS, count - produced)
+        bitops.fill_lfsr_sequence(seq, n_bits + produced, size, offsets)
+        produced += size
+    window = bitops.unpack_bits(seq, total)[:, count:]
+    new_state_words = bitops.pack_bits(window if reverse else window[:, ::-1])
+    return seq, new_state_words
+
+
+def _lfsr_taps(n_bits: int) -> tuple[int, ...]:
+    # Ascending, as the kernel contract (and normalise_taps) requires.
+    taps = {
+        8: (4, 5, 6, 8),
+        16: (4, 13, 15, 16),
+        256: (246, 251, 254, 256),
+    }
+    return taps[n_bits]
+
+
+def _mirrored(n_bits: int, taps: tuple[int, ...]) -> tuple[int, ...]:
+    return tuple(sorted({n_bits - p for p in taps if p != n_bits} | {n_bits}))
+
+
+def _random_state_words(rng, rows: int, n_bits: int) -> np.ndarray:
+    words = rng.integers(
+        0, 1 << 64, size=(rows, bitops.words_for_bits(n_bits)), dtype=np.uint64
+    )
+    tail = n_bits & 63
+    if tail:
+        words[:, -1] &= np.uint64((1 << tail) - 1)
+    words[:, 0] |= np.uint64(1)  # the all-zero state is a recurrence fixed point
+    return words
+
+
+def _lfsr_step_block_cases() -> list[dict[str, Any]]:
+    rng = np.random.default_rng(0xC0FFEE)
+    cases = []
+    for n_bits, count, rows, reverse in (
+        (256, 512, 1, False),
+        (256, 640, 3, True),
+        (256, 64, 2, False),  # count < n_bits
+        (256, _CHUNK_BITS + 320, 2, False),  # crosses a chunk boundary
+        (16, 100, 2, False),
+        (16, 96, 2, True),
+        (8, 3, 1, False),  # degenerate: tiny block
+    ):
+        taps = _lfsr_taps(n_bits)
+        offsets = _mirrored(n_bits, taps) if reverse else taps
+        cases.append(
+            {
+                "state_words": _random_state_words(rng, rows, n_bits),
+                "n_bits": n_bits,
+                "count": count,
+                "offsets": offsets,
+                "reverse": reverse,
+            }
+        )
+    return cases
+
+
+def _check_lfsr_step_block(case, expected, got) -> None:
+    total = case["n_bits"] + case["count"]
+    exp_seq, exp_state = expected
+    got_seq, got_state = got
+    if got_seq.dtype != np.uint64 or got_state.dtype != np.uint64:
+        raise AssertionError("sequence and state words must be uint64")
+    if got_seq.shape[1] < bitops.words_for_bits(total):
+        raise AssertionError("sequence buffer too small for the produced bits")
+    if not np.array_equal(
+        bitops.unpack_bits(exp_seq, total), bitops.unpack_bits(got_seq, total)
+    ):
+        raise AssertionError("produced bit sequence differs from the oracle")
+    if np.any(bitops.unpack_bits(got_seq, got_seq.shape[1] * 64)[:, total:]):
+        raise AssertionError("bits beyond n_bits + count must be zero")
+    if not np.array_equal(exp_state, got_state):
+        raise AssertionError("end-of-block register state differs from the oracle")
+
+
+# -- window_popcounts --------------------------------------------------
+def _window_popcounts_reference(seq_words, n_bits, count, stride):
+    # Dense per-shift int64 running sum, then slice the emitted positions:
+    # the simplest arithmetic over the widest dtype is the oracle.
+    seq = bitops.unpack_bits(seq_words, n_bits + count)
+    delta = seq[:, n_bits:].astype(np.int64) - seq[:, :count]
+    popcounts = np.cumsum(delta, axis=1)
+    popcounts += seq[:, :n_bits].sum(axis=1, dtype=np.int64)[:, None]
+    return popcounts[:, stride - 1 :: stride]
+
+
+def _window_popcounts_cumsum(seq_words, n_bits, count, stride):
+    seq = bitops.unpack_bits(seq_words, n_bits + count)
+    rows = seq.shape[0]
+    if stride == 1:
+        # One narrow cumsum instead of two wide ones; int16 is exact because
+        # every intermediate is bounded by the register width (<= 256).
+        delta = seq[:, n_bits:].astype(np.int16)
+        delta -= seq[:, :count]
+        popcounts = np.cumsum(delta, axis=1, out=delta)
+        popcounts += seq[:, :n_bits].sum(axis=1, dtype=np.int16)[:, None]
+        return popcounts
+    # Per emitted position only the *block* sums of entering/leaving bits are
+    # needed: two reductions plus a cumsum over count/stride entries.
+    blocks = count // stride
+    delta = seq[:, n_bits:].reshape(rows, blocks, stride).sum(axis=2, dtype=np.int32)
+    delta -= seq[:, :count].reshape(rows, blocks, stride).sum(axis=2, dtype=np.int32)
+    popcounts = np.cumsum(delta, axis=1, out=delta)
+    popcounts += seq[:, :n_bits].sum(axis=1, dtype=np.int32)[:, None]
+    return popcounts
+
+
+def _window_popcounts_packed(seq_words, n_bits, count, stride):
+    # Word-aligned strided emission: popcount the packed words directly --
+    # no per-bit unpack of the sequence at all.
+    word_pc = np.bitwise_count(seq_words[:, : (n_bits + count) // 64])
+    n_words = n_bits // 64
+    words_per_block = stride // 64
+    blocks = count // stride
+    rows = word_pc.shape[0]
+    delta = (
+        word_pc[:, n_words:]
+        .reshape(rows, blocks, words_per_block)
+        .sum(axis=2, dtype=np.int32)
+    )
+    delta -= (
+        word_pc[:, : count // 64]
+        .reshape(rows, blocks, words_per_block)
+        .sum(axis=2, dtype=np.int32)
+    )
+    popcounts = np.cumsum(delta, axis=1, out=delta)
+    popcounts += word_pc[:, :n_words].sum(axis=1, dtype=np.int32)[:, None]
+    return popcounts
+
+
+def _window_popcounts_packed_supports(seq_words, n_bits, count, stride):
+    return stride > 1 and n_bits % 64 == 0 and stride % 64 == 0
+
+
+def _random_seq_words(rng, rows: int, total_bits: int) -> np.ndarray:
+    n_words = bitops.words_for_bits(total_bits) + 2
+    words = rng.integers(0, 1 << 64, size=(rows, n_words), dtype=np.uint64)
+    full, tail = total_bits >> 6, total_bits & 63
+    words[:, full + (1 if tail else 0) :] = 0
+    if tail:
+        words[:, full] &= np.uint64((1 << tail) - 1)
+    return words
+
+
+def _window_popcounts_cases() -> list[dict[str, Any]]:
+    rng = np.random.default_rng(0xBEEF)
+    cases = []
+    for n_bits, count, stride, rows in (
+        (256, 1024, 1, 1),
+        (256, 1024, 1, 3),
+        (256, 1024, 256, 3),  # the paper's strided emission (packed-eligible)
+        (256, 256, 256, 1),  # degenerate: a single emitted position
+        (256, 512, 64, 2),  # word-aligned, narrower stride
+        (256, 768, 3, 2),  # non-word-aligned stride
+        (16, 96, 1, 2),  # register width not word-aligned
+        (8, 40, 4, 1),
+    ):
+        cases.append(
+            {
+                "seq_words": _random_seq_words(rng, rows, n_bits + count),
+                "n_bits": n_bits,
+                "count": count,
+                "stride": stride,
+            }
+        )
+    return cases
+
+
+def _check_window_popcounts(case, expected, got) -> None:
+    # Backends may pick any integer dtype (int16 cumsum vs int32 block sums);
+    # popcounts are exact small integers, so the float64 epsilon values
+    # downstream are byte-identical whenever the integer values agree.
+    if got.dtype.kind not in "iu":
+        raise AssertionError(f"popcounts must be integers, got {got.dtype}")
+    if got.shape != expected.shape:
+        raise AssertionError(f"shape {got.shape} != oracle {expected.shape}")
+    if not np.array_equal(np.asarray(expected, np.int64), np.asarray(got, np.int64)):
+        raise AssertionError("popcount values differ from the oracle")
+
+
+# -- clt_standardise ---------------------------------------------------
+def _clt_standardise_reference(popcounts, mean, std):
+    return (np.asarray(popcounts) - mean) / std
+
+
+def _clt_standardise_inplace(popcounts, mean, std):
+    # np.subtract on the int popcounts produces the float64 array directly
+    # (integer-to-double conversion is exact) and the division reuses it.
+    values = np.subtract(popcounts, mean)
+    values /= std
+    return values
+
+
+_numba_clt_fn = None
+
+
+def _clt_standardise_numba(popcounts, mean, std):
+    global _numba_clt_fn
+    if _numba_clt_fn is None:
+        import numba
+
+        @numba.njit(cache=False)
+        def kern(values, mean, std):  # pragma: no cover - jit-compiled
+            for i in range(values.size):
+                values[i] = (values[i] - mean) / std
+
+        _numba_clt_fn = kern
+    values = np.array(popcounts, dtype=np.float64)
+    _numba_clt_fn(values.reshape(-1), float(mean), float(std))
+    return values
+
+
+def _clt_standardise_cases() -> list[dict[str, Any]]:
+    rng = np.random.default_rng(0xFACADE)
+    n = 256
+    mean, std = n / 2.0, float(np.sqrt(n / 4.0))
+    pops32 = rng.integers(0, n + 1, size=(4, 96), dtype=np.int32)
+    return [
+        {"popcounts": pops32, "mean": mean, "std": std},
+        {"popcounts": pops32.astype(np.int16), "mean": mean, "std": std},
+        {"popcounts": pops32.astype(np.int64), "mean": mean, "std": std},
+        {"popcounts": pops32[0].astype(np.float64), "mean": mean, "std": std},
+        {"popcounts": pops32[0, :7], "mean": mean, "std": std},
+        {"popcounts": np.int64(137), "mean": mean, "std": std},  # scalar path
+        {"popcounts": np.zeros((3, 0), dtype=np.int16), "mean": mean, "std": std},
+        {"popcounts": rng.integers(0, 17, size=33, dtype=np.int16), "mean": 8.0,
+         "std": 2.0},
+    ]
+
+
+def _check_clt_standardise(case, expected, got) -> None:
+    expected, got = np.asarray(expected), np.asarray(got)
+    if got.dtype != np.float64:
+        raise AssertionError(f"epsilon values must be float64, got {got.dtype}")
+    if got.shape != expected.shape:
+        raise AssertionError(f"shape {got.shape} != oracle {expected.shape}")
+    if expected.tobytes() != got.tobytes():
+        raise AssertionError("standardised values are not byte-identical")
+
+
+# -- sample_matmul -----------------------------------------------------
+def _sample_matmul_reference(a, b, out):
+    # One 2-D matmul per sample: each slice is then byte-identical to the
+    # sequential per-sample call (a stacked 3-D matmul may take a different
+    # BLAS path and is not guaranteed to round identically).
+    shared_a = a.ndim == 2
+    for s in range(b.shape[0]):
+        np.matmul(a if shared_a else a[s], b[s], out=out[s])
+    return out
+
+
+def _sample_matmul_dot(a, b, out):
+    # np.dot and np.matmul reach the same cblas *gemm for 2-D float64
+    # operands; the gate verifies the bit-identity claim anyway.
+    shared_a = a.ndim == 2
+    for s in range(b.shape[0]):
+        np.dot(a if shared_a else a[s], b[s], out=out[s])
+    return out
+
+
+def _sample_matmul_dot_supports(a, b, out):
+    return (
+        a.dtype == np.float64
+        and b.dtype == np.float64
+        and out.dtype == np.float64
+        and out.flags.c_contiguous
+    )
+
+
+def _sample_matmul_cases() -> list[dict[str, Any]]:
+    rng = np.random.default_rng(0xD00D)
+    cases = []
+    for a_shape, b_shape, dtype in (
+        ((3, 4, 5), (3, 5, 2), np.float64),
+        ((4, 5), (3, 5, 2), np.float64),  # shared operand broadcast
+        ((1, 7, 7), (1, 7, 7), np.float64),  # single sample
+        ((2, 4, 0), (2, 0, 3), np.float64),  # degenerate inner dimension
+        ((2, 0, 5), (2, 5, 3), np.float64),  # degenerate row count
+        ((3, 4, 5), (3, 5, 2), np.float32),
+    ):
+        a = rng.standard_normal(a_shape).astype(dtype)
+        b = rng.standard_normal(b_shape).astype(dtype)
+        out = np.empty((b.shape[0], a.shape[-2], b.shape[-1]), dtype=dtype)
+        cases.append({"a": a, "b": b, "out": out})
+    return cases
+
+
+def _check_sample_matmul(case, expected, got) -> None:
+    if got.dtype != expected.dtype:
+        raise AssertionError(f"dtype {got.dtype} != oracle {expected.dtype}")
+    if got.shape != expected.shape:
+        raise AssertionError(f"shape {got.shape} != oracle {expected.shape}")
+    if expected.tobytes() != got.tobytes():
+        raise AssertionError("per-sample products are not byte-identical")
+
+
+# -- im2col ------------------------------------------------------------
+def _conv_out_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def _im2col_reference(x, kernel, stride, padding):
+    batch, channels, height, width = x.shape
+    out_h = _conv_out_size(height, kernel, stride, padding)
+    out_w = _conv_out_size(width, kernel, stride, padding)
+    if padding:
+        x = np.pad(
+            x,
+            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+            mode="constant",
+        )
+    cols = np.empty((batch, channels, kernel, kernel, out_h, out_w), dtype=x.dtype)
+    for row in range(kernel):
+        row_end = row + stride * out_h
+        for col in range(kernel):
+            col_end = col + stride * out_w
+            cols[:, :, row, col, :, :] = x[:, :, row:row_end:stride, col:col_end:stride]
+    cols = cols.transpose(0, 4, 5, 1, 2, 3).reshape(
+        batch * out_h * out_w, channels * kernel * kernel
+    )
+    return cols, out_h, out_w
+
+
+def _im2col_strided_view(x, kernel, stride, padding):
+    # Pure data movement through a zero-copy window view; the final reshape
+    # is the only pass over the data.  Gathers exactly the same elements in
+    # exactly the same order as the loop, hence bit-identical.
+    batch, channels, height, width = x.shape
+    out_h = _conv_out_size(height, kernel, stride, padding)
+    out_w = _conv_out_size(width, kernel, stride, padding)
+    if padding:
+        x = np.pad(
+            x,
+            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+            mode="constant",
+        )
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kernel, kernel), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride]
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
+        batch * out_h * out_w, channels * kernel * kernel
+    )
+    return cols, out_h, out_w
+
+
+def _im2col_cases() -> list[dict[str, Any]]:
+    rng = np.random.default_rng(0xCAB)
+    cases = []
+    for x_shape, kernel, stride, padding, dtype in (
+        ((2, 3, 8, 8), 3, 1, 1, np.float64),
+        ((1, 1, 5, 5), 1, 1, 0, np.float64),  # pointwise kernel
+        ((2, 2, 9, 9), 3, 2, 0, np.float64),  # strided window
+        ((1, 2, 3, 3), 3, 1, 0, np.float64),  # window exactly covers the input
+        ((0, 2, 6, 6), 3, 1, 1, np.float64),  # degenerate empty batch
+        ((2, 3, 8, 8), 3, 1, 1, np.float32),
+    ):
+        x = rng.standard_normal(x_shape).astype(dtype)
+        cases.append({"x": x, "kernel": kernel, "stride": stride, "padding": padding})
+    return cases
+
+
+def _check_im2col(case, expected, got) -> None:
+    exp_cols, exp_h, exp_w = expected
+    got_cols, got_h, got_w = got
+    if (got_h, got_w) != (exp_h, exp_w):
+        raise AssertionError(f"output size {(got_h, got_w)} != {(exp_h, exp_w)}")
+    if got_cols.dtype != exp_cols.dtype:
+        raise AssertionError(f"dtype {got_cols.dtype} != oracle {exp_cols.dtype}")
+    if got_cols.shape != exp_cols.shape:
+        raise AssertionError(f"shape {got_cols.shape} != oracle {exp_cols.shape}")
+    if np.ascontiguousarray(exp_cols).tobytes() != np.ascontiguousarray(
+        got_cols
+    ).tobytes():
+        raise AssertionError("column matrices are not byte-identical")
+
+
+# ----------------------------------------------------------------------
+# registry construction
+# ----------------------------------------------------------------------
+registry = KernelRegistry()
+
+
+def _register_builtin(reg: KernelRegistry) -> None:
+    reg.register_kernel(
+        "lfsr_step_block",
+        doc="Run `count` packed LFSR recurrence steps per register row; "
+        "returns (seq_words, new_state_words).",
+        chain=("reference",),
+        rows_of=lambda state_words, n_bits, count, offsets, reverse: (
+            state_words.shape[0]
+        ),
+        conformance_cases=_lfsr_step_block_cases,
+        check=_check_lfsr_step_block,
+    )
+    reg.register_backend(
+        "lfsr_step_block",
+        BackendImpl(
+            "reference",
+            _lfsr_step_block_reference,
+            description="whole-block leapfrog fill (bitops.run_lfsr_block_packed)",
+        ),
+    )
+    reg.register_backend(
+        "lfsr_step_block",
+        BackendImpl(
+            "chunked",
+            _lfsr_step_block_chunked,
+            description=f"bounded {_CHUNK_BITS}-bit fill chunks "
+            "(cache-locality variant)",
+        ),
+    )
+
+    reg.register_kernel(
+        "window_popcounts",
+        doc="Pattern popcounts after every `stride`-th of `count` shifts, "
+        "from the packed bit sequence.",
+        chain=("packed_bitcount", "cumsum16", "reference"),
+        rows_of=lambda seq_words, n_bits, count, stride: seq_words.shape[0],
+        conformance_cases=_window_popcounts_cases,
+        check=_check_window_popcounts,
+    )
+    reg.register_backend(
+        "window_popcounts",
+        BackendImpl(
+            "reference",
+            _window_popcounts_reference,
+            description="dense per-shift int64 running sum, sliced to the "
+            "emitted positions",
+        ),
+    )
+    reg.register_backend(
+        "window_popcounts",
+        BackendImpl(
+            "cumsum16",
+            _window_popcounts_cumsum,
+            description="unpacked narrow cumsum (int16 at stride 1, int32 "
+            "block sums otherwise)",
+        ),
+    )
+    reg.register_backend(
+        "window_popcounts",
+        BackendImpl(
+            "packed_bitcount",
+            _window_popcounts_packed,
+            description="np.bitwise_count on the packed words (word-aligned "
+            "strides only)",
+            supports=_window_popcounts_packed_supports,
+            available=lambda: hasattr(np, "bitwise_count"),
+        ),
+    )
+
+    reg.register_kernel(
+        "clt_standardise",
+        doc="Standardise pattern popcounts to CLT Gaussians: "
+        "(popcounts - mean) / std as float64.",
+        chain=("inplace", "reference"),
+        rows_of=lambda popcounts, mean, std: int(np.asarray(popcounts).size),
+        conformance_cases=_clt_standardise_cases,
+        check=_check_clt_standardise,
+    )
+    reg.register_backend(
+        "clt_standardise",
+        BackendImpl(
+            "reference",
+            _clt_standardise_reference,
+            description="subtract-then-divide over a fresh array",
+        ),
+    )
+    reg.register_backend(
+        "clt_standardise",
+        BackendImpl(
+            "inplace",
+            _clt_standardise_inplace,
+            description="np.subtract into a new float64 buffer, divided in "
+            "place (no astype pass)",
+        ),
+    )
+    reg.register_backend(
+        "clt_standardise",
+        BackendImpl(
+            "numba",
+            _clt_standardise_numba,
+            description="numba-jitted scalar loop (self-skips without the "
+            "toolchain)",
+            available=_numba_available,
+        ),
+    )
+
+    reg.register_kernel(
+        "sample_matmul",
+        doc="Per-sample 2-D matrix products over a leading Monte-Carlo "
+        "sample axis, into a preallocated output.",
+        chain=("reference",),
+        rows_of=lambda a, b, out: b.shape[0],
+        conformance_cases=_sample_matmul_cases,
+        check=_check_sample_matmul,
+    )
+    reg.register_backend(
+        "sample_matmul",
+        BackendImpl(
+            "reference",
+            _sample_matmul_reference,
+            description="np.matmul loop, one 2-D product per sample",
+        ),
+    )
+    reg.register_backend(
+        "sample_matmul",
+        BackendImpl(
+            "dot_loop",
+            _sample_matmul_dot,
+            description="np.dot loop (same cblas gemm, float64 contiguous "
+            "outputs only)",
+            supports=_sample_matmul_dot_supports,
+        ),
+    )
+
+    reg.register_kernel(
+        "im2col",
+        doc="Unfold (N, C, H, W) into the (N*out_h*out_w, C*k*k) column "
+        "matrix; returns (cols, out_h, out_w).",
+        chain=("reference",),
+        rows_of=lambda x, kernel, stride, padding: x.shape[0],
+        conformance_cases=_im2col_cases,
+        check=_check_im2col,
+    )
+    reg.register_backend(
+        "im2col",
+        BackendImpl(
+            "reference",
+            _im2col_reference,
+            description="per-kernel-position strided slice gather",
+        ),
+    )
+    reg.register_backend(
+        "im2col",
+        BackendImpl(
+            "strided_view",
+            _im2col_strided_view,
+            description="np.lib.stride_tricks.sliding_window_view gather",
+        ),
+    )
+
+
+_register_builtin(registry)
+registry.load_env()
+
+# Fork safety (the serve worker pool and the distributed coordinator both
+# prefer fork-start workers): the registry lock is taken on every kernel call
+# from arbitrary threads, so a fork racing a dispatch would hand the child a
+# lock that is held forever.  The stdlib-logging protocol makes the fork
+# atomic with respect to the lock: hold it across the fork in the parent and
+# hand the child a fresh one.
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX containers
+    os.register_at_fork(
+        before=lambda: registry._lock.acquire(),
+        after_in_parent=lambda: registry._lock.release(),
+        after_in_child=lambda: setattr(registry, "_lock", threading.RLock()),
+    )
+
+
+# ----------------------------------------------------------------------
+# module-level conveniences over the default registry
+# ----------------------------------------------------------------------
+def dispatch(kernel: str) -> Callable[..., Any]:
+    """A callable for ``kernel`` that re-resolves its backend on every call."""
+    return registry.dispatch(kernel)
+
+
+def set_backend(kernel: str, backend: str | None) -> None:
+    """Force ``kernel`` onto ``backend`` (``None`` restores the default chain)."""
+    registry.set_backend(kernel, backend)
+
+
+def using(kernel: str, backend: str | None):
+    """Context manager temporarily forcing a backend."""
+    return registry.using(kernel, backend)
+
+
+def current_selection() -> dict[str, str]:
+    """The explicitly forced ``{kernel: backend}`` choices."""
+    return registry.current_selection()
+
+
+def apply_selection(selection: Mapping[str, str]) -> None:
+    """Replace the forced choices wholesale (used by replica rebuilds)."""
+    registry.apply_selection(selection)
+
+
+def counters_snapshot() -> dict[str, dict[str, dict[str, int]]]:
+    """Per-(kernel, backend) call/row counters for backends that ran."""
+    return registry.counters_snapshot()
+
+
+def reset_counters() -> None:
+    """Zero the per-backend call/row counters."""
+    registry.reset_counters()
+
+
+def stats_snapshot() -> dict[str, dict[str, Any]]:
+    """Selection plus counters per kernel (feeds ``ServerStats``)."""
+    return registry.stats_snapshot()
+
+
+def list_backends() -> list[dict[str, Any]]:
+    """Registry contents: kernels, chains, backend availability/conformance."""
+    return registry.list_backends()
+
+
+def kernel_names() -> tuple[str, ...]:
+    """The registered dispatch-point names."""
+    return registry.kernel_names()
+
+
+def verify_backend(kernel: str, backend: str) -> bool:
+    """Run the conformance gate now; raise on mismatch or unavailability."""
+    return registry.verify_backend(kernel, backend)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI: inspect the registry and run conformance gates on demand."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.core.backend",
+        description="Inspect the kernel-backend registry.",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list kernels and backends (default)"
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="run every available backend through its conformance gate",
+    )
+    args = parser.parse_args(argv)
+
+    failures = 0
+    if args.verify:
+        for entry in list_backends():
+            kernel = entry["kernel"]
+            for backend in entry["backends"]:
+                name = backend["name"]
+                if name == _Kernel.REFERENCE:
+                    print(f"{kernel:18s} {name:16s} ORACLE")
+                    continue
+                if not backend["available"]:
+                    print(f"{kernel:18s} {name:16s} SKIP (unavailable)")
+                    continue
+                try:
+                    verify_backend(kernel, name)
+                except BackendConformanceError as exc:
+                    failures += 1
+                    print(f"{kernel:18s} {name:16s} FAIL  {exc}")
+                else:
+                    print(f"{kernel:18s} {name:16s} PASS (bit-identical)")
+        if not failures:
+            print("all available backends are bit-identical to the oracle")
+    else:
+        for entry in list_backends():
+            print(f"{entry['kernel']}  (selection: {entry['selection']}, "
+                  f"chain: {' > '.join(entry['chain'])})")
+            for backend in entry["backends"]:
+                status = "available" if backend["available"] else "unavailable"
+                print(
+                    f"  {backend['name']:16s} {status:12s} "
+                    f"conformance={backend['conformance']:10s} "
+                    f"{backend['description']}"
+                )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -38,12 +38,15 @@ from typing import Sequence
 
 import numpy as np
 
+from .backend import dispatch
 from .bitops import pack_int_rows, unpack_bits
 from .grng import GRNGMode, LfsrGaussianRNG, ReplayError
 from .lfsr import FibonacciLFSR
 from .lfsr_array import LfsrArray
 
 __all__ = ["BankedGaussianRNG", "GrngBank", "LfsrRowView"]
+
+_clt_standardise = dispatch("clt_standardise")
 
 
 @dataclass
@@ -194,12 +197,10 @@ class GrngBank:
     # raw batched generation (physical register states)
     # ------------------------------------------------------------------
     def _standardise(self, popcounts: np.ndarray) -> np.ndarray:
-        # np.subtract on the int popcounts produces the float64 array directly
-        # (integer-to-double conversion is exact), saving a separate astype
-        # pass; the value sequence is identical to astype-then-subtract.
-        values = np.subtract(popcounts, self._mean)
-        values /= self._std
-        return values
+        # Integer-to-double conversion is exact for popcounts, so every
+        # eligible backend of the dispatch point produces byte-identical
+        # float64 values whatever the popcount dtype.
+        return _clt_standardise(popcounts, self._mean, self._std)
 
     #: Upper bound on register shifts per packed-kernel call.  One giant call
     #: materialises the whole bit sequence at once and falls out of cache;

@@ -30,7 +30,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .bitops import pack_int_rows, run_lfsr_block, unpack_bits, unpack_int_rows
+from .backend import dispatch
+from .bitops import pack_int_rows, unpack_bits, unpack_int_rows
+
+_lfsr_step_block = dispatch("lfsr_step_block")
+_window_popcounts = dispatch("window_popcounts")
 
 __all__ = [
     "MAXIMAL_TAPS",
@@ -311,14 +315,21 @@ class FibonacciLFSR:
     # ------------------------------------------------------------------
     # vectorised block generation
     # ------------------------------------------------------------------
-    def _run_block(self, count: int, reverse: bool) -> np.ndarray:
-        """Run ``count`` packed recurrence steps; return the full bit sequence."""
+    def _run_block_packed(self, count: int, reverse: bool) -> np.ndarray:
+        """Run ``count`` packed recurrence steps; return the packed sequence."""
         offsets = mirrored_taps(self._n, self._taps) if reverse else self._taps
         words = pack_int_rows([self._state], self._n)
-        seq_bits, new_words = run_lfsr_block(words, self._n, count, offsets, reverse)
+        seq_words, new_words = _lfsr_step_block(
+            words, self._n, count, offsets, reverse
+        )
         self._state = unpack_int_rows(new_words)[0]
         self._shift_count += -count if reverse else count
-        return seq_bits[0]
+        return seq_words
+
+    def _run_block(self, count: int, reverse: bool) -> np.ndarray:
+        """Run ``count`` packed recurrence steps; return the full bit sequence."""
+        seq_words = self._run_block_packed(count, reverse)
+        return unpack_bits(seq_words, self._n + count)[0]
 
     def generate_bits(self, count: int) -> np.ndarray:
         """Produce the next ``count`` head bits (forward shifts), vectorised.
@@ -358,15 +369,11 @@ class FibonacciLFSR:
             raise ValueError("count must be non-negative")
         if count == 0:
             return np.zeros(0, dtype=np.int32)
-        n = self._n
-        seq = self._run_block(count, reverse=False)
-        # popcount after shift k = popcount(before) + sum over j <= k of
-        # (new bit j - dropped bit j)
-        delta = seq[n : n + count].astype(np.int32)
-        delta -= seq[:count]
-        popcounts = np.cumsum(delta, out=delta)
-        popcounts += int(seq[:n].sum())
-        return popcounts
+        seq_words = self._run_block_packed(count, reverse=False)
+        popcounts = _window_popcounts(seq_words, self._n, count, 1)
+        # Backends may emit any exact integer dtype; keep this method's
+        # documented int32 contract.
+        return np.asarray(popcounts[0], dtype=np.int32)
 
     # ------------------------------------------------------------------
     # misc

@@ -22,15 +22,18 @@ from typing import Sequence
 
 import numpy as np
 
+from .backend import dispatch
 from .bitops import (
     pack_int_rows,
-    run_lfsr_block_packed,
     unpack_bits,
     unpack_int_rows,
 )
 from .lfsr import LFSRStateError, mirrored_taps, normalise_taps, seed_from_index
 
 __all__ = ["LfsrArray"]
+
+_lfsr_step_block = dispatch("lfsr_step_block")
+_window_popcounts = dispatch("window_popcounts")
 
 
 class LfsrArray:
@@ -173,7 +176,7 @@ class LfsrArray:
             n_selected = self._words[selection].shape[0]
             return np.zeros((n_selected, self._words.shape[1]), dtype=np.uint64)
         offsets = self._reverse_taps if reverse else self._taps
-        seq_words, new_words = run_lfsr_block_packed(
+        seq_words, new_words = _lfsr_step_block(
             self._words[selection], self._n, count, offsets, reverse
         )
         self._words[selection] = new_words
@@ -226,59 +229,10 @@ class LfsrArray:
                 self.n_rows if rows is None else np.asarray(rows).shape[0]
             )
             return np.zeros((n_selected, 0), dtype=np.int32)
-        n = self._n
-        if stride > 1 and n % 64 == 0 and stride % 64 == 0:
-            # Word-aligned strided emission: popcount the packed words
-            # directly (np.bitwise_count) -- no per-bit unpack of the
-            # sequence at all.  Exact integer popcounts, so bit-identical to
-            # the unpacked paths below.
-            seq_words = self._run_packed(count, rows, reverse=False)
-            word_pc = np.bitwise_count(seq_words[:, : (n + count) // 64])
-            n_words = n // 64
-            words_per_block = stride // 64
-            blocks = count // stride
-            n_selected = word_pc.shape[0]
-            delta = (
-                word_pc[:, n_words:]
-                .reshape(n_selected, blocks, words_per_block)
-                .sum(axis=2, dtype=np.int32)
-            )
-            delta -= (
-                word_pc[:, : count // 64]
-                .reshape(n_selected, blocks, words_per_block)
-                .sum(axis=2, dtype=np.int32)
-            )
-            popcounts = np.cumsum(delta, axis=1, out=delta)
-            popcounts += word_pc[:, :n_words].sum(axis=1, dtype=np.int32)[:, None]
-            return popcounts
-        seq = self._run(count, rows, reverse=False)
-        if stride == 1:
-            # popcount after shift k = popcount(before) + sum over j <= k of
-            # (new bit j - dropped bit j); one narrow cumsum instead of two
-            # wide ones keeps this O(count) pass cheap.  int16 is exact here:
-            # every intermediate is bounded by the register width (<= 256),
-            # and the halved element size halves the cumsum's memory traffic.
-            delta = seq[:, n : n + count].astype(np.int16)
-            delta -= seq[:, :count]
-            popcounts = np.cumsum(delta, axis=1, out=delta)
-            popcounts += seq[:, :n].sum(axis=1, dtype=np.int16)[:, None]
-            return popcounts
-        else:
-            # Per emitted position only the *block* sums of entering/leaving
-            # bits are needed: two vectorised reductions plus a cumsum over
-            # count/stride entries replace the full per-shift running sum.
-            blocks = count // stride
-            n_selected = seq.shape[0]
-            delta = (
-                seq[:, n : n + count]
-                .reshape(n_selected, blocks, stride)
-                .sum(axis=2, dtype=np.int32)
-            )
-            delta -= (
-                seq[:, :count]
-                .reshape(n_selected, blocks, stride)
-                .sum(axis=2, dtype=np.int32)
-            )
-            popcounts = np.cumsum(delta, axis=1, out=delta)
-        popcounts += seq[:, :n].sum(axis=1, dtype=np.int32)[:, None]
-        return popcounts
+        # The popcount reduction is a registered dispatch point: the default
+        # chain prefers the packed np.bitwise_count path (word-aligned
+        # strides), falls back to the narrow-cumsum unpacked path and finally
+        # to the dense int64 oracle.  Every eligible backend is bit-identical
+        # (exact integer popcounts), so selection changes speed, never values.
+        seq_words = self._run_packed(count, rows, reverse=False)
+        return _window_popcounts(seq_words, self._n, count, stride)

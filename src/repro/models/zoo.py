@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..core import backend as kernel_backend
 from .specs import (
     ActivationSpec,
     ConvSpec,
@@ -408,12 +409,26 @@ class ReplicaSpec:
     with the captured bytes, every replica is bit-identical to the source
     model -- which is what makes serving results independent of which worker
     (or how many workers) executed a tile.
+
+    ``backend_selection`` snapshots the kernel-backend choices
+    (:func:`repro.core.backend.current_selection`) of the capturing process;
+    :meth:`build` re-applies them so serving and distributed workers run
+    replicas on the same backends.  Every eligible backend is bit-identical
+    by the conformance gate, so the selection is deliberately excluded from
+    :meth:`fingerprint` -- the rebuilt model's bytes do not depend on it.
     """
 
     spec: ModelSpec
     build_seed: int = 0
     state: dict[str, np.ndarray] | None = None
     quantization: object | None = field(default=None, repr=False)
+    backend_selection: tuple[tuple[str, str], ...] | None = field(
+        default=None, repr=False
+    )
+
+    @staticmethod
+    def _selection_snapshot() -> tuple[tuple[str, str], ...]:
+        return tuple(sorted(kernel_backend.current_selection().items()))
 
     @classmethod
     def structural(cls, spec: ModelSpec, build_seed: int = 0) -> "ReplicaSpec":
@@ -425,7 +440,11 @@ class ReplicaSpec:
         structure (and the build seed, for any structural randomness) must
         match the coordinator's model.
         """
-        return cls(spec=spec, build_seed=build_seed)
+        return cls(
+            spec=spec,
+            build_seed=build_seed,
+            backend_selection=cls._selection_snapshot(),
+        )
 
     @classmethod
     def capture(
@@ -446,6 +465,7 @@ class ReplicaSpec:
             build_seed=build_seed,
             state=state,
             quantization=model.quantization,
+            backend_selection=cls._selection_snapshot(),
         )
 
     def fingerprint(self) -> str:
@@ -477,6 +497,11 @@ class ReplicaSpec:
 
     def build(self) -> "BayesianNetwork":
         """Instantiate the replica (bit-identical parameters to the source)."""
+        if self.backend_selection is not None:
+            # Match the capturing process's kernel-backend choices, including
+            # an empty selection (which clears any local overrides).  Specs
+            # pickled before this field existed carry None and change nothing.
+            kernel_backend.apply_selection(dict(self.backend_selection))
         model = self.spec.build_bayesian(seed=self.build_seed)
         if self.state is not None:
             parameters = {p.name: p for p in model.parameters()}

@@ -20,7 +20,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.backend import dispatch
 from .tensor_utils import check_4d, conv_output_size
+
+_im2col_kernel = dispatch("im2col")
+_sample_matmul_kernel = dispatch("sample_matmul")
 
 __all__ = [
     "im2col",
@@ -49,30 +53,17 @@ def im2col(
     Returns the column matrix and the output spatial dimensions.  This is the
     standard lowering that turns convolution into one large matrix multiply,
     mirroring how the PE arrays in the modelled accelerators consume a stream
-    of (input window, weight) pairs.
+    of (input window, weight) pairs.  The gather itself is a registered
+    dispatch point (``im2col`` in :mod:`repro.core.backend`); every eligible
+    backend is pure, bit-identical data movement.
     """
     check_4d(x)
-    batch, channels, height, width = x.shape
-    out_h = conv_output_size(height, kernel, stride, padding)
-    out_w = conv_output_size(width, kernel, stride, padding)
-    if padding:
-        x = np.pad(
-            x,
-            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
-            mode="constant",
-        )
-    cols = np.empty(
-        (batch, channels, kernel, kernel, out_h, out_w), dtype=x.dtype
-    )
-    for row in range(kernel):
-        row_end = row + stride * out_h
-        for col in range(kernel):
-            col_end = col + stride * out_w
-            cols[:, :, row, col, :, :] = x[:, :, row:row_end:stride, col:col_end:stride]
-    cols = cols.transpose(0, 4, 5, 1, 2, 3).reshape(
-        batch * out_h * out_w, channels * kernel * kernel
-    )
-    return cols, out_h, out_w
+    _, _, height, width = x.shape
+    # Validate the window geometry up front (raises on collapsed outputs);
+    # the dispatched kernels recompute the same sizes arithmetically.
+    conv_output_size(height, kernel, stride, padding)
+    conv_output_size(width, kernel, stride, padding)
+    return _im2col_kernel(x, kernel, stride, padding)
 
 
 def col2im(
@@ -166,7 +157,9 @@ def sample_matmul(
     ``result[s] = a[s] @ b[s]``.  The product is computed as ``S`` separate
     2-D matmuls so each slice is bit-identical to the sequential per-sample
     call -- a stacked 3-D matmul may take a different BLAS path and is not
-    guaranteed to round identically.
+    guaranteed to round identically.  The loop body is a registered dispatch
+    point (``sample_matmul`` in :mod:`repro.core.backend`) whose conformance
+    gate enforces exactly that byte-identity.
     """
     if b.ndim != 3:
         raise ValueError(f"b must be (S, k, n), got shape {b.shape}")
@@ -181,9 +174,7 @@ def sample_matmul(
             (n_samples, a.shape[-2], b.shape[-1]),
             dtype=np.result_type(a, b),
         )
-    for s in range(n_samples):
-        np.matmul(a if shared_a else a[s], b[s], out=out[s])
-    return out
+    return _sample_matmul_kernel(a, b, out)
 
 
 def conv2d_forward_samples(

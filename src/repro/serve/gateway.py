@@ -19,7 +19,9 @@ on the versioned serving stack.  The endpoints:
 
 ``GET /stats``
     The :class:`~repro.serve.stats.StatsSnapshot`, including the per-version
-    request counters.
+    request counters and the kernel-backend telemetry (``kernel_backends``:
+    per-kernel backend selection plus call/row counters from
+    :mod:`repro.core.backend`).
 
 ``GET /models``
     Registered versions (fingerprints, loaded flags), the active deployment

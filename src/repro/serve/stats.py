@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core import backend as kernel_backend
+
 __all__ = ["ServerStats", "StatsSnapshot"]
 
 
@@ -49,6 +51,10 @@ class StatsSnapshot:
     """Per-model-version request counters:
     ``{version: {"completed", "failed", "rows"}}``.  Untagged requests (the
     single-model server surface) are not counted here."""
+    kernel_backends: dict[str, dict] = field(default_factory=dict)
+    """Kernel-dispatch telemetry from :mod:`repro.core.backend`:
+    ``{kernel: {"selection": backend-or-"auto",
+    "backends": {backend: {"calls", "rows"}}}}``."""
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         p50 = f"{self.latency_p50_ms:.2f}" if self.latency_p50_ms is not None else "-"
@@ -155,4 +161,5 @@ class ServerStats:
                     version: dict(counters)
                     for version, counters in sorted(self._per_version.items())
                 },
+                kernel_backends=kernel_backend.stats_snapshot(),
             )
