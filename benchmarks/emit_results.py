@@ -24,6 +24,12 @@ input; CI runs them in separate jobs and emits one report each):
   aggregate-throughput speedup of the micro-batching server (``inline`` and
   ``pool2`` worker modes, 8 concurrent clients x 4 requests) over the same
   requests issued sequentially through per-request ``mc_predict``;
+* the **fused-tile** cases (``test_bench_serving_fused``): per generator
+  stride, one executor tile of four pooled same-config requests with tile
+  fusion on (``REPRO_FUSED=auto``, the probe-gated folded forward) vs off
+  (``REPRO_FUSED=0``, per-request forwards).  Acceptance: fused must beat
+  unfused by ``SERVING_FUSED_THRESHOLD`` at stride 256 (both legs assert
+  byte-equality against standalone ``mc_predict``);
 * the **per-kernel dispatch** cases (``test_bench_kernel``): per (kernel,
   backend) pair the speed of every registered backend relative to the
   always-available NumPy reference oracle, plus an ``auto`` case measuring
@@ -64,12 +70,21 @@ SERVING_THRESHOLD = 2.0
 SERVING_STRIDE = 256
 SERVING_MODE = "inline"
 
+#: The acceptance headline of PR 7: when the row-stability proof passes, a
+#: fused tile of pooled same-config requests must beat the per-request
+#: fallback path by at least this factor at the library-default stride.
+SERVING_FUSED_THRESHOLD = 1.3
+SERVING_FUSED_STRIDE = 256
+
 _ENGINE_PATTERN = re.compile(
     r"test_bench_(?P<workload>mc_predict|train_step)\["
     r"(?P<arch>dense|conv)-(?P<n_samples>\d+)-(?P<mode>\w+)\]"
 )
 _SERVING_PATTERN = re.compile(
     r"test_bench_serving\[(?P<stride>\d+)-(?P<mode>\w+)\]"
+)
+_SERVING_FUSED_PATTERN = re.compile(
+    r"test_bench_serving_fused\[(?P<stride>\d+)-(?P<mode>\w+)\]"
 )
 _DISTRIB_PATTERN = re.compile(r"test_bench_distrib\[(?P<mode>\w+)\]")
 _KERNEL_PATTERN = re.compile(
@@ -127,6 +142,19 @@ def parse_serving_cases(raw: dict) -> dict:
         stats = _stats(bench)
         # recorded by the benchmark itself (benchmark.extra_info), so the
         # derived requests/s can never drift from the workload definition
+        stats["n_requests"] = bench.get("extra_info", {}).get("n_requests")
+        cases[(int(match.group("stride")), match.group("mode"))] = stats
+    return cases
+
+
+def parse_serving_fused_cases(raw: dict) -> dict:
+    """Extract {(stride, mode): stats} from the fused-tile benchmark cases."""
+    cases = {}
+    for bench in raw.get("benchmarks", []):
+        match = _SERVING_FUSED_PATTERN.search(bench["name"])
+        if not match:
+            continue
+        stats = _stats(bench)
         stats["n_requests"] = bench.get("extra_info", {}).get("n_requests")
         cases[(int(match.group("stride")), match.group("mode"))] = stats
     return cases
@@ -225,6 +253,24 @@ def _serving_report(cases: dict, report: dict) -> None:
     report["serving"] = serving
 
 
+def _serving_fused_report(cases: dict, report: dict) -> None:
+    fused: dict = {"cases": {}, "speedups": {}}
+    for (stride, mode), stats in sorted(cases.items()):
+        fused["cases"][f"serving_fused[stride{stride}-{mode}]"] = stats
+    for stride in sorted({key[0] for key in cases}):
+        baseline = cases.get((stride, "unfused"))
+        measured = cases.get((stride, "fused"))
+        if baseline and measured:
+            # the fused-tile win proper: one probe-gated folded forward
+            # against the per-request forwards over the same pooled tile
+            fused["speedups"][f"stride{stride}"] = {
+                "fused_vs_unfused": round(
+                    baseline["median_ms"] / measured["median_ms"], 3
+                )
+            }
+    report["serving_fused"] = fused
+
+
 def _distrib_report(cases: dict, report: dict) -> None:
     distrib: dict = {"cases": {}, "throughput_ratios": {}}
     for mode, stats in sorted(cases.items()):
@@ -245,6 +291,7 @@ def _distrib_report(cases: dict, report: dict) -> None:
 def build_report(raw: dict) -> dict:
     engine_cases = parse_engine_cases(raw)
     serving_cases = parse_serving_cases(raw)
+    serving_fused_cases = parse_serving_fused_cases(raw)
     distrib_cases = parse_distrib_cases(raw)
     kernel_cases = parse_kernel_cases(raw)
     report: dict = {
@@ -262,6 +309,8 @@ def build_report(raw: dict) -> dict:
     _engine_report(engine_cases, report)
     if serving_cases:
         _serving_report(serving_cases, report)
+    if serving_fused_cases:
+        _serving_fused_report(serving_fused_cases, report)
     if distrib_cases:
         _distrib_report(distrib_cases, report)
     if kernel_cases:
@@ -292,6 +341,23 @@ def build_report(raw: dict) -> dict:
                 "threshold": SERVING_THRESHOLD,
                 "measured": measured,
                 "pass": measured is not None and measured >= SERVING_THRESHOLD,
+            }
+        )
+    if serving_fused_cases:
+        measured = (
+            report["serving_fused"]["speedups"]
+            .get(f"stride{SERVING_FUSED_STRIDE}", {})
+            .get("fused_vs_unfused")
+        )
+        report["acceptance"].append(
+            {
+                "metric": "fused tile (4 pooled same-config requests, stride "
+                f"{SERVING_FUSED_STRIDE}) vs the per-request fallback path "
+                "(byte-equality to mc_predict asserted in both legs)",
+                "threshold": SERVING_FUSED_THRESHOLD,
+                "measured": measured,
+                "pass": measured is not None
+                and measured >= SERVING_FUSED_THRESHOLD,
             }
         )
     if distrib_cases:
@@ -372,6 +438,7 @@ def main(argv: list[str] | None = None) -> int:
     total_cases = (
         len(report["cases"])
         + len(report.get("serving", {}).get("cases", {}))
+        + len(report.get("serving_fused", {}).get("cases", {}))
         + len(report.get("distrib", {}).get("cases", {}))
         + len(report.get("kernels", {}).get("cases", {}))
     )

@@ -62,6 +62,17 @@ def _workload(kernel: str):
     if kernel == "im2col":
         x = rng.standard_normal(IM2COL_SHAPE)
         return (x, 3, 1, 0), {}
+    if kernel == "fused_sample_matmul":
+        # a pooled serving tile: 4 requests of 16 rows each, MLP-sized layer
+        s, k, n = 8, 196, 128
+        splits = (16, 16, 16, 16)
+        a = rng.standard_normal((s, sum(splits), k))
+        b = rng.standard_normal((s, k, n))
+        out = np.empty((s, sum(splits), n), dtype=np.float64)
+        return (a, b, out, splits), {}
+    if kernel == "fused_im2col":
+        x = rng.standard_normal(IM2COL_SHAPE)
+        return (x, 3, 1, 0, (2, 2, 2, 2)), {}
     raise AssertionError(f"no benchmark workload defined for kernel {kernel!r}")
 
 

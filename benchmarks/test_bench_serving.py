@@ -22,6 +22,15 @@ Every mode returns bit-identical answers (asserted here per round and
 property-tested in ``tests/integration/test_serving_equivalence.py``);
 ``benchmarks/emit_results.py`` turns a ``--benchmark-json`` dump of this
 module into the ``BENCH_serving.json`` serving-speedup report.
+
+``test_bench_serving_fused`` isolates the tile-fusion win itself: one
+executor tile of four pooled same-config requests, measured with fusion on
+(``REPRO_FUSED=auto``, one folded forward, gated by the row-stability
+proof) against fusion off (``REPRO_FUSED=0``, four per-request forwards --
+the PR 3 execution shape).  Both legs assert byte-equality against
+standalone ``mc_predict`` every run; ``emit_results.py --tag
+serving_fused`` derives the fused-vs-unfused speedup with a >= 1.3x
+acceptance bound at the library-default stride 256.
 """
 
 from __future__ import annotations
@@ -32,8 +41,10 @@ import numpy as np
 import pytest
 
 from repro.bnn import mc_predict
+from repro.core import stability
 from repro.models import ReplicaSpec, get_model
 from repro.serve import PredictionServer, SamplingConfig, ServerConfig
+from repro.serve.executor import TileExecutor
 
 N_CLIENTS = 8
 REQUESTS_PER_CLIENT = 4
@@ -131,3 +142,47 @@ def test_bench_serving(benchmark, stride, mode):
     assert snapshot.requests_completed >= N_CLIENTS * REQUESTS_PER_CLIENT
     assert snapshot.mean_batch_occupancy is not None
     assert snapshot.mean_batch_occupancy > 1.0  # pooling actually happened
+
+
+#: pooled same-config requests in the fused-vs-unfused tile
+FUSED_TILE_REQUESTS = 4
+
+
+@pytest.mark.parametrize("mode", ["fused", "unfused"])
+@pytest.mark.parametrize("stride", [1, 256])
+def test_bench_serving_fused(benchmark, stride, mode, monkeypatch):
+    monkeypatch.setenv("REPRO_FUSED", "auto" if mode == "fused" else "0")
+    if mode == "fused" and not stability.probe.verdict().ok:
+        # pragma: no cover - platform guard; the fallback leg still runs
+        pytest.skip("this BLAS fails the row-stability verdict; fusion is off")
+    spec = get_model("B-MLP", reduced=True)
+    model = spec.build_bayesian(seed=42)
+    rng = np.random.default_rng(7)
+    xs = [
+        rng.normal(size=(ROWS_PER_REQUEST, 196))
+        for _ in range(FUSED_TILE_REQUESTS)
+    ]
+    sampling = SamplingConfig(n_samples=N_SAMPLES, seed=0, grng_stride=stride)
+    executor = TileExecutor(model)
+    requests = [(x, sampling) for x in xs]
+    benchmark.extra_info["n_requests"] = FUSED_TILE_REQUESTS
+
+    def run():
+        return [probabilities for probabilities, _ in executor.execute(requests)]
+
+    results = benchmark.pedantic(run, rounds=7, iterations=1, warmup_rounds=1)
+    events = executor.consume_fusion_events()
+    if mode == "fused":
+        # the proof passed, so every round must genuinely have fused
+        assert events["fused_tiles"] >= 1 and events["fallback_requests"] == 0
+    else:
+        # the forced fallback is counted, never silent
+        assert events["fused_tiles"] == 0 and events["fallback_disabled"] >= 1
+    # BOTH legs serve bytes identical to standalone mc_predict
+    for x, probabilities in zip(xs, results):
+        reference = mc_predict(
+            model, x, n_samples=N_SAMPLES, seed=0, grng_stride=stride
+        )
+        assert (
+            probabilities.tobytes() == reference.sample_probabilities.tobytes()
+        )

@@ -874,7 +874,13 @@ def _im2col_reference(x, kernel, stride, padding):
     cols = cols.transpose(0, 4, 5, 1, 2, 3).reshape(
         batch * out_h * out_w, channels * kernel * kernel
     )
-    return cols, out_h, out_w
+    # The reshape can legally return a *view* with exotic strides (batch=1 is
+    # the common case), and BLAS rounds `strided_A @ B` differently from
+    # `contiguous_A @ B`.  Normalising the layout here pins one operand class
+    # for every caller -- standalone, per-request-block and fused-tile conv
+    # paths then all feed the GEMM identically-strided matrices, which is a
+    # precondition of the row-stability proof in ``repro.core.stability``.
+    return np.ascontiguousarray(cols), out_h, out_w
 
 
 def _im2col_strided_view(x, kernel, stride, padding):
@@ -895,7 +901,9 @@ def _im2col_strided_view(x, kernel, stride, padding):
     cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
         batch * out_h * out_w, channels * kernel * kernel
     )
-    return cols, out_h, out_w
+    # same layout normalisation as the reference (see there): downstream GEMM
+    # bytes must not depend on whether the reshape copied or aliased
+    return np.ascontiguousarray(cols), out_h, out_w
 
 
 def _im2col_cases() -> list[dict[str, Any]]:
@@ -927,6 +935,141 @@ def _check_im2col(case, expected, got) -> None:
         got_cols
     ).tobytes():
         raise AssertionError("column matrices are not byte-identical")
+
+
+# -- fused folded kernels (serving-tile fusion behind the stability probe) --
+def _validate_splits(total: int, splits) -> tuple[int, ...]:
+    splits = tuple(int(s) for s in splits)
+    if not splits or any(s < 1 for s in splits):
+        raise ValueError(f"splits must be positive row counts, got {splits!r}")
+    if sum(splits) != total:
+        raise ValueError(
+            f"splits {splits!r} sum to {sum(splits)}, expected {total}"
+        )
+    return splits
+
+
+def _fused_sample_matmul_reference(a, b, out, splits, trans_b=False):
+    # The per-request oracle: each split block is computed from *fresh
+    # contiguous* operands into a fresh output, exactly the byte sequence a
+    # standalone per-request forward performs -- so "reference" here IS the
+    # unfused serving path, by construction rather than by comparison.
+    splits = _validate_splits(out.shape[-2], splits)
+    shared_a = a.ndim == 2
+    lo = 0
+    for rows in splits:
+        hi = lo + rows
+        if trans_b:
+            # conv idiom: `cols @ flat_weights[s].T` with a fresh result
+            for s in range(b.shape[0]):
+                a_blk = np.ascontiguousarray(a[lo:hi] if shared_a else a[s, lo:hi])
+                out[s, lo:hi] = a_blk @ b[s].T
+        else:
+            a_blk = np.ascontiguousarray(a[lo:hi] if shared_a else a[:, lo:hi])
+            out_blk = np.empty(
+                (b.shape[0], rows, b.shape[-1]), dtype=out.dtype
+            )
+            registry.call("sample_matmul", a_blk, b, out_blk)
+            out[:, lo:hi] = out_blk
+        lo = hi
+    return out
+
+
+def _fused_sample_matmul_fused(a, b, out, splits, trans_b=False):
+    # One whole-M pass per sample: the folded GEMM the probe proves safe.
+    _validate_splits(out.shape[-2], splits)
+    if trans_b:
+        shared_a = a.ndim == 2
+        for s in range(b.shape[0]):
+            out[s] = (a if shared_a else a[s]) @ b[s].T
+        return out
+    return registry.call("sample_matmul", a, b, out)
+
+
+def _fused_sample_matmul_supports(a, b, out, splits, trans_b=False):
+    splits = tuple(int(s) for s in splits)
+    if len(splits) < 2:
+        # a single block is its own standalone computation; fusing is free
+        return True
+    from . import stability  # deferred: stability imports this module
+
+    kind = "nt" if trans_b else "nn"
+    return stability.probe.splits_ok(
+        kind, np.dtype(out.dtype), int(b.shape[-2] if not trans_b else b.shape[-1]),
+        int(out.shape[-1]), splits
+    )
+
+
+def _fused_sample_matmul_cases() -> list[dict[str, Any]]:
+    rng = np.random.default_rng(0xF0_5ED)
+    cases = []
+    for a_shape, n, splits, trans_b, dtype in (
+        # adversarial splits: all-1-row, primes summing to a prime total,
+        # and a cache-line straddle (K=17 float64 rows are 136 bytes)
+        ((2, 6, 8), 4, (1, 1, 1, 1, 1, 1), False, np.float64),
+        ((2, 37, 17), 5, (1, 2, 3, 5, 7, 19), False, np.float64),
+        ((3, 16, 196), 128, (5, 11), False, np.float64),
+        ((16, 196), 128, (7, 9), False, np.float64),  # shared-a broadcast
+        ((2, 37, 17), 5, (1, 2, 3, 5, 7, 19), True, np.float64),
+        ((3, 24, 64), 10, (8, 8, 8), True, np.float64),
+        ((2, 13, 9), 12, (2, 4, 7), False, np.float32),
+        ((2, 13, 9), 12, (13,), False, np.float64),  # single-block identity
+    ):
+        k = a_shape[-1]
+        n_samples = a_shape[0] if len(a_shape) == 3 else 3
+        a = rng.standard_normal(a_shape).astype(dtype)
+        b_shape = (n_samples, n, k) if trans_b else (n_samples, k, n)
+        b = rng.standard_normal(b_shape).astype(dtype)
+        out = np.empty((n_samples, a_shape[-2], n), dtype=dtype)
+        cases.append(
+            {"a": a, "b": b, "out": out, "splits": splits, "trans_b": trans_b}
+        )
+    return cases
+
+
+def _fused_im2col_reference(x, kernel, stride, padding, splits):
+    # Per-request oracle: each batch block is unfolded standalone from a
+    # fresh contiguous copy, then the column matrices are stacked.
+    splits = _validate_splits(x.shape[0], splits)
+    blocks = []
+    out_h = out_w = 0
+    lo = 0
+    for items in splits:
+        hi = lo + items
+        cols, out_h, out_w = registry.call(
+            "im2col", np.ascontiguousarray(x[lo:hi]), kernel, stride, padding
+        )
+        blocks.append(cols)
+        lo = hi
+    return np.concatenate(blocks, axis=0), out_h, out_w
+
+
+def _fused_im2col_fused(x, kernel, stride, padding, splits):
+    _validate_splits(x.shape[0], splits)
+    return registry.call("im2col", x, kernel, stride, padding)
+
+
+def _fused_im2col_cases() -> list[dict[str, Any]]:
+    rng = np.random.default_rng(0xF0_CAB)
+    cases = []
+    for x_shape, kernel, stride, padding, splits, dtype in (
+        ((6, 2, 6, 6), 3, 1, 1, (1, 1, 1, 1, 1, 1), np.float64),
+        ((13, 1, 5, 5), 3, 2, 0, (1, 2, 3, 7), np.float64),
+        ((7, 3, 8, 8), 3, 1, 1, (2, 5), np.float64),
+        ((5, 2, 4, 4), 2, 2, 0, (5,), np.float64),  # single-block identity
+        ((7, 3, 8, 8), 3, 1, 1, (3, 4), np.float32),
+    ):
+        x = rng.standard_normal(x_shape).astype(dtype)
+        cases.append(
+            {
+                "x": x,
+                "kernel": kernel,
+                "stride": stride,
+                "padding": padding,
+                "splits": splits,
+            }
+        )
+    return cases
 
 
 # ----------------------------------------------------------------------
@@ -1092,6 +1235,67 @@ def _register_builtin(reg: KernelRegistry) -> None:
             "strided_view",
             _im2col_strided_view,
             description="np.lib.stride_tricks.sliding_window_view gather",
+        ),
+    )
+
+    reg.register_kernel(
+        "fused_sample_matmul",
+        doc="Per-sample matmul over a tile of concatenated requests "
+        "(row `splits`); the reference recomputes each request block "
+        "standalone, so fusing is correct only where the conformance gate "
+        "-- the runtime row-stability probe -- proves the folded GEMM "
+        "byte-identical.",
+        chain=("fused", "reference"),
+        rows_of=lambda a, b, out, splits, trans_b=False: out.shape[-2],
+        conformance_cases=_fused_sample_matmul_cases,
+        check=_check_sample_matmul,
+    )
+    reg.register_backend(
+        "fused_sample_matmul",
+        BackendImpl(
+            "reference",
+            _fused_sample_matmul_reference,
+            description="per-request blocks from fresh contiguous operands "
+            "(the unfused serving path, by construction)",
+        ),
+    )
+    reg.register_backend(
+        "fused_sample_matmul",
+        BackendImpl(
+            "fused",
+            _fused_sample_matmul_fused,
+            description="one whole-tile GEMM per sample; supports() consults "
+            "the RowStabilityProbe per (kind, dtype, K, N, splits) class",
+            supports=_fused_sample_matmul_supports,
+        ),
+    )
+
+    reg.register_kernel(
+        "fused_im2col",
+        doc="im2col over a tile of concatenated requests (batch `splits`); "
+        "the reference unfolds each request block standalone and stacks "
+        "the column matrices.",
+        chain=("fused", "reference"),
+        rows_of=lambda x, kernel, stride, padding, splits: x.shape[0],
+        conformance_cases=_fused_im2col_cases,
+        check=_check_im2col,
+    )
+    reg.register_backend(
+        "fused_im2col",
+        BackendImpl(
+            "reference",
+            _fused_im2col_reference,
+            description="per-request unfold from fresh contiguous blocks, "
+            "rows stacked",
+        ),
+    )
+    reg.register_backend(
+        "fused_im2col",
+        BackendImpl(
+            "fused",
+            _fused_im2col_fused,
+            description="whole-tile unfold (pure data movement; the gate "
+            "proves the stacking property)",
         ),
     )
 

@@ -20,11 +20,19 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core import stability as _stability
 from ..core.backend import dispatch
 from .tensor_utils import check_4d, conv_output_size
 
 _im2col_kernel = dispatch("im2col")
 _sample_matmul_kernel = dispatch("sample_matmul")
+# Tile-fused variants: active only inside a `stability.folded_splits` context
+# (the serving executor opens one around a fused multi-request forward).
+# Their `fused` backends consult the row-stability probe per shape class and
+# fall back to per-request-block computation -- bit-exact by construction --
+# wherever the probe rejects the folded GEMM.
+_fused_im2col_kernel = dispatch("fused_im2col")
+_fused_sample_matmul_kernel = dispatch("fused_sample_matmul")
 
 __all__ = [
     "im2col",
@@ -174,6 +182,9 @@ def sample_matmul(
             (n_samples, a.shape[-2], b.shape[-1]),
             dtype=np.result_type(a, b),
         )
+    splits = _stability.scaled_active_splits(a.shape[-2])
+    if splits is not None:
+        return _fused_sample_matmul_kernel(a, b, out, splits)
     return _sample_matmul_kernel(a, b, out)
 
 
@@ -214,14 +225,32 @@ def conv2d_forward_samples(
         )
     batch = x.shape[0] // n_samples
     flat_weights = weights.reshape(n_samples, out_channels, -1)
+    # inside a fused tile, each request owns `splits[i]` of the `batch` items
+    # per sample; the column matrix scales every span by out_h * out_w
+    splits = _stability.scaled_active_splits(batch)
     cols_per_sample: list[np.ndarray] = []
     out: np.ndarray | None = None
     for s in range(n_samples):
-        cols_s, out_h, out_w = im2col(
-            x[s * batch : (s + 1) * batch], k_h, stride, padding
-        )
-        cols_per_sample.append(cols_s)
-        out_s = cols_s @ flat_weights[s].T
+        if splits is None:
+            cols_s, out_h, out_w = im2col(
+                x[s * batch : (s + 1) * batch], k_h, stride, padding
+            )
+            cols_per_sample.append(cols_s)
+            out_s = cols_s @ flat_weights[s].T
+        else:
+            cols_s, out_h, out_w = _fused_im2col_kernel(
+                x[s * batch : (s + 1) * batch], k_h, stride, padding, splits
+            )
+            cols_per_sample.append(cols_s)
+            col_splits = tuple(rows * out_h * out_w for rows in splits)
+            out_s = np.empty(
+                (cols_s.shape[0], out_channels),
+                dtype=np.result_type(cols_s.dtype, flat_weights.dtype),
+            )
+            _fused_sample_matmul_kernel(
+                cols_s[None], flat_weights[s][None], out_s[None],
+                col_splits, trans_b=True,
+            )
         if bias is not None:
             out_s += bias
         if out is None:

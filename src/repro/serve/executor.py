@@ -16,14 +16,18 @@ that cheap:
    (:class:`EpsilonCache`), then replayed into the unchanged layer code
    through a :class:`PrecomputedEpsilonSampler`.
 2. Each request's forward math must see byte-identical operand matrices to
-   its standalone call -- so the executor runs one
-   :func:`~repro.bnn.predict.mc_forward` per pooled request (same rows, same
-   per-sample matmuls) instead of concatenating requests into one folded
-   GEMM, whose per-row bit-stability across batch sizes BLAS does not
-   guarantee.  The tile still amortises what actually dominates small-batch
-   prediction: epsilon generation (cached across the whole tile and across
-   tiles), weight materialisation temporaries, and the queue/dispatch
-   round-trip.
+   its standalone call.  PR 3 guaranteed that by running one
+   :func:`~repro.bnn.predict.mc_forward` per pooled request; this executor
+   additionally *fuses* same-config requests into one folded forward --
+   gated by the runtime row-stability proof in
+   :mod:`repro.core.stability`.  Inside a fused tile every GEMM routes
+   through the ``fused_sample_matmul`` / ``fused_im2col`` dispatch points:
+   shape classes the probe proves row-stable run as one whole-tile GEMM,
+   every other class is recomputed per request block from fresh contiguous
+   operands (bit-exact by construction).  Where the probe verdict (or
+   ``REPRO_FUSED=0``) blocks fusion, the per-request path runs and the
+   fallback is *counted*, never silent (``consume_fusion_events`` feeds
+   ``ServerStats``).
 
 The executor also reuses one output scratch buffer per result shape (the
 ``out=`` path of :func:`mc_forward`), so steady-state serving performs no
@@ -40,6 +44,7 @@ from typing import TYPE_CHECKING, Mapping, Sequence
 import numpy as np
 
 from ..bnn.predict import mc_forward
+from ..core import stability
 from ..core.checkpoint import StreamBank
 from ..core.sampler import BatchedWeightSampler, SampledWeightsBatch
 from ..core.streams import StreamOrderError
@@ -55,7 +60,59 @@ __all__ = [
     "PrecomputedEpsilonSampler",
     "TileExecutor",
     "MultiVersionExecutor",
+    "materialize_epsilon_sweep",
+    "FUSION_EVENT_KEYS",
 ]
+
+
+#: stable schema of the fused-vs-fallback counters (``ServerStats.fusion``)
+FUSION_EVENT_KEYS = (
+    "fused_tiles",
+    "fallback_tiles",
+    "fused_groups",
+    "fused_requests",
+    "solo_requests",
+    "fallback_requests",
+    "fallback_disabled",
+    "fallback_probe",
+    "fallback_error",
+)
+
+
+def materialize_epsilon_sweep(
+    shapes: Sequence[tuple[int, ...]], config: "SamplingConfig"
+) -> list[np.ndarray]:
+    """Generate a version's epsilon sweep exactly as ``mc_predict`` would.
+
+    Epsilons are a pure function of the sampling configuration and the
+    per-layer weight *shapes* -- never of the posterior values -- so this
+    runs the genuine bank construction, whole-forward prefetch and
+    per-layer ``sample`` walk against zero-valued placeholders.  Both the
+    in-process :class:`TileExecutor` cache and the shared-memory store
+    (:mod:`repro.serve.shm_cache`) call this one function, which is what
+    makes their bytes interchangeable.
+    """
+    shapes = [tuple(int(dim) for dim in shape) for shape in shapes]
+    if not shapes:
+        raise ValueError("need at least one weight shape to materialise")
+    bank = StreamBank(
+        n_samples=config.n_samples,
+        policy="reversible",
+        seed=config.seed,
+        lfsr_bits=config.lfsr_bits,
+        grng_stride=config.grng_stride,
+        lockstep=True,
+    )
+    sampler = bank.batched_sampler()
+    sampler.prefetch_forward([int(np.prod(shape)) for shape in shapes])
+    epsilons: list[np.ndarray] = []
+    for shape in shapes:
+        placeholder = np.zeros(shape, dtype=np.float64)
+        sampled = sampler.sample(placeholder, placeholder)
+        epsilons.append(np.ascontiguousarray(sampled.epsilon))
+    # prediction never runs backward; drop the outstanding span
+    sampler.discard_pending()
+    return epsilons
 
 
 @dataclass(frozen=True)
@@ -182,12 +239,17 @@ class TileExecutor:
         max_cached_configs: int = 8,
     ) -> None:
         self._model = model
+        self._shapes = [
+            tuple(layer.weight_posterior.mu.value.shape)
+            for layer in model.bayesian_layers()
+        ]
         self._schedule = [
             layer.n_bayesian_weights for layer in model.bayesian_layers()
         ]
         if not self._schedule:
             raise ValueError("the served model has no Bayesian layers")
         self._cache = EpsilonCache(max_cached_configs)
+        self._fusion_events: dict[str, int] = dict.fromkeys(FUSION_EVENT_KEYS, 0)
         # One softmax scratch per result shape; results are copied out of it
         # (callers retain them past the next tile, and same-shape requests in
         # one tile must not alias), which still replaces the allocating
@@ -218,29 +280,36 @@ class TileExecutor:
     def _materialize(self, config: SamplingConfig) -> list[np.ndarray]:
         """Generate the epsilons exactly as a per-request ``mc_predict`` would.
 
-        Same bank construction, same whole-forward prefetch, same per-layer
-        ``sample`` walk -- so the cached tensors are byte-for-byte the ones a
-        standalone call consumes.
+        Delegates to :func:`materialize_epsilon_sweep` (shared with the
+        shared-memory store): same bank construction, same whole-forward
+        prefetch, same per-layer ``sample`` walk -- so the cached tensors are
+        byte-for-byte the ones a standalone call consumes.
         """
-        bank = StreamBank(
-            n_samples=config.n_samples,
-            policy="reversible",
-            seed=config.seed,
-            lfsr_bits=config.lfsr_bits,
-            grng_stride=config.grng_stride,
-            lockstep=True,
-        )
-        sampler = bank.batched_sampler()
-        sampler.prefetch_forward(self._schedule)
-        epsilons: list[np.ndarray] = []
-        for layer in self._model.bayesian_layers():
-            sampled = sampler.sample(
-                layer.weight_posterior.mu.value, layer.weight_posterior.sigma
+        return materialize_epsilon_sweep(self._shapes, config)
+
+    def install_epsilons(
+        self, config: SamplingConfig, epsilons: Sequence[np.ndarray]
+    ) -> None:
+        """Adopt an externally materialised sweep (shared-memory attach path).
+
+        Validates the sweep against the model's layer schedule before it can
+        ever be replayed; the tensors may be read-only views into a shared
+        segment -- :class:`PrecomputedEpsilonSampler` never writes them.
+        """
+        epsilons = list(epsilons)
+        schedule = [int(eps[0].size) for eps in epsilons]
+        if schedule != self._schedule:
+            raise StreamOrderError(
+                f"installed epsilon schedule {schedule} does not match the "
+                f"network's forward schedule {self._schedule}"
             )
-            epsilons.append(np.ascontiguousarray(sampled.epsilon))
-        # prediction never runs backward; drop the outstanding span
-        sampler.discard_pending()
-        return epsilons
+        for eps in epsilons:
+            if eps.shape[0] != config.n_samples:
+                raise StreamOrderError(
+                    f"installed sweep has {eps.shape[0]} samples, config "
+                    f"expects {config.n_samples}"
+                )
+        self._cache.put(config, epsilons)
 
     _MAX_SCRATCH_SHAPES = 16
 
@@ -276,23 +345,126 @@ class TileExecutor:
     ) -> list[tuple[np.ndarray | None, Exception | None]]:
         """Execute a tile; element ``i`` answers request ``i``.
 
-        Requests pooled into one tile share the epsilon cache (a tile of
-        like-configured requests pays for at most one generator-bank kernel
-        sweep) but each keeps its own forward math -- see the module
-        docstring for why that is the bit-exactness boundary.
+        Requests sharing a :class:`SamplingConfig` (and input signature)
+        concatenate into **one** folded forward with per-request output
+        slicing -- when the row-stability verdict and ``REPRO_FUSED`` allow
+        it (see the module docstring).  Otherwise, and for singleton groups,
+        each request runs its own ``mc_forward`` exactly as before; every
+        fallback is recorded in the fusion counters, never silent.
 
         Errors are isolated per request: each element is ``(probabilities,
         None)`` on success or ``(None, exception)`` on failure, so one
         malformed request cannot fail the innocent requests pooled into the
-        same tile.
+        same tile.  A fused group that fails mid-forward re-runs per request
+        so innocents keep their answers.
         """
-        outcomes: list[tuple[np.ndarray | None, Exception | None]] = []
-        for x, config in requests:
-            try:
-                outcomes.append((self.execute_one(x, config), None))
-            except Exception as exc:
-                outcomes.append((None, exc))
-        return outcomes
+        outcomes: list[tuple[np.ndarray | None, Exception | None] | None] = [
+            None
+        ] * len(requests)
+        groups: OrderedDict[object, list[int]] = OrderedDict()
+        for index, (x, config) in enumerate(requests):
+            key = self._group_key(x, config)
+            if key is None:
+                key = ("solo", index)
+            groups.setdefault(key, []).append(index)
+
+        mode = stability.fused_mode()
+        fuse_ok = False
+        if mode != "off" and any(len(ix) > 1 for ix in groups.values()):
+            fuse_ok = stability.probe.allows()
+
+        events = self._fusion_events
+        tile_fused = tile_fallback = False
+        for indices in groups.values():
+            if len(indices) == 1:
+                index = indices[0]
+                x, config = requests[index]
+                outcomes[index] = self._run_one(x, config)
+                events["solo_requests"] += 1
+                continue
+            if fuse_ok:
+                xs = [requests[index][0] for index in indices]
+                config = requests[indices[0]][1]
+                try:
+                    slices = self._execute_fused(xs, config)
+                except Exception:
+                    # fused group failed as a whole (bad geometry, zero rows,
+                    # schedule mismatch...): re-run per request so each gets
+                    # its own answer or its own error
+                    for index in indices:
+                        x, config = requests[index]
+                        outcomes[index] = self._run_one(x, config)
+                    events["fallback_requests"] += len(indices)
+                    events["fallback_error"] += len(indices)
+                    tile_fallback = True
+                else:
+                    for index, probabilities in zip(indices, slices):
+                        outcomes[index] = (probabilities, None)
+                    events["fused_groups"] += 1
+                    events["fused_requests"] += len(indices)
+                    tile_fused = True
+            else:
+                for index in indices:
+                    x, config = requests[index]
+                    outcomes[index] = self._run_one(x, config)
+                events["fallback_requests"] += len(indices)
+                reason = "fallback_disabled" if mode == "off" else "fallback_probe"
+                events[reason] += len(indices)
+                tile_fallback = True
+        if tile_fused:
+            events["fused_tiles"] += 1
+        if tile_fallback:
+            events["fallback_tiles"] += 1
+        return outcomes  # type: ignore[return-value]
+
+    def _run_one(
+        self, x: np.ndarray, config: SamplingConfig
+    ) -> tuple[np.ndarray | None, Exception | None]:
+        try:
+            return self.execute_one(x, config), None
+        except Exception as exc:
+            return None, exc
+
+    @staticmethod
+    def _group_key(x, config) -> tuple | None:
+        """Fusion group key: same config, dtype and trailing shape, >=1 row."""
+        try:
+            if x.ndim < 2 or x.shape[0] < 1:
+                return None
+            return (config, x.dtype.str, x.ndim, tuple(x.shape[1:]))
+        except AttributeError:
+            return None  # not an ndarray; let execute_one raise per request
+
+    def _execute_fused(
+        self, xs: list[np.ndarray], config: SamplingConfig
+    ) -> list[np.ndarray]:
+        """One folded forward over concatenated requests, sliced per request."""
+        splits = tuple(x.shape[0] for x in xs)
+        folded = np.concatenate(xs, axis=0)
+        sampler = self._sampler_for(config)
+        out = self._output_buffer(config.n_samples, folded.shape[0])
+        with stability.folded_splits(splits):
+            result = mc_forward(self._model, folded, sampler, out=out)
+        probabilities = result.sample_probabilities
+        if self._n_classes is None:
+            self._n_classes = probabilities.shape[-1]
+        slices: list[np.ndarray] = []
+        lo = 0
+        for rows in splits:
+            hi = lo + rows
+            # fresh contiguous copy: callers retain results past the next
+            # tile, and the scratch buffer is reused
+            slices.append(np.ascontiguousarray(probabilities[:, lo:hi]))
+            lo = hi
+        return slices
+
+    def consume_fusion_events(self) -> dict[str, int] | None:
+        """Drain the fused-vs-fallback counters (``None`` when untouched)."""
+        events = self._fusion_events
+        if not any(events.values()):
+            return None
+        self._fusion_events = dict.fromkeys(FUSION_EVENT_KEYS, 0)
+        return events
 
 
 class MultiVersionExecutor:
@@ -383,6 +555,17 @@ class MultiVersionExecutor:
             if executor is not None:
                 executor.cache.clear()
 
+    def install_epsilons(
+        self,
+        version: str,
+        config: SamplingConfig,
+        epsilons: Sequence[np.ndarray],
+    ) -> None:
+        """Install a shared-memory sweep into ``version``'s epsilon cache."""
+        with self._lock:
+            executor = self._require_locked(version)
+            executor.install_epsilons(config, epsilons)
+
     # ------------------------------------------------------------------
     # data plane
     # ------------------------------------------------------------------
@@ -394,24 +577,61 @@ class MultiVersionExecutor:
 
         Each request is ``(x, config, version)``; a 2-element ``(x, config)``
         request is accepted when exactly one version is loaded (the
-        single-model :class:`~repro.serve.worker.WorkerPool` surface).  Error
-        isolation matches :meth:`TileExecutor.execute`: a request pinned to
-        an unloaded version fails alone with :class:`UnknownVersionError`.
+        single-model :class:`~repro.serve.worker.WorkerPool` surface).
+        Requests are grouped by pinned version and each group runs through
+        that version's :class:`TileExecutor.execute` -- so same-config
+        requests fuse even in a version-mixed tile.  Error isolation matches
+        :meth:`TileExecutor.execute`: a request pinned to an unloaded
+        version fails alone with :class:`UnknownVersionError`.
         """
-        outcomes: list[tuple[np.ndarray | None, Exception | None]] = []
-        for request in requests:
+        outcomes: list[tuple[np.ndarray | None, Exception | None] | None] = [
+            None
+        ] * len(requests)
+        by_version: OrderedDict[str, list[int]] = OrderedDict()
+        for index, request in enumerate(requests):
             try:
                 if len(request) == 3:
-                    x, config, version = request
+                    _, _, version = request
                 else:
-                    x, config = request
+                    _, _ = request
                     version = self._sole_version()
-                with self._lock:
-                    executor = self._require_locked(version)
-                    outcomes.append((executor.execute_one(x, config), None))
             except Exception as exc:
-                outcomes.append((None, exc))
-        return outcomes
+                outcomes[index] = (None, exc)
+                continue
+            by_version.setdefault(version, []).append(index)
+        for version, indices in by_version.items():
+            # the lock is held for the whole version group: control
+            # operations (deploy on another thread) interleave between
+            # groups, never mid-forward -- same contract as before
+            with self._lock:
+                try:
+                    executor = self._require_locked(version)
+                except Exception as exc:
+                    for index in indices:
+                        outcomes[index] = (None, exc)
+                    continue
+                group = [
+                    (requests[index][0], requests[index][1]) for index in indices
+                ]
+                results = executor.execute(group)
+            for index, outcome in zip(indices, results):
+                outcomes[index] = outcome
+        return outcomes  # type: ignore[return-value]
+
+    def consume_fusion_events(self) -> dict[str, int] | None:
+        """Drain fused-vs-fallback counters aggregated over loaded versions."""
+        with self._lock:
+            executors = list(self._executors.values())
+        total: dict[str, int] | None = None
+        for executor in executors:
+            events = executor.consume_fusion_events()
+            if events is None:
+                continue
+            if total is None:
+                total = dict.fromkeys(FUSION_EVENT_KEYS, 0)
+            for key, value in events.items():
+                total[key] += value
+        return total
 
     def _sole_version(self) -> str:
         with self._lock:

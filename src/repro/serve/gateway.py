@@ -19,9 +19,11 @@ on the versioned serving stack.  The endpoints:
 
 ``GET /stats``
     The :class:`~repro.serve.stats.StatsSnapshot`, including the per-version
-    request counters and the kernel-backend telemetry (``kernel_backends``:
+    request counters, the kernel-backend telemetry (``kernel_backends``:
     per-kernel backend selection plus call/row counters from
-    :mod:`repro.core.backend`).
+    :mod:`repro.core.backend`) and the fused-tile telemetry (``fusion``:
+    the ``REPRO_FUSED`` mode plus fused-vs-fallback counters -- a tile that
+    could not fuse is counted by reason, never silently).
 
 ``GET /models``
     Registered versions (fingerprints, loaded flags), the active deployment

@@ -49,6 +49,7 @@ from ..models.zoo import ReplicaSpec
 from .executor import MultiVersionExecutor, SamplingConfig
 from .microbatcher import MicroBatcher, PendingItem, QueueClosed
 from .registry import Deployment, ModelRegistry, UnknownVersionError
+from .shm_cache import SharedEpsilonStore
 from .stats import ServerStats, StatsSnapshot
 from ..distrib.respawn import RespawnPolicy
 from .worker import WorkerPool
@@ -85,6 +86,13 @@ class ServerConfig:
     """Epsilon-cache entries kept per executor (one per sampling config)."""
     latency_window: int = 4096
     """Recent-request window for the latency percentiles."""
+    share_epsilon_sweeps: bool = True
+    """Worker-pool mode only: materialise each ``(version, config)`` epsilon
+    sweep once in the server process and publish it to the workers through
+    ``multiprocessing.shared_memory`` -- N workers share one physical copy
+    (sub-linear pool RSS) instead of regenerating N private ones.  Attach
+    failures degrade silently to private materialisation, which is
+    bit-identical by construction."""
 
     def __post_init__(self) -> None:
         if self.n_workers < 0:
@@ -152,6 +160,11 @@ class PredictionServer:
         self._version_lock = threading.Lock()
         self._loaded: set[str] = set()
         self._pins: dict[str, int] = {}
+        # shared epsilon sweeps (worker-pool mode): parent-owned segments,
+        # published lazily per (version, config) from the dispatcher thread
+        self._shm_store: SharedEpsilonStore | None = None
+        self._published: set[tuple[str, SamplingConfig]] = set()
+        self._shm_lock = threading.Lock()
         self._idle = threading.Event()
         self._idle.set()
         self._started = False
@@ -201,8 +214,11 @@ class PredictionServer:
                 max_cached_configs=self._config.max_cached_configs,
                 start_method=self._config.start_method,
                 respawn=respawn,
+                fusion_handler=self._stats.record_fusion_events,
             )
             self._pool.start()
+            if self._config.share_epsilon_sweeps:
+                self._shm_store = SharedEpsilonStore()
         else:
             self._executor = MultiVersionExecutor(
                 initial,
@@ -245,6 +261,10 @@ class PredictionServer:
         if self._pool is not None:
             self._pool.stop(abort=not drain)
             self._pool = None
+        if self._shm_store is not None:
+            self._shm_store.close()
+            self._shm_store = None
+            self._published.clear()
 
     # ------------------------------------------------------------------
     # client API
@@ -439,6 +459,7 @@ class PredictionServer:
         # and pinned traffic stay instant) but drop their cached epsilon
         # sweeps -- they regenerate deterministically on the next request
         for other in self._loaded - {version}:
+            self._drop_shared_sweeps(other)
             if self._pool is not None:
                 self._pool.invalidate_version(other)
             else:
@@ -473,6 +494,7 @@ class PredictionServer:
                 )
             if version not in self._loaded:
                 return
+            self._drop_shared_sweeps(version)
             if self._pool is not None:
                 self._pool.unload_version(version)
             else:
@@ -507,6 +529,7 @@ class PredictionServer:
                 (item.item.x, item.item.config, item.item.version) for item in tile
             ]
             if self._pool is not None:
+                self._publish_sweeps(requests)
                 try:
                     self._pool.dispatch(tile_id, requests)
                 except Exception as exc:
@@ -519,6 +542,43 @@ class PredictionServer:
                     self._on_tile_result(tile_id, None, exc)
                 else:
                     self._on_tile_result(tile_id, results, None)
+                events = self._executor.consume_fusion_events()
+                if events:
+                    self._stats.record_fusion_events(events)
+
+    def _publish_sweeps(self, requests) -> None:
+        """Publish any not-yet-shared ``(version, config)`` sweep (pool mode).
+
+        Runs on the dispatcher thread before the tile ships, so a worker's
+        first tile for a config usually finds the attachment already in its
+        FIFO queue.  Failures are swallowed: shared sweeps are an RSS/latency
+        optimisation, and every worker regenerates identical bytes privately.
+        """
+        if self._shm_store is None or self._pool is None:
+            return
+        with self._shm_lock:
+            for _, config, version in requests:
+                key = (version, config)
+                if key in self._published:
+                    continue
+                try:
+                    shapes = self._registry.get(version).replica.spec.weight_shapes()
+                    descriptor = self._shm_store.publish(version, config, shapes)
+                    self._pool.publish_sweep(descriptor)
+                except Exception:  # pragma: no cover - degraded-mode fallback
+                    pass
+                # failed keys are recorded too: re-trying every tile would
+                # turn a persistent failure into per-tile overhead
+                self._published.add(key)
+
+    def _drop_shared_sweeps(self, version: str) -> None:
+        """Unlink ``version``'s shared segments (deploy/rollback/retire)."""
+        with self._shm_lock:
+            if self._shm_store is not None:
+                self._shm_store.invalidate(version)
+            self._published = {
+                key for key in self._published if key[0] != version
+            }
 
     def _on_tile_result(
         self,

@@ -1,0 +1,323 @@
+"""Shared-memory epsilon sweeps: materialise once, attach everywhere.
+
+Without this module every pool worker privately materialises identical
+``(S, *weight_shape)`` epsilon sweeps per :class:`SamplingConfig` -- the
+generator-bank kernel work is redundant and, worse, the worker-pool RSS
+grows linearly with the worker count.  Here the *server* (parent process)
+materialises each ``(version, config)`` sweep exactly once -- through the
+same :func:`~repro.serve.executor.materialize_epsilon_sweep` the in-process
+cache uses, so the bytes are interchangeable -- into one
+:mod:`multiprocessing.shared_memory` segment, and workers attach it
+read-only.  N workers then share one physical copy (sub-linear RSS), and a
+worker's first request for a known config skips the generation sweep
+entirely.
+
+Ownership and crash safety
+--------------------------
+
+The parent :class:`SharedEpsilonStore` is the sole owner: it creates,
+publishes and **unlinks** every segment.  Workers only ever map existing
+segments, and :func:`attach_sweep` immediately deregisters the attachment
+from the stdlib ``resource_tracker`` (Python registers attach-side too,
+which would otherwise unlink the parent's live segment when any worker
+exits).  A crashed worker therefore cannot leak or destroy a segment: its
+mapping dies with the process, and the name always remains the parent's to
+unlink.  ``invalidate`` (called on deploy/rollback, mirroring
+``EpsilonCache.clear``) unlinks a version's segments; already-attached
+workers keep their mapped pages alive until they detach (Linux
+unlink-while-mapped semantics), while fresh attaches fail fast and fall
+back to private materialisation.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Sequence
+
+import numpy as np
+
+from .executor import SamplingConfig, materialize_epsilon_sweep
+
+__all__ = [
+    "SweepDescriptor",
+    "SharedEpsilonStore",
+    "ShmAttachment",
+    "attach_sweep",
+    "sweep_nbytes",
+]
+
+_ALIGN = 64  # per-layer offsets are cache-line aligned
+
+
+def _layer_nbytes(shape: tuple[int, ...], n_samples: int) -> int:
+    return int(np.prod((n_samples,) + tuple(shape))) * np.dtype(np.float64).itemsize
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def sweep_nbytes(shapes: Sequence[tuple[int, ...]], n_samples: int) -> int:
+    """Total segment size for a sweep of ``shapes`` at ``n_samples``."""
+    offset = 0
+    for shape in shapes:
+        offset = _aligned(offset) + _layer_nbytes(tuple(shape), n_samples)
+    return max(offset, 1)
+
+
+def _unlink_segment(shm: shared_memory.SharedMemory) -> None:
+    """Close and unlink a parent-owned segment with balanced tracker books.
+
+    Under the ``fork`` start method every process shares one resource
+    tracker, so an attacher's deregistration (see :class:`ShmAttachment`)
+    also removes the creator's entry; re-registering first keeps the
+    tracker's cache balanced across ``unlink``'s own deregistration.
+    """
+    try:
+        resource_tracker.register(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker impl details vary
+        pass
+    shm.close()
+    shm.unlink()
+
+
+def _layer_offsets(
+    shapes: Sequence[tuple[int, ...]], n_samples: int
+) -> list[int]:
+    offsets = []
+    offset = 0
+    for shape in shapes:
+        offset = _aligned(offset)
+        offsets.append(offset)
+        offset += _layer_nbytes(tuple(shape), n_samples)
+    return offsets
+
+
+@dataclass(frozen=True)
+class SweepDescriptor:
+    """Everything a worker needs to attach one published sweep.
+
+    Pickles across the task queue; ``generation`` increases monotonically
+    per store publish, so a re-published ``(version, config)`` after an
+    invalidation is distinguishable from the sweep it replaced.
+    """
+
+    version: str
+    config: SamplingConfig
+    segment: str
+    shapes: tuple[tuple[int, ...], ...]
+    nbytes: int
+    generation: int
+
+    def key(self) -> tuple[str, SamplingConfig]:
+        return (self.version, self.config)
+
+
+class SharedEpsilonStore:
+    """Parent-side owner of the shared epsilon segments (create + unlink)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._segments: dict[
+            tuple[str, SamplingConfig],
+            tuple[shared_memory.SharedMemory, SweepDescriptor],
+        ] = {}
+        self._generation = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        version: str,
+        config: SamplingConfig,
+        shapes: Sequence[tuple[int, ...]],
+    ) -> SweepDescriptor:
+        """Materialise (once) and publish the sweep for ``(version, config)``.
+
+        Idempotent per key: a second publish returns the existing
+        descriptor.  The epsilons come from
+        :func:`materialize_epsilon_sweep`, i.e. they are byte-for-byte what
+        any executor would generate privately.
+        """
+        key = (version, config)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("the shared epsilon store is closed")
+            existing = self._segments.get(key)
+            if existing is not None:
+                return existing[1]
+        shapes = tuple(tuple(int(dim) for dim in shape) for shape in shapes)
+        epsilons = materialize_epsilon_sweep(shapes, config)
+        nbytes = sweep_nbytes(shapes, config.n_samples)
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        try:
+            for eps, offset in zip(
+                epsilons, _layer_offsets(shapes, config.n_samples)
+            ):
+                view = np.ndarray(
+                    eps.shape, dtype=np.float64, buffer=shm.buf, offset=offset
+                )
+                view[...] = eps
+                del view
+            with self._lock:
+                if self._closed:
+                    raise RuntimeError("the shared epsilon store is closed")
+                racing = self._segments.get(key)
+                if racing is not None:
+                    descriptor = racing[1]
+                else:
+                    self._generation += 1
+                    descriptor = SweepDescriptor(
+                        version=version,
+                        config=config,
+                        segment=shm.name,
+                        shapes=shapes,
+                        nbytes=nbytes,
+                        generation=self._generation,
+                    )
+                    self._segments[key] = (shm, descriptor)
+                    return descriptor
+        except BaseException:
+            _unlink_segment(shm)
+            raise
+        # lost a publish race (or store closed underneath): discard ours
+        _unlink_segment(shm)
+        return descriptor
+
+    # ------------------------------------------------------------------
+    def descriptors(self) -> list[SweepDescriptor]:
+        """Descriptors of every currently published sweep."""
+        with self._lock:
+            return [descriptor for _, descriptor in self._segments.values()]
+
+    def invalidate(self, version: str) -> int:
+        """Unlink every segment of ``version``; returns how many were dropped.
+
+        Mirrors ``EpsilonCache.clear``: safe at any time because sweeps are
+        a pure function of (config, layer schedule).  Workers already
+        attached keep their mapped pages; new attaches fail fast and fall
+        back to private materialisation.
+        """
+        with self._lock:
+            keys = [key for key in self._segments if key[0] == version]
+            dropped = [self._segments.pop(key) for key in keys]
+        for shm, _ in dropped:
+            _unlink_segment(shm)
+        return len(dropped)
+
+    def close(self) -> None:
+        """Unlink every segment (idempotent); the store refuses new publishes."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            dropped = list(self._segments.values())
+            self._segments.clear()
+        for shm, _ in dropped:
+            _unlink_segment(shm)
+
+    def __enter__(self) -> "SharedEpsilonStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ShmAttachment:
+    """A worker-side, read-only, refcounted mapping of one published sweep.
+
+    ``epsilons`` are non-writeable numpy views straight into the shared
+    segment -- :class:`~repro.serve.executor.PrecomputedEpsilonSampler`
+    only ever reads them.  ``acquire``/``release`` count users (the initial
+    attachment holds one reference); the mapping closes when the count
+    reaches zero.  If numpy views are still referenced elsewhere at that
+    point the unmap is deferred to process exit (the OS reclaims it) --
+    never an error, never a leaked *name*, since unlinking is exclusively
+    the parent store's job.
+    """
+
+    def __init__(self, descriptor: SweepDescriptor) -> None:
+        self.descriptor = descriptor
+        shm = shared_memory.SharedMemory(name=descriptor.segment, create=False)
+        # Python's resource tracker registers attach-side shared memory and
+        # would unlink the parent's live segment when this process exits;
+        # attachments must not own the name.
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker impl details vary
+            pass
+        self._shm = shm
+        views = []
+        offsets = _layer_offsets(descriptor.shapes, descriptor.config.n_samples)
+        for shape, offset in zip(descriptor.shapes, offsets):
+            view = np.ndarray(
+                (descriptor.config.n_samples,) + shape,
+                dtype=np.float64,
+                buffer=shm.buf,
+                offset=offset,
+            )
+            view.flags.writeable = False
+            views.append(view)
+        self._views: list[np.ndarray] | None = views
+        self._refcount = 1
+        self._lock = threading.Lock()
+
+    @property
+    def epsilons(self) -> list[np.ndarray]:
+        """The per-layer read-only epsilon views (sampler-ready)."""
+        with self._lock:
+            if self._views is None:
+                raise RuntimeError("attachment is closed")
+            return list(self._views)
+
+    @property
+    def refcount(self) -> int:
+        with self._lock:
+            return self._refcount
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._views is None
+
+    def acquire(self) -> "ShmAttachment":
+        """Register one more user of the mapping."""
+        with self._lock:
+            if self._views is None:
+                raise RuntimeError("attachment is closed")
+            self._refcount += 1
+        return self
+
+    def release(self) -> bool:
+        """Drop one user; closes the mapping at zero.  Returns ``closed?``."""
+        with self._lock:
+            if self._views is None:
+                return True
+            self._refcount -= 1
+            if self._refcount > 0:
+                return False
+        self.close()
+        return True
+
+    def close(self) -> None:
+        """Drop the views and unmap (idempotent; deferred if views escaped)."""
+        with self._lock:
+            if self._views is None:
+                return
+            self._views = None
+            self._refcount = 0
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - caller kept a view alive
+            # numpy views into the buffer still exist somewhere; the mapping
+            # is reclaimed at process exit instead.  Not a segment leak: the
+            # name is the parent's to unlink.
+            pass
+
+
+def attach_sweep(descriptor: SweepDescriptor) -> ShmAttachment:
+    """Attach a published sweep read-only (raises ``FileNotFoundError`` when
+    the parent has already invalidated it)."""
+    return ShmAttachment(descriptor)

@@ -22,6 +22,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core import backend as kernel_backend
+from ..core import stability
+from .executor import FUSION_EVENT_KEYS
 
 __all__ = ["ServerStats", "StatsSnapshot"]
 
@@ -55,6 +57,11 @@ class StatsSnapshot:
     """Kernel-dispatch telemetry from :mod:`repro.core.backend`:
     ``{kernel: {"selection": backend-or-"auto",
     "backends": {backend: {"calls", "rows"}}}}``."""
+    fusion: dict = field(default_factory=dict)
+    """Fused-tile telemetry: ``{"mode": REPRO_FUSED resolution,
+    "fused_tiles", "fallback_tiles", ...}`` (every
+    :data:`~repro.serve.executor.FUSION_EVENT_KEYS` counter).  Fallbacks are
+    never silent -- a disabled/failed stability verdict shows up here."""
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         p50 = f"{self.latency_p50_ms:.2f}" if self.latency_p50_ms is not None else "-"
@@ -91,6 +98,7 @@ class ServerStats:
         self._tile_rows = 0
         self._occupancy: Counter[int] = Counter()
         self._per_version: dict[str, dict[str, int]] = {}
+        self._fusion: dict[str, int] = dict.fromkeys(FUSION_EVENT_KEYS, 0)
 
     def reset_clock(self) -> None:
         """Restart the uptime window (called when the server starts)."""
@@ -123,6 +131,18 @@ class ServerStats:
             self._requests_failed += 1
             if version is not None:
                 self._version_counters_locked(version)["failed"] += 1
+
+    def record_fusion_events(self, events: dict[str, int]) -> None:
+        """Fold one executor's drained fused-vs-fallback counters in.
+
+        Called with :meth:`TileExecutor.consume_fusion_events` payloads from
+        the inline dispatcher or (via the pool's ``fusion_handler``) from
+        worker ``done`` messages; unknown keys are kept, so executor and
+        stats schemas may evolve independently.
+        """
+        with self._lock:
+            for key, value in events.items():
+                self._fusion[key] = self._fusion.get(key, 0) + int(value)
 
     def record_tile(self, n_requests: int, rows: int) -> None:
         """One tile was handed to an executor with ``n_requests`` pooled."""
@@ -162,4 +182,5 @@ class ServerStats:
                     for version, counters in sorted(self._per_version.items())
                 },
                 kernel_backends=kernel_backend.stats_snapshot(),
+                fusion={"mode": stability.fused_mode(), **self._fusion},
             )

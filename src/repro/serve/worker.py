@@ -51,6 +51,7 @@ import numpy as np
 from ..distrib.respawn import RespawnBudget, RespawnPolicy
 from .executor import MultiVersionExecutor, SamplingConfig
 from .registry import DEFAULT_VERSION
+from .shm_cache import ShmAttachment, SweepDescriptor, attach_sweep
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from ..models.zoo import ReplicaSpec
@@ -77,18 +78,34 @@ def _worker_main(
 ) -> None:
     """Worker process body: rebuild the replica set, then serve tiles forever.
 
-    The task queue carries two kinds of messages in one FIFO stream: tiles
-    (``("tile", tile_id, requests)``) and version-control operations
+    The task queue carries three kinds of messages in one FIFO stream: tiles
+    (``("tile", tile_id, requests)``), version-control operations
     (``("load", version, replica)`` / ``("invalidate", version)`` /
-    ``("unload", version)``), plus ``None`` as the shutdown sentinel.  The
+    ``("unload", version)``), shared-sweep announcements
+    (``("shm", descriptor)``), plus ``None`` as the shutdown sentinel.  The
     shared ordering is what makes hot swap race-free per worker: a control
     message enqueued at deploy time is applied before any tile dispatched
     after the deploy, and after every tile dispatched before it.
+
+    A ``shm`` descriptor attaches the parent's shared epsilon segment
+    read-only and installs the views straight into the version's epsilon
+    cache -- the worker then replays the sweep without regenerating it, and
+    all workers share one physical copy.  Attach failures are never fatal:
+    the worker simply keeps materialising privately (bit-identical by
+    construction).  Attachments are dropped whenever their version is
+    invalidated or unloaded, so a deploy/rollback can never leave a worker
+    serving a stale mapping.
     """
+
+    def _drop_attachments(store: dict, version: str) -> None:
+        for key in [k for k in store if k[0] == version]:
+            store.pop(key).release()
+
     try:
         executor = MultiVersionExecutor(
             replicas, max_cached_configs=max_cached_configs
         )
+        attachments: dict[tuple, ShmAttachment] = {}
         result_queue.put(("ready", rank, None))
     except BaseException:  # pragma: no cover - defensive startup reporting
         result_queue.put(("fatal", rank, traceback.format_exc()))
@@ -110,7 +127,9 @@ def _worker_main(
                     else ("err", "".join(traceback.format_exception(error)))
                     for probabilities, error in outcomes
                 ]
-                result_queue.put(("done", tile_id, payload))
+                result_queue.put(
+                    ("done", tile_id, payload, executor.consume_fusion_events())
+                )
             except BaseException:
                 result_queue.put(("error", tile_id, traceback.format_exc()))
         elif kind == "load":
@@ -123,8 +142,28 @@ def _worker_main(
                 result_queue.put(("control_error", rank, traceback.format_exc()))
         elif kind == "invalidate":
             executor.invalidate(task[1])
+            _drop_attachments(attachments, task[1])
         elif kind == "unload":
             executor.unload(task[1])
+            _drop_attachments(attachments, task[1])
+        elif kind == "shm":
+            descriptor: SweepDescriptor = task[1]
+            try:
+                attachment = attach_sweep(descriptor)
+                executor.install_epsilons(
+                    descriptor.version, descriptor.config, attachment.epsilons
+                )
+            except BaseException:
+                # segment already invalidated, schedule mismatch, ...: the
+                # private materialisation path still serves identical bytes
+                result_queue.put(("control_error", rank, traceback.format_exc()))
+            else:
+                stale = attachments.pop(descriptor.key(), None)
+                if stale is not None:
+                    stale.release()
+                attachments[descriptor.key()] = attachment
+    for attachment in attachments.values():
+        attachment.release()
 
 
 @dataclass
@@ -159,6 +198,7 @@ class WorkerPool:
         max_cached_configs: int = 8,
         start_method: str | None = None,
         respawn: RespawnPolicy | None = None,
+        fusion_handler: Callable[[dict], None] | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("a worker pool needs at least one worker")
@@ -180,6 +220,9 @@ class WorkerPool:
         self._n_workers = n_workers
         self._max_cached_configs = max_cached_configs
         self._result_handler = result_handler
+        self._fusion_handler = fusion_handler
+        # published shared-sweep descriptors, replayed to respawned workers
+        self._sweeps: dict[tuple[str, SamplingConfig], SweepDescriptor] = {}
         # no policy: the pre-respawn semantics -- dead workers are not
         # replaced and their tiles fail immediately
         self._budget = RespawnBudget(
@@ -233,6 +276,11 @@ class WorkerPool:
             daemon=True,
         )
         process.start()
+        # replay published shared sweeps so a respawned replacement attaches
+        # the same segments its predecessors did (FIFO: applied before any
+        # tile queued afterwards)
+        for descriptor in self._sweeps.values():
+            task_queue.put(("shm", descriptor))
         return _Worker(rank=rank, process=process, task_queue=task_queue)
 
     def start(self, timeout: float = 60.0) -> None:
@@ -322,13 +370,36 @@ class WorkerPool:
 
     def invalidate_version(self, version: str) -> None:
         """Clear every worker's epsilon cache for ``version`` (kept loaded)."""
+        self.drop_sweeps(version)
         self._broadcast(("invalidate", version))
 
     def unload_version(self, version: str) -> None:
         """Drop ``version`` from every worker and from the respawn template."""
         with self._lock:
             self._replicas.pop(version, None)
+        self.drop_sweeps(version)
         self._broadcast(("unload", version))
+
+    # ------------------------------------------------------------------
+    # shared epsilon sweeps
+    # ------------------------------------------------------------------
+    def publish_sweep(self, descriptor: SweepDescriptor) -> None:
+        """Announce a parent-published shared sweep to every worker.
+
+        The descriptor also joins the respawn template, so replacement
+        workers spawned later attach the same segment.  The announcement
+        rides the ordinary task queues: it is applied before any tile
+        dispatched after it, exactly like version-control messages.
+        """
+        with self._lock:
+            self._sweeps[descriptor.key()] = descriptor
+        self._broadcast(("shm", descriptor))
+
+    def drop_sweeps(self, version: str) -> None:
+        """Forget ``version``'s sweeps (called when the parent unlinks them)."""
+        with self._lock:
+            for key in [k for k in self._sweeps if k[0] == version]:
+                del self._sweeps[key]
 
     # ------------------------------------------------------------------
     def _collect(self) -> None:
@@ -345,7 +416,13 @@ class WorkerPool:
             self._reap_dead_workers()
 
     def _handle_message(self, message) -> None:
-        kind, tile_id, payload = message
+        # "done" messages carry a fourth element: the worker executor's
+        # drained fused-vs-fallback counters (or None); 3-tuples remain
+        # accepted so control/startup messages keep their shape
+        kind, tile_id, payload = message[0], message[1], message[2]
+        fusion_events = message[3] if len(message) > 3 else None
+        if fusion_events and self._fusion_handler is not None:
+            self._fusion_handler(fusion_events)
         if kind == "control_error":
             # a version-load failed in worker `tile_id` (the rank); requests
             # pinned to that version fail per-request on that worker, so this

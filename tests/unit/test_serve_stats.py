@@ -115,3 +115,36 @@ def test_snapshot_per_version_is_a_frozen_copy():
     snapshot = stats.snapshot()
     snapshot.per_version["v1"]["completed"] = 999
     assert stats.snapshot().per_version["v1"]["completed"] == 1
+
+
+def test_fusion_counters_aggregate_events(monkeypatch):
+    from repro.serve.executor import FUSION_EVENT_KEYS
+
+    monkeypatch.setenv("REPRO_FUSED", "auto")
+    stats = ServerStats(latency_window=8, clock=_FakeClock())
+    snapshot = stats.snapshot()
+    assert snapshot.fusion["mode"] == "auto"
+    assert all(snapshot.fusion[key] == 0 for key in FUSION_EVENT_KEYS)
+    # two drained executor payloads (e.g. from two workers) fold together
+    stats.record_fusion_events({"fused_tiles": 1, "fused_requests": 3})
+    stats.record_fusion_events({"fused_tiles": 2, "fallback_probe": 4})
+    snapshot = stats.snapshot()
+    assert snapshot.fusion["fused_tiles"] == 3
+    assert snapshot.fusion["fused_requests"] == 3
+    assert snapshot.fusion["fallback_probe"] == 4
+    assert snapshot.fusion["fallback_disabled"] == 0
+
+
+def test_fusion_mode_tracks_environment(monkeypatch):
+    stats = ServerStats(latency_window=8, clock=_FakeClock())
+    monkeypatch.setenv("REPRO_FUSED", "0")
+    assert stats.snapshot().fusion["mode"] == "off"
+    monkeypatch.setenv("REPRO_FUSED", "1")
+    assert stats.snapshot().fusion["mode"] == "on"
+
+
+def test_fusion_counters_tolerate_unknown_keys():
+    # executor and stats schemas may evolve independently across versions
+    stats = ServerStats(latency_window=8, clock=_FakeClock())
+    stats.record_fusion_events({"some_future_counter": 2})
+    assert stats.snapshot().fusion["some_future_counter"] == 2
