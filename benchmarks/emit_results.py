@@ -37,6 +37,14 @@ input; CI runs them in separate jobs and emits one report each):
   every dispatch point stays at least ``KERNELS_THRESHOLD`` of reference
   speed (all backends are bit-identical by the conformance gate, so this is
   purely a wall-clock check);
+* the **gateway soak** cases (``test_bench_gateway``): the full HTTP wire
+  path under ``N_CLIENTS`` concurrent tenants, per load profile (``steady``:
+  the burst fits the row budget; ``overload``: a one-tile budget so most of
+  the burst sheds with 429 + ``Retry-After``).  Each case records the
+  p50/p95/p99 per-request latency and the admitted/shed/dropped counters.
+  Acceptance: the steady-profile p99 stays under ``GATEWAY_P99_MS`` and
+  zero requests are *dropped* (neither served exactly nor shed) across all
+  profiles;
 * the **distributed-training** cases (``test_bench_distrib``): the sharded
   training engine (``inline2``: two shards in-process; ``pool2``: two worker
   processes) against the single-process batched baseline over the same
@@ -87,6 +95,7 @@ _SERVING_FUSED_PATTERN = re.compile(
     r"test_bench_serving_fused\[(?P<stride>\d+)-(?P<mode>\w+)\]"
 )
 _DISTRIB_PATTERN = re.compile(r"test_bench_distrib\[(?P<mode>\w+)\]")
+_GATEWAY_PATTERN = re.compile(r"test_bench_gateway\[(?P<profile>\w+)\]")
 _KERNEL_PATTERN = re.compile(
     r"test_bench_kernel\[(?P<kernel>[a-z0-9_]+)-(?P<backend>\w+)\]"
 )
@@ -102,6 +111,12 @@ KERNELS_THRESHOLD = 0.8
 #: shard/reduce/state-shipping machinery is bounded overhead, not a cliff).
 DISTRIB_THRESHOLD = 0.3
 DISTRIB_MODE = "inline2"
+
+#: The acceptance bound of PR 8: the steady-profile gateway soak (the full
+#: HTTP path, admission control on, no shedding expected) must keep its p99
+#: request latency under this bound on a shared CI runner.
+GATEWAY_P99_MS = 2500.0
+GATEWAY_STEADY_PROFILE = "steady"
 
 
 def _stats(bench: dict) -> dict:
@@ -170,6 +185,35 @@ def parse_distrib_cases(raw: dict) -> dict:
         stats = _stats(bench)
         stats["n_steps"] = bench.get("extra_info", {}).get("n_steps")
         cases[match.group("mode")] = stats
+    return cases
+
+
+def parse_gateway_cases(raw: dict) -> dict:
+    """Extract {profile: stats} from the gateway soak benchmark cases.
+
+    The latency percentiles and admitted/shed/dropped counters come from
+    ``benchmark.extra_info`` (measured per request inside the soak, across
+    every round), not from the per-round wall-clock stats.
+    """
+    cases = {}
+    for bench in raw.get("benchmarks", []):
+        match = _GATEWAY_PATTERN.search(bench["name"])
+        if not match:
+            continue
+        stats = _stats(bench)
+        extra = bench.get("extra_info", {})
+        for key in (
+            "n_clients",
+            "n_requests",
+            "admitted",
+            "shed",
+            "dropped",
+            "latency_p50_ms",
+            "latency_p95_ms",
+            "latency_p99_ms",
+        ):
+            stats[key] = extra.get(key)
+        cases[match.group("profile")] = stats
     return cases
 
 
@@ -271,6 +315,13 @@ def _serving_fused_report(cases: dict, report: dict) -> None:
     report["serving_fused"] = fused
 
 
+def _gateway_report(cases: dict, report: dict) -> None:
+    gateway: dict = {"cases": {}}
+    for profile, stats in sorted(cases.items()):
+        gateway["cases"][f"gateway[{profile}]"] = stats
+    report["gateway"] = gateway
+
+
 def _distrib_report(cases: dict, report: dict) -> None:
     distrib: dict = {"cases": {}, "throughput_ratios": {}}
     for mode, stats in sorted(cases.items()):
@@ -293,12 +344,13 @@ def build_report(raw: dict) -> dict:
     serving_cases = parse_serving_cases(raw)
     serving_fused_cases = parse_serving_fused_cases(raw)
     distrib_cases = parse_distrib_cases(raw)
+    gateway_cases = parse_gateway_cases(raw)
     kernel_cases = parse_kernel_cases(raw)
     report: dict = {
         "schema": "shift-bnn-bench/2",
         "source": "benchmarks/test_bench_functional_training.py + "
         "benchmarks/test_bench_serving.py + benchmarks/test_bench_distrib.py "
-        "+ benchmarks/test_bench_kernels.py",
+        "+ benchmarks/test_bench_kernels.py + benchmarks/test_bench_gateway.py",
         "machine": raw.get("machine_info", {}).get("cpu", {}).get("brand_raw")
         or raw.get("machine_info", {}).get("machine"),
         "datetime": raw.get("datetime"),
@@ -313,6 +365,8 @@ def build_report(raw: dict) -> dict:
         _serving_fused_report(serving_fused_cases, report)
     if distrib_cases:
         _distrib_report(distrib_cases, report)
+    if gateway_cases:
+        _gateway_report(gateway_cases, report)
     if kernel_cases:
         _kernel_report(kernel_cases, report)
     if any(key[:3] == ENGINE_CASE for key in engine_cases):
@@ -373,6 +427,34 @@ def build_report(raw: dict) -> dict:
                 "threshold": DISTRIB_THRESHOLD,
                 "measured": measured,
                 "pass": measured is not None and measured >= DISTRIB_THRESHOLD,
+            }
+        )
+    if gateway_cases:
+        steady = gateway_cases.get(GATEWAY_STEADY_PROFILE, {})
+        p99 = steady.get("latency_p99_ms")
+        report["acceptance"].append(
+            {
+                "metric": f"gateway soak ({GATEWAY_STEADY_PROFILE}, "
+                f"{steady.get('n_clients', '?')} concurrent clients) p99 "
+                "request latency in ms (lower is better)",
+                "threshold": GATEWAY_P99_MS,
+                "measured": p99,
+                "pass": p99 is not None and p99 <= GATEWAY_P99_MS,
+            }
+        )
+        dropped = sum(
+            stats.get("dropped") or 0 for stats in gateway_cases.values()
+        )
+        accounted = all(
+            stats.get("dropped") is not None for stats in gateway_cases.values()
+        )
+        report["acceptance"].append(
+            {
+                "metric": "gateway soak: requests dropped (neither served "
+                "bit-exactly nor shed with 429 + Retry-After), all profiles",
+                "threshold": 0,
+                "measured": dropped if accounted else None,
+                "pass": accounted and dropped == 0,
             }
         )
     if kernel_cases:
@@ -440,6 +522,7 @@ def main(argv: list[str] | None = None) -> int:
         + len(report.get("serving", {}).get("cases", {}))
         + len(report.get("serving_fused", {}).get("cases", {}))
         + len(report.get("distrib", {}).get("cases", {}))
+        + len(report.get("gateway", {}).get("cases", {}))
         + len(report.get("kernels", {}).get("cases", {}))
     )
     print(f"wrote {output}: {total_cases} cases")

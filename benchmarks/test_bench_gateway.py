@@ -1,0 +1,177 @@
+"""Gateway soak benchmark: concurrent tenants against the HTTP front door.
+
+Unlike ``test_bench_serving`` (which times the in-process serving stack),
+this module soaks the full wire path: real sockets, the ``/v1`` JSON API,
+admission control and load shedding.  ``N_CLIENTS`` concurrent clients --
+each a :class:`~repro.serve.client.GatewayClient` on its own keep-alive
+connection -- fire ``REQUESTS_PER_CLIENT`` predictions each and record
+per-request wall-clock latency; the aggregate burst is the benchmark round.
+
+Two profiles are soaked:
+
+* ``steady`` -- the row budget comfortably fits the burst: every request
+  must be admitted (zero sheds) and answered bit-identically to standalone
+  ``mc_predict``;
+* ``overload`` -- the budget is one tile deep, so most of the burst must be
+  shed with ``429`` + ``Retry-After``.  Sheds are the *correct* outcome
+  here; the invariants are that nothing blocks indefinitely, nothing is
+  dropped (a response that is neither a 200 nor a shed), and every 200 that
+  does get through still serves exact bytes.
+
+``benchmark.extra_info`` records the p50/p95/p99 request latency and the
+admitted/shed/dropped counters; ``emit_results.py --tag gateway`` turns a
+``--benchmark-json`` dump into ``BENCH_gateway.json`` with a p99 latency
+bound on the steady profile and a zero-dropped acceptance over both.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.bnn import mc_predict
+from repro.models import (
+    ActivationSpec,
+    DenseSpec,
+    ModelSpec,
+    ReplicaSpec,
+)
+from repro.serve import (
+    GatewayClient,
+    GatewayShedError,
+    ModelRegistry,
+    ServerConfig,
+    ServingGateway,
+)
+
+N_CLIENTS = 96
+REQUESTS_PER_CLIENT = 3
+ROWS_PER_REQUEST = 4
+N_FEATURES = 16
+SAMPLING = {"n_samples": 4, "seed": 5, "grng_stride": 64}
+
+#: profile -> ServerConfig kwargs; ``steady`` absorbs the whole burst,
+#: ``overload`` holds one 16-row tile so most of the burst must shed
+PROFILES: dict[str, dict] = {
+    "steady": dict(
+        max_batch_rows=64,
+        max_wait_ms=2.0,
+        max_pending_rows=N_CLIENTS * ROWS_PER_REQUEST,
+    ),
+    "overload": dict(max_batch_rows=16, max_wait_ms=2.0, max_pending_rows=16),
+}
+
+
+def _spec() -> ModelSpec:
+    return ModelSpec(
+        name="gateway-soak-mlp",
+        input_shape=(1, 4, 4),
+        num_classes=3,
+        dataset="benchmark",
+        flatten_input=True,
+        layers=(
+            DenseSpec("fc1", 8),
+            ActivationSpec("relu1"),
+            DenseSpec("fc2", 3),
+        ),
+    )
+
+
+@pytest.mark.parametrize("profile", list(PROFILES))
+def test_bench_gateway(benchmark, profile):
+    spec = _spec()
+    model = spec.build_bayesian(seed=11)
+    registry = ModelRegistry()
+    registry.register("v1", ReplicaSpec.capture(spec, model))
+    registry.deploy("v1")
+
+    rng = np.random.default_rng(7)
+    inputs = [
+        rng.normal(size=(ROWS_PER_REQUEST, N_FEATURES)) for _ in range(4)
+    ]
+    references = [
+        mc_predict(
+            model,
+            x,
+            n_samples=SAMPLING["n_samples"],
+            seed=SAMPLING["seed"],
+            grng_stride=SAMPLING["grng_stride"],
+        ).sample_probabilities
+        for x in inputs
+    ]
+
+    latencies_ms: list[float] = []
+    counters = {"admitted": 0, "shed": 0, "dropped": 0}
+    lock = threading.Lock()
+
+    with ServingGateway(registry, ServerConfig(**PROFILES[profile])) as gateway:
+        url = gateway.url
+
+        def client(index: int) -> None:
+            import time
+
+            input_index = index % len(inputs)
+            with GatewayClient(url, tenant=f"tenant-{index % 8}",
+                               max_retries=0) as sdk:
+                for _ in range(REQUESTS_PER_CLIENT):
+                    start = time.monotonic()
+                    try:
+                        body = sdk.predict(
+                            inputs[input_index], sampling=SAMPLING
+                        )
+                    except GatewayShedError:
+                        with lock:
+                            counters["shed"] += 1
+                        continue
+                    except Exception:
+                        with lock:
+                            counters["dropped"] += 1
+                        continue
+                    elapsed_ms = (time.monotonic() - start) * 1e3
+                    served = np.asarray(
+                        body["sample_probabilities"], dtype=np.float64
+                    )
+                    exact = np.array_equal(served, references[input_index])
+                    with lock:
+                        if exact:
+                            counters["admitted"] += 1
+                            latencies_ms.append(elapsed_ms)
+                        else:  # pragma: no cover - would be a real bug
+                            counters["dropped"] += 1
+
+        def run():
+            threads = [
+                threading.Thread(target=client, args=(index,))
+                for index in range(N_CLIENTS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+        benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+        stats = gateway.prediction_server.stats()
+
+    # soak invariants: nothing is lost, and the profile behaves as designed
+    assert counters["dropped"] == 0
+    if profile == "steady":
+        assert counters["shed"] == 0, f"steady profile shed: {counters}"
+    else:
+        assert counters["shed"] > 0, f"overload profile never shed: {counters}"
+    assert counters["admitted"] == len(latencies_ms) > 0
+    assert stats.requests_failed == 0
+
+    window = np.asarray(latencies_ms, dtype=np.float64)
+    p50, p95, p99 = np.percentile(window, [50.0, 95.0, 99.0])
+    benchmark.extra_info.update(
+        n_clients=N_CLIENTS,
+        n_requests=N_CLIENTS * REQUESTS_PER_CLIENT,
+        admitted=counters["admitted"],
+        shed=counters["shed"],
+        dropped=counters["dropped"],
+        latency_p50_ms=round(float(p50), 3),
+        latency_p95_ms=round(float(p95), 3),
+        latency_p99_ms=round(float(p99), 3),
+    )

@@ -1,4 +1,4 @@
-"""Gateway demo: HTTP clients, hot model-version swap, and rollback.
+"""Gateway demo: SDK clients, admission control, hot swap, and rollback.
 
 The full operational story of the serving stack, over a real socket:
 
@@ -7,19 +7,23 @@ The full operational story of the serving stack, over a real socket:
    :class:`~repro.serve.ModelRegistry` (each version is content-fingerprinted
    and immutable);
 2. boot the :class:`~repro.serve.ServingGateway` -- a stdlib JSON-over-HTTP
-   front door on the async micro-batching server -- with ``v1`` active;
-3. fire concurrent HTTP clients at ``POST /predict`` and, *while they run*,
-   deploy ``v2`` and then roll back.  Every response reports the version the
-   request was pinned to at admission;
+   front door on the async micro-batching server -- with ``v1`` active and
+   per-tenant admission control on;
+3. fire concurrent :class:`~repro.serve.GatewayClient` tenants at
+   ``POST /v1/predict`` and, *while they run*, deploy ``v2`` and then roll
+   back.  Every response reports the version the request was pinned to at
+   admission; shed requests (429) are retried by the SDK honouring
+   ``Retry-After``;
 4. verify the serving contract at the wire level: each response's
    ``sample_probabilities``, parsed back from JSON, is **byte-identical** to
    a standalone ``mc_predict`` on the version it reports -- pooling, the
    epsilon cache, the swap machinery and JSON float round-tripping change
    throughput, never bytes;
-5. read the operator surface: ``/healthz``, ``/models`` (fingerprints,
-   deploy history) and ``/stats`` (per-version request counters plus the
-   kernel-backend identity and per-kernel call/row counters from the
-   :mod:`repro.core.backend` dispatch layer).
+5. read the operator surface: ``/v1/healthz``, ``/v1/models`` (fingerprints,
+   deploy history) and ``/v1/stats`` (per-version and per-tenant request
+   counters, admission shed counters, cross-connection coalescing telemetry,
+   plus the kernel-backend identity from the :mod:`repro.core.backend`
+   dispatch layer).
 
 Run with::
 
@@ -28,37 +32,27 @@ Run with::
 
 from __future__ import annotations
 
-import json
 import threading
-import urllib.request
 
 import numpy as np
 
 from repro.bnn import ShiftBNNTrainer, TrainerConfig, mc_predict
 from repro.datasets import BatchLoader, synthetic_mnist
 from repro.models import ReplicaSpec, get_model
-from repro.serve import ModelRegistry, ServerConfig, ServingGateway
+from repro.serve import (
+    AdmissionConfig,
+    GatewayClient,
+    GatewayConfig,
+    ModelRegistry,
+    ServerConfig,
+    ServingGateway,
+    TierPolicy,
+)
 
 N_CLIENTS = 4
 REQUESTS_PER_CLIENT = 6
 ROWS_PER_REQUEST = 8
 SAMPLING = {"n_samples": 8, "seed": 0, "grng_stride": 64}
-
-
-def _get(url: str) -> dict:
-    with urllib.request.urlopen(url, timeout=30) as response:
-        return json.loads(response.read())
-
-
-def _post(url: str, body: dict) -> dict:
-    request = urllib.request.Request(
-        url,
-        data=json.dumps(body).encode(),
-        headers={"Content-Type": "application/json"},
-        method="POST",
-    )
-    with urllib.request.urlopen(request, timeout=120) as response:
-        return json.loads(response.read())
 
 
 def _train(spec, epochs: int, seed: int):
@@ -91,49 +85,59 @@ def main() -> None:
     collected_lock = threading.Lock()
 
     # 2. the HTTP front door (ephemeral port, inline execution: on a 1-CPU
-    #    container the speedup comes from pooling + the epsilon cache)
-    with ServingGateway(registry, ServerConfig(max_batch_rows=64, max_wait_ms=2.0)) as gateway:
+    #    container the speedup comes from pooling + the epsilon cache), with
+    #    a generous per-tenant rate limit so the admission path is live
+    admission = AdmissionConfig(
+        tiers={"standard": TierPolicy(rate_per_s=200.0, burst=32.0)}
+    )
+    server_config = ServerConfig(max_batch_rows=64, max_wait_ms=2.0)
+    with ServingGateway(
+        registry, server_config, GatewayConfig(admission=admission)
+    ) as gateway:
         url = gateway.url
-        print(f"\ngateway listening on {url}")
-        print(f"healthz: {_get(url + '/healthz')}")
+        print(f"\ngateway listening on {url} (/v1 API)")
+        operator = GatewayClient(url, tenant="operator")
+        print(f"healthz: {operator.healthz()}")
 
-        # 3. concurrent clients, with a deploy + rollback mid-traffic
+        # 3. concurrent SDK tenants, with a deploy + rollback mid-traffic;
+        #    a shed request is retried by the SDK honouring Retry-After
         def client(index: int) -> None:
             rows_rng = np.random.default_rng(100 + index)
-            for _ in range(REQUESTS_PER_CLIENT):
-                x = inputs[rows_rng.integers(0, inputs.shape[0], size=ROWS_PER_REQUEST)]
-                body = _post(url + "/predict", {"x": x.tolist(), "sampling": SAMPLING})
-                with collected_lock:
-                    collected.append({"x": x, **body})
+            with GatewayClient(url, tenant=f"tenant-{index}") as sdk:
+                for _ in range(REQUESTS_PER_CLIENT):
+                    x = inputs[rows_rng.integers(0, inputs.shape[0], size=ROWS_PER_REQUEST)]
+                    body = sdk.predict(x, sampling=SAMPLING)
+                    with collected_lock:
+                        collected.append({"x": x, **body})
 
         threads = [threading.Thread(target=client, args=(i,)) for i in range(N_CLIENTS)]
         for thread in threads:
             thread.start()
 
-        deployed = _post(url + "/models/deploy", {"version": "v2"})
+        deployed = operator.deploy("v2")
         print(f"hot swap mid-traffic: {deployed}")
         # an unpinned request now serves v2; collected alongside the client
         # traffic so the verification below covers both versions
         x = inputs[rng.integers(0, inputs.shape[0], size=ROWS_PER_REQUEST)]
-        body = _post(url + "/predict", {"x": x.tolist(), "sampling": SAMPLING})
+        body = operator.predict(x, sampling=SAMPLING)
         print(f"mid-swap request was pinned to {body['version']} "
               f"(generation {body['generation']})")
         with collected_lock:
             collected.append({"x": x, **body})
-        restored = _post(url + "/models/rollback", {})
+        restored = operator.rollback()
         print(f"rollback: {restored}")
         # v2 stays loaded: pinned canary traffic still reaches it
         x = inputs[rng.integers(0, inputs.shape[0], size=ROWS_PER_REQUEST)]
-        body = _post(url + "/predict",
-                     {"x": x.tolist(), "sampling": SAMPLING, "version": "v2"})
+        body = operator.predict(x, sampling=SAMPLING, version="v2")
         with collected_lock:
             collected.append({"x": x, **body})
 
         for thread in threads:
             thread.join()
 
-        models_listing = _get(url + "/models")
-        stats = _get(url + "/stats")
+        models_listing = operator.models()
+        stats = operator.stats()
+        operator.close()
 
     # 4. the wire-level serving contract
     served_versions = sorted({body["version"] for body in collected})
@@ -158,6 +162,14 @@ def main() -> None:
     print("per-version counters:", stats["per_version"])
     print(f"tiles executed: {stats['tiles_executed']}, "
           f"mean occupancy {stats['mean_batch_occupancy']:.2f} req/tile")
+    admitted = stats["admission"]
+    print(f"admission: {admitted['admitted']} admitted, "
+          f"{admitted['shed_total']} shed across "
+          f"{admitted['tracked_tenants']} tenants")
+    coalescing = stats["coalescing"]
+    print(f"coalescing: {coalescing['multi_source_tiles']} of "
+          f"{coalescing['tiles']} tiles pooled requests from separate "
+          f"connections (max {coalescing['max_sources']} sources/tile)")
     print("kernel backends (selection; calls/rows per backend):")
     for kernel, info in sorted(stats["kernel_backends"].items()):
         used = ", ".join(

@@ -1,10 +1,15 @@
 """Saving and loading Bayesian networks and full training state.
 
-Two formats live here:
+Three formats live here:
 
 * **Parameter archives** (:func:`save_parameters` / :func:`load_parameters`)
   store just the trainable parameters -- the right format for a finished
   model that will only be served.
+* **Replica archives** (:func:`save_replica` / :func:`load_replica`) store a
+  complete :class:`~repro.models.zoo.ReplicaSpec` -- model spec, build seed,
+  captured parameter bytes, quantisation and backend selection -- so a
+  serving registry can persist deployable versions and restore them
+  fingerprint-identical after a restart.
 * **Training checkpoints** (:func:`save_checkpoint` / :func:`load_checkpoint`)
   capture everything a run's trajectory depends on: the parameters, the
   optimiser's slot tensors and step counter, every Monte-Carlo sample's GRNG
@@ -41,12 +46,15 @@ __all__ = [
     "load_parameters",
     "save_checkpoint",
     "load_checkpoint",
+    "save_replica",
+    "load_replica",
     "CheckpointMismatchError",
 ]
 
 _MANIFEST_KEY = "__manifest__"
 _FORMAT_VERSION = 1
 _CHECKPOINT_VERSION = 2
+_REPLICA_VERSION = 1
 _HISTORY_FIELDS = (
     "losses",
     "nlls",
@@ -334,3 +342,124 @@ def load_checkpoint(trainer: "BNNTrainer", path: str | Path) -> dict:
         if values is not None:
             records.extend(float(value) for value in values)
     return manifest
+
+
+# ----------------------------------------------------------------------
+# replica archives (serving-registry persistence)
+# ----------------------------------------------------------------------
+def _format_to_config(fmt) -> list[int] | None:
+    return None if fmt is None else [fmt.integer_bits, fmt.fraction_bits]
+
+
+def _quantization_to_config(quantization) -> dict | None:
+    """JSON-safe encoding of a ``QuantizationConfig`` (or ``None``)."""
+    if quantization is None:
+        return None
+    from ..nn.quantization import QuantizationConfig
+
+    if not isinstance(quantization, QuantizationConfig):
+        raise TypeError(
+            "replica archives can persist QuantizationConfig quantisation "
+            f"only, got {type(quantization).__name__}"
+        )
+    return {
+        "weight_format": _format_to_config(quantization.weight_format),
+        "activation_format": _format_to_config(quantization.activation_format),
+        "gradient_format": _format_to_config(quantization.gradient_format),
+    }
+
+
+def _quantization_from_config(config: dict | None):
+    if config is None:
+        return None
+    from ..nn.quantization import FixedPointFormat, QuantizationConfig
+
+    def fmt(pair):
+        return None if pair is None else FixedPointFormat(int(pair[0]), int(pair[1]))
+
+    return QuantizationConfig(
+        weight_format=fmt(config.get("weight_format")),
+        activation_format=fmt(config.get("activation_format")),
+        gradient_format=fmt(config.get("gradient_format")),
+    )
+
+
+def save_replica(replica, path: str | Path) -> Path:
+    """Write a :class:`~repro.models.zoo.ReplicaSpec` to ``path`` (.npz).
+
+    The archive carries everything :meth:`ReplicaSpec.fingerprint` hashes
+    (spec, build seed, captured parameter bytes, quantisation), plus the
+    capturing process's backend selection, so
+    ``load_replica(save_replica(r)).fingerprint() == r.fingerprint()`` --
+    the property the persistent serving registry verifies on restore.
+    Parameter bytes round-trip exactly (``.npz`` stores raw array buffers).
+    """
+    # local import: models.zoo imports this package
+    from ..models.zoo import ReplicaSpec
+
+    if not isinstance(replica, ReplicaSpec):
+        raise TypeError(f"expected a ReplicaSpec, got {type(replica).__name__}")
+    path = _npz_path(path)
+    arrays: dict[str, np.ndarray] = {}
+    state_names: list[str] | None = None
+    if replica.state is not None:
+        state_names = sorted(replica.state)
+        for name in state_names:
+            arrays[f"state/{name}"] = np.asarray(replica.state[name])
+    manifest = {
+        "format_version": _REPLICA_VERSION,
+        "kind": "replica-spec",
+        "spec": replica.spec.to_config(),
+        "build_seed": replica.build_seed,
+        "state_names": state_names,
+        "quantization": _quantization_to_config(replica.quantization),
+        "backend_selection": (
+            None
+            if replica.backend_selection is None
+            else [list(pair) for pair in replica.backend_selection]
+        ),
+    }
+    arrays[_MANIFEST_KEY] = np.frombuffer(
+        json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **arrays)
+    return path
+
+
+def load_replica(path: str | Path):
+    """Rebuild the :class:`~repro.models.zoo.ReplicaSpec` saved at ``path``.
+
+    The restored replica is fingerprint-identical to the one saved (same
+    spec repr, same build seed, byte-identical parameter state, equal
+    quantisation config); :class:`CheckpointMismatchError` is raised for
+    archives of any other kind.
+    """
+    from ..models.specs import ModelSpec
+    from ..models.zoo import ReplicaSpec
+
+    manifest, stored = _read_archive(path)
+    _check(
+        manifest.get("kind") == "replica-spec"
+        and manifest.get("format_version") == _REPLICA_VERSION,
+        f"not a replica archive (format {manifest.get('format_version')!r}, "
+        f"kind {manifest.get('kind')!r})",
+    )
+    state_names = manifest.get("state_names")
+    state: dict[str, np.ndarray] | None = None
+    if state_names is not None:
+        missing = [name for name in state_names if f"state/{name}" not in stored]
+        _check(not missing, f"replica archive is missing state arrays {missing}")
+        state = {name: stored[f"state/{name}"] for name in state_names}
+    selection = manifest.get("backend_selection")
+    return ReplicaSpec(
+        spec=ModelSpec.from_config(manifest["spec"]),
+        build_seed=int(manifest["build_seed"]),
+        state=state,
+        quantization=_quantization_from_config(manifest.get("quantization")),
+        backend_selection=(
+            None
+            if selection is None
+            else tuple((str(kernel), str(backend)) for kernel, backend in selection)
+        ),
+    )

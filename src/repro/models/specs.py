@@ -13,7 +13,7 @@ and shapes only, no arrays.  The same spec serves two consumers:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Union
 
 import numpy as np
@@ -33,6 +33,8 @@ __all__ = [
     "LayerSpec",
     "LayerTrace",
     "ModelSpec",
+    "layer_spec_to_config",
+    "layer_spec_from_config",
 ]
 
 
@@ -85,6 +87,34 @@ class FlattenSpec:
 
 LayerSpec = Union[ConvSpec, DenseSpec, PoolSpec, ActivationSpec, FlattenSpec]
 
+#: Kind tag <-> layer-spec class, for the JSON config round-trip.
+_LAYER_KINDS: dict[str, type] = {
+    "conv": ConvSpec,
+    "dense": DenseSpec,
+    "pool": PoolSpec,
+    "activation": ActivationSpec,
+    "flatten": FlattenSpec,
+}
+_KIND_OF_LAYER = {cls: kind for kind, cls in _LAYER_KINDS.items()}
+
+
+def layer_spec_to_config(spec: LayerSpec) -> dict:
+    """One layer spec as a JSON-safe ``{"kind": ..., **fields}`` dict."""
+    config = asdict(spec)
+    config["kind"] = _KIND_OF_LAYER[type(spec)]
+    return config
+
+
+def layer_spec_from_config(config: dict) -> LayerSpec:
+    """Inverse of :func:`layer_spec_to_config`."""
+    fields = dict(config)
+    kind = fields.pop("kind")
+    try:
+        cls = _LAYER_KINDS[kind]
+    except KeyError:
+        raise ValueError(f"unknown layer kind {kind!r}") from None
+    return cls(**fields)
+
 
 @dataclass(frozen=True)
 class LayerTrace:
@@ -127,6 +157,41 @@ class ModelSpec:
     description: str = ""
     flatten_input: bool = field(default=False)
     """MLP-style models consume pre-flattened ``(N, features)`` inputs."""
+
+    # ------------------------------------------------------------------
+    # JSON config round-trip (registry persistence)
+    # ------------------------------------------------------------------
+    def to_config(self) -> dict:
+        """This spec as a JSON-safe dict; inverse of :meth:`from_config`.
+
+        The round-trip reconstructs a spec that is ``==`` (and ``repr``-equal,
+        which is what :meth:`repro.models.zoo.ReplicaSpec.fingerprint` hashes)
+        to the original.
+        """
+        return {
+            "name": self.name,
+            "input_shape": list(self.input_shape),
+            "num_classes": self.num_classes,
+            "layers": [layer_spec_to_config(spec) for spec in self.layers],
+            "dataset": self.dataset,
+            "description": self.description,
+            "flatten_input": self.flatten_input,
+        }
+
+    @classmethod
+    def from_config(cls, config: dict) -> "ModelSpec":
+        """Rebuild a spec from :meth:`to_config` output."""
+        return cls(
+            name=config["name"],
+            input_shape=tuple(config["input_shape"]),
+            num_classes=int(config["num_classes"]),
+            layers=tuple(
+                layer_spec_from_config(layer) for layer in config["layers"]
+            ),
+            dataset=config["dataset"],
+            description=config.get("description", ""),
+            flatten_input=bool(config.get("flatten_input", False)),
+        )
 
     # ------------------------------------------------------------------
     # shape resolution

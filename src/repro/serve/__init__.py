@@ -26,6 +26,14 @@ Quick start::
         print(server.stats())
 """
 
+from .admission import (
+    AdmissionConfig,
+    AdmissionController,
+    RateLimitedError,
+    TierPolicy,
+    TokenBucket,
+)
+from .client import GatewayClient, GatewayError, GatewayShedError
 from .executor import (
     EpsilonCache,
     MultiVersionExecutor,
@@ -40,6 +48,7 @@ from .registry import (
     Deployment,
     ModelRegistry,
     ModelVersion,
+    RegistryPersistenceError,
     RollbackUnavailableError,
     UnknownVersionError,
     VersionConflictError,
@@ -73,6 +82,15 @@ __all__ = [
     "UnknownVersionError",
     "VersionConflictError",
     "RollbackUnavailableError",
+    "RegistryPersistenceError",
     "ServingGateway",
     "GatewayConfig",
+    "AdmissionConfig",
+    "AdmissionController",
+    "TierPolicy",
+    "TokenBucket",
+    "RateLimitedError",
+    "GatewayClient",
+    "GatewayError",
+    "GatewayShedError",
 ]

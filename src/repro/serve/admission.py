@@ -1,0 +1,281 @@
+"""Gateway admission control: per-tenant token buckets and shed accounting.
+
+The HTTP gateway is the boundary where overload policy must live: the
+serving core's :class:`~repro.serve.microbatcher.MicroBatcher` already
+enforces a row budget, but *blocking* on that budget would tie up handler
+threads and punish every tenant equally.  This module supplies the two
+missing pieces:
+
+* **rate limiting** -- every tenant (identified by a request header, see
+  :class:`AdmissionConfig.tenant_header`) draws from a private
+  :class:`TokenBucket` sized by its *tier*; an empty bucket sheds the request
+  with a computed retry hint *before* it touches the serving queue;
+* **tiered shedding** -- each tier carries a ``priority`` (forwarded into the
+  micro-batcher's priority waiting room, so paying tiers shed last under
+  capacity pressure) and a ``max_wait_ms`` budget bounding how long an
+  admission may wait for queue space (0 = shed immediately, never block).
+
+The controller also owns the shed/admit accounting surfaced as the
+``admission`` and ``tenants`` blocks of ``GET /v1/stats``.  Everything here
+is policy and bookkeeping -- no request bytes flow through this module, so
+the bit-exactness contract is untouched by construction.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+__all__ = [
+    "TokenBucket",
+    "TierPolicy",
+    "AdmissionConfig",
+    "AdmissionController",
+    "RateLimitedError",
+]
+
+
+class RateLimitedError(RuntimeError):
+    """A tenant exhausted its token bucket; retry after ``retry_after_s``."""
+
+    def __init__(self, message: str, retry_after_s: float) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class TokenBucket:
+    """The classic leaky-bucket rate limiter (continuous refill, no thread).
+
+    ``rate_per_s`` tokens accrue per second up to ``burst``; each admission
+    costs one token.  The bucket is lazy -- tokens are refilled from the
+    elapsed clock time on every :meth:`try_acquire` -- so idle tenants cost
+    nothing.  The clock is injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive")
+        if burst < 1:
+            raise ValueError("burst must allow at least one token")
+        self._rate = float(rate_per_s)
+        self._burst = float(burst)
+        self._tokens = float(burst)
+        self._clock = clock
+        self._refilled_at = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._refilled_at)
+        self._refilled_at = now
+        self._tokens = min(self._burst, self._tokens + elapsed * self._rate)
+
+    def try_acquire(self, tokens: float = 1.0) -> float | None:
+        """Take ``tokens`` if available; else return the wait in seconds.
+
+        ``None`` means the acquisition succeeded.  A float is the time until
+        the bucket will hold ``tokens`` again -- the ``Retry-After`` hint.
+        The caller is expected to hold any cross-bucket lock; one bucket is
+        not thread-safe by itself.
+        """
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return None
+        return (tokens - self._tokens) / self._rate
+
+
+@dataclass(frozen=True)
+class TierPolicy:
+    """Admission policy of one tenant tier."""
+
+    priority: int = 0
+    """Shed ordering: higher-priority tiers are admitted first from the
+    micro-batcher's waiting room and displace lower tiers when it is full."""
+    rate_per_s: float | None = None
+    """Request budget per second (token-bucket refill); ``None`` disables
+    rate limiting for the tier."""
+    burst: float = 8.0
+    """Token-bucket capacity: how many requests may arrive back-to-back
+    before the per-second rate applies."""
+    max_wait_ms: float = 0.0
+    """How long an admission may wait for serving-queue space before it is
+    shed with 429.  ``0`` sheds immediately (the handler thread never
+    blocks on backpressure)."""
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s is not None and self.rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive (or None)")
+        if self.burst < 1:
+            raise ValueError("burst must allow at least one request")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be non-negative")
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Tenant identification and tier policy of the gateway."""
+
+    tenant_header: str = "X-Tenant"
+    """Request header carrying the tenant identity."""
+    default_tenant: str = "anonymous"
+    """Tenant assigned to requests without the header."""
+    tiers: Mapping[str, TierPolicy] = field(
+        default_factory=lambda: {"standard": TierPolicy()}
+    )
+    """Tier name -> policy.  The default single tier is unlimited and
+    non-blocking, which preserves the pre-admission-control behaviour."""
+    default_tier: str = "standard"
+    """Tier of tenants absent from ``tenant_tiers``."""
+    tenant_tiers: Mapping[str, str] = field(default_factory=dict)
+    """Explicit tenant -> tier assignments (e.g. paying customers)."""
+    max_tracked_tenants: int = 1024
+    """Upper bound on per-tenant bucket/counter state: beyond it the least
+    recently seen tenant's state is evicted (a fresh bucket re-admits at
+    burst, so eviction can only ever be *lenient*)."""
+
+    def __post_init__(self) -> None:
+        if self.default_tier not in self.tiers:
+            raise ValueError(
+                f"default_tier {self.default_tier!r} is not in tiers "
+                f"{sorted(self.tiers)}"
+            )
+        unknown = sorted(
+            tier for tier in self.tenant_tiers.values() if tier not in self.tiers
+        )
+        if unknown:
+            raise ValueError(f"tenant_tiers references unknown tiers {unknown}")
+        if self.max_tracked_tenants < 1:
+            raise ValueError("max_tracked_tenants must be positive")
+
+
+@dataclass
+class _TenantState:
+    tier: str
+    bucket: TokenBucket | None
+    admitted: int = 0
+    shed: int = 0
+    rows: int = 0
+
+
+class AdmissionController:
+    """Apply :class:`AdmissionConfig` per request and count the outcomes.
+
+    The gateway calls :meth:`admit` before submitting to the serving core
+    (raising :class:`RateLimitedError` on an empty bucket) and then
+    :meth:`record_admitted` / :meth:`record_shed` with the outcome of the
+    capacity admission.  :meth:`snapshot` freezes the ``admission`` and
+    ``tenants`` stats blocks.
+    """
+
+    def __init__(
+        self,
+        config: AdmissionConfig | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config or AdmissionConfig()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._tenants: OrderedDict[str, _TenantState] = OrderedDict()
+        self._admitted = 0
+        self._shed_rate_limited = 0
+        self._shed_capacity = 0
+
+    # ------------------------------------------------------------------
+    def resolve_tenant(self, header_value: str | None) -> str:
+        """Map the raw header value to a tenant identity."""
+        tenant = (header_value or "").strip()
+        return tenant or self.config.default_tenant
+
+    def tier_of(self, tenant: str) -> tuple[str, TierPolicy]:
+        """The ``(tier name, policy)`` a tenant is assigned to."""
+        name = self.config.tenant_tiers.get(tenant, self.config.default_tier)
+        return name, self.config.tiers[name]
+
+    def _state_locked(self, tenant: str) -> _TenantState:
+        state = self._tenants.get(tenant)
+        if state is None:
+            tier_name, policy = self.tier_of(tenant)
+            bucket = None
+            if policy.rate_per_s is not None:
+                bucket = TokenBucket(
+                    policy.rate_per_s, policy.burst, clock=self._clock
+                )
+            state = _TenantState(tier=tier_name, bucket=bucket)
+            self._tenants[tenant] = state
+            while len(self._tenants) > self.config.max_tracked_tenants:
+                self._tenants.popitem(last=False)
+        else:
+            self._tenants.move_to_end(tenant)
+        return state
+
+    def admit(self, tenant: str) -> TierPolicy:
+        """Charge the tenant's token bucket; return its tier policy.
+
+        Raises :class:`RateLimitedError` (with the bucket's refill time as
+        the retry hint) when the tenant is over its rate.  The rate-limit
+        shed is counted here; the caller reports the capacity outcome via
+        :meth:`record_admitted` / :meth:`record_shed`.
+        """
+        with self._lock:
+            state = self._state_locked(tenant)
+            _, policy = self.tier_of(tenant)
+            if state.bucket is not None:
+                wait = state.bucket.try_acquire()
+                if wait is not None:
+                    state.shed += 1
+                    self._shed_rate_limited += 1
+                    raise RateLimitedError(
+                        f"tenant {tenant!r} is over its rate of "
+                        f"{policy.rate_per_s:g} requests/s",
+                        retry_after_s=math.ceil(wait * 1e3) / 1e3,
+                    )
+            return policy
+
+    def record_admitted(self, tenant: str, rows: int) -> None:
+        """The request made it into the serving queue."""
+        with self._lock:
+            state = self._state_locked(tenant)
+            state.admitted += 1
+            state.rows += int(rows)
+            self._admitted += 1
+
+    def record_shed(self, tenant: str) -> None:
+        """The request was shed by capacity backpressure (post rate limit)."""
+        with self._lock:
+            self._state_locked(tenant).shed += 1
+            self._shed_capacity += 1
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """The ``admission`` stats block (plus shed totals)."""
+        with self._lock:
+            shed_total = self._shed_rate_limited + self._shed_capacity
+            return {
+                "admitted": self._admitted,
+                "shed_rate_limited": self._shed_rate_limited,
+                "shed_capacity": self._shed_capacity,
+                "shed_total": shed_total,
+                "tracked_tenants": len(self._tenants),
+            }
+
+    def tenants_snapshot(self) -> dict:
+        """The ``tenants`` stats block: per-tenant tier and counters."""
+        with self._lock:
+            return {
+                tenant: {
+                    "tier": state.tier,
+                    "admitted": state.admitted,
+                    "shed": state.shed,
+                    "rows": state.rows,
+                }
+                for tenant, state in sorted(self._tenants.items())
+            }

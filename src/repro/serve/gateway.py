@@ -1,50 +1,81 @@
-"""HTTP serving gateway: the wire protocol in front of ``PredictionServer``.
+"""HTTP serving gateway: the versioned ``/v1`` wire API over ``PredictionServer``.
 
 This is the boundary real clients cross: a stdlib-only
 (:class:`http.server.ThreadingHTTPServer`) JSON-over-HTTP front-end layered
-on the versioned serving stack.  The endpoints:
+on the versioned serving stack.  The stable wire surface is versioned under
+``/v1``; the PR 5 unversioned paths (``/predict``, ``/healthz``, ...) remain
+as aliases that answer identically plus a ``Deprecation: true`` header.
 
-``POST /predict``
+``POST /v1/predict``
     Body ``{"x": [[...], ...], "sampling": {...}, "version": "v2"?}``.
     ``x`` is one request's input batch (first axis = rows); ``sampling``
     holds any subset of the :class:`~repro.serve.executor.SamplingConfig`
-    fields; ``version`` optionally pins a loaded model version (canary
-    traffic), otherwise the request is pinned to the version active at
-    admission.  The response carries the pin (``version``, ``generation``)
-    plus ``predictions``, ``entropy``, ``mean_probabilities`` and
-    ``sample_probabilities``.
+    fields (unknown fields are rejected); ``version`` optionally pins a
+    loaded model version (canary traffic), otherwise the request is pinned
+    to the version active at admission.  The response carries the pin
+    (``version``, ``generation``) plus ``predictions``, ``entropy``,
+    ``mean_probabilities`` and ``sample_probabilities``.  Large
+    ``sample_probabilities`` tensors are sent with chunked transfer
+    encoding, one Monte-Carlo sample per chunk, so the gateway never
+    buffers the whole ``(S, rows, classes)`` JSON in memory -- the bytes
+    on the wire are identical to the buffered encoding either way.
 
-``GET /healthz``
+``GET /v1/healthz``
     Liveness and rollout state (active version/generation, worker count).
 
-``GET /stats``
-    The :class:`~repro.serve.stats.StatsSnapshot`, including the per-version
-    request counters, the kernel-backend telemetry (``kernel_backends``:
-    per-kernel backend selection plus call/row counters from
-    :mod:`repro.core.backend`) and the fused-tile telemetry (``fusion``:
-    the ``REPRO_FUSED`` mode plus fused-vs-fallback counters -- a tile that
-    could not fuse is counted by reason, never silently).
+``GET /v1/stats``
+    The :class:`~repro.serve.stats.StatsSnapshot` (per-version counters,
+    kernel-backend and fused-tile telemetry, the ``coalescing`` block
+    proving cross-connection tile sharing), plus the gateway's
+    ``admission`` block (admitted / shed counters), the per-tenant
+    ``tenants`` block, and a ``queue`` block (pending rows, blocked
+    waiters, the current ``Retry-After`` estimate).
 
-``GET /models``
+``GET /v1/models``
     Registered versions (fingerprints, loaded flags), the active deployment
     and the deploy history.
 
-``POST /models/deploy`` / ``POST /models/rollback``
+``POST /v1/models/deploy`` / ``POST /v1/models/rollback``
     Hot swap: ``{"version": "v2"}`` activates a registered version;
     rollback re-activates the previously active one.  In-flight requests
     finish on their pinned version -- see
     :meth:`~repro.serve.server.PredictionServer.deploy`.
 
+**Errors** are a structured envelope::
+
+    {"error": {"code": "<machine_readable>", "message": "...",
+               "retry_after_s": 1.25}}        # retry_after_s on 429 only
+
+with stable codes (``bad_request``, ``invalid_json``, ``truncated_body``,
+``invalid_sampling``, ``invalid_input``, ``length_required``,
+``body_too_large``, ``not_found``, ``unknown_version``,
+``version_conflict``, ``rollback_unavailable``, ``rate_limited``,
+``overloaded``, ``unavailable``, ``timeout``, ``internal``).
+
+**Admission control** (multi-tenant overload policy): tenants are
+identified by a header (default ``X-Tenant``) and mapped to tiers
+(:class:`~repro.serve.admission.AdmissionConfig`).  A tenant over its
+token-bucket rate is shed with ``429`` + ``Retry-After`` before touching
+the serving queue; row-budget backpressure from the
+:class:`~repro.serve.microbatcher.MicroBatcher` is likewise surfaced as
+``429`` + ``Retry-After`` (computed from the queue depth and the recent
+drain rate) instead of blocking the handler thread -- a tier may buy a
+bounded wait (``max_wait_ms``) and a ``priority`` that sheds last.  An
+admitted request is *never* dropped: it either completes or fails with an
+explicit 5xx.
+
 Bit-exactness across the wire: responses are JSON with floats serialised via
 ``repr`` (Python's shortest round-trip representation), so a client parsing
 ``sample_probabilities`` back into a float64 array recovers **byte-identical**
 values to a direct in-process ``mc_predict`` call -- the integration suite
-asserts exactly that through a real socket.
+asserts exactly that through a real socket, on ``/v1`` and the legacy
+aliases, while overload traffic is being shed around the asserted requests.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import threading
 from dataclasses import asdict, dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -52,6 +83,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from .admission import AdmissionConfig, AdmissionController, RateLimitedError
 from .executor import SamplingConfig
 from .microbatcher import QueueFull
 from .registry import (
@@ -69,6 +101,16 @@ __all__ = ["ServingGateway", "GatewayConfig"]
 
 _SAMPLING_FIELDS = frozenset(SamplingConfig.__dataclass_fields__)
 
+#: Unversioned (PR 5) paths kept as deprecated aliases of the /v1 routes.
+_LEGACY_ALIASES = {
+    "/predict": "/v1/predict",
+    "/healthz": "/v1/healthz",
+    "/stats": "/v1/stats",
+    "/models": "/v1/models",
+    "/models/deploy": "/v1/models/deploy",
+    "/models/rollback": "/v1/models/rollback",
+}
+
 
 @dataclass(frozen=True)
 class GatewayConfig:
@@ -82,23 +124,43 @@ class GatewayConfig:
     max_body_bytes: int = 64 * 1024 * 1024
     """Requests with a larger ``Content-Length`` are refused with 413."""
     include_sample_probabilities: bool = True
-    """Whether ``/predict`` responses carry the full ``(S, rows, classes)``
+    """Whether ``/v1/predict`` responses carry the full ``(S, rows, classes)``
     tensor (the bit-exactness surface) in addition to the summaries."""
+    admission: AdmissionConfig | None = None
+    """Tenant identification and tier policies; ``None`` is the default
+    single-tier, unlimited, non-blocking policy."""
+    retry_after_floor_s: float = 0.05
+    """Lower clamp of the computed ``Retry-After`` hint."""
+    retry_after_default_s: float = 1.0
+    """``Retry-After`` before the drain-rate estimator has warmed up."""
+    retry_after_cap_s: float = 30.0
+    """Upper clamp of the computed ``Retry-After`` hint."""
+    stream_threshold_bytes: int = 4 * 1024 * 1024
+    """Predict responses whose ``sample_probabilities`` JSON is estimated
+    above this are sent chunked, one sample per chunk (identical bytes)."""
 
 
 class _GatewayError(Exception):
-    """Internal: an HTTP error response with a status code and message."""
+    """Internal: an HTTP error response with a status, code and message."""
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        retry_after_s: float | None = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.code = code
+        self.retry_after_s = retry_after_s
 
 
 class _Handler(BaseHTTPRequestHandler):
     """Request handler; the owning gateway hangs off the HTTP server object."""
 
     protocol_version = "HTTP/1.1"
-    server_version = "repro-gateway/1.0"
+    server_version = "repro-gateway/2.0"
 
     # ------------------------------------------------------------------
     # plumbing
@@ -110,40 +172,82 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass  # a serving hot path must not write to stderr per request
 
-    def _respond(self, status: int, payload: dict) -> None:
-        if status >= 400:
-            # an error may leave an unread request body on the socket, which
-            # would corrupt the next keep-alive request; drop the connection
-            self.close_connection = True
-        body = json.dumps(payload).encode()
+    def _send_common_headers(self, status: int, retry_after_s: float | None) -> None:
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        if self._deprecated:
+            self.send_header("Deprecation", "true")
+        if retry_after_s is not None:
+            # the header is integer seconds (RFC 9110); the envelope carries
+            # the precise float
+            self.send_header("Retry-After", str(max(1, math.ceil(retry_after_s))))
+
+    def _respond(
+        self, status: int, payload: dict, retry_after_s: float | None = None
+    ) -> None:
+        if status >= 400 and not self._body_consumed:
+            # an unread request body would corrupt the next keep-alive
+            # request on this socket; drop the connection.  A fully-read
+            # body keeps the connection reusable even after a 4xx.
+            self.close_connection = True
+        body = json.dumps(payload).encode()
+        self._send_common_headers(status, retry_after_s)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
 
+    def _respond_error(self, exc: _GatewayError) -> None:
+        error: dict = {"code": exc.code, "message": str(exc)}
+        if exc.retry_after_s is not None:
+            error["retry_after_s"] = exc.retry_after_s
+        self._respond(exc.status, {"error": error}, retry_after_s=exc.retry_after_s)
+
     def _read_json_body(self) -> dict:
         length = self.headers.get("Content-Length")
         if length is None:
-            raise _GatewayError(411, "Content-Length is required")
+            raise _GatewayError(411, "length_required", "Content-Length is required")
         try:
             n_bytes = int(length)
         except ValueError:
-            raise _GatewayError(400, "malformed Content-Length") from None
+            raise _GatewayError(
+                400, "bad_request", "malformed Content-Length"
+            ) from None
         if n_bytes < 0:
             # read(-1) would block until the client closes the socket
-            raise _GatewayError(400, "malformed Content-Length")
+            raise _GatewayError(400, "bad_request", "malformed Content-Length")
         if n_bytes > self.gateway.config.max_body_bytes:
             raise _GatewayError(
-                413, f"request body exceeds {self.gateway.config.max_body_bytes} bytes"
+                413,
+                "body_too_large",
+                f"request body exceeds {self.gateway.config.max_body_bytes} bytes",
             )
-        raw = self.rfile.read(n_bytes)
+        # rfile.read(n) may return fewer bytes than requested (slow clients,
+        # interrupted transfers); loop until complete or the stream ends
+        chunks: list[bytes] = []
+        remaining = n_bytes
+        while remaining > 0:
+            chunk = self.rfile.read(min(remaining, 1 << 16))
+            if not chunk:
+                raise _GatewayError(
+                    400,
+                    "truncated_body",
+                    f"request body truncated: expected {n_bytes} bytes, "
+                    f"got {n_bytes - remaining}",
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        self._body_consumed = True
+        raw = b"".join(chunks)
         try:
             body = json.loads(raw)
         except json.JSONDecodeError as exc:
-            raise _GatewayError(400, f"request body is not valid JSON: {exc}") from None
+            raise _GatewayError(
+                400, "invalid_json", f"request body is not valid JSON: {exc}"
+            ) from None
         if not isinstance(body, dict):
-            raise _GatewayError(400, "request body must be a JSON object")
+            raise _GatewayError(
+                400, "invalid_json", "request body must be a JSON object"
+            )
         return body
 
     # ------------------------------------------------------------------
@@ -157,26 +261,38 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _route(self, method: str) -> None:
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        self._deprecated = False
+        # GET requests carry no body; POST bodies are unread until
+        # _read_json_body drains them (keep-alive safety on errors)
+        self._body_consumed = method == "GET"
+        canonical = _LEGACY_ALIASES.get(path)
+        if canonical is not None:
+            self._deprecated = True
+            path = canonical
         routes = {
-            ("GET", "/healthz"): self._handle_healthz,
-            ("GET", "/stats"): self._handle_stats,
-            ("GET", "/models"): self._handle_models,
-            ("POST", "/predict"): self._handle_predict,
-            ("POST", "/models/deploy"): self._handle_deploy,
-            ("POST", "/models/rollback"): self._handle_rollback,
+            ("GET", "/v1/healthz"): self._handle_healthz,
+            ("GET", "/v1/stats"): self._handle_stats,
+            ("GET", "/v1/models"): self._handle_models,
+            ("POST", "/v1/predict"): self._handle_predict,
+            ("POST", "/v1/models/deploy"): self._handle_deploy,
+            ("POST", "/v1/models/rollback"): self._handle_rollback,
         }
         handler = routes.get((method, path))
         try:
             if handler is None:
                 known = sorted({p for (_, p) in routes})
                 raise _GatewayError(
-                    404, f"no route for {method} {path}; endpoints: {known}"
+                    404,
+                    "not_found",
+                    f"no route for {method} {path}; endpoints: {known}",
                 )
             handler()
         except _GatewayError as exc:
-            self._respond(exc.status, {"error": str(exc)})
+            self._respond_error(exc)
         except Exception as exc:  # pragma: no cover - last-resort isolation
-            self._respond(500, {"error": f"{type(exc).__name__}: {exc}"})
+            self._respond_error(
+                _GatewayError(500, "internal", f"{type(exc).__name__}: {exc}")
+            )
 
     # ------------------------------------------------------------------
     # endpoints
@@ -196,11 +312,19 @@ class _Handler(BaseHTTPRequestHandler):
         )
 
     def _handle_stats(self) -> None:
-        snapshot = asdict(self.gateway.prediction_server.stats())
+        gateway = self.gateway
+        snapshot = asdict(gateway.prediction_server.stats())
         # JSON object keys are strings; make the int-keyed histogram explicit
         snapshot["occupancy_histogram"] = {
             str(key): value
             for key, value in snapshot["occupancy_histogram"].items()
+        }
+        snapshot["admission"] = gateway.admission.snapshot()
+        snapshot["tenants"] = gateway.admission.tenants_snapshot()
+        snapshot["queue"] = {
+            "pending_rows": gateway.prediction_server.pending_rows,
+            "waiting_requests": gateway.prediction_server.waiting_requests,
+            "retry_after_s_estimate": gateway.compute_retry_after_s(),
         }
         self._respond(200, snapshot)
 
@@ -239,31 +363,39 @@ class _Handler(BaseHTTPRequestHandler):
     def _parse_sampling(self, body: dict) -> SamplingConfig:
         sampling = body.get("sampling", {})
         if not isinstance(sampling, dict):
-            raise _GatewayError(400, '"sampling" must be a JSON object')
+            raise _GatewayError(
+                400, "invalid_sampling", '"sampling" must be a JSON object'
+            )
         unknown = sorted(set(sampling) - _SAMPLING_FIELDS)
         if unknown:
             raise _GatewayError(
                 400,
+                "invalid_sampling",
                 f"unknown sampling fields {unknown}; "
                 f"allowed: {sorted(_SAMPLING_FIELDS)}",
             )
         try:
             return SamplingConfig(**sampling)
         except (TypeError, ValueError) as exc:
-            raise _GatewayError(400, f"invalid sampling config: {exc}") from None
+            raise _GatewayError(
+                400, "invalid_sampling", f"invalid sampling config: {exc}"
+            ) from None
 
     def _parse_inputs(self, body: dict) -> np.ndarray:
         if "x" not in body:
-            raise _GatewayError(400, 'the request body needs an "x" input batch')
+            raise _GatewayError(
+                400, "invalid_input", 'the request body needs an "x" input batch'
+            )
         try:
             x = np.asarray(body["x"], dtype=np.float64)
         except (TypeError, ValueError) as exc:
             raise _GatewayError(
-                400, f'"x" is not a numeric array: {exc}'
+                400, "invalid_input", f'"x" is not a numeric array: {exc}'
             ) from None
         if x.ndim < 2:
             raise _GatewayError(
                 400,
+                "invalid_input",
                 "a request must be batched: expected (rows, ...) input, got "
                 f"shape {x.shape}",
             )
@@ -271,38 +403,70 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _handle_predict(self) -> None:
         gateway = self.gateway
+        admission = gateway.admission
         body = self._read_json_body()
         x = self._parse_inputs(body)
         sampling = self._parse_sampling(body)
         requested = body.get("version")
         if requested is not None and not isinstance(requested, str):
-            raise _GatewayError(400, '"version" must be a string')
+            raise _GatewayError(400, "invalid_input", '"version" must be a string')
+        tenant = admission.resolve_tenant(
+            self.headers.get(admission.config.tenant_header)
+        )
+        try:
+            policy = admission.admit(tenant)
+        except RateLimitedError as exc:
+            raise _GatewayError(
+                429, "rate_limited", str(exc), retry_after_s=exc.retry_after_s
+            ) from None
+        # one source tag per client socket: a tile pooling several distinct
+        # tags is cross-connection coalescing, surfaced in /v1/stats
+        source = f"{self.client_address[0]}:{self.client_address[1]}"
         try:
             # the admission point: resolve once, report exactly this pin, and
             # submit with the explicit version so a concurrent deploy cannot
             # change what the request is served with
             version, generation = gateway.prediction_server.resolve_version(requested)
-            future = gateway.prediction_server.submit(x, sampling, version=version)
+            future = gateway.prediction_server.submit(
+                x,
+                sampling,
+                version=version,
+                block=policy.max_wait_ms > 0,
+                timeout=(policy.max_wait_ms / 1e3) if policy.max_wait_ms > 0 else None,
+                priority=policy.priority,
+                source=source,
+            )
         except UnknownVersionError as exc:
-            raise _GatewayError(404, str(exc)) from None
+            raise _GatewayError(404, "unknown_version", str(exc)) from None
         except QueueFull as exc:
-            raise _GatewayError(429, str(exc)) from None
+            admission.record_shed(tenant)
+            retry_after = gateway.compute_retry_after_s(exc.pending_rows)
+            raise _GatewayError(
+                429,
+                "overloaded",
+                f"serving queue is full ({exc.reason}): {exc}",
+                retry_after_s=retry_after,
+            ) from None
         except (ServerClosed, RuntimeError) as exc:
-            raise _GatewayError(503, str(exc)) from None
+            raise _GatewayError(503, "unavailable", str(exc)) from None
         except ValueError as exc:
-            raise _GatewayError(400, str(exc)) from None
+            raise _GatewayError(400, "invalid_input", str(exc)) from None
+        admission.record_admitted(tenant, rows=int(x.shape[0]))
         try:
             result = future.result(timeout=gateway.config.predict_timeout_s)
         except TimeoutError:
             raise _GatewayError(
                 504,
+                "timeout",
                 f"prediction did not complete within "
                 f"{gateway.config.predict_timeout_s}s",
             ) from None
         except ServerClosed as exc:
-            raise _GatewayError(503, str(exc)) from None
+            raise _GatewayError(503, "unavailable", str(exc)) from None
         except Exception as exc:
-            raise _GatewayError(500, f"{type(exc).__name__}: {exc}") from None
+            raise _GatewayError(
+                500, "internal", f"{type(exc).__name__}: {exc}"
+            ) from None
         payload = {
             "version": version,
             "generation": generation,
@@ -310,23 +474,65 @@ class _Handler(BaseHTTPRequestHandler):
             "entropy": result.entropy.tolist(),
             "mean_probabilities": result.mean_probabilities.tolist(),
         }
-        if gateway.config.include_sample_probabilities:
-            payload["sample_probabilities"] = result.sample_probabilities.tolist()
-        self._respond(200, payload)
+        if not gateway.config.include_sample_probabilities:
+            self._respond(200, payload)
+            return
+        samples = result.sample_probabilities
+        # ~17 digits + sign/dot/exponent/comma per float64 repr; a deliberate
+        # overestimate only moves responses into the (byte-identical)
+        # streaming path earlier
+        estimated_bytes = samples.size * 26
+        if estimated_bytes < gateway.config.stream_threshold_bytes:
+            payload["sample_probabilities"] = samples.tolist()
+            self._respond(200, payload)
+        else:
+            self._respond_predict_streaming(payload, samples)
+
+    def _respond_predict_streaming(self, payload: dict, samples: np.ndarray) -> None:
+        """Send the predict payload chunked, one Monte-Carlo sample at a time.
+
+        ``json.dumps`` serialises floats via ``repr`` whether the tensor is
+        dumped whole or per-sample, and ``sample_probabilities`` is appended
+        exactly where the buffered encoding would place it -- so the
+        concatenated chunks are byte-identical to the non-streaming body.
+        Peak memory is O(rows * classes) instead of O(S * rows * classes).
+        """
+        self._send_common_headers(200, None)
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        head = json.dumps(payload)
+        assert head.endswith("}")
+        self._write_chunk(head[:-1].encode() + b', "sample_probabilities": [')
+        for index in range(samples.shape[0]):
+            piece = json.dumps(samples[index].tolist())
+            if index:
+                # json.dumps' default item separator, so the concatenation
+                # matches the buffered encoding byte for byte
+                piece = ", " + piece
+            self._write_chunk(piece.encode())
+        self._write_chunk(b"]}")
+        self.wfile.write(b"0\r\n\r\n")
+
+    def _write_chunk(self, data: bytes) -> None:
+        if not data:  # a zero-length chunk would terminate the stream
+            return
+        self.wfile.write(f"{len(data):X}\r\n".encode() + data + b"\r\n")
 
     def _handle_deploy(self) -> None:
         body = self._read_json_body()
         version = body.get("version")
         if not isinstance(version, str) or not version:
-            raise _GatewayError(400, 'the body needs a "version" string')
+            raise _GatewayError(
+                400, "invalid_input", 'the body needs a "version" string'
+            )
         try:
             deployment = self.gateway.prediction_server.deploy(version)
         except UnknownVersionError as exc:
-            raise _GatewayError(404, str(exc)) from None
+            raise _GatewayError(404, "unknown_version", str(exc)) from None
         except VersionConflictError as exc:
-            raise _GatewayError(409, str(exc)) from None
+            raise _GatewayError(409, "version_conflict", str(exc)) from None
         except RuntimeError as exc:
-            raise _GatewayError(503, str(exc)) from None
+            raise _GatewayError(503, "unavailable", str(exc)) from None
         self._respond(
             200,
             {
@@ -340,12 +546,14 @@ class _Handler(BaseHTTPRequestHandler):
         length = self.headers.get("Content-Length")
         if length and length.strip() != "0":
             self._read_json_body()  # body is optional; drain it if present
+        else:
+            self._body_consumed = True
         try:
             deployment = self.gateway.prediction_server.rollback()
         except RollbackUnavailableError as exc:
-            raise _GatewayError(409, str(exc)) from None
+            raise _GatewayError(409, "rollback_unavailable", str(exc)) from None
         except RuntimeError as exc:
-            raise _GatewayError(503, str(exc)) from None
+            raise _GatewayError(503, "unavailable", str(exc)) from None
         self._respond(
             200,
             {
@@ -359,6 +567,10 @@ class _Handler(BaseHTTPRequestHandler):
 class _GatewayHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
+    # socketserver's default accept backlog of 5 resets connections under a
+    # multi-tenant burst; shedding is the admission controller's job, not
+    # the kernel's
+    request_queue_size = 128
     gateway: "ServingGateway"
 
 
@@ -377,7 +589,7 @@ class ServingGateway:
         registry.deploy("v1")
         with ServingGateway(registry, ServerConfig(n_workers=2)) as gateway:
             url = f"http://{gateway.address[0]}:{gateway.address[1]}"
-            ...  # POST {url}/predict, POST {url}/models/deploy, ...
+            ...  # POST {url}/v1/predict, POST {url}/v1/models/deploy, ...
     """
 
     def __init__(
@@ -389,6 +601,7 @@ class ServingGateway:
         self.prediction_server = PredictionServer(model_source, server_config)
         self.server_config = server_config or ServerConfig()
         self.config = config or GatewayConfig()
+        self.admission = AdmissionController(self.config.admission)
         self._httpd: _GatewayHTTPServer | None = None
         self._thread: threading.Thread | None = None
         self._closed = False
@@ -410,6 +623,25 @@ class ServingGateway:
         """Base URL of the running gateway."""
         host, port = self.address
         return f"http://{host}:{port}"
+
+    def compute_retry_after_s(self, pending_rows: int | None = None) -> float:
+        """Estimate when a shed client should retry.
+
+        The queue depth divided by the recent drain rate is how long the
+        backlog needs to clear; clamped to
+        ``[retry_after_floor_s, retry_after_cap_s]`` and defaulting to
+        ``retry_after_default_s`` while the rate estimator is cold.
+        """
+        if pending_rows is None:
+            pending_rows = self.prediction_server.pending_rows
+        rate = self.prediction_server.drain_rate_rows_per_s()
+        config = self.config
+        if rate is None or rate <= 0:
+            estimate = config.retry_after_default_s
+        else:
+            estimate = pending_rows / rate
+        estimate = min(max(estimate, config.retry_after_floor_s), config.retry_after_cap_s)
+        return math.ceil(estimate * 1e3) / 1e3
 
     # ------------------------------------------------------------------
     def start(self) -> "ServingGateway":
@@ -465,13 +697,21 @@ class ServingGateway:
 
 
 # ----------------------------------------------------------------------
-# CLI: boot a demo gateway (used by the CI gateway job's curl probes)
+# CLI: boot a demo gateway (used by the CI gateway job via the client SDK)
 # ----------------------------------------------------------------------
-def _build_demo_registry(model_name: str, n_versions: int) -> ModelRegistry:
+def _build_demo_registry(
+    model_name: str, n_versions: int, registry_dir: str | None = None
+) -> ModelRegistry:
     from ..models.zoo import ReplicaSpec, get_model
 
+    registry = ModelRegistry() if registry_dir is None else ModelRegistry.open(registry_dir)
+    if registry.versions():
+        # a restored persistent registry already carries its versions, active
+        # pointer and history -- the whole point of persistence
+        if registry.active is None:
+            registry.deploy(registry.versions()[0].version)
+        return registry
     spec = get_model(model_name, reduced=True)
-    registry = ModelRegistry()
     for index in range(1, n_versions + 1):
         # distinct build seeds -> genuinely different weights per version, so
         # a deploy/rollback visibly changes the served bytes
@@ -497,12 +737,31 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--workers", type=int, default=0, help="worker processes (0 = inline)"
     )
+    parser.add_argument(
+        "--registry-dir",
+        default=None,
+        help="persist the registry here; an existing directory is restored "
+        "(versions, active pointer, generation, history) instead of rebuilt",
+    )
+    parser.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        help="per-tenant requests/s for the standard tier (default: unlimited)",
+    )
     args = parser.parse_args(argv)
-    registry = _build_demo_registry(args.model, args.versions)
+    registry = _build_demo_registry(args.model, args.versions, args.registry_dir)
+    admission = None
+    if args.rate_limit is not None:
+        from .admission import TierPolicy
+
+        admission = AdmissionConfig(
+            tiers={"standard": TierPolicy(rate_per_s=args.rate_limit)}
+        )
     gateway = ServingGateway(
         registry,
         ServerConfig(n_workers=args.workers),
-        GatewayConfig(host=args.host, port=args.port),
+        GatewayConfig(host=args.host, port=args.port, admission=admission),
     )
     gateway.start()
     host, port = gateway.address

@@ -18,6 +18,17 @@ budget (``max_pending_rows``): ``submit`` blocks (or raises
 :class:`QueueFull` when non-blocking / timed out) until the dispatcher drains
 the queue below it.
 
+Blocked submitters form a small **priority queue** (the waiting room): when
+the dispatcher frees row budget, the highest-``priority`` waiter is admitted
+first (FIFO within a priority level), so under sustained overload
+low-priority traffic sheds before high-priority traffic.  The waiting room
+itself may be bounded (``max_waiting``); once full, a newly arriving request
+either displaces the lowest-priority waiter (if it outranks it -- the
+displaced waiter's ``submit`` raises :class:`QueueFull`) or is refused
+immediately.  Every :class:`QueueFull` carries a machine-readable
+``reason`` so callers (the HTTP gateway) can distinguish sheds from
+timeouts.
+
 The batcher owns no thread; the server's dispatcher loop calls
 :meth:`next_tile`, which blocks on a condition variable until a flush
 condition holds.  The clock is injectable for deterministic tests.
@@ -40,7 +51,36 @@ class QueueClosed(RuntimeError):
 
 
 class QueueFull(RuntimeError):
-    """Raised by a non-blocking / timed-out ``submit`` under backpressure."""
+    """Raised by a non-blocking / timed-out / displaced ``submit``.
+
+    ``reason`` is machine-readable: ``"capacity"`` (non-blocking submit with
+    no row budget), ``"timeout"`` (bounded wait expired), ``"displaced"``
+    (evicted from a full waiting room by a higher-priority request) or
+    ``"waiting_room_full"`` (the bounded waiting room had no lower-priority
+    waiter to displace).  ``pending_rows`` snapshots the queue depth at
+    refusal time so callers can compute a retry hint.
+    """
+
+    def __init__(
+        self, message: str, reason: str = "capacity", pending_rows: int = 0
+    ) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.pending_rows = pending_rows
+
+
+@dataclass
+class _Waiter:
+    """One submitter blocked in the priority waiting room."""
+
+    priority: int
+    sequence: int
+    rows: int
+    displaced: bool = False
+
+    def rank(self) -> tuple[int, int]:
+        """Sort key: higher priority first, then arrival order."""
+        return (-self.priority, self.sequence)
 
 
 @dataclass
@@ -61,6 +101,7 @@ class MicroBatcher(Generic[T]):
         max_batch_rows: int = 64,
         max_wait_ms: float = 2.0,
         max_pending_rows: int = 1024,
+        max_waiting: int | None = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if max_batch_rows < 1:
@@ -72,9 +113,12 @@ class MicroBatcher(Generic[T]):
                 "max_pending_rows must be at least max_batch_rows "
                 f"({max_pending_rows} < {max_batch_rows})"
             )
+        if max_waiting is not None and max_waiting < 1:
+            raise ValueError("max_waiting must be positive (or None: unbounded)")
         self._max_batch_rows = max_batch_rows
         self._max_wait_s = max_wait_ms / 1e3
         self._max_pending_rows = max_pending_rows
+        self._max_waiting = max_waiting
         self._clock = clock
         self._lock = threading.Lock()
         self._can_flush = threading.Condition(self._lock)
@@ -82,6 +126,8 @@ class MicroBatcher(Generic[T]):
         self._pending: list[PendingItem[T]] = []
         self._pending_rows = 0
         self._sequence = 0
+        self._wait_sequence = 0
+        self._waiters: list[_Waiter] = []
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -103,6 +149,12 @@ class MicroBatcher(Generic[T]):
             return len(self._pending)
 
     @property
+    def waiting_requests(self) -> int:
+        """Submitters currently blocked in the waiting room (snapshot)."""
+        with self._lock:
+            return len(self._waiters)
+
+    @property
     def closed(self) -> bool:
         """Whether :meth:`close` has been called."""
         with self._lock:
@@ -117,6 +169,7 @@ class MicroBatcher(Generic[T]):
         rows: int,
         block: bool = True,
         timeout: float | None = None,
+        priority: int = 0,
     ) -> None:
         """Queue one request carrying ``rows`` example rows.
 
@@ -124,41 +177,107 @@ class MicroBatcher(Generic[T]):
         ``timeout`` expires, which raise :class:`QueueFull`).  A request
         larger than the whole budget is admitted only into an empty queue --
         it could otherwise never be admitted at all.
+
+        ``priority`` orders blocked submitters: when the dispatcher frees
+        space, the highest-priority waiter is admitted first (FIFO within a
+        level).  An arriving request never waits behind *lower*-priority
+        waiters, and -- when the waiting room is bounded -- displaces the
+        lowest-priority waiter instead of being refused, provided it outranks
+        it.
         """
         if rows < 1:
             raise ValueError("a request must carry at least one row")
         deadline = None if timeout is None else self._clock() + timeout
         with self._lock:
-            while True:
-                if self._closed:
-                    raise QueueClosed("the micro-batcher is closed")
-                fits = self._pending_rows + rows <= self._max_pending_rows
-                if fits or (not self._pending and rows > self._max_pending_rows):
-                    break
-                if not block:
-                    raise QueueFull(
-                        f"{self._pending_rows} rows pending, request of {rows} "
-                        f"rows exceeds the budget of {self._max_pending_rows}"
-                    )
-                remaining = None
-                if deadline is not None:
-                    remaining = deadline - self._clock()
-                    if remaining <= 0:
-                        raise QueueFull(
-                            f"timed out waiting for queue space ({rows} rows)"
-                        )
-                self._has_space.wait(timeout=remaining)
-            self._pending.append(
-                PendingItem(
-                    item=item,
-                    rows=rows,
-                    enqueued_at=self._clock(),
-                    sequence=self._sequence,
+            if self._closed:
+                raise QueueClosed("the micro-batcher is closed")
+            # fast path: the budget fits and no equal-or-higher-priority
+            # waiter is owed the space first
+            if self._fits_locked(rows) and not any(
+                waiter.priority >= priority for waiter in self._waiters
+            ):
+                self._enqueue_locked(item, rows)
+                return
+            if not block:
+                raise QueueFull(
+                    f"{self._pending_rows} rows pending, request of {rows} "
+                    f"rows exceeds the budget of {self._max_pending_rows}",
+                    reason="capacity",
+                    pending_rows=self._pending_rows,
                 )
+            self._reserve_waiting_slot_locked(priority)
+            waiter = _Waiter(
+                priority=priority, sequence=self._wait_sequence, rows=rows
             )
-            self._sequence += 1
-            self._pending_rows += rows
-            self._can_flush.notify_all()
+            self._wait_sequence += 1
+            self._waiters.append(waiter)
+            try:
+                while True:
+                    if self._closed:
+                        raise QueueClosed("the micro-batcher is closed")
+                    if waiter.displaced:
+                        raise QueueFull(
+                            "shed from the waiting room by a higher-priority "
+                            "request",
+                            reason="displaced",
+                            pending_rows=self._pending_rows,
+                        )
+                    if self._is_head_locked(waiter) and self._fits_locked(rows):
+                        self._enqueue_locked(item, rows)
+                        return
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - self._clock()
+                        if remaining <= 0:
+                            raise QueueFull(
+                                f"timed out waiting for queue space ({rows} rows)",
+                                reason="timeout",
+                                pending_rows=self._pending_rows,
+                            )
+                    self._has_space.wait(timeout=remaining)
+            finally:
+                if waiter in self._waiters:
+                    self._waiters.remove(waiter)
+                # the departing waiter may have been the head: wake the rest
+                # so the next-ranked waiter can re-check its turn
+                self._has_space.notify_all()
+
+    def _fits_locked(self, rows: int) -> bool:
+        if self._pending_rows + rows <= self._max_pending_rows:
+            return True
+        return not self._pending and rows > self._max_pending_rows
+
+    def _is_head_locked(self, waiter: _Waiter) -> bool:
+        return min(self._waiters, key=_Waiter.rank) is waiter
+
+    def _reserve_waiting_slot_locked(self, priority: int) -> None:
+        """Enforce the waiting-room bound, displacing a lower-priority waiter."""
+        if self._max_waiting is None or len(self._waiters) < self._max_waiting:
+            return
+        lowest = max(self._waiters, key=_Waiter.rank)
+        if lowest.priority >= priority:
+            raise QueueFull(
+                f"waiting room is full ({len(self._waiters)} blocked requests) "
+                "and no waiter has lower priority",
+                reason="waiting_room_full",
+                pending_rows=self._pending_rows,
+            )
+        lowest.displaced = True
+        self._waiters.remove(lowest)
+        self._has_space.notify_all()
+
+    def _enqueue_locked(self, item: T, rows: int) -> None:
+        self._pending.append(
+            PendingItem(
+                item=item,
+                rows=rows,
+                enqueued_at=self._clock(),
+                sequence=self._sequence,
+            )
+        )
+        self._sequence += 1
+        self._pending_rows += rows
+        self._can_flush.notify_all()
 
     def close(self) -> None:
         """Refuse new submissions; already-queued requests still drain."""

@@ -23,13 +23,24 @@ The registry is deliberately free of execution machinery: the
 :class:`~repro.serve.server.PredictionServer` layers replica loading, epsilon
 -cache invalidation and worker reload on top of these primitives, and the
 HTTP gateway exposes them at ``/models``.
+
+A registry may be **persistent**: constructed via :meth:`ModelRegistry.open`
+with a directory, it writes every registration (replica bytes, via the
+:mod:`repro.bnn.serialization` replica-archive format) and every
+deploy/rollback (the state manifest) through to disk, and restores the full
+version set, active pointer, generation counter and deploy history on the
+next open -- so a gateway restart resumes exactly where the previous process
+stopped, with every replica verified fingerprint-identical on load.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
@@ -43,7 +54,11 @@ __all__ = [
     "UnknownVersionError",
     "VersionConflictError",
     "RollbackUnavailableError",
+    "RegistryPersistenceError",
 ]
+
+#: Manifest format of a persisted registry directory (``state.json``).
+_STATE_VERSION = 1
 
 #: Version name a bare ``ReplicaSpec`` is registered under when a caller uses
 #: the single-model convenience constructors (the pre-registry API surface).
@@ -63,6 +78,10 @@ class VersionConflictError(ValueError):
 
 class RollbackUnavailableError(RuntimeError):
     """``rollback`` was requested but no previously active version exists."""
+
+
+class RegistryPersistenceError(RuntimeError):
+    """A persisted registry directory is unreadable or fails verification."""
 
 
 @dataclass(frozen=True)
@@ -99,13 +118,19 @@ class ModelRegistry:
     responses so operators can correlate served traffic with rollout events.
     """
 
-    def __init__(self, clock=time.time) -> None:
+    def __init__(
+        self, clock=time.time, persist_dir: str | Path | None = None
+    ) -> None:
         self._clock = clock
         self._lock = threading.Lock()
         self._versions: dict[str, ModelVersion] = {}
         self._active: Deployment | None = None
         self._previous: str | None = None
         self._history: list[Deployment] = []
+        self._persist_dir = None if persist_dir is None else Path(persist_dir)
+        # version name -> relative archive path (persistent registries only);
+        # index-named files keep arbitrary version strings filesystem-safe
+        self._version_files: dict[str, str] = {}
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -123,6 +148,112 @@ class ModelRegistry:
         registry.register(version, replica)
         registry.deploy(version)
         return registry
+
+    @classmethod
+    def open(cls, persist_dir: str | Path, clock=time.time) -> "ModelRegistry":
+        """A write-through persistent registry rooted at ``persist_dir``.
+
+        An existing directory is restored: every archived replica is loaded
+        and verified against its recorded fingerprint, and the active
+        pointer, generation counter and deploy history continue exactly
+        where the previous process left them.  A fresh directory starts an
+        empty registry that persists from the first ``register`` on.
+        """
+        registry = cls(clock=clock, persist_dir=persist_dir)
+        registry._restore()
+        return registry
+
+    @property
+    def persist_dir(self) -> Path | None:
+        """Where this registry persists, if anywhere."""
+        return self._persist_dir
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def _state_path(self) -> Path:
+        assert self._persist_dir is not None
+        return self._persist_dir / "state.json"
+
+    def _restore(self) -> None:
+        from ..bnn.serialization import CheckpointMismatchError, load_replica
+
+        state_path = self._state_path()
+        if not state_path.exists():
+            self._persist_dir.mkdir(parents=True, exist_ok=True)
+            return
+        try:
+            state = json.loads(state_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise RegistryPersistenceError(
+                f"unreadable registry state at {state_path}: {exc}"
+            ) from exc
+        if state.get("format_version") != _STATE_VERSION:
+            raise RegistryPersistenceError(
+                f"unsupported registry state version "
+                f"{state.get('format_version')!r} at {state_path}"
+            )
+        for record in state.get("versions", []):
+            version = record["version"]
+            archive = self._persist_dir / record["file"]
+            try:
+                replica = load_replica(archive)
+            except (OSError, CheckpointMismatchError) as exc:
+                raise RegistryPersistenceError(
+                    f"cannot restore version {version!r} from {archive}: {exc}"
+                ) from exc
+            fingerprint = replica.fingerprint()
+            if fingerprint != record["fingerprint"]:
+                raise RegistryPersistenceError(
+                    f"version {version!r} restored from {archive} fingerprints "
+                    f"{fingerprint[:12]}, state.json recorded "
+                    f"{record['fingerprint'][:12]}"
+                )
+            self._versions[version] = ModelVersion(
+                version=version, replica=replica, fingerprint=fingerprint
+            )
+            self._version_files[version] = record["file"]
+        self._history = [
+            Deployment(**record) for record in state.get("history", [])
+        ]
+        active = state.get("active")
+        self._active = None if active is None else Deployment(**active)
+        self._previous = state.get("previous")
+        if self._active is not None and self._active.version not in self._versions:
+            raise RegistryPersistenceError(
+                f"active version {self._active.version!r} has no archived replica"
+            )
+
+    def _persist_version_locked(self, entry: ModelVersion) -> None:
+        from ..bnn.serialization import save_replica
+
+        assert self._persist_dir is not None
+        relative = f"versions/{len(self._version_files):04d}.npz"
+        save_replica(entry.replica, self._persist_dir / relative)
+        self._version_files[entry.version] = relative
+
+    def _write_state_locked(self) -> None:
+        assert self._persist_dir is not None
+        state = {
+            "format_version": _STATE_VERSION,
+            "versions": [
+                {
+                    "version": version,
+                    "file": self._version_files[version],
+                    "fingerprint": entry.fingerprint,
+                }
+                for version, entry in self._versions.items()
+            ],
+            "active": None if self._active is None else asdict(self._active),
+            "previous": self._previous,
+            "history": [asdict(deployment) for deployment in self._history],
+        }
+        state_path = self._state_path()
+        state_path.parent.mkdir(parents=True, exist_ok=True)
+        # atomic replace so a crash mid-write never corrupts the manifest
+        tmp_path = state_path.with_name(state_path.name + ".tmp")
+        tmp_path.write_text(json.dumps(state, indent=2), encoding="utf-8")
+        os.replace(tmp_path, state_path)
 
     # ------------------------------------------------------------------
     # registration
@@ -153,6 +284,9 @@ class ModelRegistry:
                 version=version, replica=replica, fingerprint=fingerprint
             )
             self._versions[version] = entry
+            if self._persist_dir is not None:
+                self._persist_version_locked(entry)
+                self._write_state_locked()
             return entry
 
     def get(self, version: str) -> ModelVersion:
@@ -238,6 +372,8 @@ class ModelRegistry:
         )
         self._active = deployment
         self._history.append(deployment)
+        if self._persist_dir is not None:
+            self._write_state_locked()
         return deployment
 
     def resolve(self, version: str | None = None) -> tuple[str, int]:

@@ -71,6 +71,10 @@ class ServerConfig:
     """Maximum time the oldest queued request waits before a partial flush."""
     max_pending_rows: int = 1024
     """Backpressure budget: ``submit`` blocks once this many rows are queued."""
+    max_waiting: int | None = None
+    """Bound on submitters blocked behind the row budget (the micro-batcher's
+    priority waiting room).  ``None`` keeps it unbounded; a bound makes
+    overload shed deterministically instead of queueing blocked threads."""
     n_workers: int = 0
     """``0`` executes tiles inline on the dispatcher thread; ``>=1`` shards
     tiles across that many replica processes."""
@@ -111,6 +115,10 @@ class _Request:
     """Model version the request was pinned to at admission."""
     generation: int
     """Registry generation at admission (tags the response for operators)."""
+    source: str | None = None
+    """Connection/submitter identity, for cross-connection coalescing
+    telemetry: a tile pooling several distinct sources proves separate
+    sockets shared it."""
 
 
 class PredictionServer:
@@ -147,6 +155,7 @@ class PredictionServer:
             max_batch_rows=self._config.max_batch_rows,
             max_wait_ms=self._config.max_wait_ms,
             max_pending_rows=self._config.max_pending_rows,
+            max_waiting=self._config.max_waiting,
         )
         self._stats = ServerStats(latency_window=self._config.latency_window)
         self._tile_ids = itertools.count()
@@ -276,6 +285,8 @@ class PredictionServer:
         block: bool = True,
         timeout: float | None = None,
         version: str | None = None,
+        priority: int = 0,
+        source: str | None = None,
     ) -> Future:
         """Queue one prediction request; resolves to a ``PredictiveResult``.
 
@@ -290,6 +301,12 @@ class PredictionServer:
         active at this instant.  Either way the pin is immutable once
         admitted -- a concurrent :meth:`deploy` affects later submissions
         only.
+
+        ``priority`` orders blocked submitters in the micro-batcher's
+        waiting room (higher sheds last); ``source`` tags the request with
+        its connection identity for the coalescing telemetry.  Neither can
+        influence result bytes: tiles never split a request and epsilons
+        derive from the request's own sampling config.
         """
         if not self._started:
             raise RuntimeError("server not started; call start() or use a with-block")
@@ -309,9 +326,16 @@ class PredictionServer:
             rows=int(x.shape[0]),
             version=pinned_version,
             generation=generation,
+            source=source,
         )
         try:
-            self._batcher.submit(request, rows=request.rows, block=block, timeout=timeout)
+            self._batcher.submit(
+                request,
+                rows=request.rows,
+                block=block,
+                timeout=timeout,
+                priority=priority,
+            )
         except QueueClosed:
             self._unpin(pinned_version)
             raise ServerClosed("the server is shut down") from None
@@ -332,6 +356,20 @@ class PredictionServer:
     def stats(self) -> StatsSnapshot:
         """Throughput / latency / occupancy snapshot."""
         return self._stats.snapshot()
+
+    @property
+    def pending_rows(self) -> int:
+        """Rows currently queued behind the micro-batcher (snapshot)."""
+        return self._batcher.pending_rows
+
+    @property
+    def waiting_requests(self) -> int:
+        """Submitters blocked in the priority waiting room (snapshot)."""
+        return self._batcher.waiting_requests
+
+    def drain_rate_rows_per_s(self) -> float | None:
+        """Recent completed-rows/s; the gateway's ``Retry-After`` estimator."""
+        return self._stats.drain_rate_rows_per_s()
 
     # ------------------------------------------------------------------
     # version control plane (hot model swap)
@@ -519,8 +557,13 @@ class PredictionServer:
             if tile is None:
                 return
             tile_id = next(self._tile_ids)
+            sources = {
+                item.item.source for item in tile if item.item.source is not None
+            }
             self._stats.record_tile(
-                n_requests=len(tile), rows=sum(item.rows for item in tile)
+                n_requests=len(tile),
+                rows=sum(item.rows for item in tile),
+                sources=len(sources) or None,
             )
             with self._inflight_lock:
                 self._inflight[tile_id] = tile

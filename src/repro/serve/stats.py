@@ -62,6 +62,14 @@ class StatsSnapshot:
     "fused_tiles", "fallback_tiles", ...}`` (every
     :data:`~repro.serve.executor.FUSION_EVENT_KEYS` counter).  Fallbacks are
     never silent -- a disabled/failed stability verdict shows up here."""
+    drain_rate_rows_per_s: float | None = None
+    """Recent serving drain rate (completed rows per second over the last
+    few seconds of completions); the gateway's ``Retry-After`` estimator."""
+    coalescing: dict = field(default_factory=dict)
+    """Cross-connection pooling telemetry: of the tiles whose requests carry
+    a connection ``source`` tag, how many pooled requests from *distinct*
+    sources (``multi_source_tiles``), plus the max/mean distinct sources per
+    tile.  Proof that separate sockets share tiles within a flush window."""
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         p50 = f"{self.latency_p50_ms:.2f}" if self.latency_p50_ms is not None else "-"
@@ -83,6 +91,10 @@ class StatsSnapshot:
 class ServerStats:
     """Thread-safe accumulator behind :meth:`PredictionServer.stats`."""
 
+    #: Horizon of the drain-rate window: completions older than this many
+    #: seconds no longer influence the Retry-After estimate.
+    DRAIN_WINDOW_S = 5.0
+
     def __init__(self, latency_window: int = 4096, clock=time.monotonic) -> None:
         if latency_window < 1:
             raise ValueError("latency_window must be positive")
@@ -99,6 +111,11 @@ class ServerStats:
         self._occupancy: Counter[int] = Counter()
         self._per_version: dict[str, dict[str, int]] = {}
         self._fusion: dict[str, int] = dict.fromkeys(FUSION_EVENT_KEYS, 0)
+        self._recent_rows: deque[tuple[float, int]] = deque(maxlen=latency_window)
+        self._sourced_tiles = 0
+        self._multi_source_tiles = 0
+        self._source_total = 0
+        self._max_sources = 0
 
     def reset_clock(self) -> None:
         """Restart the uptime window (called when the server starts)."""
@@ -120,6 +137,7 @@ class ServerStats:
             self._requests_completed += 1
             self._rows_completed += int(rows)
             self._latencies_s.append(float(latency_s))
+            self._recent_rows.append((self._clock(), int(rows)))
             if version is not None:
                 counters = self._version_counters_locked(version)
                 counters["completed"] += 1
@@ -144,13 +162,47 @@ class ServerStats:
             for key, value in events.items():
                 self._fusion[key] = self._fusion.get(key, 0) + int(value)
 
-    def record_tile(self, n_requests: int, rows: int) -> None:
-        """One tile was handed to an executor with ``n_requests`` pooled."""
+    def record_tile(
+        self, n_requests: int, rows: int, sources: int | None = None
+    ) -> None:
+        """One tile was handed to an executor with ``n_requests`` pooled.
+
+        ``sources`` counts the *distinct* connection sources pooled into the
+        tile (when the submitters tagged their requests); a tile with
+        ``sources >= 2`` is direct evidence of cross-connection coalescing.
+        """
         with self._lock:
             self._tiles_executed += 1
             self._tile_requests += int(n_requests)
             self._tile_rows += int(rows)
             self._occupancy[int(n_requests)] += 1
+            if sources is not None and sources > 0:
+                self._sourced_tiles += 1
+                self._source_total += int(sources)
+                self._max_sources = max(self._max_sources, int(sources))
+                if sources >= 2:
+                    self._multi_source_tiles += 1
+
+    def drain_rate_rows_per_s(self) -> float | None:
+        """Completed rows/s over the recent window (``None`` until warm).
+
+        Measured from the oldest in-window completion to *now*, so the rate
+        decays as the server stalls rather than freezing at its last good
+        value -- exactly the behaviour a ``Retry-After`` estimate needs.
+        """
+        with self._lock:
+            return self._drain_rate_locked()
+
+    def _drain_rate_locked(self) -> float | None:
+        now = self._clock()
+        horizon = now - self.DRAIN_WINDOW_S
+        while self._recent_rows and self._recent_rows[0][0] < horizon:
+            self._recent_rows.popleft()
+        if not self._recent_rows:
+            return None
+        rows = sum(entry[1] for entry in self._recent_rows)
+        span = max(now - self._recent_rows[0][0], 1e-3)
+        return rows / span
 
     def snapshot(self) -> StatsSnapshot:
         """Freeze a consistent view of every counter."""
@@ -183,4 +235,15 @@ class ServerStats:
                 },
                 kernel_backends=kernel_backend.stats_snapshot(),
                 fusion={"mode": stability.fused_mode(), **self._fusion},
+                drain_rate_rows_per_s=self._drain_rate_locked(),
+                coalescing={
+                    "tiles": self._sourced_tiles,
+                    "multi_source_tiles": self._multi_source_tiles,
+                    "max_sources": self._max_sources,
+                    "mean_sources": (
+                        self._source_total / self._sourced_tiles
+                        if self._sourced_tiles
+                        else None
+                    ),
+                },
             )

@@ -28,7 +28,13 @@ from repro.models import (
     ModelSpec,
     ReplicaSpec,
 )
-from repro.serve import ModelRegistry, SamplingConfig, ServerConfig, ServingGateway
+from repro.serve import (
+    GatewayConfig,
+    ModelRegistry,
+    SamplingConfig,
+    ServerConfig,
+    ServingGateway,
+)
 
 N_FEATURES = 16
 SAMPLING = {"n_samples": 4, "seed": 5, "grng_stride": 64}
@@ -241,3 +247,245 @@ def test_swap_keeps_epsilon_cache_isolation_inline():
         assert np.array_equal(
             np.asarray(pinned["sample_probabilities"]), references["v1"][0]
         )
+
+
+def _raw_post(address: tuple[str, int], path: str, body: dict) -> tuple:
+    """POST over a dedicated socket, returning (status, headers, raw bytes)."""
+    import http.client
+
+    connection = http.client.HTTPConnection(*address, timeout=120)
+    try:
+        connection.request(
+            "POST",
+            path,
+            body=json.dumps(body).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        raw = response.read()
+        headers = {key.lower(): value for key, value in response.getheaders()}
+        return response.status, headers, raw
+    finally:
+        connection.close()
+
+
+class TestWireSurfaceEquivalence:
+    def test_v1_and_legacy_routes_serve_identical_bytes(self):
+        """Acceptance: bit-exactness holds through a real socket on BOTH the
+        /v1 route and the deprecated legacy alias -- and their bodies match
+        each other byte for byte."""
+        spec = _spec()
+        registry = _two_version_registry(spec)
+        rng = np.random.default_rng(21)
+        x = rng.normal(size=(5, N_FEATURES))
+        references = _references(spec, [x])
+
+        with ServingGateway(registry, ServerConfig(max_wait_ms=1.0)) as gateway:
+            body = {"x": x.tolist(), "sampling": SAMPLING}
+            status_v1, headers_v1, raw_v1 = _raw_post(
+                gateway.address, "/v1/predict", body
+            )
+            status_legacy, headers_legacy, raw_legacy = _raw_post(
+                gateway.address, "/predict", body
+            )
+        assert status_v1 == status_legacy == 200
+        assert "deprecation" not in headers_v1
+        assert headers_legacy.get("deprecation") == "true"
+        assert raw_v1 == raw_legacy  # the alias is the same handler, same bytes
+        served = np.asarray(
+            json.loads(raw_v1)["sample_probabilities"], dtype=np.float64
+        )
+        assert np.array_equal(served, references["v1"][0])
+
+    def test_streamed_response_bytes_equal_buffered(self):
+        """A response pushed over the chunked streaming path decodes to the
+        exact bytes of the buffered path, which equal mc_predict."""
+        spec = _spec()
+        rng = np.random.default_rng(33)
+        x = rng.normal(size=(6, N_FEATURES))
+        references = _references(spec, [x])
+        body = {"x": x.tolist(), "sampling": SAMPLING}
+
+        def serve(threshold: int) -> tuple:
+            registry = _two_version_registry(spec)
+            config = GatewayConfig(stream_threshold_bytes=threshold)
+            with ServingGateway(
+                registry, ServerConfig(max_wait_ms=1.0), config
+            ) as gateway:
+                return _raw_post(gateway.address, "/v1/predict", body)
+
+        status_streamed, headers_streamed, raw_streamed = serve(threshold=1)
+        status_buffered, headers_buffered, raw_buffered = serve(
+            threshold=1 << 30
+        )
+        assert status_streamed == status_buffered == 200
+        assert headers_streamed.get("transfer-encoding") == "chunked"
+        assert "transfer-encoding" not in headers_buffered
+        assert raw_streamed == raw_buffered
+        served = np.asarray(
+            json.loads(raw_streamed)["sample_probabilities"], dtype=np.float64
+        )
+        assert np.array_equal(served, references["v1"][0])
+
+
+class TestOverloadIntegrity:
+    def test_200s_stay_bit_exact_while_sheds_happen(self):
+        """Acceptance: under a burst far beyond the row budget every request
+        either succeeds bit-exactly or sheds as 429 + Retry-After -- none
+        block indefinitely, none are lost, none corrupt."""
+        spec = _spec()
+        registry = _two_version_registry(spec)
+        rng = np.random.default_rng(17)
+        inputs = [rng.normal(size=(4, N_FEATURES)) for _ in range(4)]
+        references = _references(spec, inputs)
+
+        # a tight budget (one 16-row tile) against 32 bursting clients
+        config = ServerConfig(
+            max_batch_rows=16, max_pending_rows=16, max_wait_ms=5.0
+        )
+        outcomes: list[tuple[int, int, dict, bytes]] = []
+        outcomes_lock = threading.Lock()
+
+        with ServingGateway(registry, config) as gateway:
+            def client(index: int) -> None:
+                input_index = index % len(inputs)
+                status, headers, raw = _raw_post(
+                    gateway.address,
+                    "/v1/predict",
+                    {"x": inputs[input_index].tolist(), "sampling": SAMPLING},
+                )
+                with outcomes_lock:
+                    outcomes.append((input_index, status, headers, raw))
+
+            threads = [
+                threading.Thread(target=client, args=(index,))
+                for index in range(32)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            stats = json.loads(
+                urllib.request.urlopen(gateway.url + "/v1/stats", timeout=30).read()
+            )
+
+        assert len(outcomes) == 32  # zero requests lost
+        shed = [o for o in outcomes if o[1] == 429]
+        served = [o for o in outcomes if o[1] == 200]
+        assert len(shed) + len(served) == 32  # no third outcome
+        assert shed, "the burst should overflow a 16-row budget"
+        for _, _, headers, raw in shed:
+            assert int(headers["retry-after"]) >= 1
+            envelope = json.loads(raw)["error"]
+            assert envelope["code"] == "overloaded"
+            assert envelope["retry_after_s"] > 0
+        for input_index, _, _, raw in served:
+            body = json.loads(raw)
+            assert body["version"] == "v1"
+            payload = np.asarray(body["sample_probabilities"], dtype=np.float64)
+            assert np.array_equal(payload, references["v1"][input_index])
+        admission = stats["admission"]
+        assert admission["admitted"] >= len(served)
+        assert admission["shed_capacity"] == len(shed)
+
+    def test_deploy_rollback_racing_shed_heavy_burst(self):
+        """Acceptance: a deploy/rollback cycle races a burst heavy enough to
+        shed; zero admitted requests are lost or cross-version-mixed."""
+        spec = _spec()
+        registry = _two_version_registry(spec)
+        rng = np.random.default_rng(29)
+        inputs = [rng.normal(size=(4, N_FEATURES)) for _ in range(4)]
+        references = _references(spec, inputs)
+
+        config = ServerConfig(
+            max_batch_rows=16, max_pending_rows=16, max_wait_ms=2.0
+        )
+        outcomes: list[tuple[int, int, bytes]] = []
+        outcomes_lock = threading.Lock()
+
+        with ServingGateway(registry, config) as gateway:
+            def client(index: int) -> None:
+                input_index = index % len(inputs)
+                for _ in range(4):
+                    status, _, raw = _raw_post(
+                        gateway.address,
+                        "/v1/predict",
+                        {"x": inputs[input_index].tolist(), "sampling": SAMPLING},
+                    )
+                    with outcomes_lock:
+                        outcomes.append((input_index, status, raw))
+
+            threads = [
+                threading.Thread(target=client, args=(index,))
+                for index in range(12)
+            ]
+            for thread in threads:
+                thread.start()
+            # swap back and forth while the shed-heavy burst runs
+            deployed = _post(gateway.url + "/v1/models/deploy", {"version": "v2"})
+            assert deployed["active_version"] == "v2"
+            restored = _post(gateway.url + "/v1/models/rollback", {})
+            assert restored["active_version"] == "v1"
+            for thread in threads:
+                thread.join(timeout=120)
+
+        assert len(outcomes) == 12 * 4  # every request got an answer
+        served = [o for o in outcomes if o[1] == 200]
+        for outcome in outcomes:
+            assert outcome[1] in (200, 429)
+        for input_index, _, raw in served:
+            body = json.loads(raw)
+            version = body["version"]
+            assert version in ("v1", "v2")
+            payload = np.asarray(body["sample_probabilities"], dtype=np.float64)
+            assert np.array_equal(payload, references[version][input_index]), (
+                f"request for input {input_index} reported {version} but "
+                "served different bytes"
+            )
+
+
+class TestCrossConnectionCoalescing:
+    def test_separate_sockets_pool_into_shared_tiles(self):
+        """Requests from distinct connections coalesce into shared tiles
+        (visible in the stats telemetry) without perturbing their bytes."""
+        spec = _spec()
+        registry = _two_version_registry(spec)
+        rng = np.random.default_rng(41)
+        inputs = [rng.normal(size=(2, N_FEATURES)) for _ in range(8)]
+        references = _references(spec, inputs)
+
+        # a generous flush window lets concurrent sockets land in one tile
+        config = ServerConfig(max_batch_rows=64, max_wait_ms=150.0)
+        results: list[tuple] = [None] * len(inputs)
+
+        with ServingGateway(registry, config) as gateway:
+            def client(index: int) -> None:
+                results[index] = _raw_post(
+                    gateway.address,
+                    "/v1/predict",
+                    {"x": inputs[index].tolist(), "sampling": SAMPLING},
+                )
+
+            threads = [
+                threading.Thread(target=client, args=(index,))
+                for index in range(len(inputs))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            stats = json.loads(
+                urllib.request.urlopen(gateway.url + "/v1/stats", timeout=30).read()
+            )
+
+        coalescing = stats["coalescing"]
+        assert coalescing["multi_source_tiles"] >= 1, (
+            f"no cross-connection tile observed: {coalescing}"
+        )
+        assert coalescing["max_sources"] >= 2
+        for index, (status, _, raw) in enumerate(results):
+            assert status == 200
+            payload = np.asarray(
+                json.loads(raw)["sample_probabilities"], dtype=np.float64
+            )
+            assert np.array_equal(payload, references["v1"][index])

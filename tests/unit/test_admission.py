@@ -1,0 +1,145 @@
+"""Unit tests for gateway admission control: buckets, tiers, accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    RateLimitedError,
+    TierPolicy,
+    TokenBucket,
+)
+
+
+class _Clock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = _Clock()
+        bucket = TokenBucket(rate_per_s=2.0, burst=3, clock=clock)
+        assert [bucket.try_acquire() for _ in range(3)] == [None, None, None]
+        wait = bucket.try_acquire()
+        assert wait == pytest.approx(0.5)  # 1 token at 2/s
+        clock.advance(0.5)
+        assert bucket.try_acquire() is None
+
+    def test_tokens_cap_at_burst(self):
+        clock = _Clock()
+        bucket = TokenBucket(rate_per_s=100.0, burst=2, clock=clock)
+        clock.advance(60.0)
+        assert bucket.try_acquire() is None
+        assert bucket.try_acquire() is None
+        assert bucket.try_acquire() is not None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate_per_s=0.0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate_per_s=1.0, burst=0.5)
+
+
+class TestConfigValidation:
+    def test_default_tier_must_exist(self):
+        with pytest.raises(ValueError, match="default_tier"):
+            AdmissionConfig(default_tier="gold")
+
+    def test_tenant_tiers_must_reference_known_tiers(self):
+        with pytest.raises(ValueError, match="unknown tiers"):
+            AdmissionConfig(tenant_tiers={"acme": "gold"})
+
+    def test_tier_policy_validation(self):
+        with pytest.raises(ValueError):
+            TierPolicy(rate_per_s=-1.0)
+        with pytest.raises(ValueError):
+            TierPolicy(max_wait_ms=-1.0)
+
+    def test_default_policy_is_unlimited_and_non_blocking(self):
+        policy = TierPolicy()
+        assert policy.rate_per_s is None
+        assert policy.max_wait_ms == 0.0
+        assert policy.priority == 0
+
+
+class TestAdmissionController:
+    def _controller(self, clock, **overrides):
+        config = AdmissionConfig(
+            tiers={
+                "standard": TierPolicy(rate_per_s=1.0, burst=2),
+                "premium": TierPolicy(priority=10, max_wait_ms=50.0),
+            },
+            tenant_tiers={"bigco": "premium"},
+            **overrides,
+        )
+        return AdmissionController(config, clock=clock)
+
+    def test_resolve_tenant_defaults(self):
+        controller = AdmissionController()
+        assert controller.resolve_tenant(None) == "anonymous"
+        assert controller.resolve_tenant("  ") == "anonymous"
+        assert controller.resolve_tenant("acme") == "acme"
+
+    def test_rate_limit_sheds_with_retry_hint(self):
+        clock = _Clock()
+        controller = self._controller(clock)
+        controller.admit("acme")
+        controller.admit("acme")
+        with pytest.raises(RateLimitedError) as info:
+            controller.admit("acme")
+        assert info.value.retry_after_s > 0
+        clock.advance(info.value.retry_after_s)
+        controller.admit("acme")  # refilled
+
+    def test_premium_tier_is_unlimited_with_priority(self):
+        clock = _Clock()
+        controller = self._controller(clock)
+        for _ in range(50):
+            policy = controller.admit("bigco")
+        assert policy.priority == 10
+        assert policy.max_wait_ms == 50.0
+
+    def test_counters_and_snapshots(self):
+        clock = _Clock()
+        controller = self._controller(clock)
+        controller.admit("acme")
+        controller.record_admitted("acme", rows=4)
+        controller.admit("acme")
+        controller.record_shed("acme")  # capacity shed after admission passed
+        controller.admit("bigco")
+        controller.record_admitted("bigco", rows=2)
+        with pytest.raises(RateLimitedError):
+            controller.admit("acme")
+        admission = controller.snapshot()
+        assert admission == {
+            "admitted": 2,
+            "shed_rate_limited": 1,
+            "shed_capacity": 1,
+            "shed_total": 2,
+            "tracked_tenants": 2,
+        }
+        tenants = controller.tenants_snapshot()
+        assert tenants["acme"] == {
+            "tier": "standard", "admitted": 1, "shed": 2, "rows": 4,
+        }
+        assert tenants["bigco"] == {
+            "tier": "premium", "admitted": 1, "shed": 0, "rows": 2,
+        }
+
+    def test_tenant_state_is_lru_bounded(self):
+        clock = _Clock()
+        controller = self._controller(clock, max_tracked_tenants=3)
+        for tenant in ("a", "b", "c", "d"):
+            controller.admit(tenant)
+        snapshot = controller.snapshot()
+        assert snapshot["tracked_tenants"] == 3
+        assert "a" not in controller.tenants_snapshot()  # least recent evicted

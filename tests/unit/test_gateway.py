@@ -99,7 +99,8 @@ class TestReadEndpoints:
     def test_unknown_route_is_404(self, gateway):
         code, body = _error_of(lambda: _get(gateway.url + "/nope"))
         assert code == 404
-        assert "/healthz" in body["error"]
+        assert body["error"]["code"] == "not_found"
+        assert "/v1/healthz" in body["error"]["message"]
 
 
 class TestPredict:
@@ -131,7 +132,8 @@ class TestPredict:
             )
         )
         assert code == 404
-        assert "not loaded" in body["error"]
+        assert body["error"]["code"] == "unknown_version"
+        assert "not loaded" in body["error"]["message"]
         code, body = _error_of(
             lambda: _post(
                 gateway.url + "/predict",
@@ -259,7 +261,162 @@ class TestSwapEndpoints:
             lambda: _post(gateway.url + "/models/rollback", {})
         )
         assert code == 409
-        assert "roll back" in body["error"]
+        assert body["error"]["code"] == "rollback_unavailable"
+        assert "roll back" in body["error"]["message"]
+
+
+class TestWireApiV1:
+    def test_v1_routes_answer_without_deprecation(self, gateway):
+        for path in ("/v1/healthz", "/v1/stats", "/v1/models"):
+            with urllib.request.urlopen(gateway.url + path, timeout=30) as response:
+                assert response.status == 200
+                assert response.headers.get("Deprecation") is None
+
+    def test_legacy_aliases_answer_with_deprecation_header(self, gateway):
+        for path in ("/healthz", "/stats", "/models"):
+            with urllib.request.urlopen(gateway.url + path, timeout=30) as response:
+                assert response.status == 200
+                assert response.headers.get("Deprecation") == "true"
+
+    def test_v1_predict_matches_legacy_alias_bytes(self, gateway, rng):
+        body = json.dumps(
+            {"x": rng.normal(size=(2, 16)).tolist(), "sampling": SAMPLING}
+        ).encode()
+        raw = {}
+        for path in ("/v1/predict", "/predict"):
+            request = urllib.request.Request(
+                gateway.url + path,
+                data=body,
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=30) as response:
+                raw[path] = response.read()
+        assert raw["/v1/predict"] == raw["/predict"]
+
+    def test_unknown_sampling_fields_use_error_envelope(self, gateway):
+        code, body = _error_of(
+            lambda: _post(
+                gateway.url + "/v1/predict",
+                {"x": [[1.0] * 16], "sampling": {"bogus_knob": 1}},
+            )
+        )
+        assert code == 400
+        assert body["error"]["code"] == "invalid_sampling"
+        assert "bogus_knob" in body["error"]["message"]
+
+    def test_rate_limited_tenant_sheds_with_429_and_retry_after(
+        self, tiny_mlp_spec, rng
+    ):
+        from repro.serve import AdmissionConfig, TierPolicy
+
+        registry = ModelRegistry.single(
+            ReplicaSpec.capture(tiny_mlp_spec, tiny_mlp_spec.build_bayesian(seed=11))
+        )
+        admission = AdmissionConfig(
+            tiers={"standard": TierPolicy(rate_per_s=0.001, burst=2)}
+        )
+        with ServingGateway(
+            registry,
+            ServerConfig(max_wait_ms=1.0),
+            GatewayConfig(admission=admission),
+        ) as gateway:
+            body = {"x": rng.normal(size=(1, 16)).tolist(), "sampling": SAMPLING}
+            url = gateway.url + "/v1/predict"
+            assert _post(url, body)[0] == 200
+            assert _post(url, body)[0] == 200
+            with pytest.raises(urllib.error.HTTPError) as info:
+                _post(url, body)
+            error = info.value
+            assert error.code == 429
+            assert int(error.headers["Retry-After"]) >= 1
+            envelope = json.loads(error.read())["error"]
+            assert envelope["code"] == "rate_limited"
+            assert envelope["retry_after_s"] > 0
+            _, stats = _get(gateway.url + "/v1/stats")
+            assert stats["admission"]["admitted"] == 2
+            assert stats["admission"]["shed_rate_limited"] == 1
+            assert stats["tenants"]["anonymous"]["shed"] == 1
+
+
+class TestConnectionRobustness:
+    def test_keep_alive_survives_4xx_with_consumed_body(self, gateway, rng):
+        """A fully-read request body keeps the connection reusable after 4xx."""
+        import http.client
+
+        host, port = gateway.address
+        connection = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            bad = json.dumps({"x": [[1.0] * 16], "sampling": {"bogus": 1}}).encode()
+            good = json.dumps(
+                {"x": rng.normal(size=(2, 16)).tolist(), "sampling": SAMPLING}
+            ).encode()
+            for payload, expected in ((bad, 400), (good, 200), (bad, 400), (good, 200)):
+                connection.request(
+                    "POST",
+                    "/v1/predict",
+                    body=payload,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = connection.getresponse()
+                response.read()
+                assert response.status == expected
+                # the server never asked to close: same socket throughout
+                assert response.getheader("Connection") != "close"
+        finally:
+            connection.close()
+
+    def test_slow_client_body_is_read_completely(self, gateway, rng):
+        """A body dribbling in across many TCP segments still parses (the
+        rfile.read short-read fix)."""
+        import socket
+        import time
+
+        host, port = gateway.address
+        body = json.dumps(
+            {"x": rng.normal(size=(2, 16)).tolist(), "sampling": SAMPLING}
+        ).encode()
+        head = (
+            f"POST /v1/predict HTTP/1.1\r\nHost: {host}\r\n"
+            f"Content-Type: application/json\r\nContent-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode()
+        with socket.create_connection((host, port), timeout=30) as sock:
+            sock.sendall(head)
+            for start in range(0, len(body), 64):
+                sock.sendall(body[start:start + 64])
+                time.sleep(0.005)  # force distinct segments
+            response = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                response += chunk
+        assert response.startswith(b"HTTP/1.1 200")
+        assert b'"predictions"' in response
+
+    def test_truncated_body_is_400_not_hang(self, gateway):
+        """A client that dies mid-body gets a clean 400, not a stuck thread."""
+        import socket
+
+        host, port = gateway.address
+        body = b'{"x": [[1.0, 2.0' * 100
+        head = (
+            f"POST /v1/predict HTTP/1.1\r\nHost: {host}\r\n"
+            f"Content-Type: application/json\r\nContent-Length: {len(body) + 500}\r\n"
+            "\r\n"
+        ).encode()
+        with socket.create_connection((host, port), timeout=30) as sock:
+            sock.sendall(head + body)
+            sock.shutdown(socket.SHUT_WR)  # EOF before Content-Length bytes
+            response = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                response += chunk
+        assert response.startswith(b"HTTP/1.1 400")
+        assert b"truncated_body" in response
 
 
 class TestLifecycle:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 import pickle
 
 import pytest
@@ -151,3 +152,71 @@ class TestResolve:
         registry = ModelRegistry.single(replica_a)
         assert registry.resolve() == (DEFAULT_VERSION, 1)
         assert registry.get(DEFAULT_VERSION).replica is replica_a
+
+
+class TestPersistence:
+    def test_restart_restores_versions_active_and_generation(
+        self, tmp_path, replica_a, replica_b
+    ):
+        store = tmp_path / "registry"
+        registry = ModelRegistry.open(store)
+        registry.register("v1", replica_a)
+        registry.register("v2", replica_b)
+        registry.deploy("v1")
+        registry.deploy("v2")
+        registry.rollback()  # generation 3, active v1
+
+        restored = ModelRegistry.open(store)
+        assert [entry.version for entry in restored.versions()] == ["v1", "v2"]
+        assert restored.active is not None
+        assert restored.active.version == "v1"
+        assert restored.active.rolled_back is True
+        assert restored.generation == 3
+        assert [d.version for d in restored.history()] == ["v1", "v2", "v1"]
+        # restored replicas are the exact captured weights
+        assert restored.get("v1").fingerprint == replica_a.fingerprint()
+        assert restored.get("v2").fingerprint == replica_b.fingerprint()
+        # generations keep counting where the old process stopped
+        assert restored.rollback().generation == 4
+
+    def test_fresh_directory_starts_empty(self, tmp_path):
+        registry = ModelRegistry.open(tmp_path / "new")
+        assert registry.versions() == []
+        assert registry.active is None
+        assert registry.persist_dir == tmp_path / "new"
+
+    def test_memory_registry_does_not_persist(self, replica_a):
+        registry = ModelRegistry()
+        registry.register("v1", replica_a)
+        assert registry.persist_dir is None
+
+    def test_tampered_archive_is_refused(self, tmp_path, replica_a):
+        from repro.serve import RegistryPersistenceError
+
+        store = tmp_path / "registry"
+        registry = ModelRegistry.open(store)
+        registry.register("v1", replica_a)
+        registry.deploy("v1")
+        state = json.loads((store / "state.json").read_text())
+        state["versions"][0]["fingerprint"] = "0" * 64
+        (store / "state.json").write_text(json.dumps(state))
+        with pytest.raises(RegistryPersistenceError, match="fingerprint"):
+            ModelRegistry.open(store)
+
+    def test_unknown_state_version_is_refused(self, tmp_path):
+        from repro.serve import RegistryPersistenceError
+
+        store = tmp_path / "registry"
+        store.mkdir()
+        (store / "state.json").write_text(json.dumps({"format_version": 99}))
+        with pytest.raises(RegistryPersistenceError, match="version"):
+            ModelRegistry.open(store)
+
+    def test_corrupt_state_json_is_refused(self, tmp_path):
+        from repro.serve import RegistryPersistenceError
+
+        store = tmp_path / "registry"
+        store.mkdir()
+        (store / "state.json").write_text("{not json")
+        with pytest.raises(RegistryPersistenceError, match="unreadable"):
+            ModelRegistry.open(store)

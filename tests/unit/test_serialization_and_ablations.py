@@ -125,3 +125,40 @@ class TestAblations:
     def test_bandwidth_ablation_energy_reduction_stays_positive(self):
         result = run_bandwidth_sensitivity_ablation(channel_counts=(1, 2, 4))
         assert all(value > 0 for value in result.column("energy_reduction_%"))
+
+
+class TestReplicaArchives:
+    def test_roundtrip_is_fingerprint_identical(self, tmp_path):
+        from repro.bnn.serialization import load_replica, save_replica
+        from repro.models import ReplicaSpec
+
+        spec = get_model("B-MLP", reduced=True)
+        replica = ReplicaSpec.capture(spec, spec.build_bayesian(seed=7))
+        path = save_replica(replica, tmp_path / "replica")
+        assert path.suffix == ".npz"
+        restored = load_replica(path)
+        assert restored.fingerprint() == replica.fingerprint()
+        for name, array in replica.state.items():
+            assert np.array_equal(restored.state[name], array)
+        assert restored.build_seed == replica.build_seed
+
+    def test_restored_replica_predicts_bit_identically(self, tmp_path, rng):
+        from repro.bnn.serialization import load_replica, save_replica
+        from repro.models import ReplicaSpec
+
+        spec = get_model("B-MLP", reduced=True)
+        model = spec.build_bayesian(seed=7)
+        replica = ReplicaSpec.capture(spec, model)
+        restored = load_replica(save_replica(replica, tmp_path / "replica.npz"))
+        x = rng.normal(size=(3, 196))
+        before = mc_predict(replica.build(), x, n_samples=2, seed=3, grng_stride=16)
+        after = mc_predict(restored.build(), x, n_samples=2, seed=3, grng_stride=16)
+        assert np.array_equal(before.sample_probabilities, after.sample_probabilities)
+
+    def test_parameter_checkpoint_is_not_a_replica_archive(self, tmp_path):
+        from repro.bnn.serialization import load_replica
+
+        model = get_model("B-MLP", reduced=True).build_bayesian(seed=1)
+        path = save_parameters(model, tmp_path / "checkpoint.npz")
+        with pytest.raises(CheckpointMismatchError):
+            load_replica(path)

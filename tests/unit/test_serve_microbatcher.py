@@ -169,3 +169,108 @@ class TestValidation:
         batcher = MicroBatcher()
         with pytest.raises(ValueError):
             batcher.submit("empty", rows=0)
+
+
+class TestPriorityWaitingRoom:
+    def test_blocked_waiters_admitted_in_priority_order(self):
+        batcher = MicroBatcher(max_batch_rows=16, max_wait_ms=0.0, max_pending_rows=16)
+        batcher.submit("filler", rows=16)
+        started = []
+        admitted = []
+
+        def blocked_submit(name, priority):
+            started.append(name)
+            batcher.submit(name, rows=16, priority=priority)
+            admitted.append(name)
+
+        low = threading.Thread(target=blocked_submit, args=("low", 0))
+        low.start()
+        time.sleep(0.05)  # ensure "low" is waiting before "high" arrives
+        high = threading.Thread(target=blocked_submit, args=("high", 5))
+        high.start()
+        time.sleep(0.05)
+        assert batcher.waiting_requests == 2
+        assert _items(batcher.next_tile()) == ["filler"]
+        # the freed budget goes to the high-priority waiter despite arriving
+        # second; draining again releases the low-priority one
+        assert _items(batcher.next_tile()) == ["high"]
+        assert _items(batcher.next_tile()) == ["low"]
+        low.join(timeout=5.0)
+        high.join(timeout=5.0)
+        assert admitted == ["high", "low"]
+
+    def test_higher_priority_arrival_displaces_lowest_waiter(self):
+        batcher = MicroBatcher(
+            max_batch_rows=16, max_wait_ms=0.0, max_pending_rows=16, max_waiting=1
+        )
+        batcher.submit("filler", rows=16)
+        errors = []
+
+        def low_submit():
+            try:
+                batcher.submit("low", rows=16, priority=0)
+            except QueueFull as exc:
+                errors.append(exc)
+
+        low = threading.Thread(target=low_submit)
+        low.start()
+        time.sleep(0.05)
+        assert batcher.waiting_requests == 1
+
+        def high_submit():
+            batcher.submit("high", rows=16, priority=5)
+
+        high = threading.Thread(target=high_submit)
+        high.start()
+        low.join(timeout=5.0)  # displaced immediately, before any drain
+        assert len(errors) == 1
+        assert errors[0].reason == "displaced"
+        assert errors[0].pending_rows == 16
+        assert _items(batcher.next_tile()) == ["filler"]
+        high.join(timeout=5.0)
+        assert _items(batcher.next_tile()) == ["high"]
+
+    def test_full_waiting_room_refuses_equal_priority_arrival(self):
+        batcher = MicroBatcher(
+            max_batch_rows=16, max_wait_ms=0.0, max_pending_rows=16, max_waiting=1
+        )
+        batcher.submit("filler", rows=16)
+        waiter = threading.Thread(target=lambda: batcher.submit("waiting", rows=16))
+        waiter.start()
+        time.sleep(0.05)
+        # same priority cannot displace: the newcomer is refused instead
+        with pytest.raises(QueueFull) as info:
+            batcher.submit("refused", rows=16, priority=0)
+        assert info.value.reason == "waiting_room_full"
+        assert _items(batcher.next_tile()) == ["filler"]
+        waiter.join(timeout=5.0)
+        assert _items(batcher.next_tile()) == ["waiting"]
+
+    def test_queue_full_reasons_carry_pending_rows(self):
+        batcher = MicroBatcher(max_batch_rows=16, max_wait_ms=0.0, max_pending_rows=32)
+        batcher.submit("a", rows=32)
+        with pytest.raises(QueueFull) as nonblocking:
+            batcher.submit("b", rows=1, block=False)
+        assert nonblocking.value.reason == "capacity"
+        assert nonblocking.value.pending_rows == 32
+        with pytest.raises(QueueFull) as timed:
+            batcher.submit("c", rows=1, timeout=0.05)
+        assert timed.value.reason == "timeout"
+        assert timed.value.pending_rows == 32
+
+    def test_fast_path_defers_to_waiting_higher_priority(self):
+        batcher = MicroBatcher(max_batch_rows=32, max_wait_ms=0.0, max_pending_rows=32)
+        batcher.submit("filler", rows=16)
+        # a priority-5 request of 32 rows does not fit next to the filler
+        waiter = threading.Thread(
+            target=lambda: batcher.submit("high", rows=32, priority=5)
+        )
+        waiter.start()
+        time.sleep(0.05)
+        # 16 rows of budget remain, but a priority-5 waiter is owed the
+        # space first: a non-blocking priority-0 submit must not jump it
+        with pytest.raises(QueueFull):
+            batcher.submit("late-low", rows=16, block=False)
+        assert _items(batcher.next_tile()) == ["filler"]
+        waiter.join(timeout=5.0)
+        assert _items(batcher.next_tile()) == ["high"]

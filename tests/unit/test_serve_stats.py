@@ -148,3 +148,57 @@ def test_fusion_counters_tolerate_unknown_keys():
     stats = ServerStats(latency_window=8, clock=_FakeClock())
     stats.record_fusion_events({"some_future_counter": 2})
     assert stats.snapshot().fusion["some_future_counter"] == 2
+
+
+def test_drain_rate_warms_up_and_decays_with_the_window():
+    clock = _FakeClock()
+    stats = ServerStats(latency_window=8, clock=clock)
+    assert stats.drain_rate_rows_per_s() is None  # cold
+    stats.record_completion(0.010, rows=10)
+    clock.now += 1.0
+    stats.record_completion(0.010, rows=10)
+    clock.now += 1.0
+    # 20 rows over the 2 s since the oldest in-window completion
+    assert stats.drain_rate_rows_per_s() == 10.0
+    # a stall halves the measured rate rather than freezing it
+    clock.now += 2.0
+    assert stats.drain_rate_rows_per_s() == 5.0
+    # past the window every completion ages out: cold again
+    clock.now += ServerStats.DRAIN_WINDOW_S
+    assert stats.drain_rate_rows_per_s() is None
+
+
+def test_snapshot_reports_drain_rate():
+    clock = _FakeClock()
+    stats = ServerStats(latency_window=8, clock=clock)
+    assert stats.snapshot().drain_rate_rows_per_s is None
+    stats.record_completion(0.010, rows=6)
+    clock.now += 2.0
+    assert stats.snapshot().drain_rate_rows_per_s == 3.0
+
+
+def test_coalescing_counters_track_multi_source_tiles():
+    stats = ServerStats(latency_window=8, clock=_FakeClock())
+    stats.record_tile(n_requests=1, rows=4, sources=1)
+    stats.record_tile(n_requests=3, rows=12, sources=2)
+    stats.record_tile(n_requests=4, rows=16, sources=4)
+    stats.record_tile(n_requests=2, rows=8)  # untagged: not counted
+    snapshot = stats.snapshot()
+    assert snapshot.coalescing == {
+        "tiles": 3,
+        "multi_source_tiles": 2,
+        "max_sources": 4,
+        "mean_sources": (1 + 2 + 4) / 3,
+    }
+    assert snapshot.tiles_executed == 4  # occupancy counters see every tile
+
+
+def test_coalescing_block_zeroed_until_sources_are_tagged():
+    stats = ServerStats(latency_window=8, clock=_FakeClock())
+    stats.record_tile(n_requests=2, rows=8)
+    assert stats.snapshot().coalescing == {
+        "tiles": 0,
+        "multi_source_tiles": 0,
+        "max_sources": 0,
+        "mean_sources": None,
+    }
