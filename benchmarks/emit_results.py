@@ -45,6 +45,12 @@ input; CI runs them in separate jobs and emits one report each):
   Acceptance: the steady-profile p99 stays under ``GATEWAY_P99_MS`` and
   zero requests are *dropped* (neither served exactly nor shed) across all
   profiles;
+* the **observability overhead** cases (``test_bench_obs``): the steady
+  soak run against two gateways in one process -- full tracing on vs
+  ``REPRO_OBS=0`` -- with every client interleaving requests between the
+  legs.  Acceptance: the median across rounds of the within-round traced
+  vs untraced p99 ratio stays at or under ``OBS_OVERHEAD_RATIO`` (tracing
+  is a side channel, never a tax);
 * the **distributed-training** cases (``test_bench_distrib``): the sharded
   training engine (``inline2``: two shards in-process; ``pool2``: two worker
   processes) against the single-process batched baseline over the same
@@ -96,6 +102,7 @@ _SERVING_FUSED_PATTERN = re.compile(
 )
 _DISTRIB_PATTERN = re.compile(r"test_bench_distrib\[(?P<mode>\w+)\]")
 _GATEWAY_PATTERN = re.compile(r"test_bench_gateway\[(?P<profile>\w+)\]")
+_OBS_PATTERN = re.compile(r"test_bench_obs\[(?P<profile>\w+)\]")
 _KERNEL_PATTERN = re.compile(
     r"test_bench_kernel\[(?P<kernel>[a-z0-9_]+)-(?P<backend>\w+)\]"
 )
@@ -117,6 +124,13 @@ DISTRIB_MODE = "inline2"
 #: request latency under this bound on a shared CI runner.
 GATEWAY_P99_MS = 2500.0
 GATEWAY_STEADY_PROFILE = "steady"
+
+#: The acceptance bound of PR 9: with full tracing on (sample rate 1.0,
+#: span trees assembled across the worker boundary, metrics collectors
+#: bound) the steady-soak p99 request latency may cost at most 5% over the
+#: identical soak with ``REPRO_OBS=0``.
+OBS_OVERHEAD_RATIO = 1.05
+OBS_STEADY_PROFILE = "steady"
 
 
 def _stats(bench: dict) -> dict:
@@ -211,6 +225,38 @@ def parse_gateway_cases(raw: dict) -> dict:
             "latency_p50_ms",
             "latency_p95_ms",
             "latency_p99_ms",
+        ):
+            stats[key] = extra.get(key)
+        cases[match.group("profile")] = stats
+    return cases
+
+
+def parse_obs_cases(raw: dict) -> dict:
+    """Extract {profile: stats} from the observability overhead cases.
+
+    Everything of interest lives in ``benchmark.extra_info``: the pooled
+    per-leg latency percentiles, the per-round paired p99 ratios, and the
+    acceptance statistic ``obs_overhead_ratio`` (median of the per-round
+    ratios, computed inside the benchmark where the raw samples live).
+    """
+    cases = {}
+    for bench in raw.get("benchmarks", []):
+        match = _OBS_PATTERN.search(bench["name"])
+        if not match:
+            continue
+        stats = _stats(bench)
+        extra = bench.get("extra_info", {})
+        for key in (
+            "n_clients",
+            "n_requests_traced",
+            "n_requests_untraced",
+            "latency_p50_ms_traced",
+            "latency_p50_ms_untraced",
+            "latency_p99_ms_traced",
+            "latency_p99_ms_untraced",
+            "obs_overhead_ratio",
+            "obs_overhead_ratio_p50",
+            "obs_overhead_ratios_per_round",
         ):
             stats[key] = extra.get(key)
         cases[match.group("profile")] = stats
@@ -322,6 +368,13 @@ def _gateway_report(cases: dict, report: dict) -> None:
     report["gateway"] = gateway
 
 
+def _obs_report(cases: dict, report: dict) -> None:
+    obs: dict = {"cases": {}}
+    for profile, stats in sorted(cases.items()):
+        obs["cases"][f"obs[{profile}]"] = stats
+    report["obs"] = obs
+
+
 def _distrib_report(cases: dict, report: dict) -> None:
     distrib: dict = {"cases": {}, "throughput_ratios": {}}
     for mode, stats in sorted(cases.items()):
@@ -345,12 +398,14 @@ def build_report(raw: dict) -> dict:
     serving_fused_cases = parse_serving_fused_cases(raw)
     distrib_cases = parse_distrib_cases(raw)
     gateway_cases = parse_gateway_cases(raw)
+    obs_cases = parse_obs_cases(raw)
     kernel_cases = parse_kernel_cases(raw)
     report: dict = {
         "schema": "shift-bnn-bench/2",
         "source": "benchmarks/test_bench_functional_training.py + "
         "benchmarks/test_bench_serving.py + benchmarks/test_bench_distrib.py "
-        "+ benchmarks/test_bench_kernels.py + benchmarks/test_bench_gateway.py",
+        "+ benchmarks/test_bench_kernels.py + benchmarks/test_bench_gateway.py "
+        "+ benchmarks/test_bench_obs.py",
         "machine": raw.get("machine_info", {}).get("cpu", {}).get("brand_raw")
         or raw.get("machine_info", {}).get("machine"),
         "datetime": raw.get("datetime"),
@@ -367,6 +422,8 @@ def build_report(raw: dict) -> dict:
         _distrib_report(distrib_cases, report)
     if gateway_cases:
         _gateway_report(gateway_cases, report)
+    if obs_cases:
+        _obs_report(obs_cases, report)
     if kernel_cases:
         _kernel_report(kernel_cases, report)
     if any(key[:3] == ENGINE_CASE for key in engine_cases):
@@ -457,6 +514,20 @@ def build_report(raw: dict) -> dict:
                 "pass": accounted and dropped == 0,
             }
         )
+    if obs_cases:
+        steady = obs_cases.get(OBS_STEADY_PROFILE, {})
+        measured = steady.get("obs_overhead_ratio")
+        report["acceptance"].append(
+            {
+                "metric": "observability overhead: traced vs untraced p99 "
+                f"request latency ratio, {OBS_STEADY_PROFILE} interleaved "
+                "soak (median of within-round paired ratios; response "
+                "bodies asserted byte-identical in both legs)",
+                "threshold": OBS_OVERHEAD_RATIO,
+                "measured": measured,
+                "pass": measured is not None and measured <= OBS_OVERHEAD_RATIO,
+            }
+        )
     if kernel_cases:
         # the acceptance is over the production path: auto (the default
         # selection chain) must never be slower than reference beyond noise,
@@ -523,6 +594,7 @@ def main(argv: list[str] | None = None) -> int:
         + len(report.get("serving_fused", {}).get("cases", {}))
         + len(report.get("distrib", {}).get("cases", {}))
         + len(report.get("gateway", {}).get("cases", {}))
+        + len(report.get("obs", {}).get("cases", {}))
         + len(report.get("kernels", {}).get("cases", {}))
     )
     print(f"wrote {output}: {total_cases} cases")

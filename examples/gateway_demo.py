@@ -23,7 +23,11 @@ The full operational story of the serving stack, over a real socket:
    deploy history) and ``/v1/stats`` (per-version and per-tenant request
    counters, admission shed counters, cross-connection coalescing telemetry,
    plus the kernel-backend identity from the :mod:`repro.core.backend`
-   dispatch layer).
+   dispatch layer);
+6. read the observability surface: ``GET /v1/traces?slowest=N`` returns the
+   tail exemplars the tracer retained past ring eviction, and the demo
+   prints the slowest request's span tree (admission -> waiting room ->
+   tile execution -> serialization, with per-stage offsets).
 
 Run with::
 
@@ -137,6 +141,9 @@ def main() -> None:
 
         models_listing = operator.models()
         stats = operator.stats()
+        # the tracer's slowest-N exemplars answer "where did the tail go?":
+        # span trees survive ring eviction, fetched via GET /v1/traces
+        slowest_traces = operator.traces(slowest=1)["traces"]
         operator.close()
 
     # 4. the wire-level serving contract
@@ -177,6 +184,19 @@ def main() -> None:
             for name, c in sorted(info["backends"].items())
         ) or "unused"
         print(f"  {kernel:18s} selection={info['selection']:<10s} {used}")
+
+    # 6. the slowest request's span tree, assembled across the admission ->
+    #    waiting room -> tile -> execution -> serialization pipeline
+    if slowest_traces:
+        worst = slowest_traces[0]
+        print(f"\nslowest request {worst['trace_id']} "
+              f"({worst['duration_ms']:.2f}ms, status {worst['status']}, "
+              f"meta {worst['meta']}):")
+        for span in worst["spans"]:
+            indent = "    " if span.get("parent") else "  "
+            print(f"{indent}{span['name']:<16s} "
+                  f"+{span['offset_ms']:7.2f}ms  {span['duration_ms']:7.2f}ms"
+                  + (f"  {span['meta']}" if span.get("meta") else ""))
 
 
 if __name__ == "__main__":

@@ -42,6 +42,7 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
+from ..obs.metrics import MetricsRegistry, default_registry, obs_enabled
 from .plan import plan_shards
 from .reduce import reduce_step_outputs
 from .respawn import RespawnBudget, RespawnPolicy
@@ -96,6 +97,11 @@ class DistributedBackend:
     step_timeout:
         Seconds one step may take end-to-end before the backend gives up
         (guards against a *hung* -- not dead -- worker).
+    metrics:
+        Where per-step phase timings (ship / compute / replay_reduce) land;
+        defaults to the process-wide
+        :func:`~repro.obs.metrics.default_registry` and is disabled entirely
+        under ``REPRO_OBS=0``.
     """
 
     def __init__(
@@ -106,6 +112,7 @@ class DistributedBackend:
         respawn: RespawnPolicy | None = RespawnPolicy(),
         start_method: str | None = None,
         step_timeout: float = 300.0,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if n_workers < 0:
             raise ValueError("n_workers must be non-negative")
@@ -130,6 +137,22 @@ class DistributedBackend:
         self._step_index = 0
         self._started = False
         self._closed = False
+        if metrics is None and obs_enabled():
+            metrics = default_registry()
+        self._metrics = metrics
+        self._m_phase = self._m_steps = None
+        if metrics is not None:
+            self._m_phase = metrics.histogram(
+                "repro_distrib_step_phase_ms",
+                "Distributed step phase latency: ship (state capture + "
+                "payload build), compute (shard execution), replay_reduce "
+                "(canonical reduce + bank fold-back).",
+                ("phase",),
+            )
+            self._m_steps = metrics.counter(
+                "repro_distrib_steps_total",
+                "Distributed training steps completed.",
+            )
         #: Test-only fault injection: ``hook(step_index, worker_rank) -> bool``
         #: evaluated at dispatch; ``True`` makes that worker die on receipt,
         #: exactly like an external SIGKILL mid-step.
@@ -255,6 +278,7 @@ class DistributedBackend:
             raise RuntimeError("backend is closed")
         if not self._started:
             self._start(trainer)
+        ship_from = time.monotonic()
         config = trainer.config
         plan = plan_shards(config.n_samples, self._n_shards)
         snapshots = trainer.bank.snapshots()
@@ -284,6 +308,7 @@ class DistributedBackend:
                     "bank": bank_cfg,
                 }
             )
+        compute_from = time.monotonic()
         if self._inline_engine is not None:
             shard_results = [
                 self._inline_engine.run_step(payload) for payload in payloads
@@ -291,6 +316,7 @@ class DistributedBackend:
         else:
             shard_results = self._run_pooled(payloads)
         self._step_index += 1
+        reduce_from = time.monotonic()
         total_nll, correct_probs = reduce_step_outputs(
             trainer.model, plan, shard_results
         )
@@ -304,6 +330,18 @@ class DistributedBackend:
                     result["usage"][local_index]
                 )
         trainer.bank.restore(new_snapshots)
+        if self._m_phase is not None:
+            done = time.monotonic()
+            self._m_phase.labels(phase="ship").observe(
+                (compute_from - ship_from) * 1e3
+            )
+            self._m_phase.labels(phase="compute").observe(
+                (reduce_from - compute_from) * 1e3
+            )
+            self._m_phase.labels(phase="replay_reduce").observe(
+                (done - reduce_from) * 1e3
+            )
+            self._m_steps.inc()
         return total_nll, correct_probs
 
     # ------------------------------------------------------------------

@@ -1,0 +1,41 @@
+"""Observability: request tracing, metrics exposition, pipeline profiling.
+
+- :mod:`repro.obs.trace` -- request IDs and span trees threaded from gateway
+  admission through the microbatcher and the worker-process boundary, with a
+  bounded ring buffer plus slowest-N exemplar retention;
+- :mod:`repro.obs.metrics` -- a dependency-free registry of counters /
+  gauges / fixed-bucket histograms rendered as Prometheus text;
+- :mod:`repro.obs.adapters` -- scrape-time collectors that publish the
+  existing serving stats surfaces into a registry without touching the hot
+  path.
+
+``REPRO_OBS=0`` disables tracing and hot-path instrumentation globally
+(read at component construction).  Observability never alters a response
+body: predict wire bytes are identical with tracing on, off, or sampled.
+"""
+
+from .adapters import bind_serving_collectors
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    obs_enabled,
+)
+from .trace import StageRecorder, TraceHandle, Tracer
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "StageRecorder",
+    "TraceHandle",
+    "Tracer",
+    "bind_serving_collectors",
+    "default_registry",
+    "obs_enabled",
+]

@@ -17,7 +17,12 @@
   ``/v1`` error envelope;
 * **keep-alive** -- one persistent :class:`http.client.HTTPConnection` per
   client (per thread), so request streams reuse sockets exactly like a real
-  tenant's connection pool.
+  tenant's connection pool;
+* **observability** -- every response's ``X-Request-Id`` is captured as
+  :attr:`GatewayClient.last_request_id` (thread-local);
+  :meth:`GatewayClient.trace`, :meth:`GatewayClient.traces` and
+  :meth:`GatewayClient.metrics` read the gateway's trace ring and
+  Prometheus exposition.
 
 The module doubles as the CI smoke probe::
 
@@ -31,6 +36,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import socket
 import threading
 import time
 import urllib.parse
@@ -123,6 +129,10 @@ class GatewayClient:
             connection = http.client.HTTPConnection(
                 self._host, self._port, timeout=self.timeout_s
             )
+            connection.connect()
+            # Nagle + delayed ACK otherwise stalls keep-alive round trips
+            # for ~40ms whenever a request straddles two writes
+            connection.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             self._local.connection = connection
         return connection
 
@@ -162,6 +172,9 @@ class GatewayClient:
             response = connection.getresponse()
             raw = response.read()
         response_headers = {key.lower(): value for key, value in response.getheaders()}
+        # surface the gateway's trace id (thread-local: concurrent callers
+        # each see their own last request)
+        self._local.last_request_id = response_headers.get("x-request-id")
         if response.will_close:
             self.close()
         return response.status, response_headers, raw
@@ -204,6 +217,16 @@ class GatewayClient:
     # ------------------------------------------------------------------
     # API surface
     # ------------------------------------------------------------------
+    @property
+    def last_request_id(self) -> str | None:
+        """The ``X-Request-Id`` of this thread's most recent response.
+
+        ``None`` before any request, and for responses the gateway did not
+        trace (``REPRO_OBS=0`` or sampled out).  Feed it to :meth:`trace`
+        to fetch the request's span tree.
+        """
+        return getattr(self._local, "last_request_id", None)
+
     def healthz(self) -> dict:
         """``GET /v1/healthz``."""
         return self._request("GET", "/healthz")
@@ -215,6 +238,23 @@ class GatewayClient:
     def models(self) -> dict:
         """``GET /v1/models``."""
         return self._request("GET", "/models")
+
+    def metrics(self) -> str:
+        """``GET /v1/metrics``: the raw Prometheus text exposition."""
+        status, headers, raw = self._request_once(
+            "GET", self.api_prefix + "/metrics", None
+        )
+        if not 200 <= status < 300:
+            raise self._parse_error(status, headers, raw)
+        return raw.decode("utf-8")
+
+    def trace(self, trace_id: str) -> dict:
+        """``GET /v1/trace/<id>``: one recorded span tree."""
+        return self._request("GET", f"/trace/{trace_id}")
+
+    def traces(self, slowest: int = 8) -> dict:
+        """``GET /v1/traces?slowest=N``: the slowest recorded exemplars."""
+        return self._request("GET", f"/traces?slowest={int(slowest)}")
 
     def deploy(self, version: str) -> dict:
         """``POST /v1/models/deploy``."""
@@ -275,10 +315,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--tenant", default=None)
     parser.add_argument("--timeout", type=float, default=30.0)
     sub = parser.add_subparsers(dest="command", required=True)
-    for name in ("healthz", "stats", "models", "rollback"):
+    for name in ("healthz", "stats", "models", "rollback", "metrics"):
         sub.add_parser(name)
     deploy = sub.add_parser("deploy")
     deploy.add_argument("version")
+    trace = sub.add_parser("trace")
+    trace.add_argument("trace_id")
+    traces = sub.add_parser("traces")
+    traces.add_argument("--slowest", type=int, default=8)
     predict = sub.add_parser("predict")
     predict.add_argument("--rows", type=int, default=2)
     predict.add_argument("--features", type=int, default=196,
@@ -302,7 +346,15 @@ def main(argv: list[str] | None = None) -> int:
             )
             if not args.full:
                 payload.pop("sample_probabilities", None)
+            if client.last_request_id is not None:
+                payload["request_id"] = client.last_request_id
             print(json.dumps(payload))
+        elif args.command == "metrics":
+            print(client.metrics(), end="")
+        elif args.command == "trace":
+            print(json.dumps(client.trace(args.trace_id)))
+        elif args.command == "traces":
+            print(json.dumps(client.traces(args.slowest)))
         else:
             method = getattr(client, args.command)
             result = method(args.version) if args.command == "deploy" else method()

@@ -37,6 +37,7 @@ per-tile softmax allocations.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping, Sequence
@@ -258,6 +259,9 @@ class TileExecutor:
         # server must not accumulate one buffer per shape ever seen.
         self._scratch: OrderedDict[tuple[int, ...], np.ndarray] = OrderedDict()
         self._n_classes: int | None = None
+        # Optional per-tile span sink (repro.obs.trace.StageRecorder).  None
+        # keeps the hot path branch-cheap; attached only for traced tiles.
+        self.stage_recorder = None
 
     @property
     def model(self) -> "BayesianNetwork":
@@ -271,10 +275,21 @@ class TileExecutor:
 
     # ------------------------------------------------------------------
     def _sampler_for(self, config: SamplingConfig) -> PrecomputedEpsilonSampler:
+        recorder = self.stage_recorder
+        start = time.monotonic() if recorder is not None else 0.0
         epsilons = self._cache.get(config)
-        if epsilons is None:
+        cached = epsilons is not None
+        if not cached:
             epsilons = self._materialize(config)
             self._cache.put(config, epsilons)
+        if recorder is not None:
+            recorder.record(
+                "epsilon_replay",
+                start,
+                time.monotonic(),
+                cached=cached,
+                n_samples=config.n_samples,
+            )
         return PrecomputedEpsilonSampler(epsilons)
 
     def _materialize(self, config: SamplingConfig) -> list[np.ndarray]:
@@ -385,9 +400,20 @@ class TileExecutor:
             if fuse_ok:
                 xs = [requests[index][0] for index in indices]
                 config = requests[indices[0]][1]
+                recorder = self.stage_recorder
+                fused_start = time.monotonic() if recorder is not None else 0.0
                 try:
                     slices = self._execute_fused(xs, config)
                 except Exception:
+                    if recorder is not None:
+                        recorder.record(
+                            "forward",
+                            fused_start,
+                            time.monotonic(),
+                            status="error",
+                            fused=True,
+                            requests=len(indices),
+                        )
                     # fused group failed as a whole (bad geometry, zero rows,
                     # schedule mismatch...): re-run per request so each gets
                     # its own answer or its own error
@@ -398,6 +424,14 @@ class TileExecutor:
                     events["fallback_error"] += len(indices)
                     tile_fallback = True
                 else:
+                    if recorder is not None:
+                        recorder.record(
+                            "forward",
+                            fused_start,
+                            time.monotonic(),
+                            fused=True,
+                            requests=len(indices),
+                        )
                     for index, probabilities in zip(indices, slices):
                         outcomes[index] = (probabilities, None)
                     events["fused_groups"] += 1
@@ -420,10 +454,19 @@ class TileExecutor:
     def _run_one(
         self, x: np.ndarray, config: SamplingConfig
     ) -> tuple[np.ndarray | None, Exception | None]:
+        recorder = self.stage_recorder
+        start = time.monotonic() if recorder is not None else 0.0
         try:
-            return self.execute_one(x, config), None
+            result = self.execute_one(x, config)
         except Exception as exc:
+            if recorder is not None:
+                recorder.record(
+                    "forward", start, time.monotonic(), status="error", fused=False
+                )
             return None, exc
+        if recorder is not None:
+            recorder.record("forward", start, time.monotonic(), fused=False)
+        return result, None
 
     @staticmethod
     def _group_key(x, config) -> tuple | None:
@@ -501,10 +544,22 @@ class MultiVersionExecutor:
             raise ValueError("need at least one replica version to execute")
         self._max_cached_configs = max_cached_configs
         self._lock = threading.Lock()
+        self._recorder = None
         self._executors: dict[str, TileExecutor] = {
             version: TileExecutor(replica.build(), max_cached_configs)
             for version, replica in replicas.items()
         }
+
+    def attach_stage_recorder(self, recorder) -> None:
+        """Point every loaded executor's span sink at ``recorder`` (or None).
+
+        Attached around a traced tile and detached right after; versions
+        loaded while a recorder is attached inherit it on install.
+        """
+        with self._lock:
+            self._recorder = recorder
+            for executor in self._executors.values():
+                executor.stage_recorder = recorder
 
     # ------------------------------------------------------------------
     def versions(self) -> list[str]:
@@ -541,6 +596,7 @@ class MultiVersionExecutor:
                 return
         executor = TileExecutor(replica.build(), self._max_cached_configs)
         with self._lock:
+            executor.stage_recorder = self._recorder
             self._executors.setdefault(version, executor)
 
     def unload(self, version: str) -> None:

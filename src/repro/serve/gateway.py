@@ -41,6 +41,20 @@ as aliases that answer identically plus a ``Deprecation: true`` header.
     finish on their pinned version -- see
     :meth:`~repro.serve.server.PredictionServer.deploy`.
 
+``GET /v1/metrics``
+    Prometheus text exposition (0.0.4): gateway push counters
+    (``repro_gateway_*``) plus pull-model families scraped live from the
+    serving stack (``repro_requests_total``, ``repro_request_latency_ms``,
+    ``repro_admission_requests_total``, ``repro_fusion_events_total``,
+    ``repro_kernel_calls_total``, ...).  See :mod:`repro.obs`.
+
+``GET /v1/trace/<id>`` / ``GET /v1/traces?slowest=N``
+    Per-request span trees from the bounded trace ring.  Every traced
+    predict response carries its trace id in the ``X-Request-Id`` header;
+    ``/v1/traces`` returns the slowest-N exemplars.  Tracing rides headers
+    and side channels only -- the predict response *body* is byte-identical
+    with tracing on, off (``REPRO_OBS=0``) or sampled.
+
 **Errors** are a structured envelope::
 
     {"error": {"code": "<machine_readable>", "message": "...",
@@ -76,13 +90,18 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import threading
+import time
 from dataclasses import asdict, dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING
+from urllib.parse import parse_qs, urlsplit
 
 import numpy as np
 
+from ..obs.adapters import bind_serving_collectors
+from ..obs.metrics import MetricsRegistry, obs_enabled
 from .admission import AdmissionConfig, AdmissionController, RateLimitedError
 from .executor import SamplingConfig
 from .microbatcher import QueueFull
@@ -93,6 +112,7 @@ from .registry import (
     VersionConflictError,
 )
 from .server import PredictionServer, ServerClosed, ServerConfig
+from .worker import WorkerCrashError
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from ..models.zoo import ReplicaSpec
@@ -138,6 +158,10 @@ class GatewayConfig:
     stream_threshold_bytes: int = 4 * 1024 * 1024
     """Predict responses whose ``sample_probabilities`` JSON is estimated
     above this are sent chunked, one sample per chunk (identical bytes)."""
+    access_log_path: str | None = None
+    """Opt-in structured access log: append one JSON line per request to
+    this path (the ``REPRO_ACCESS_LOG`` environment variable is the
+    fallback).  Never written to the response socket."""
 
 
 class _GatewayError(Exception):
@@ -161,6 +185,9 @@ class _Handler(BaseHTTPRequestHandler):
 
     protocol_version = "HTTP/1.1"
     server_version = "repro-gateway/2.0"
+    # Nagle + the peer's delayed ACK stalls keep-alive round trips for
+    # ~40ms when the unbuffered header writes straddle packets
+    disable_nagle_algorithm = True
 
     # ------------------------------------------------------------------
     # plumbing
@@ -172,9 +199,19 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass  # a serving hot path must not write to stderr per request
 
-    def _send_common_headers(self, status: int, retry_after_s: float | None) -> None:
+    def _send_common_headers(
+        self,
+        status: int,
+        retry_after_s: float | None,
+        content_type: str = "application/json",
+    ) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self._responded_status = status
+        self.send_header("Content-Type", content_type)
+        if self._request_id is not None:
+            # the trace id doubles as the request id; it rides a header so
+            # the response *body* stays byte-identical with tracing off
+            self.send_header("X-Request-Id", self._request_id)
         if self._deprecated:
             self.send_header("Deprecation", "true")
         if retry_after_s is not None:
@@ -192,6 +229,15 @@ class _Handler(BaseHTTPRequestHandler):
             self.close_connection = True
         body = json.dumps(payload).encode()
         self._send_common_headers(status, retry_after_s)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _respond_text(self, status: int, text: str) -> None:
+        body = text.encode()
+        self._send_common_headers(
+            status, None, content_type="text/plain; version=0.0.4; charset=utf-8"
+        )
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -265,6 +311,11 @@ class _Handler(BaseHTTPRequestHandler):
         # GET requests carry no body; POST bodies are unread until
         # _read_json_body drains them (keep-alive safety on errors)
         self._body_consumed = method == "GET"
+        self._route_started = time.monotonic()
+        self._responded_status = 0
+        self._request_id: str | None = None
+        self._trace_handle = None
+        self._access: dict | None = None
         canonical = _LEGACY_ALIASES.get(path)
         if canonical is not None:
             self._deprecated = True
@@ -273,14 +324,19 @@ class _Handler(BaseHTTPRequestHandler):
             ("GET", "/v1/healthz"): self._handle_healthz,
             ("GET", "/v1/stats"): self._handle_stats,
             ("GET", "/v1/models"): self._handle_models,
+            ("GET", "/v1/metrics"): self._handle_metrics,
+            ("GET", "/v1/traces"): self._handle_traces,
             ("POST", "/v1/predict"): self._handle_predict,
             ("POST", "/v1/models/deploy"): self._handle_deploy,
             ("POST", "/v1/models/rollback"): self._handle_rollback,
         }
         handler = routes.get((method, path))
+        if handler is None and method == "GET" and path.startswith("/v1/trace/"):
+            trace_id = path[len("/v1/trace/"):]
+            handler = lambda: self._handle_trace(trace_id)  # noqa: E731
         try:
             if handler is None:
-                known = sorted({p for (_, p) in routes})
+                known = sorted({p for (_, p) in routes} | {"/v1/trace/<id>"})
                 raise _GatewayError(
                     404,
                     "not_found",
@@ -288,11 +344,60 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             handler()
         except _GatewayError as exc:
+            if exc.status == 429 and self._access is not None:
+                self._access["shed_reason"] = exc.code
             self._respond_error(exc)
         except Exception as exc:  # pragma: no cover - last-resort isolation
             self._respond_error(
                 _GatewayError(500, "internal", f"{type(exc).__name__}: {exc}")
             )
+        finally:
+            self._finalize_request(method, path)
+
+    def _finalize_request(self, method: str, path: str) -> None:
+        """Close the request trace, push gateway metrics, write the access log.
+
+        Runs after the response bytes are on the wire, so none of it can
+        perturb the payload.  ``finish`` is idempotent: handlers that already
+        closed the handle with a precise status ("ok", "aborted") win over
+        the status-code fallback here.
+        """
+        gateway = self.gateway
+        status = self._responded_status
+        handle = self._trace_handle
+        if handle is not None:
+            if status == 429:
+                handle.finish("shed")
+            elif status >= 400 or status == 0:
+                handle.finish("error")
+            else:
+                handle.finish("ok")
+        latency_ms = (time.monotonic() - self._route_started) * 1e3
+        access = self._access
+        if gateway._obs_enabled and access is not None:
+            tier = access.get("tier") or "standard"
+            gateway._m_requests.labels(
+                tenant=access.get("tenant") or "-", tier=tier, status=str(status)
+            ).inc()
+            gateway._m_latency.labels(tier=tier).observe(latency_ms)
+            reason = access.get("shed_reason")
+            if reason:
+                gateway._m_shed.labels(reason=reason).inc()
+        log = gateway.access_log
+        if log is not None:
+            record = {
+                "ts": round(time.time(), 6),
+                "method": method,
+                "path": path,
+                "status": status,
+                "latency_ms": round(latency_ms, 3),
+                "tenant": access.get("tenant") if access else None,
+                "tier": access.get("tier") if access else None,
+                "request_id": self._request_id,
+            }
+            if access and access.get("shed_reason"):
+                record["shed_reason"] = access["shed_reason"]
+            log.write(record)
 
     # ------------------------------------------------------------------
     # endpoints
@@ -360,6 +465,40 @@ class _Handler(BaseHTTPRequestHandler):
             },
         )
 
+    def _handle_metrics(self) -> None:
+        registry = self.gateway.metrics
+        registry.collect()  # refresh pull-model families from live snapshots
+        self._respond_text(200, registry.render())
+
+    def _handle_trace(self, trace_id: str) -> None:
+        record = self.gateway.tracer.get(trace_id)
+        if record is None:
+            raise _GatewayError(
+                404,
+                "not_found",
+                f"no recorded trace {trace_id!r} (the ring keeps the most "
+                f"recent traces plus the slowest exemplars)",
+            )
+        self._respond(200, record)
+
+    def _handle_traces(self) -> None:
+        query = parse_qs(urlsplit(self.path).query)
+        try:
+            n = int(query.get("slowest", ["8"])[0])
+        except ValueError:
+            raise _GatewayError(
+                400, "bad_request", '"slowest" must be an integer'
+            ) from None
+        tracer = self.gateway.tracer
+        self._respond(
+            200,
+            {
+                "traces": tracer.slowest(n),
+                "recorded": tracer.recorded_count,
+                "open": tracer.open_count,
+            },
+        )
+
     def _parse_sampling(self, body: dict) -> SamplingConfig:
         sampling = body.get("sampling", {})
         if not isinstance(sampling, dict):
@@ -413,12 +552,27 @@ class _Handler(BaseHTTPRequestHandler):
         tenant = admission.resolve_tenant(
             self.headers.get(admission.config.tenant_header)
         )
+        tier_name, _ = admission.tier_of(tenant)
+        self._access = {"tenant": tenant, "tier": tier_name}
+        handle = gateway.tracer.begin(
+            kind="predict", tenant=tenant, tier=tier_name, rows=int(x.shape[0])
+        )
+        if handle is not None:
+            # the gateway owns the handle's lifetime: the server threads its
+            # queue_wait/execute/worker spans through it but must not finish
+            # it before the serialization span below is recorded
+            handle.deferred = True
+            self._trace_handle = handle
+            self._request_id = handle.trace_id
         try:
             policy = admission.admit(tenant)
         except RateLimitedError as exc:
             raise _GatewayError(
                 429, "rate_limited", str(exc), retry_after_s=exc.retry_after_s
             ) from None
+        admitted_at = time.monotonic()
+        if handle is not None:
+            handle.add_span("admission", self._route_started, admitted_at)
         # one source tag per client socket: a tile pooling several distinct
         # tags is cross-connection coalescing, surfaced in /v1/stats
         source = f"{self.client_address[0]}:{self.client_address[1]}"
@@ -435,6 +589,7 @@ class _Handler(BaseHTTPRequestHandler):
                 timeout=(policy.max_wait_ms / 1e3) if policy.max_wait_ms > 0 else None,
                 priority=policy.priority,
                 source=source,
+                trace=handle,
             )
         except UnknownVersionError as exc:
             raise _GatewayError(404, "unknown_version", str(exc)) from None
@@ -452,6 +607,7 @@ class _Handler(BaseHTTPRequestHandler):
         except ValueError as exc:
             raise _GatewayError(400, "invalid_input", str(exc)) from None
         admission.record_admitted(tenant, rows=int(x.shape[0]))
+        waiting_from = admitted_at
         try:
             result = future.result(timeout=gateway.config.predict_timeout_s)
         except TimeoutError:
@@ -462,11 +618,20 @@ class _Handler(BaseHTTPRequestHandler):
                 f"{gateway.config.predict_timeout_s}s",
             ) from None
         except ServerClosed as exc:
+            if handle is not None:
+                handle.finish("aborted")
             raise _GatewayError(503, "unavailable", str(exc)) from None
         except Exception as exc:
+            if handle is not None and isinstance(exc, WorkerCrashError):
+                handle.finish("aborted")
             raise _GatewayError(
                 500, "internal", f"{type(exc).__name__}: {exc}"
             ) from None
+        serialization_from = time.monotonic()
+        if handle is not None:
+            handle.add_span(
+                "waiting_room", waiting_from, serialization_from, version=version
+            )
         payload = {
             "version": version,
             "generation": generation,
@@ -474,19 +639,29 @@ class _Handler(BaseHTTPRequestHandler):
             "entropy": result.entropy.tolist(),
             "mean_probabilities": result.mean_probabilities.tolist(),
         }
+        streamed = False
         if not gateway.config.include_sample_probabilities:
             self._respond(200, payload)
-            return
-        samples = result.sample_probabilities
-        # ~17 digits + sign/dot/exponent/comma per float64 repr; a deliberate
-        # overestimate only moves responses into the (byte-identical)
-        # streaming path earlier
-        estimated_bytes = samples.size * 26
-        if estimated_bytes < gateway.config.stream_threshold_bytes:
-            payload["sample_probabilities"] = samples.tolist()
-            self._respond(200, payload)
         else:
-            self._respond_predict_streaming(payload, samples)
+            samples = result.sample_probabilities
+            # ~17 digits + sign/dot/exponent/comma per float64 repr; a
+            # deliberate overestimate only moves responses into the
+            # (byte-identical) streaming path earlier
+            estimated_bytes = samples.size * 26
+            if estimated_bytes < gateway.config.stream_threshold_bytes:
+                payload["sample_probabilities"] = samples.tolist()
+                self._respond(200, payload)
+            else:
+                streamed = True
+                self._respond_predict_streaming(payload, samples)
+        if handle is not None:
+            handle.add_span(
+                "serialization",
+                serialization_from,
+                time.monotonic(),
+                streamed=streamed,
+            )
+            handle.finish("ok")
 
     def _respond_predict_streaming(self, payload: dict, samples: np.ndarray) -> None:
         """Send the predict payload chunked, one Monte-Carlo sample at a time.
@@ -564,6 +739,34 @@ class _Handler(BaseHTTPRequestHandler):
         )
 
 
+class _AccessLog:
+    """Opt-in structured access log: one compact JSON line per request.
+
+    Appends to a regular file under a lock (handler threads are concurrent)
+    and flushes per line so an external tailer sees complete records.  It is
+    a side channel only -- nothing here ever touches the response socket.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        self._file = open(path, "a", encoding="utf-8")
+
+    def write(self, record: dict) -> None:
+        line = json.dumps(record, separators=(",", ":"))
+        with self._lock:
+            if self._file is None:
+                return
+            self._file.write(line + "\n")
+            self._file.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+
 class _GatewayHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
@@ -597,6 +800,7 @@ class ServingGateway:
         model_source: "ModelRegistry | ReplicaSpec",
         server_config: ServerConfig | None = None,
         config: GatewayConfig | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.prediction_server = PredictionServer(model_source, server_config)
         self.server_config = server_config or ServerConfig()
@@ -605,11 +809,39 @@ class ServingGateway:
         self._httpd: _GatewayHTTPServer | None = None
         self._thread: threading.Thread | None = None
         self._closed = False
+        # observability: resolved at construction so two gateways built under
+        # different REPRO_OBS values coexist in one process
+        self._obs_enabled = obs_enabled()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._serving_collector = None
+        if self._obs_enabled:
+            self._serving_collector = bind_serving_collectors(self.metrics, self)
+        self._m_requests = self.metrics.counter(
+            "repro_gateway_requests_total",
+            "Predict requests seen by the gateway, by tenant/tier/HTTP status.",
+            ("tenant", "tier", "status"),
+        )
+        self._m_latency = self.metrics.histogram(
+            "repro_gateway_request_latency_ms",
+            "End-to-end gateway predict handler latency, milliseconds.",
+            ("tier",),
+        )
+        self._m_shed = self.metrics.counter(
+            "repro_gateway_shed_total",
+            "Predict requests shed at the gateway, by error code.",
+            ("reason",),
+        )
+        self.access_log: _AccessLog | None = None
 
     @property
     def registry(self) -> ModelRegistry:
         """The model registry backing the serving stack."""
         return self.prediction_server.registry
+
+    @property
+    def tracer(self):
+        """The request :class:`~repro.obs.trace.Tracer` (owned by the server)."""
+        return self.prediction_server.tracer
 
     @property
     def address(self) -> tuple[str, int]:
@@ -648,6 +880,9 @@ class ServingGateway:
         """Boot the serving stack and start answering HTTP requests."""
         if self._httpd is not None:
             raise RuntimeError("gateway already started")
+        log_path = self.config.access_log_path or os.environ.get("REPRO_ACCESS_LOG")
+        if log_path:
+            self.access_log = _AccessLog(log_path)
         self.prediction_server.start()
         try:
             self._httpd = _GatewayHTTPServer(
@@ -684,6 +919,13 @@ class ServingGateway:
             self._thread.join(timeout=10.0)
             self._thread = None
         self.prediction_server.close(drain=drain)
+        if self._serving_collector is not None:
+            # a collector scraping a closed server would raise
+            self.metrics.unregister_collector(self._serving_collector)
+            self._serving_collector = None
+        if self.access_log is not None:
+            self.access_log.close()
+            self.access_log = None
 
     def serve_forever(self) -> None:
         """Block the calling thread until :meth:`close` (CLI convenience)."""
@@ -749,6 +991,19 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="per-tenant requests/s for the standard tier (default: unlimited)",
     )
+    parser.add_argument(
+        "--access-log",
+        default=None,
+        help="append one JSON line per request to this file "
+        "(REPRO_ACCESS_LOG is the env fallback)",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=1.0,
+        help="fraction of predict requests to trace, 0..1 (deterministic "
+        "counter-based sampling, no RNG)",
+    )
     args = parser.parse_args(argv)
     registry = _build_demo_registry(args.model, args.versions, args.registry_dir)
     admission = None
@@ -760,8 +1015,13 @@ def main(argv: list[str] | None = None) -> int:
         )
     gateway = ServingGateway(
         registry,
-        ServerConfig(n_workers=args.workers),
-        GatewayConfig(host=args.host, port=args.port, admission=admission),
+        ServerConfig(n_workers=args.workers, trace_sample_rate=args.trace_sample),
+        GatewayConfig(
+            host=args.host,
+            port=args.port,
+            admission=admission,
+            access_log_path=args.access_log,
+        ),
     )
     gateway.start()
     host, port = gateway.address

@@ -129,6 +129,10 @@ class MicroBatcher(Generic[T]):
         self._wait_sequence = 0
         self._waiters: list[_Waiter] = []
         self._closed = False
+        # why tiles flushed: a rows-threshold flush means the pooling policy
+        # is filling tiles; a timeout flush means latency won; close flushes
+        # are the shutdown drain
+        self._flush_causes = {"rows": 0, "timeout": 0, "close": 0}
 
     # ------------------------------------------------------------------
     @property
@@ -159,6 +163,11 @@ class MicroBatcher(Generic[T]):
         """Whether :meth:`close` has been called."""
         with self._lock:
             return self._closed
+
+    def flush_causes(self) -> dict[str, int]:
+        """Tile flush counters by cause: ``{"rows", "timeout", "close"}``."""
+        with self._lock:
+            return dict(self._flush_causes)
 
     # ------------------------------------------------------------------
     # producer side
@@ -309,11 +318,16 @@ class MicroBatcher(Generic[T]):
         with self._lock:
             while True:
                 if self._pending:
-                    if self._closed or self._pending_rows >= self._max_batch_rows:
+                    if self._pending_rows >= self._max_batch_rows:
+                        self._flush_causes["rows"] += 1
+                        return self._pop_tile_locked()
+                    if self._closed:
+                        self._flush_causes["close"] += 1
                         return self._pop_tile_locked()
                     now = self._clock()
                     oldest_deadline = self._pending[0].enqueued_at + self._max_wait_s
                     if now >= oldest_deadline:
+                        self._flush_causes["timeout"] += 1
                         return self._pop_tile_locked()
                     # a newly-submitted request can only shorten the wait via
                     # the rows condition, which notifies; the deadline of the

@@ -46,15 +46,21 @@ import numpy as np
 
 from ..bnn.predict import PredictiveResult
 from ..models.zoo import ReplicaSpec
+from ..obs.trace import StageRecorder, TraceHandle, Tracer
 from .executor import MultiVersionExecutor, SamplingConfig
 from .microbatcher import MicroBatcher, PendingItem, QueueClosed
 from .registry import Deployment, ModelRegistry, UnknownVersionError
 from .shm_cache import SharedEpsilonStore
 from .stats import ServerStats, StatsSnapshot
 from ..distrib.respawn import RespawnPolicy
-from .worker import WorkerPool
+from .worker import WorkerCrashError, WorkerPool
 
 __all__ = ["PredictionServer", "ServerConfig", "ServerClosed"]
+
+#: Default for ``submit(trace=...)``: "no caller decision, begin one here".
+#: Distinct from an explicit ``None``, which means the caller already made
+#: the sampling decision (sampled out) and the request stays untraced.
+_AUTO_TRACE = object()
 
 
 class ServerClosed(RuntimeError):
@@ -97,12 +103,21 @@ class ServerConfig:
     (sub-linear pool RSS) instead of regenerating N private ones.  Attach
     failures degrade silently to private materialisation, which is
     bit-identical by construction."""
+    trace_ring: int = 512
+    """Finished traces retained in the tracer's ring buffer."""
+    trace_slowest: int = 16
+    """Slowest-trace exemplars retained past ring eviction."""
+    trace_sample_rate: float = 1.0
+    """Fraction of requests traced (deterministic counter-based sampling;
+    0 disables per-request tracing, as does ``REPRO_OBS=0``)."""
 
     def __post_init__(self) -> None:
         if self.n_workers < 0:
             raise ValueError("n_workers must be non-negative")
         if self.worker_respawns < 0:
             raise ValueError("worker_respawns must be non-negative")
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ValueError("trace_sample_rate must be in [0, 1]")
 
 
 @dataclass
@@ -119,6 +134,9 @@ class _Request:
     """Connection/submitter identity, for cross-connection coalescing
     telemetry: a tile pooling several distinct sources proves separate
     sockets shared it."""
+    trace: TraceHandle | None = None
+    """The request's trace (None when tracing is off or sampled out).
+    Carries spans only -- it can never influence result bytes."""
 
 
 class PredictionServer:
@@ -158,12 +176,22 @@ class PredictionServer:
             max_waiting=self._config.max_waiting,
         )
         self._stats = ServerStats(latency_window=self._config.latency_window)
+        # enabled resolves REPRO_OBS at construction time, so two servers
+        # with different env settings can coexist in one process
+        self.tracer = Tracer(
+            ring_size=self._config.trace_ring,
+            slowest_n=self._config.trace_slowest,
+            sample_rate=self._config.trace_sample_rate,
+        )
         self._tile_ids = itertools.count()
         self._executor: MultiVersionExecutor | None = None
         self._pool: WorkerPool | None = None
         self._dispatcher: threading.Thread | None = None
         self._inflight_lock = threading.Lock()
-        self._inflight: dict[int, list[PendingItem[_Request]]] = {}
+        self._inflight: dict[int, tuple[list[PendingItem[_Request]], float]] = {}
+        # tile_id -> worker span payload, staged by the pool's trace_handler
+        # just before the matching done message resolves the tile
+        self._tile_spans: dict[int, dict] = {}
         # version control plane: which versions are loaded at the execution
         # sites, and how many admitted requests are pinned to each
         self._version_lock = threading.Lock()
@@ -224,6 +252,7 @@ class PredictionServer:
                 start_method=self._config.start_method,
                 respawn=respawn,
                 fusion_handler=self._stats.record_fusion_events,
+                trace_handler=self._store_tile_spans,
             )
             self._pool.start()
             if self._config.share_epsilon_sweeps:
@@ -274,6 +303,9 @@ class PredictionServer:
             self._shm_store.close()
             self._shm_store = None
             self._published.clear()
+        # any trace still open at shutdown is closed as aborted, never leaked
+        # (finish is idempotent, so racing owners are harmless)
+        self.tracer.abort_open()
 
     # ------------------------------------------------------------------
     # client API
@@ -287,6 +319,7 @@ class PredictionServer:
         version: str | None = None,
         priority: int = 0,
         source: str | None = None,
+        trace: "TraceHandle | None | object" = _AUTO_TRACE,
     ) -> Future:
         """Queue one prediction request; resolves to a ``PredictiveResult``.
 
@@ -307,6 +340,13 @@ class PredictionServer:
         its connection identity for the coalescing telemetry.  Neither can
         influence result bytes: tiles never split a request and epsilons
         derive from the request's own sampling config.
+
+        ``trace`` adopts a caller-begun :class:`TraceHandle` (the gateway
+        passes its admission-time handle).  Left at its default the server
+        begins its own, subject to the tracer's kill switch and sample
+        rate; an explicit ``None`` means the caller already made the
+        sampling decision (sampled out) and the request stays untraced.
+        Traces carry spans only and can never influence result bytes.
         """
         if not self._started:
             raise RuntimeError("server not started; call start() or use a with-block")
@@ -319,6 +359,12 @@ class PredictionServer:
                 f"shape {x.shape}"
             )
         pinned_version, generation = self._admit(version)
+        if trace is _AUTO_TRACE:
+            handle = self.tracer.begin(
+                kind="predict", version=pinned_version, rows=int(x.shape[0])
+            )
+        else:
+            handle = trace
         request = _Request(
             x=x,
             config=sampling or SamplingConfig(),
@@ -327,6 +373,7 @@ class PredictionServer:
             version=pinned_version,
             generation=generation,
             source=source,
+            trace=handle,
         )
         try:
             self._batcher.submit(
@@ -338,9 +385,13 @@ class PredictionServer:
             )
         except QueueClosed:
             self._unpin(pinned_version)
+            if handle is not None and not handle.deferred:
+                handle.finish("aborted")
             raise ServerClosed("the server is shut down") from None
         except BaseException:
             self._unpin(pinned_version)
+            if handle is not None and not handle.deferred:
+                handle.finish("shed")
             raise
         return request.future
 
@@ -370,6 +421,10 @@ class PredictionServer:
     def drain_rate_rows_per_s(self) -> float | None:
         """Recent completed-rows/s; the gateway's ``Retry-After`` estimator."""
         return self._stats.drain_rate_rows_per_s()
+
+    def flush_causes(self) -> dict[str, int]:
+        """Microbatcher tile-flush counters by cause (rows/timeout/close)."""
+        return self._batcher.flush_causes()
 
     # ------------------------------------------------------------------
     # version control plane (hot model swap)
@@ -565,8 +620,10 @@ class PredictionServer:
                 rows=sum(item.rows for item in tile),
                 sources=len(sources) or None,
             )
+            dispatched_at = time.monotonic()
+            traced = any(item.item.trace is not None for item in tile)
             with self._inflight_lock:
-                self._inflight[tile_id] = tile
+                self._inflight[tile_id] = (tile, dispatched_at)
                 self._idle.clear()
             requests = [
                 (item.item.x, item.item.config, item.item.version) for item in tile
@@ -574,17 +631,26 @@ class PredictionServer:
             if self._pool is not None:
                 self._publish_sweeps(requests)
                 try:
-                    self._pool.dispatch(tile_id, requests)
+                    self._pool.dispatch(tile_id, requests, traced=traced)
                 except Exception as exc:
                     self._on_tile_result(tile_id, None, exc)
             else:
                 assert self._executor is not None
+                recorder = StageRecorder() if traced else None
+                if recorder is not None:
+                    self._executor.attach_stage_recorder(recorder)
                 try:
                     results = self._executor.execute(requests)
                 except Exception as exc:
-                    self._on_tile_result(tile_id, None, exc)
+                    results, error = None, exc
                 else:
-                    self._on_tile_result(tile_id, results, None)
+                    error = None
+                if recorder is not None:
+                    self._executor.attach_stage_recorder(None)
+                    self._store_tile_spans(
+                        tile_id, {"rank": None, "spans": recorder.drain()}
+                    )
+                self._on_tile_result(tile_id, results, error)
                 events = self._executor.consume_fusion_events()
                 if events:
                     self._stats.record_fusion_events(events)
@@ -623,6 +689,67 @@ class PredictionServer:
                 key for key in self._published if key[0] != version
             }
 
+    def _store_tile_spans(self, tile_id: int, payload: dict) -> None:
+        """Stage a tile's worker span payload (pool trace_handler callback).
+
+        The pool invokes this from the collector thread right before the
+        matching done message resolves the tile, so the spans are available
+        when :meth:`_on_tile_result` attaches them to each request's trace.
+        """
+        with self._inflight_lock:
+            self._tile_spans[tile_id] = payload
+
+    @staticmethod
+    def _trace_status(error: Exception) -> str:
+        """Map a failure to a trace status: crash/shutdown aborts, else error."""
+        if isinstance(error, (WorkerCrashError, ServerClosed)):
+            return "aborted"
+        return "error"
+
+    def _close_request_trace(
+        self,
+        pending: PendingItem[_Request],
+        dispatched_at: float,
+        finished_at: float,
+        tile_id: int,
+        worker_payload: dict | None,
+        status: str,
+    ) -> None:
+        """Attach the execution spans to one request's trace and close it.
+
+        Deferred traces (the gateway's) get their spans here but are
+        finished by their owner after the response is serialized;
+        server-owned traces finish immediately.
+        """
+        handle = pending.item.trace
+        if handle is None:
+            return
+        rank = worker_payload.get("rank") if worker_payload else None
+        handle.add_span(
+            "queue_wait", pending.enqueued_at, dispatched_at, tile=tile_id
+        )
+        handle.add_span(
+            "execute",
+            dispatched_at,
+            finished_at,
+            status=status,
+            tile=tile_id,
+            worker=rank,
+        )
+        if worker_payload:
+            for span in worker_payload.get("spans", ()):
+                meta = span.get("meta") or {}
+                handle.add_span(
+                    span["name"],
+                    span["start_s"],
+                    span["end_s"],
+                    status=span.get("status", "ok"),
+                    parent="execute",
+                    **meta,
+                )
+        if not handle.deferred:
+            handle.finish(status)
+
     def _on_tile_result(
         self,
         tile_id: int,
@@ -633,22 +760,39 @@ class PredictionServer:
         isolated per request), ``error`` fails the whole tile (dispatch
         failure, worker crash)."""
         with self._inflight_lock:
-            tile = self._inflight.pop(tile_id, None)
+            entry = self._inflight.pop(tile_id, None)
+            worker_payload = self._tile_spans.pop(tile_id, None)
             if not self._inflight:
                 self._idle.set()
-        if tile is None:  # pragma: no cover - duplicate report
+        if entry is None:  # pragma: no cover - duplicate report
             return
+        tile, dispatched_at = entry
         now = time.monotonic()
         if error is not None:
+            status = self._trace_status(error)
             for pending in tile:
+                self._close_request_trace(
+                    pending, dispatched_at, now, tile_id, worker_payload, status
+                )
                 self._fail(pending.item, error)
             return
         assert results is not None and len(results) == len(tile)
         for pending, (probabilities, request_error) in zip(tile, results):
             if request_error is not None:
+                self._close_request_trace(
+                    pending,
+                    dispatched_at,
+                    now,
+                    tile_id,
+                    worker_payload,
+                    self._trace_status(request_error),
+                )
                 self._fail(pending.item, request_error)
                 continue
             self._unpin(pending.item.version)
+            self._close_request_trace(
+                pending, dispatched_at, now, tile_id, worker_payload, "ok"
+            )
             if not pending.item.future.set_running_or_notify_cancel():
                 continue  # client cancelled while queued
             pending.item.future.set_result(
@@ -665,3 +809,6 @@ class PredictionServer:
         if request.future.set_running_or_notify_cancel():
             request.future.set_exception(error)
         self._stats.record_failure(version=request.version)
+        handle = request.trace
+        if handle is not None and not handle.deferred:
+            handle.finish(self._trace_status(error))

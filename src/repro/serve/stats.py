@@ -2,9 +2,18 @@
 
 The serving front-end is a throughput machine, so the numbers an operator
 actually tunes against live here: aggregate requests/rows per second, the
-end-to-end latency distribution (p50/p99 over a bounded window of recent
-requests), and the batch-occupancy histogram that shows whether the
-``max_batch_rows`` / ``max_wait_ms`` flush policy is actually filling tiles.
+end-to-end latency distribution (p50/p95/p99 derived from a fixed-bucket
+lifetime histogram), and the batch-occupancy histogram that shows whether
+the ``max_batch_rows`` / ``max_wait_ms`` flush policy is actually filling
+tiles.
+
+Latency percentiles come from :class:`repro.obs.metrics.Histogram`, not a
+sliding sample window: a bounded deque forgets slow requests as soon as
+enough fast ones arrive, which under load systematically *understates* the
+tail.  ``latency_window_saturation`` reports how full the legacy window
+would have been -- at 1.0 the old numbers were actively forgetting history.
+The deque that remains (``_recent_rows``) only feeds
+``drain_rate_rows_per_s``, where recency is the point.
 
 The collector is a small lock-guarded accumulator (it is touched from client
 threads, the dispatcher thread and the worker-pool collector thread);
@@ -19,10 +28,9 @@ import time
 from collections import Counter, deque
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from ..core import backend as kernel_backend
 from ..core import stability
+from ..obs.metrics import DEFAULT_LATENCY_BUCKETS_MS, Histogram
 from .executor import FUSION_EVENT_KEYS
 
 __all__ = ["ServerStats", "StatsSnapshot"]
@@ -42,8 +50,16 @@ class StatsSnapshot:
     throughput_rows_per_s: float
     """Completed example rows per second of server uptime."""
     latency_p50_ms: float | None
+    latency_p95_ms: float | None
     latency_p99_ms: float | None
     latency_mean_ms: float | None
+    latency_window_saturation: float = 0.0
+    """How full the legacy sliding latency window would be (completions over
+    window size, capped at 1.0).  At 1.0 the old deque-window percentiles
+    would have started dropping history -- the histogram ones never do."""
+    latency_histogram_ms: dict = field(default_factory=dict)
+    """The lifetime latency histogram: ``{"bounds", "counts", "sum",
+    "count", "max"}`` (counts include a trailing overflow bucket)."""
     occupancy_histogram: dict[int, int] = field(default_factory=dict)
     """``{requests-per-tile: tile count}`` over the server's lifetime."""
     mean_batch_occupancy: float | None = None
@@ -101,7 +117,8 @@ class ServerStats:
         self._clock = clock
         self._lock = threading.Lock()
         self._started_at = clock()
-        self._latencies_s: deque[float] = deque(maxlen=latency_window)
+        self._latency_window = latency_window
+        self._latency_ms = Histogram(DEFAULT_LATENCY_BUCKETS_MS)
         self._requests_completed = 0
         self._requests_failed = 0
         self._rows_completed = 0
@@ -136,7 +153,7 @@ class ServerStats:
         with self._lock:
             self._requests_completed += 1
             self._rows_completed += int(rows)
-            self._latencies_s.append(float(latency_s))
+            self._latency_ms.observe(float(latency_s) * 1e3)
             self._recent_rows.append((self._clock(), int(rows)))
             if version is not None:
                 counters = self._version_counters_locked(version)
@@ -208,24 +225,24 @@ class ServerStats:
         """Freeze a consistent view of every counter."""
         with self._lock:
             uptime = max(self._clock() - self._started_at, 1e-9)
-            latencies = np.asarray(self._latencies_s, dtype=np.float64)
-            if latencies.size:
-                p50, p99 = np.percentile(latencies, [50.0, 99.0]) * 1e3
-                mean = float(latencies.mean() * 1e3)
-            else:
-                p50 = p99 = mean = None  # type: ignore[assignment]
             tiles = self._tiles_executed
+            completed = self._requests_completed
             return StatsSnapshot(
                 uptime_s=uptime,
-                requests_completed=self._requests_completed,
+                requests_completed=completed,
                 requests_failed=self._requests_failed,
                 rows_completed=self._rows_completed,
                 tiles_executed=tiles,
-                throughput_rps=self._requests_completed / uptime,
+                throughput_rps=completed / uptime,
                 throughput_rows_per_s=self._rows_completed / uptime,
-                latency_p50_ms=None if p50 is None else float(p50),
-                latency_p99_ms=None if p99 is None else float(p99),
-                latency_mean_ms=mean,
+                latency_p50_ms=self._latency_ms.percentile(50.0),
+                latency_p95_ms=self._latency_ms.percentile(95.0),
+                latency_p99_ms=self._latency_ms.percentile(99.0),
+                latency_mean_ms=self._latency_ms.mean(),
+                latency_window_saturation=min(
+                    1.0, completed / self._latency_window
+                ),
+                latency_histogram_ms=self._latency_ms.snapshot(),
                 occupancy_histogram=dict(sorted(self._occupancy.items())),
                 mean_batch_occupancy=(self._tile_requests / tiles) if tiles else None,
                 mean_rows_per_tile=(self._tile_rows / tiles) if tiles else None,

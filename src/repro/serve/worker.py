@@ -49,6 +49,7 @@ from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 import numpy as np
 
 from ..distrib.respawn import RespawnBudget, RespawnPolicy
+from ..obs.trace import StageRecorder
 from .executor import MultiVersionExecutor, SamplingConfig
 from .registry import DEFAULT_VERSION
 from .shm_cache import ShmAttachment, SweepDescriptor, attach_sweep
@@ -79,7 +80,7 @@ def _worker_main(
     """Worker process body: rebuild the replica set, then serve tiles forever.
 
     The task queue carries three kinds of messages in one FIFO stream: tiles
-    (``("tile", tile_id, requests)``), version-control operations
+    (``("tile", tile_id, requests[, traced])``), version-control operations
     (``("load", version, replica)`` / ``("invalidate", version)`` /
     ``("unload", version)``), shared-sweep announcements
     (``("shm", descriptor)``), plus ``None`` as the shutdown sentinel.  The
@@ -106,7 +107,12 @@ def _worker_main(
             replicas, max_cached_configs=max_cached_configs
         )
         attachments: dict[tuple, ShmAttachment] = {}
-        result_queue.put(("ready", rank, None))
+        # the ready handshake carries this process's monotonic clock so the
+        # parent can reconcile worker span times onto its own clock; every
+        # traced done message carries another sample, and the parent keeps
+        # the running-minimum offset (each sample overshoots by exactly its
+        # transit latency, so the minimum converges on the true offset)
+        result_queue.put(("ready", rank, {"clock": time.monotonic()}))
     except BaseException:  # pragma: no cover - defensive startup reporting
         result_queue.put(("fatal", rank, traceback.format_exc()))
         return
@@ -116,7 +122,11 @@ def _worker_main(
             break
         kind = task[0]
         if kind == "tile":
-            _, tile_id, requests = task
+            tile_id, requests = task[1], task[2]
+            traced = bool(task[3]) if len(task) > 3 else False
+            recorder = StageRecorder() if traced else None
+            if recorder is not None:
+                executor.attach_stage_recorder(recorder)
             try:
                 outcomes = executor.execute(requests)
                 # exceptions cross the process boundary as formatted tracebacks
@@ -127,11 +137,31 @@ def _worker_main(
                     else ("err", "".join(traceback.format_exception(error)))
                     for probabilities, error in outcomes
                 ]
+                # the clock sample lets the parent refine its per-rank span
+                # offset on every traced tile, not just the ready handshake
+                trace_payload = (
+                    {
+                        "rank": rank,
+                        "spans": recorder.drain(),
+                        "clock": time.monotonic(),
+                    }
+                    if recorder is not None
+                    else None
+                )
                 result_queue.put(
-                    ("done", tile_id, payload, executor.consume_fusion_events())
+                    (
+                        "done",
+                        tile_id,
+                        payload,
+                        executor.consume_fusion_events(),
+                        trace_payload,
+                    )
                 )
             except BaseException:
                 result_queue.put(("error", tile_id, traceback.format_exc()))
+            finally:
+                if recorder is not None:
+                    executor.attach_stage_recorder(None)
         elif kind == "load":
             _, version, replica = task
             try:
@@ -171,9 +201,9 @@ class _Worker:
     rank: int
     process: multiprocessing.process.BaseProcess
     task_queue: object
-    # tile_id -> the dispatched requests, kept so a respawn-enabled pool can
+    # tile_id -> (requests, traced), kept so a respawn-enabled pool can
     # re-queue exactly what a dead worker was holding
-    outstanding: dict[int, list] = field(default_factory=dict)
+    outstanding: dict[int, tuple] = field(default_factory=dict)
     ready: bool = False
 
 
@@ -199,6 +229,7 @@ class WorkerPool:
         start_method: str | None = None,
         respawn: RespawnPolicy | None = None,
         fusion_handler: Callable[[dict], None] | None = None,
+        trace_handler: Callable[[int, dict], None] | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("a worker pool needs at least one worker")
@@ -221,6 +252,12 @@ class WorkerPool:
         self._max_cached_configs = max_cached_configs
         self._result_handler = result_handler
         self._fusion_handler = fusion_handler
+        # trace_handler(tile_id, {"rank", "spans"}) receives worker span
+        # payloads with times already converted onto the parent's clock
+        self._trace_handler = trace_handler
+        # rank -> (parent monotonic - worker monotonic), captured from each
+        # worker's ready handshake
+        self._clock_offsets: dict[int, float] = {}
         # published shared-sweep descriptors, replayed to respawned workers
         self._sweeps: dict[tuple[str, SamplingConfig], SweepDescriptor] = {}
         # no policy: the pre-respawn semantics -- dead workers are not
@@ -293,7 +330,7 @@ class WorkerPool:
         ready = 0
         while ready < self._n_workers:
             try:
-                kind, _, payload = self._result_queue.get(timeout=timeout)
+                kind, rank, payload = self._result_queue.get(timeout=timeout)
             except Empty as exc:
                 self.stop(abort=True)
                 raise RuntimeError(
@@ -303,6 +340,7 @@ class WorkerPool:
                 self.stop(abort=True)
                 raise RuntimeError(f"worker failed to build its replica:\n{payload}")
             if kind == "ready":
+                self._record_clock(rank, payload)
                 ready += 1
         for worker in self._workers:
             worker.ready = True
@@ -311,10 +349,28 @@ class WorkerPool:
         )
         self._collector.start()
 
+    def _record_clock(self, rank: int, payload) -> None:
+        """Refine a rank's clock offset from any message carrying its clock.
+
+        Each observation ``parent_now - worker_clock`` is the true offset
+        plus that message's transit latency, so it can only overshoot;
+        keeping the running minimum converges on the true offset as traffic
+        flows (monotonic clocks share one system-wide base, so the minimum
+        stays valid across worker respawns).
+        """
+        if isinstance(payload, dict) and "clock" in payload:
+            observed = time.monotonic() - payload["clock"]
+            with self._lock:
+                prior = self._clock_offsets.get(rank)
+                self._clock_offsets[rank] = (
+                    observed if prior is None else min(prior, observed)
+                )
+
     def dispatch(
         self,
         tile_id: int,
         requests: Sequence[tuple[np.ndarray, SamplingConfig]],
+        traced: bool = False,
     ) -> None:
         """Assign a tile to the next healthy worker (round-robin).
 
@@ -339,8 +395,8 @@ class WorkerPool:
             candidates = [w for w in alive if w.ready] or alive
             worker = candidates[self._next_worker % len(candidates)]
             self._next_worker += 1
-            worker.outstanding[tile_id] = payload
-        worker.task_queue.put(("tile", tile_id, payload))
+            worker.outstanding[tile_id] = (payload, traced)
+        worker.task_queue.put(("tile", tile_id, payload, traced))
 
     # ------------------------------------------------------------------
     # version control plane (hot model swap)
@@ -416,13 +472,34 @@ class WorkerPool:
             self._reap_dead_workers()
 
     def _handle_message(self, message) -> None:
-        # "done" messages carry a fourth element: the worker executor's
-        # drained fused-vs-fallback counters (or None); 3-tuples remain
-        # accepted so control/startup messages keep their shape
+        # "done" messages carry a fourth element (the worker executor's
+        # drained fused-vs-fallback counters, or None) and a fifth (the
+        # traced-tile span payload, or None); shorter tuples remain accepted
+        # so control/startup messages keep their shape
         kind, tile_id, payload = message[0], message[1], message[2]
         fusion_events = message[3] if len(message) > 3 else None
         if fusion_events and self._fusion_handler is not None:
             self._fusion_handler(fusion_events)
+        trace_payload = message[4] if len(message) > 4 else None
+        if trace_payload and self._trace_handler is not None:
+            # the payload's own clock sample tightens the offset first, so
+            # the bias never exceeds this very message's transit latency
+            self._record_clock(trace_payload.get("rank"), trace_payload)
+            offset = self._clock_offsets.get(trace_payload.get("rank"), 0.0)
+            self._trace_handler(
+                tile_id,
+                {
+                    "rank": trace_payload.get("rank"),
+                    "spans": [
+                        {
+                            **span,
+                            "start_s": span["start_s"] + offset,
+                            "end_s": span["end_s"] + offset,
+                        }
+                        for span in trace_payload.get("spans", ())
+                    ],
+                },
+            )
         if kind == "control_error":
             # a version-load failed in worker `tile_id` (the rank); requests
             # pinned to that version fail per-request on that worker, so this
@@ -430,7 +507,9 @@ class WorkerPool:
             self.last_control_error = payload
             return
         if kind == "ready":
-            # a respawned replacement finished building its replica
+            # a respawned replacement finished building its replica; its
+            # handshake clock refines the rank's span-time offset
+            self._record_clock(tile_id, payload)
             with self._lock:
                 for worker in self._workers:
                     if worker.rank == tile_id:
@@ -493,7 +572,7 @@ class WorkerPool:
             # keep the pool at strength within the respawn budget
             while len(self._workers) < self._n_workers and self._budget.try_respawn():
                 self._workers.append(self._spawn_worker())
-        for tile_id, payload in orphaned:
+        for tile_id, (payload, traced) in orphaned:
             # a tile may lose its worker max_task_retries times before its
             # futures fail; with no respawn policy (max_task_retries used
             # with max_respawns=0) a retry still succeeds when another
@@ -502,7 +581,7 @@ class WorkerPool:
                 tile_id
             ):
                 try:
-                    self.dispatch(tile_id, payload)
+                    self.dispatch(tile_id, payload, traced=traced)
                     continue
                 except WorkerCrashError:
                     pass  # no healthy worker left for the retry: fail below

@@ -1,0 +1,237 @@
+"""Observability integration: tracing must be a pure side channel.
+
+Four properties of the PR-9 observability layer, proven over real sockets
+and real worker processes:
+
+1. **Byte transparency** -- the ``/v1/predict`` response *body* is
+   byte-identical with tracing on (default), off (``REPRO_OBS=0``) and
+   sampled, and its floats equal a standalone ``mc_predict`` exactly; only
+   the ``X-Request-Id`` *header* differs.
+2. **Span propagation** -- a traced request's span tree crosses the
+   admission -> waiting room -> tile -> worker-process boundary and comes
+   back assembled: worker leaf spans are parented under ``execute`` with
+   clock offsets reconciled into the parent's timeline.
+3. **Exposition** -- ``/v1/metrics`` renders the serving families fed by
+   the pull-model collectors plus the gateway's push counters.
+4. **Crash safety** -- a worker crash aborts the victim's trace (status
+   ``aborted``) instead of leaking an open handle, and a crash absorbed by
+   the respawn path still records complete ``ok`` traces.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bnn import mc_predict
+from repro.models import ActivationSpec, DenseSpec, ModelSpec, ReplicaSpec
+from repro.serve import (
+    GatewayClient,
+    GatewayError,
+    ModelRegistry,
+    PredictionServer,
+    SamplingConfig,
+    ServerConfig,
+    ServingGateway,
+    WorkerCrashError,
+)
+
+N_FEATURES = 16
+SAMPLING = {"n_samples": 4, "seed": 5, "grng_stride": 64}
+CONFIG = SamplingConfig(**SAMPLING)
+
+
+def _spec() -> ModelSpec:
+    return ModelSpec(
+        name="obs-mlp",
+        input_shape=(1, 4, 4),
+        num_classes=3,
+        dataset="integration-test",
+        flatten_input=True,
+        layers=(
+            DenseSpec("fc1", 8),
+            ActivationSpec("relu1"),
+            DenseSpec("fc2", 3),
+        ),
+    )
+
+
+def _registry(spec: ModelSpec) -> ModelRegistry:
+    registry = ModelRegistry()
+    registry.register("v1", ReplicaSpec.capture(spec, spec.build_bayesian(seed=11)))
+    registry.deploy("v1")
+    return registry
+
+
+def _raw_predict(gateway: ServingGateway, x: np.ndarray) -> tuple[dict, bytes]:
+    """One predict over a real socket; returns (headers, raw body bytes)."""
+    client = GatewayClient(gateway.url)
+    try:
+        status, headers, raw = client._request_once(
+            "POST", "/v1/predict", {"x": x.tolist(), "sampling": SAMPLING}
+        )
+    finally:
+        client.close()
+    assert status == 200
+    return headers, raw
+
+
+def test_predict_body_bytes_identical_on_off_and_sampled(monkeypatch):
+    spec = _spec()
+    x = np.random.default_rng(3).normal(size=(4, N_FEATURES))
+
+    with ServingGateway(_registry(spec), ServerConfig(n_workers=0)) as gateway:
+        headers_on, raw_on = _raw_predict(gateway, x)
+    assert "x-request-id" in headers_on  # traced: the id rides a header
+
+    monkeypatch.setenv("REPRO_OBS", "0")
+    with ServingGateway(_registry(spec), ServerConfig(n_workers=0)) as gateway:
+        headers_off, raw_off = _raw_predict(gateway, x)
+    assert "x-request-id" not in headers_off
+    monkeypatch.delenv("REPRO_OBS")
+
+    with ServingGateway(
+        _registry(spec), ServerConfig(n_workers=0, trace_sample_rate=0.5)
+    ) as gateway:
+        headers_a, raw_a = _raw_predict(gateway, x)  # sampled out (1st of 2)
+        headers_b, raw_b = _raw_predict(gateway, x)  # sampled in
+    assert "x-request-id" not in headers_a
+    assert "x-request-id" in headers_b
+
+    # the acceptance surface: the response BODY never changes
+    assert raw_on == raw_off == raw_a == raw_b
+
+    reference = mc_predict(
+        spec.build_bayesian(seed=11),
+        x,
+        n_samples=CONFIG.n_samples,
+        seed=CONFIG.seed,
+        grng_stride=CONFIG.grng_stride,
+        lfsr_bits=CONFIG.lfsr_bits,
+    )
+    payload = json.loads(raw_on)
+    assert np.array_equal(
+        np.asarray(payload["sample_probabilities"], dtype=np.float64),
+        reference.sample_probabilities,
+    )
+
+
+@pytest.mark.parametrize("n_workers", [0, 1])
+def test_trace_endpoints_expose_the_assembled_span_tree(n_workers):
+    spec = _spec()
+    config = ServerConfig(n_workers=n_workers, max_wait_ms=1.0)
+    with ServingGateway(_registry(spec), config) as gateway:
+        client = GatewayClient(gateway.url)
+        x = np.random.default_rng(4).normal(size=(3, N_FEATURES))
+        client.predict(x, sampling=SAMPLING)
+        trace_id = client.last_request_id
+        assert trace_id
+
+        trace = client.trace(trace_id)
+        assert trace["trace_id"] == trace_id
+        assert trace["status"] == "ok"
+        assert trace["meta"]["rows"] == 3
+        spans = {span["name"]: span for span in trace["spans"]}
+        for stage in (
+            "admission",
+            "queue_wait",
+            "execute",
+            "waiting_room",
+            "serialization",
+        ):
+            assert stage in spans, stage
+        # worker/inline leaf spans are parented under the tile execution and
+        # (for n_workers=1) clock-reconciled into the parent's timeline
+        for leaf in ("epsilon_replay", "forward"):
+            assert spans[leaf]["parent"] == "execute"
+            assert (
+                spans["execute"]["offset_ms"] - 1.0
+                <= spans[leaf]["offset_ms"]
+                <= spans["execute"]["offset_ms"] + spans["execute"]["duration_ms"] + 1.0
+            )
+        if n_workers:
+            assert spans["execute"]["meta"]["worker"] == 0
+
+        listing = client.traces(slowest=4)
+        assert any(t["trace_id"] == trace_id for t in listing["traces"])
+        assert listing["open"] == 0
+
+        with pytest.raises(GatewayError) as err:
+            client.trace("deadbeef00000001")
+        assert err.value.status == 404 and err.value.code == "not_found"
+        client.close()
+
+
+def test_metrics_exposition_reflects_served_traffic():
+    spec = _spec()
+    with ServingGateway(_registry(spec), ServerConfig(n_workers=0)) as gateway:
+        client = GatewayClient(gateway.url, tenant="acme")
+        x = np.random.default_rng(5).normal(size=(2, N_FEATURES))
+        client.predict(x, sampling=SAMPLING)
+        client.predict(x, sampling=SAMPLING)
+        text = client.metrics()
+        client.close()
+    for family in (
+        'repro_requests_total{outcome="completed"} 2',
+        'repro_version_requests_total{version="v1"} 2',
+        "repro_rows_completed_total 4",
+        "repro_request_latency_ms_bucket",
+        "repro_request_latency_ms_count 2",
+        'repro_admission_requests_total{outcome="admitted"} 2',
+        'repro_tenant_rows_total{tenant="acme"',
+        "repro_tile_flushes_total",
+        "repro_gateway_requests_total",
+        'status="200"',
+        "repro_traces_recorded_total 2",
+        "repro_traces_open 0",
+        "repro_latency_window_saturation",
+    ):
+        assert family in text, family
+
+
+def test_worker_crash_aborts_the_trace_without_leaking():
+    replica = ReplicaSpec.capture(_spec(), _spec().build_bayesian(seed=11))
+    x = np.random.default_rng(6).normal(size=(2, N_FEATURES))
+    server = PredictionServer(
+        replica, ServerConfig(n_workers=1, max_wait_ms=1.0)
+    ).start()
+    try:
+        server.predict(x, CONFIG)  # sanity: the worker serves when alive
+        process = server._pool.processes[0]
+        process.kill()
+        process.join(timeout=10.0)
+        doomed = server.submit(x, CONFIG)
+        with pytest.raises(WorkerCrashError):
+            doomed.result(timeout=60.0)
+        # the victim's trace was finished "aborted", not leaked open
+        assert server.tracer.open_count == 0
+        statuses = [t["status"] for t in server.tracer.slowest(16)]
+        assert statuses.count("ok") == 1
+        assert "aborted" in statuses
+    finally:
+        server.close(drain=False)
+    assert server.tracer.open_count == 0
+
+
+def test_respawned_worker_still_produces_complete_ok_traces():
+    replica = ReplicaSpec.capture(_spec(), _spec().build_bayesian(seed=11))
+    x = np.random.default_rng(7).normal(size=(2, N_FEATURES))
+    config = ServerConfig(n_workers=2, max_wait_ms=1.0, worker_respawns=2)
+    server = PredictionServer(replica, config).start()
+    try:
+        reference = server.predict(x, CONFIG)
+        victim = server._pool.processes[0]
+        victim.kill()
+        victim.join(timeout=10.0)
+        for _ in range(3):
+            result = server.predict(x, CONFIG)
+            assert np.array_equal(
+                result.sample_probabilities, reference.sample_probabilities
+            )
+        assert server.tracer.open_count == 0
+        statuses = [t["status"] for t in server.tracer.slowest(16)]
+        assert statuses.count("ok") == 4  # every request closed cleanly
+    finally:
+        server.close(drain=False)

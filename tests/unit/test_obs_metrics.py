@@ -1,0 +1,149 @@
+"""Unit tests for the dependency-free metrics registry.
+
+The exposition golden-file test pins the exact Prometheus text bytes for a
+deterministic registry: family ordering, label escaping, cumulative
+``_bucket`` counts with the ``+Inf`` terminator, and the integer-vs-float
+sample formatting are all wire surface that external scrapers parse.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Histogram,
+    MetricsRegistry,
+    obs_enabled,
+)
+
+GOLDEN = Path(__file__).parent.parent / "data" / "metrics_golden.prom"
+
+
+def build_golden_registry() -> MetricsRegistry:
+    """The deterministic registry the golden file was rendered from."""
+    registry = MetricsRegistry()
+    requests = registry.counter(
+        "demo_requests_total", "Requests by outcome.", ("outcome",)
+    )
+    requests.labels(outcome="ok").inc(3)
+    requests.labels(outcome="error").inc()
+    registry.gauge("demo_queue_depth", "Rows waiting in the queue.").set(7.5)
+    escaped = registry.counter(
+        "demo_escaped_total", "Label escaping.", ("path",)
+    )
+    escaped.labels(path='a"b\\c\nd').inc()
+    histogram = registry.histogram(
+        "demo_latency_ms", "Latency (ms).", ("tier",), buckets=(1.0, 5.0, 25.0)
+    )
+    child = histogram.labels(tier="standard")
+    for value in (0.5, 3.0, 4.0, 30.0):
+        child.observe(value)
+    return registry
+
+
+def test_exposition_matches_the_golden_file():
+    rendered = build_golden_registry().render()
+    assert rendered == GOLDEN.read_text()
+
+
+def test_counter_push_and_pull_styles():
+    registry = MetricsRegistry()
+    counter = registry.counter("c_total", "help")
+    counter.inc()
+    counter.inc(2.0)
+    assert counter.value == 3.0
+    counter.set_total(10)  # pull-model collectors load absolute totals
+    assert counter.value == 10.0
+
+
+def test_family_registration_is_idempotent_but_typed():
+    registry = MetricsRegistry()
+    first = registry.counter("x_total", "help", ("a",))
+    assert registry.counter("x_total", "help", ("a",)) is first
+    with pytest.raises(ValueError, match="already registered as counter"):
+        registry.gauge("x_total", "help")
+    with pytest.raises(ValueError, match="already registered with labels"):
+        registry.counter("x_total", "help", ("b",))
+
+
+def test_labels_must_match_the_declared_names():
+    registry = MetricsRegistry()
+    family = registry.counter("y_total", "help", ("tenant",))
+    with pytest.raises(ValueError, match="expected labels"):
+        family.labels(nope="x")
+    with pytest.raises(ValueError, match="requires labels"):
+        family.inc()  # labelled family has no default child
+
+
+def test_histogram_le_bucket_semantics():
+    histogram = Histogram(buckets=(1.0, 5.0))
+    for value in (1.0, 1.5, 5.0, 6.0):
+        histogram.observe(value)
+    snap = histogram.snapshot()
+    # 1.0 lands in le=1, 1.5 and 5.0 in le=5, 6.0 overflows to +Inf
+    assert snap["counts"] == [1, 2, 1]
+    assert snap["count"] == 4
+    assert snap["max"] == 6.0
+
+
+def test_histogram_percentiles_interpolate_and_cap_at_max():
+    histogram = Histogram(buckets=(10.0, 20.0))
+    for _ in range(99):
+        histogram.observe(15.0)
+    histogram.observe(1000.0)
+    assert histogram.percentile(0.0) is not None
+    p50 = histogram.percentile(50.0)
+    assert 10.0 <= p50 <= 20.0
+    # the straggler lives in the overflow bucket: report the tracked max
+    assert histogram.percentile(100.0) == 1000.0
+    assert Histogram(buckets=(1.0,)).percentile(50.0) is None  # empty
+
+
+def test_histogram_load_roundtrips_a_snapshot():
+    source = Histogram(buckets=DEFAULT_LATENCY_BUCKETS_MS)
+    for value in (0.3, 4.0, 80.0):
+        source.observe(value)
+    snap = source.snapshot()
+    target = Histogram(buckets=DEFAULT_LATENCY_BUCKETS_MS)
+    target.load(snap["counts"], snap["sum"], snap["count"], snap["max"])
+    assert target.snapshot() == snap
+    with pytest.raises(ValueError, match="bucket counts"):
+        target.load([1, 2], 3.0, 3)
+
+
+def test_collectors_run_at_collect_time_and_unregister():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("g", "help")
+    calls = []
+
+    def collector():
+        calls.append(1)
+        gauge.set(len(calls))
+
+    registry.register_collector(collector)
+    registry.register_collector(collector)  # deduplicated
+    registry.collect()
+    assert calls == [1] and gauge.value == 1.0
+    registry.unregister_collector(collector)
+    registry.collect()
+    assert calls == [1]
+
+
+def test_empty_families_are_not_rendered():
+    registry = MetricsRegistry()
+    registry.counter("never_touched_total", "help", ("a",))
+    assert registry.render() == ""
+
+
+def test_obs_enabled_env_parsing(monkeypatch):
+    monkeypatch.delenv("REPRO_OBS", raising=False)
+    assert obs_enabled() is True
+    for falsy in ("0", "false", "OFF", " no ", ""):
+        monkeypatch.setenv("REPRO_OBS", falsy)
+        assert obs_enabled() is False, falsy
+    for truthy in ("1", "true", "on", "anything"):
+        monkeypatch.setenv("REPRO_OBS", truthy)
+        assert obs_enabled() is True, truthy

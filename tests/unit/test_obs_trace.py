@@ -1,0 +1,142 @@
+"""Unit tests for the request tracer: ring bound, exemplar retention,
+deterministic sampling, the ``REPRO_OBS`` kill switch, and the worker-side
+stage recorder."""
+
+from __future__ import annotations
+
+from repro.obs.trace import StageRecorder, Tracer
+
+
+class _FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def _finish_one(tracer: Tracer, clock: _FakeClock, duration_s: float) -> str:
+    handle = tracer.begin(kind="test")
+    clock.now += duration_s
+    handle.finish("ok")
+    return handle.trace_id
+
+
+def test_ring_is_bounded_and_evicts_oldest():
+    clock = _FakeClock()
+    tracer = Tracer(ring_size=3, slowest_n=0, clock=clock, enabled=True)
+    ids = [_finish_one(tracer, clock, 0.001) for _ in range(5)]
+    assert tracer.recorded_count == 5
+    assert tracer.get(ids[0]) is None and tracer.get(ids[1]) is None
+    for trace_id in ids[2:]:
+        assert tracer.get(trace_id)["trace_id"] == trace_id
+
+
+def test_slowest_exemplars_survive_ring_eviction():
+    clock = _FakeClock()
+    tracer = Tracer(ring_size=2, slowest_n=2, clock=clock, enabled=True)
+    slow_id = _finish_one(tracer, clock, 5.0)
+    for _ in range(10):
+        _finish_one(tracer, clock, 0.001)
+    # evicted from the ring long ago, but kept as a slowest exemplar
+    assert tracer.get(slow_id)["duration_ms"] == 5000.0
+    slowest = tracer.slowest(5)
+    assert len(slowest) == 2
+    assert slowest[0]["trace_id"] == slow_id  # sorted worst-first
+    assert slowest[0]["duration_ms"] >= slowest[1]["duration_ms"]
+
+
+def test_sampling_is_deterministic_and_counter_based():
+    tracer = Tracer(sample_rate=0.25, enabled=True, clock=_FakeClock())
+    fired = [tracer.begin() is not None for _ in range(16)]
+    assert sum(fired) == 4  # exactly rate * n, no RNG
+    # the pattern is periodic: every 4th begin() fires
+    assert fired == [i % 4 == 3 for i in range(16)]
+    for handle in list(tracer._open.values()):
+        handle.finish()
+
+
+def test_sample_rate_zero_never_fires_and_one_always_fires():
+    clock = _FakeClock()
+    never = Tracer(sample_rate=0.0, enabled=True, clock=clock)
+    assert all(never.begin() is None for _ in range(8))
+    always = Tracer(sample_rate=1.0, enabled=True, clock=clock)
+    handles = [always.begin() for _ in range(8)]
+    assert all(handle is not None for handle in handles)
+    for handle in handles:
+        handle.finish()
+
+
+def test_repro_obs_kill_switch(monkeypatch):
+    monkeypatch.setenv("REPRO_OBS", "0")
+    tracer = Tracer(clock=_FakeClock())  # resolves the env at construction
+    assert not tracer.enabled
+    assert tracer.begin() is None
+    monkeypatch.setenv("REPRO_OBS", "1")
+    assert Tracer(clock=_FakeClock()).enabled
+
+
+def test_finish_is_idempotent_first_caller_wins():
+    clock = _FakeClock()
+    tracer = Tracer(clock=clock, enabled=True)
+    handle = tracer.begin()
+    clock.now += 0.010
+    handle.finish("aborted")
+    handle.finish("ok")  # the racing second owner loses
+    assert tracer.get(handle.trace_id)["status"] == "aborted"
+    assert tracer.recorded_count == 1
+
+
+def test_spans_rebase_to_trace_relative_offsets():
+    clock = _FakeClock()
+    tracer = Tracer(clock=clock, enabled=True)
+    clock.now = 100.0
+    handle = tracer.begin(tenant="t0")
+    handle.add_span("queue_wait", 100.001, 100.003, tile=7)
+    handle.add_span("execute", 100.003, 100.009, parent=None, worker=1)
+    handle.add_span("forward", 100.004, 100.008, parent="execute", fused=True)
+    clock.now = 100.010
+    handle.finish("ok")
+    record = tracer.get(handle.trace_id)
+    assert record["meta"] == {"tenant": "t0"}
+    assert abs(record["duration_ms"] - 10.0) < 1e-6
+    names = [span["name"] for span in record["spans"]]
+    assert names == ["queue_wait", "execute", "forward"]
+    forward = record["spans"][2]
+    assert forward["parent"] == "execute"
+    assert abs(forward["offset_ms"] - 4.0) < 1e-9
+    assert abs(forward["duration_ms"] - 4.0) < 1e-9
+    assert forward["meta"] == {"fused": True}
+
+
+def test_abort_open_closes_leaked_handles():
+    clock = _FakeClock()
+    tracer = Tracer(clock=clock, enabled=True)
+    handles = [tracer.begin() for _ in range(3)]
+    handles[0].finish("ok")
+    assert tracer.open_count == 2
+    assert tracer.abort_open() == 2
+    assert tracer.open_count == 0
+    for handle in handles[1:]:
+        assert tracer.get(handle.trace_id)["status"] == "aborted"
+
+
+def test_spans_after_finish_are_dropped():
+    clock = _FakeClock()
+    tracer = Tracer(clock=clock, enabled=True)
+    handle = tracer.begin()
+    handle.finish("ok")
+    handle.add_span("late", 0.0, 1.0)  # e.g. a straggler worker message
+    assert tracer.get(handle.trace_id)["spans"] == []
+
+
+def test_stage_recorder_drains_raw_spans():
+    recorder = StageRecorder()
+    recorder.record("epsilon_replay", 1.0, 1.5, cached=True)
+    with recorder.stage("forward", fused=False):
+        pass
+    spans = recorder.drain()
+    assert [span["name"] for span in spans] == ["epsilon_replay", "forward"]
+    assert spans[0]["meta"] == {"cached": True}
+    assert spans[0]["status"] == "ok"
+    assert recorder.drain() == []  # drained

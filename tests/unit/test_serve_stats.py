@@ -1,14 +1,14 @@
 """Edge-case tests for the serving telemetry accumulator.
 
-Covers the cases the serving tests only brush past: an empty latency window
-(no completions yet), window wraparound (the bounded deque must forget old
-latencies, not the lifetime counters), and the per-model-version request
-counters added with the versioned serving stack.
+Covers the cases the serving tests only brush past: an empty latency
+distribution (no completions yet), the lifetime fixed-bucket histogram the
+percentiles now derive from (slow outliers must stay visible in the tail
+after any amount of fast traffic -- exactly what the old bounded deque
+forgot), and the per-model-version request counters added with the
+versioned serving stack.
 """
 
 from __future__ import annotations
-
-import numpy as np
 
 from repro.serve import ServerStats
 
@@ -43,31 +43,50 @@ def test_failures_only_still_report_empty_window():
     assert snapshot.latency_p50_ms is None and snapshot.latency_p99_ms is None
 
 
-def test_window_wraparound_keeps_only_recent_latencies():
+def test_lifetime_histogram_keeps_slow_outliers_in_the_tail():
     clock = _FakeClock()
     stats = ServerStats(latency_window=4, clock=clock)
-    # 3 old slow requests, then 4 fast ones: the window holds the last 4
+    # 3 old slow requests, then 4 fast ones.  The old 4-deep deque window
+    # would have forgotten the slow ones entirely and reported p99 = 10ms;
+    # the lifetime histogram keeps them in the tail.
     for latency in (1.0, 1.0, 1.0, 0.010, 0.010, 0.010, 0.010):
         stats.record_completion(latency, rows=2)
     snapshot = stats.snapshot()
-    assert snapshot.requests_completed == 7  # lifetime counter is not windowed
+    assert snapshot.requests_completed == 7  # lifetime counter
     assert snapshot.rows_completed == 14
-    assert snapshot.latency_p50_ms == 10.0
-    assert snapshot.latency_p99_ms == 10.0
-    assert snapshot.latency_mean_ms == 10.0
+    assert snapshot.latency_p50_ms <= 25.0  # the fast majority
+    assert snapshot.latency_p99_ms >= 500.0  # slow outliers still visible
+    assert snapshot.latency_window_saturation == 1.0  # 7 >= the window of 4
 
 
-def test_window_wraparound_percentiles_match_numpy_on_the_window():
-    clock = _FakeClock()
-    stats = ServerStats(latency_window=5, clock=clock)
-    latencies = [0.5, 0.4, 0.1, 0.2, 0.3, 0.4, 0.5]
-    for latency in latencies:
-        stats.record_completion(latency, rows=1)
-    window = np.asarray(latencies[-5:])
-    expected_p50, expected_p99 = np.percentile(window, [50.0, 99.0]) * 1e3
+def test_histogram_percentiles_are_bucket_accurate():
+    stats = ServerStats(latency_window=8, clock=_FakeClock())
+    for _ in range(100):
+        stats.record_completion(0.004, rows=1)  # 4 ms -> the (2.5, 5] bucket
     snapshot = stats.snapshot()
-    assert snapshot.latency_p50_ms == float(expected_p50)
-    assert snapshot.latency_p99_ms == float(expected_p99)
+    for value in (
+        snapshot.latency_p50_ms,
+        snapshot.latency_p95_ms,
+        snapshot.latency_p99_ms,
+    ):
+        assert 2.5 <= value <= 5.0
+    hist = snapshot.latency_histogram_ms
+    assert sum(hist["counts"]) == 100
+    assert hist["max"] == 4.0
+    assert snapshot.latency_mean_ms == 4.0
+
+
+def test_percentile_above_the_last_bucket_reports_the_tracked_max():
+    stats = ServerStats(latency_window=8, clock=_FakeClock())
+    stats.record_completion(60.0, rows=1)  # 60 s >> the 10 s top bucket
+    assert stats.snapshot().latency_p99_ms == 60000.0
+
+
+def test_window_saturation_warms_up_to_one():
+    stats = ServerStats(latency_window=4, clock=_FakeClock())
+    assert stats.snapshot().latency_window_saturation == 0.0
+    stats.record_completion(0.010, rows=1)
+    assert stats.snapshot().latency_window_saturation == 0.25
 
 
 def test_uptime_and_throughput_use_the_injected_clock():
