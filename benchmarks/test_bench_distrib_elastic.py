@@ -1,0 +1,127 @@
+"""Delta-shipping benchmark: bytes on the wire, delta vs full, zero drift.
+
+A 12-step dense fit (reduced B-MLP, ``S = 8``) runs through the distributed
+coordinator's inline sharded path twice, identically planned with 4 sample
+shards x 2 row blocks (8 tasks/step, the shape that amortises per-step
+state across tasks):
+
+* ``delta`` -- the default content-fingerprinted delta transport: each
+  tensor ships at most once per step per worker cache; repeat minibatches
+  and unchanged tensors ship as fingerprint references;
+* ``full`` -- ``delta_shipping=False``: every task ships its complete
+  state, the PR 4 wire behaviour and the traffic baseline.
+
+Both legs assert their final parameters bit-identical to the single-process
+run (zero drift -- the transport is invisible to the bits) and record the
+coordinator's bytes-shipped counters in ``benchmark.extra_info``;
+``benchmarks/emit_results.py --tag distrib_elastic`` turns the dump into
+``BENCH_distrib_elastic.json`` and ``--enforce`` gates on the bytes-on-
+the-wire reduction (and on both drift counters staying zero).  The
+counters are exact functions of the schedule, so unlike wall-clock ratios
+they are *stable* acceptance material even on noisy shared runners.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.bnn import BNNTrainer, TrainerConfig
+from repro.datasets import BatchLoader, synthetic_mnist
+from repro.distrib import DistributedBackend
+from repro.models import ReplicaSpec, get_model
+
+N_SAMPLES = 8
+STEPS = 12
+N_SHARDS = 4
+N_ROW_BLOCKS = 2
+_BENCH_STRIDE = int(os.environ.get("BENCH_GRNG_STRIDE", "256"))
+
+#: mode -> delta_shipping
+ELASTIC_MODES: dict[str, bool] = {"delta": True, "full": False}
+
+
+def _workload():
+    spec = get_model("B-MLP", reduced=True)
+    train, _ = synthetic_mnist(n_train=64, n_test=16, image_size=14, seed=3)
+    batches = BatchLoader(train, batch_size=16, flatten=True).batches()
+    return spec, batches  # 4 batches -> 12 steps over 3 epochs
+
+
+def _reference_parameters(spec, batches, config):
+    trainer = BNNTrainer(
+        spec.build_bayesian(seed=42), config, policy="reversible"
+    )
+    trainer.fit(batches, epochs=3)
+    return [parameter.value.copy() for parameter in trainer.model.parameters()]
+
+
+@pytest.mark.parametrize("mode", list(ELASTIC_MODES))
+def test_bench_distrib_elastic(benchmark, mode):
+    spec, batches = _workload()
+    config = TrainerConfig(
+        n_samples=N_SAMPLES,
+        learning_rate=5e-3,
+        seed=11,
+        grng_stride=_BENCH_STRIDE,
+    )
+    # the blocked (4 x 2) canonical trajectory's single-process reference:
+    # the inline backend with one shard and the same row blocking
+    reference_backend = DistributedBackend(
+        ReplicaSpec.structural(spec, build_seed=42),
+        n_workers=0,
+        n_shards=1,
+        n_row_blocks=N_ROW_BLOCKS,
+        delta_shipping=False,
+    )
+    reference = BNNTrainer(
+        spec.build_bayesian(seed=42),
+        config,
+        policy="reversible",
+        backend=reference_backend,
+    )
+    reference.fit(batches, epochs=3)
+    expected = [p.value.copy() for p in reference.model.parameters()]
+
+    backend = None
+    trainer = None
+
+    def run():
+        nonlocal backend, trainer
+        # a fresh backend per round: the byte counters measure exactly one
+        # 12-step fit, with every cache starting cold
+        backend = DistributedBackend(
+            ReplicaSpec.structural(spec, build_seed=42),
+            n_workers=0,
+            n_shards=N_SHARDS,
+            n_row_blocks=N_ROW_BLOCKS,
+            delta_shipping=ELASTIC_MODES[mode],
+        )
+        trainer = BNNTrainer(
+            spec.build_bayesian(seed=42),
+            config,
+            policy="reversible",
+            backend=backend,
+        )
+        trainer.fit(batches, epochs=3)
+        return trainer
+
+    trainer = benchmark(run)
+
+    # zero bit-drift: the transport must be invisible to the trajectory
+    drift = sum(
+        0 if np.array_equal(parameter.value, value) else 1
+        for parameter, value in zip(trainer.model.parameters(), expected)
+    )
+    assert drift == 0
+    assert backend.resyncs == 0
+
+    benchmark.extra_info["n_steps"] = STEPS
+    benchmark.extra_info["n_shards"] = N_SHARDS
+    benchmark.extra_info["n_row_blocks"] = N_ROW_BLOCKS
+    benchmark.extra_info["bytes_shipped"] = backend.bytes_shipped
+    benchmark.extra_info["bytes_full_equivalent"] = backend.bytes_full_equivalent
+    benchmark.extra_info["resyncs"] = backend.resyncs
+    benchmark.extra_info["bit_drift_params"] = drift

@@ -18,8 +18,11 @@ as a pure-Python library.  It is organised as:
   pools prediction requests into ``(S, batch)`` tiles for the batched engine,
   optionally sharded across model-replica worker processes;
 * :mod:`repro.distrib` -- a data-parallel distributed training engine that
-  shards each training step's Monte-Carlo samples across worker processes
-  with deterministic fault tolerance, bit-identical to single-process runs;
+  shards each training step across an elastic pool of worker processes (2-D:
+  Monte-Carlo samples x minibatch row blocks), ships step state as
+  content-fingerprinted deltas, and survives worker joins, leaves and
+  crashes with deterministic fault tolerance -- bit-identical to
+  single-process runs throughout;
 * :mod:`repro.experiments` -- one module per paper table / figure,
   regenerating the evaluation;
 * :mod:`repro.analysis` -- metric and table helpers.

@@ -13,6 +13,8 @@ from .serialization import (
     load_parameters,
     save_checkpoint,
     save_parameters,
+    state_fingerprint,
+    tensor_fingerprint,
 )
 from .trainer import (
     BaselineBNNTrainer,
@@ -46,6 +48,8 @@ __all__ = [
     "save_checkpoint",
     "load_checkpoint",
     "CheckpointMismatchError",
+    "tensor_fingerprint",
+    "state_fingerprint",
     "SampleGradientTape",
     "TrainerConfig",
     "TrainingHistory",

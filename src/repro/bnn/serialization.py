@@ -17,7 +17,7 @@ Three formats live here:
   the trainer's step counter and history.  Restoring a checkpoint and
   continuing (``trainer.fit(..., resume=True)``) follows **bit for bit** the
   trajectory the uninterrupted run would have followed -- for the local
-  pipelines and for the distributed sample-sharded backend alike, because
+  pipelines and for the distributed sample/row-sharded backend alike, because
   the distributed coordinator keeps its canonical state in exactly the
   structures checkpointed here.
 
@@ -25,13 +25,19 @@ Epsilon *values* are never stored -- they are regenerated from the saved
 register states, which is the whole point of the paper.  Both loaders verify
 a manifest against the target and raise :class:`CheckpointMismatchError`
 early on any structural mismatch.
+
+This module also hosts the **content fingerprints**
+(:func:`tensor_fingerprint` / :func:`state_fingerprint`) that the
+distributed delta-shipping transport (:mod:`repro.distrib.delta`) uses to
+address tensors and verify applied state.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable, Tuple
 
 import numpy as np
 
@@ -48,6 +54,8 @@ __all__ = [
     "load_checkpoint",
     "save_replica",
     "load_replica",
+    "tensor_fingerprint",
+    "state_fingerprint",
     "CheckpointMismatchError",
 ]
 
@@ -68,6 +76,47 @@ _HISTORY_FIELDS = (
 
 class CheckpointMismatchError(RuntimeError):
     """Raised when a checkpoint does not match the target network's structure."""
+
+
+# ----------------------------------------------------------------------
+# content fingerprints (delta-shipping addresses)
+# ----------------------------------------------------------------------
+def tensor_fingerprint(array: np.ndarray) -> str:
+    """Content fingerprint of one tensor: SHA-256 over dtype, shape and bytes.
+
+    This is the address under which the distributed delta-shipping layer
+    (:mod:`repro.distrib.delta`) caches tensors: two arrays share a
+    fingerprint exactly when they are byte-identical with the same dtype
+    and shape, so shipping a fingerprint instead of the bytes can never
+    change what the receiver computes.
+    """
+    array = np.ascontiguousarray(array)
+    if array.dtype.hasobject:
+        raise TypeError("object arrays have no content fingerprint")
+    digest = hashlib.sha256()
+    digest.update(str(array.dtype).encode("ascii"))
+    digest.update(repr(array.shape).encode("ascii"))
+    digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def state_fingerprint(entries: Iterable[Tuple[str, str]]) -> str:
+    """Combined fingerprint of a named tensor set.
+
+    ``entries`` is an iterable of ``(slot_name, tensor_fingerprint)`` pairs;
+    the result is order-independent (pairs are sorted) so coordinator and
+    worker agree regardless of encoding order.  The delta protocol ships
+    this as the expected post-apply fingerprint: a worker whose resolved
+    state hashes differently requests a full resync instead of computing
+    wrong bits.
+    """
+    digest = hashlib.sha256()
+    for slot, fingerprint in sorted(entries):
+        digest.update(slot.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(fingerprint.encode("ascii"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
 
 
 def _parameter_names(model: BayesianNetwork) -> list[str]:

@@ -51,7 +51,7 @@ class ExecutionBackend(Protocol):
     holding the post-step generator states and traffic counters, and return
     ``(total_nll, correct_probs)`` exactly as the built-in pipelines do --
     the trainer then applies the optimiser update.  The distributed
-    sample-sharded engine (:class:`repro.distrib.DistributedBackend`) is the
+    sample/row-sharded engine (:class:`repro.distrib.DistributedBackend`) is the
     canonical implementation; the contract is that any backend follows the
     single-process parameter trajectory bit for bit.
     """
@@ -250,8 +250,9 @@ class BNNTrainer:
         per-sample pipelines follow bit-identical parameter trajectories.
         """
         if self.backend is not None and batched is None:
-            # pluggable execution backend (e.g. the distributed sample-sharded
-            # engine); an explicit ``batched=`` forces the built-in pipelines,
+            # pluggable execution backend (e.g. the distributed sample/row-
+            # sharded engine); an explicit ``batched=`` forces the built-in
+            # pipelines,
             # which is how equivalence tests compare the two in one process
             total_nll, correct_probs = self.backend.run_step(self, x, y, kl_weight)
         elif self.config.batched if batched is None else batched:
@@ -357,6 +358,8 @@ class BNNTrainer:
         verbose: bool = False,
         resume: bool = False,
         checkpoint_callback: Callable[["BNNTrainer", int], None] | None = None,
+        checkpoint_every_n_steps: int | None = None,
+        checkpoint_path: str | None = None,
     ) -> TrainingHistory:
         """Train for ``epochs`` passes over ``batches``.
 
@@ -375,7 +378,39 @@ class BNNTrainer:
         given, is invoked after every completed optimisation step -- the hook
         the checkpoint layer and the distributed demo use to persist mid-run
         state at step granularity.
+
+        ``checkpoint_every_n_steps`` + ``checkpoint_path`` turn on periodic
+        **auto-snapshots**: every N completed steps (and after the final
+        step) the trainer saves a full v2 checkpoint via
+        :func:`~repro.bnn.serialization.save_checkpoint` to
+        ``checkpoint_path``, overwriting the previous snapshot.  Combined
+        with ``resume=True`` after
+        :func:`~repro.bnn.serialization.load_checkpoint`, an interrupted fit
+        (worker crash, preemption, power loss) restarts from the latest
+        snapshot onto the exact uninterrupted trajectory -- the checkpoint
+        captures parameters, optimiser slots, generator states and history,
+        so the resumed bits match the uninterrupted run's.  Works with any
+        execution backend (the distributed coordinator's bookkeeping bank is
+        exactly what the checkpoint layer saves).
         """
+        if (checkpoint_every_n_steps is None) != (checkpoint_path is None):
+            raise ValueError(
+                "checkpoint_every_n_steps and checkpoint_path come as a pair"
+            )
+        if checkpoint_every_n_steps is not None:
+            if checkpoint_every_n_steps < 1:
+                raise ValueError("checkpoint_every_n_steps must be at least 1")
+            from .serialization import save_checkpoint
+
+            user_callback = checkpoint_callback
+            total = None  # bound below, once the schedule length is known
+
+            def checkpoint_callback(trainer: "BNNTrainer", step: int) -> None:
+                if (step + 1) % checkpoint_every_n_steps == 0 or step + 1 == total:
+                    save_checkpoint(trainer, checkpoint_path)
+                if user_callback is not None:
+                    user_callback(trainer, step)
+
         batch_list = list(batches)
         if not batch_list:
             raise ValueError("fit() needs at least one minibatch")
@@ -384,6 +419,7 @@ class BNNTrainer:
             total_examples = sum(x.shape[0] for x, _ in batch_list)
             kl_weight = 1.0 / max(total_examples, 1)
         steps_per_epoch = len(batch_list)
+        total = steps_per_epoch * epochs  # read by the auto-snapshot hook
         if resume:
             # schedule-absolute bookkeeping: the history up to the checkpoint
             # belongs to this same schedule, so skip what is already recorded

@@ -1,35 +1,47 @@
-"""Coordinator: data-parallel ``train_step`` execution over shard workers.
+"""Coordinator: data-parallel ``train_step`` execution over an elastic pool.
 
 :class:`DistributedBackend` plugs into
 :class:`~repro.bnn.trainer.BNNTrainer` as its execution backend.  Each
 optimisation step it:
 
-1. captures the trainer's canonical state -- parameter values and the
+1. applies pending **membership changes** -- workers that asked to join or
+   leave do so here, at the step boundary (never mid-step), triggering a
+   deterministic replan; crashed workers are respawned within the
+   :class:`~repro.distrib.respawn.RespawnPolicy` bounds;
+2. captures the trainer's canonical state -- parameter values and the
    per-sample generator snapshots of the trainer's own
    :class:`~repro.core.checkpoint.StreamBank` (which in distributed mode is
    the *bookkeeping* bank: it never generates, it just holds the canonical
    register states and traffic counters, which is also exactly what the
    checkpoint layer saves);
-2. plans the shard partition and dispatches one self-contained task per
-   shard -- inline (``n_workers=0``) or onto worker processes, each of which
-   rebuilds a bit-identical replica from a
+3. plans the step's 2-D ``(sample-shard, row-block)`` task grid
+   (:func:`~repro.distrib.plan.plan_step`) and dispatches one
+   self-contained task per cell -- inline (``n_workers=0``) or onto worker
+   processes, each of which rebuilds a bit-identical replica from a
    :class:`~repro.models.zoo.ReplicaSpec` and owns only its shard's
-   generator rows;
-3. collects the shard results with deterministic fault tolerance: a dead
-   worker's shard is re-dispatched (to a surviving or freshly respawned
-   worker, within the :class:`~repro.distrib.respawn.RespawnPolicy` bounds)
-   and re-executes from the same payload -- the shard is re-computed from
-   its seeds/states, never dropped, and re-execution is bit-identical
-   because nothing in the payload depends on worker state;
-4. reduces gradients, loss terms and probabilities in canonical sample
-   order (:func:`~repro.distrib.reduce.reduce_step_outputs`), folds the
-   workers' traffic-counter deltas into the canonical bank's usage records,
-   and writes the post-step generator snapshots back into the canonical
-   bank.
+   generator rows.  Task state (parameters, minibatch rows) ships as
+   content-fingerprinted **deltas** against what each worker already caches
+   (:mod:`repro.distrib.delta`); a worker that cannot resolve a delta
+   answers with a resync request and receives the task re-shipped full;
+4. collects the task results with deterministic fault tolerance: a dead
+   worker's tasks are re-dispatched (to a surviving or freshly respawned
+   worker, within the respawn bounds) and re-execute from the same task
+   spec, re-encoded for whatever the target worker's cache holds -- the
+   task is re-computed from its seeds/states, never dropped, and
+   re-execution is bit-identical because nothing in the spec depends on
+   worker state;
+5. reduces gradients, loss terms and probabilities in canonical
+   ``(sample, row-block)`` order
+   (:func:`~repro.distrib.reduce.reduce_step_outputs`), folds the workers'
+   traffic-counter deltas into the canonical bank's usage records, and
+   writes the post-step generator snapshots back into the canonical bank.
 
 The resulting parameter trajectory is bit-for-bit the single-process
-batched (and therefore also the sequential) trajectory, at any worker
-count.
+batched (and therefore also the sequential) trajectory with the default
+single row block -- at any worker count, under any join/leave schedule,
+delta or full shipping.  With ``n_row_blocks > 1`` the trajectory is the
+canonical *blocked* trajectory, still invariant to worker count, partition
+and placement (see :mod:`repro.distrib.plan`).
 """
 
 from __future__ import annotations
@@ -42,11 +54,18 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
+from ..bnn.serialization import tensor_fingerprint
+from ..obs.adapters import bind_distrib_collectors
 from ..obs.metrics import MetricsRegistry, default_registry, obs_enabled
-from .plan import plan_shards
+from .delta import (
+    DEFAULT_CACHE_SLOTS,
+    DeltaEncoder,
+    DeltaResyncRequired,
+)
+from .plan import plan_step
 from .reduce import reduce_step_outputs
 from .respawn import RespawnBudget, RespawnPolicy
-from .worker import ShardEngine, _worker_main
+from .worker import PARAM_SLOT_PREFIX, ShardEngine, _worker_main, data_slots
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from ..bnn.trainer import BNNTrainer
@@ -55,6 +74,13 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
 __all__ = ["DistributedBackend", "DistributedStepError"]
 
 _LIVENESS_POLL_S = 0.2
+
+#: A task whose worker repeatedly fails to resolve its state even after
+#: full re-shipments indicates a broken transport, not a stale cache.
+_MAX_TASK_RESYNCS = 3
+
+#: Rank key of the inline (in-process) engine's delta encoder.
+_INLINE_RANK = -1
 
 
 class DistributedStepError(RuntimeError):
@@ -71,37 +97,55 @@ class _TrainWorker:
 
 
 class DistributedBackend:
-    """Sample-sharded execution backend for ``BNNTrainer.train_step``.
+    """Sample- and row-sharded execution backend for ``BNNTrainer.train_step``.
 
     Parameters
     ----------
     replica:
         Recipe for the workers' model replicas.  Only the structure (spec +
         build seed) matters: the coordinator ships the current parameter
-        values with every step, so a structural
+        values (as deltas) with every step, so a structural
         ``ReplicaSpec(spec=..., build_seed=...)`` without captured state is
         sufficient.
     n_workers:
-        ``0`` executes the shards inline on the coordinator (same sharded
-        code path, no processes -- the degenerate cluster); ``>= 1`` forks
-        that many worker processes.
+        ``0`` executes the tasks inline on the coordinator (same sharded
+        code path including delta encoding, no processes -- the degenerate
+        cluster); ``>= 1`` forks that many worker processes.  The pool can
+        grow and shrink later via :meth:`request_join` /
+        :meth:`request_leave`.
     n_shards:
-        How many shards to cut each step into (default: one per worker, or
-        one for inline execution).  More shards than workers is allowed --
-        shards queue round-robin; inline execution with ``n_shards > 1``
-        exercises the full shard/reduce machinery in-process.
+        How many sample shards to cut each step into.  ``None`` (default)
+        tracks the pool: one shard per worker, replanned when the pool's
+        membership changes.  An explicit value pins the plan.  More shards
+        than workers is allowed -- tasks queue round-robin; inline execution
+        with ``n_shards > 1`` exercises the full shard/reduce machinery
+        in-process.
+    n_row_blocks:
+        Split each minibatch into this many contiguous row blocks, lifting
+        the parallelism cap from ``S`` to ``S x n_row_blocks`` tasks.
+        **Part of the canonical trajectory** (row sums are replayed per
+        block): hold it fixed across a fit, and across any runs that are
+        compared bit for bit.  The default ``1`` reproduces the classic
+        single-process trajectory exactly.
+    delta_shipping:
+        Ship per-task state as content-fingerprinted deltas against each
+        worker's cache (default).  ``False`` ships every task full -- same
+        wire format, no cache reuse; the delta benchmark's baseline.
+    delta_cache_slots:
+        LRU capacity (distinct tensors) of each worker's delta cache and
+        its coordinator-side mirror.
     respawn:
         Crash-recovery bounds; ``None`` disables respawning (a worker death
         then fails the step as soon as no healthy worker can take the
-        shard).
+        task).
     step_timeout:
         Seconds one step may take end-to-end before the backend gives up
         (guards against a *hung* -- not dead -- worker).
     metrics:
-        Where per-step phase timings (ship / compute / replay_reduce) land;
-        defaults to the process-wide
-        :func:`~repro.obs.metrics.default_registry` and is disabled entirely
-        under ``REPRO_OBS=0``.
+        Where per-step phase timings (ship / compute / replay_reduce),
+        bytes-shipped and resync/replan/pool-event counters land; defaults
+        to the process-wide :func:`~repro.obs.metrics.default_registry` and
+        is disabled entirely under ``REPRO_OBS=0``.
     """
 
     def __init__(
@@ -109,6 +153,9 @@ class DistributedBackend:
         replica: "ReplicaSpec",
         n_workers: int = 2,
         n_shards: int | None = None,
+        n_row_blocks: int = 1,
+        delta_shipping: bool = True,
+        delta_cache_slots: int = DEFAULT_CACHE_SLOTS,
         respawn: RespawnPolicy | None = RespawnPolicy(),
         start_method: str | None = None,
         step_timeout: float = 300.0,
@@ -118,9 +165,15 @@ class DistributedBackend:
             raise ValueError("n_workers must be non-negative")
         if n_shards is not None and n_shards < 1:
             raise ValueError("n_shards must be at least 1")
+        if n_row_blocks < 1:
+            raise ValueError("n_row_blocks must be at least 1")
         self._replica = replica
         self._n_workers = n_workers
+        self._auto_shards = n_shards is None
         self._n_shards = n_shards if n_shards is not None else max(n_workers, 1)
+        self._n_row_blocks = n_row_blocks
+        self._delta_shipping = delta_shipping
+        self._delta_cache_slots = delta_cache_slots
         self._budget = RespawnBudget(respawn or RespawnPolicy(max_respawns=0))
         self._step_timeout = step_timeout
         if start_method is None:
@@ -129,6 +182,7 @@ class DistributedBackend:
         self._ctx = multiprocessing.get_context(start_method)
         self._workers: list[_TrainWorker] = []
         self._retired: list[_TrainWorker] = []
+        self._encoders: dict[int, DeltaEncoder] = {}
         self._result_queue = None
         self._inline_engine: ShardEngine | None = None
         self._loss = None
@@ -137,15 +191,26 @@ class DistributedBackend:
         self._step_index = 0
         self._started = False
         self._closed = False
+        self._pending_joins = 0
+        self._pending_leaves = 0
+        #: Cumulative traffic/recovery accounting (also mirrored to metrics;
+        #: these plain counters stay available under ``REPRO_OBS=0``).
+        self.bytes_shipped = 0
+        self.bytes_full_equivalent = 0
+        self.resyncs = 0
+        self.replans = 0
         if metrics is None and obs_enabled():
             metrics = default_registry()
         self._metrics = metrics
         self._m_phase = self._m_steps = None
+        self._m_bytes = self._m_state_bytes = None
+        self._m_resyncs = self._m_replans = self._m_pool = None
+        self._collector = None
         if metrics is not None:
             self._m_phase = metrics.histogram(
                 "repro_distrib_step_phase_ms",
                 "Distributed step phase latency: ship (state capture + "
-                "payload build), compute (shard execution), replay_reduce "
+                "payload build), compute (task execution), replay_reduce "
                 "(canonical reduce + bank fold-back).",
                 ("phase",),
             )
@@ -153,6 +218,43 @@ class DistributedBackend:
                 "repro_distrib_steps_total",
                 "Distributed training steps completed.",
             )
+            self._m_bytes = metrics.counter(
+                "repro_distrib_state_bytes_shipped_total",
+                "Task-state tensor bytes placed on the wire, by message kind "
+                "(full: cold/resync/baseline shipments; delta: "
+                "changed-tensor-only shipments).",
+                ("kind",),
+            )
+            self._m_state_bytes = metrics.counter(
+                "repro_distrib_state_bytes_total",
+                "Task-state tensor bytes a full shipment of every task would "
+                "have moved (the delta baseline).",
+            )
+            self._m_resyncs = metrics.counter(
+                "repro_distrib_resyncs_total",
+                "Delta-cache resyncs: tasks re-shipped full after a worker "
+                "could not resolve its state message.",
+            )
+            self._m_replans = metrics.counter(
+                "repro_distrib_replans_total",
+                "Shard replans triggered by worker-pool membership changes.",
+            )
+            self._m_pool = metrics.counter(
+                "repro_distrib_pool_events_total",
+                "Elastic worker-pool membership events.",
+                ("event",),
+            )
+            # materialise every child at zero so a scrape can tell "no
+            # resyncs happened" apart from "nothing is instrumented"
+            self._m_steps.inc(0)
+            self._m_state_bytes.inc(0)
+            self._m_resyncs.inc(0)
+            self._m_replans.inc(0)
+            for kind in ("full", "delta"):
+                self._m_bytes.labels(kind=kind).inc(0)
+            for event in ("join", "leave", "respawn"):
+                self._m_pool.labels(event=event).inc(0)
+            self._collector = bind_distrib_collectors(metrics, self)
         #: Test-only fault injection: ``hook(step_index, worker_rank) -> bool``
         #: evaluated at dispatch; ``True`` makes that worker die on receipt,
         #: exactly like an external SIGKILL mid-step.
@@ -162,6 +264,15 @@ class DistributedBackend:
     @property
     def n_workers(self) -> int:
         return self._n_workers
+
+    @property
+    def n_shards(self) -> int:
+        """Sample shards per step under the current plan."""
+        return self._n_shards
+
+    @property
+    def n_row_blocks(self) -> int:
+        return self._n_row_blocks
 
     @property
     def alive_workers(self) -> int:
@@ -174,9 +285,97 @@ class DistributedBackend:
         return self._budget.respawns_used
 
     @property
+    def pending_joins(self) -> int:
+        """Join requests queued for the next step boundary."""
+        return self._pending_joins
+
+    @property
+    def pending_leaves(self) -> int:
+        """Leave requests queued for the next step boundary."""
+        return self._pending_leaves
+
+    @property
+    def delta_mirror_entries(self) -> int:
+        """Total tensors tracked across all per-worker delta mirrors."""
+        return sum(len(encoder.mirror) for encoder in self._encoders.values())
+
+    @property
     def processes(self) -> list[multiprocessing.process.BaseProcess]:
         """Current worker processes (tests and diagnostics)."""
         return [worker.process for worker in self._workers]
+
+    # ------------------------------------------------------------------
+    # elastic membership
+    # ------------------------------------------------------------------
+    def request_join(self, n: int = 1) -> None:
+        """Ask for ``n`` more workers; they join at the next step boundary.
+
+        Mid-step requests never take effect mid-step: membership is applied
+        only at the top of :meth:`run_step`, so the step in flight completes
+        under the plan it started with.
+        """
+        if n < 1:
+            raise ValueError("must request at least one worker")
+        if self._n_workers == 0 and not self._pending_joins:
+            raise RuntimeError(
+                "the inline (n_workers=0) backend has no elastic worker pool"
+            )
+        self._pending_joins += n
+
+    def request_leave(self, n: int = 1) -> None:
+        """Ask for ``n`` workers to leave at the next step boundary.
+
+        The highest-rank workers leave first (deterministic).  Shrinking
+        the pool below one worker fails the next step loudly.
+        """
+        if n < 1:
+            raise ValueError("must release at least one worker")
+        if self._n_workers == 0:
+            raise RuntimeError(
+                "the inline (n_workers=0) backend has no elastic worker pool"
+            )
+        self._pending_leaves += n
+
+    def _count_pool_event(self, event: str) -> None:
+        if self._m_pool is not None:
+            self._m_pool.labels(event=event).inc()
+
+    def _apply_membership(self) -> None:
+        """Apply queued join/leave requests and replan (step boundary only)."""
+        changed = False
+        while self._pending_leaves > 0:
+            if len(self._workers) <= 1:
+                self._pending_leaves = 0
+                raise DistributedStepError(
+                    "cannot shrink the worker pool below one worker"
+                )
+            worker = max(self._workers, key=lambda w: w.rank)
+            self._workers.remove(worker)
+            try:
+                worker.task_queue.put(None)
+            except Exception:  # pragma: no cover - queue already broken
+                pass
+            self._retired.append(worker)
+            self._encoders.pop(worker.rank, None)
+            self._n_workers -= 1
+            self._pending_leaves -= 1
+            changed = True
+            self._count_pool_event("leave")
+        while self._pending_joins > 0:
+            self._workers.append(self._spawn_worker())
+            self._n_workers += 1
+            self._pending_joins -= 1
+            changed = True
+            self._count_pool_event("join")
+        if changed and self._auto_shards:
+            new_shards = max(self._n_workers, 1)
+            if new_shards != self._n_shards:
+                # the sample partition changes, the bits do not: the reducer
+                # replays canonical (sample, row-block) order under any plan
+                self._n_shards = new_shards
+                self.replans += 1
+                if self._m_replans is not None:
+                    self._m_replans.inc()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -233,6 +432,8 @@ class DistributedBackend:
         if self._closed:
             return
         self._closed = True
+        if self._metrics is not None and self._collector is not None:
+            self._metrics.unregister_collector(self._collector)
         workers = self._workers + self._retired
         for worker in workers:
             if abort:
@@ -250,6 +451,7 @@ class DistributedBackend:
                 worker.process.join(timeout=timeout)
         self._workers = []
         self._retired = []
+        self._encoders = {}
 
     def __enter__(self) -> "DistributedBackend":
         return self
@@ -278,13 +480,14 @@ class DistributedBackend:
             raise RuntimeError("backend is closed")
         if not self._started:
             self._start(trainer)
+        if self._inline_engine is None:
+            self._apply_membership()
         ship_from = time.monotonic()
         config = trainer.config
-        plan = plan_shards(config.n_samples, self._n_shards)
+        plan = plan_step(
+            config.n_samples, self._n_shards, x.shape[0], self._n_row_blocks
+        )
         snapshots = trainer.bank.snapshots()
-        params = {
-            param.name: param.value for param in trainer.model.parameters()
-        }
         bank_cfg = {
             "policy": trainer.bank.policy,
             "seed": config.seed,
@@ -292,38 +495,68 @@ class DistributedBackend:
             "grng_stride": config.grng_stride,
             "lockstep": config.lockstep,
         }
-        payloads = []
-        for shard in plan.shards:
-            payloads.append(
+        # the step's content-addressed state slots, hashed once (not once
+        # per worker): every parameter tensor plus each row block's data
+        param_slots = {
+            PARAM_SLOT_PREFIX + param.name: param.value
+            for param in trainer.model.parameters()
+        }
+        block_slots: dict[int, dict[str, np.ndarray]] = {}
+        for block_index, (start, stop) in enumerate(plan.row_blocks):
+            x_slot, y_slot = data_slots(block_index)
+            block_slots[block_index] = {
+                x_slot: x[start:stop],
+                y_slot: y[start:stop],
+            }
+        fingerprints = {
+            slot: tensor_fingerprint(array)
+            for slots in (param_slots, *block_slots.values())
+            for slot, array in slots.items()
+        }
+        specs = []
+        for shard_index, block_index in plan.tasks:
+            shard = plan.samples.shards[shard_index]
+            slots = dict(param_slots)
+            slots.update(block_slots[block_index])
+            specs.append(
                 {
                     "step_index": self._step_index,
                     "shard": shard,
+                    "row_block": block_index,
+                    "rows": plan.row_blocks[block_index],
+                    "total_rows": plan.n_rows,
+                    "row_normalised": plan.n_row_blocks > 1,
                     "snapshots": [snapshots[index] for index in shard],
-                    "params": params,
-                    "x": x,
-                    "y": y,
-                    "kl_weight": kl_weight,
-                    "include_entropy_term": config.include_entropy_term,
+                    # KL/prior/entropy terms are row-count independent: they
+                    # enter exactly once per sample, through row block 0
+                    "kl_weight": kl_weight if block_index == 0 else 0.0,
+                    "include_entropy_term": (
+                        config.include_entropy_term if block_index == 0 else False
+                    ),
                     "quantization_bits": config.quantization_bits,
                     "bank": bank_cfg,
+                    "slots": slots,
+                    "fingerprints": fingerprints,
                 }
             )
         compute_from = time.monotonic()
         if self._inline_engine is not None:
-            shard_results = [
-                self._inline_engine.run_step(payload) for payload in payloads
-            ]
+            task_results = [self._run_inline(spec) for spec in specs]
         else:
-            shard_results = self._run_pooled(payloads)
+            task_results = self._run_pooled(specs)
         self._step_index += 1
         reduce_from = time.monotonic()
         total_nll, correct_probs = reduce_step_outputs(
-            trainer.model, plan, shard_results
+            trainer.model, plan, task_results
         )
         # fold the per-step traffic deltas and post-step generator states
-        # back into the canonical (bookkeeping) bank
+        # back into the canonical (bookkeeping) bank; row block 0 speaks for
+        # each sample (all blocks draw identical weight epsilons)
         new_snapshots = list(snapshots)
-        for shard, result in zip(plan.shards, shard_results):
+        for (shard_index, block_index), result in zip(plan.tasks, task_results):
+            if block_index != 0:
+                continue
+            shard = plan.samples.shards[shard_index]
             for local_index, sample_index in enumerate(shard):
                 new_snapshots[sample_index] = result["snapshots"][local_index]
                 trainer.bank.streams[sample_index].usage.merge_delta(
@@ -345,9 +578,63 @@ class DistributedBackend:
         return total_nll, correct_probs
 
     # ------------------------------------------------------------------
+    # delta-aware payload encoding
+    # ------------------------------------------------------------------
+    def _encode_payload(self, spec: dict, rank: int) -> dict:
+        """Materialise one task spec into a payload for one target worker.
+
+        Encoding happens at dispatch time, per target: the same spec sent
+        to a warm worker ships a slim delta, to a cold (fresh, respawned or
+        resynced) worker a full state message.  Specs themselves stay
+        abstract so crash re-dispatch can re-encode for the new target.
+        """
+        encoder = self._encoders.get(rank)
+        if encoder is None:
+            encoder = DeltaEncoder(
+                capacity=self._delta_cache_slots,
+                delta_shipping=self._delta_shipping,
+            )
+            self._encoders[rank] = encoder
+        encoded = encoder.encode(spec["slots"], spec["fingerprints"])
+        self.bytes_shipped += encoded.shipped_bytes
+        self.bytes_full_equivalent += encoded.total_bytes
+        if self._m_bytes is not None:
+            self._m_bytes.labels(kind=encoded.message["kind"]).inc(
+                encoded.shipped_bytes
+            )
+            self._m_state_bytes.inc(encoded.total_bytes)
+        payload = {
+            key: value
+            for key, value in spec.items()
+            if key not in ("slots", "fingerprints")
+        }
+        payload["state"] = encoded.message
+        return payload
+
+    def _note_resync(self, rank: int | None) -> None:
+        """A worker could not resolve its state: mark it cold, count it."""
+        self.resyncs += 1
+        if self._m_resyncs is not None:
+            self._m_resyncs.inc()
+        if rank is not None:
+            encoder = self._encoders.get(rank)
+            if encoder is not None:
+                encoder.mark_cold()
+
+    def _run_inline(self, spec: dict) -> dict:
+        """Inline execution: same encode/resolve path, no processes."""
+        payload = self._encode_payload(spec, _INLINE_RANK)
+        try:
+            return self._inline_engine.run_step(payload)
+        except DeltaResyncRequired:
+            self._note_resync(_INLINE_RANK)
+            payload = self._encode_payload(spec, _INLINE_RANK)  # now full
+            return self._inline_engine.run_step(payload)
+
+    # ------------------------------------------------------------------
     # pooled dispatch with deterministic crash recovery
     # ------------------------------------------------------------------
-    def _dispatch(self, task_id: int, payload: dict) -> _TrainWorker:
+    def _dispatch(self, task_id: int, spec: dict) -> _TrainWorker:
         alive = [w for w in self._workers if w.process.is_alive()]
         if not alive:
             raise DistributedStepError(
@@ -358,6 +645,7 @@ class DistributedBackend:
         # replacement is alive but still constructing); least-loaded first
         candidates = [w for w in alive if w.ready] or alive
         worker = min(candidates, key=lambda w: len(w.assigned))
+        payload = self._encode_payload(spec, worker.rank)
         if self.fault_hook is not None and self.fault_hook(
             self._step_index, worker.rank
         ):
@@ -366,33 +654,39 @@ class DistributedBackend:
         worker.task_queue.put((task_id, payload))
         return worker
 
+    def _retire(self, worker: _TrainWorker) -> None:
+        self._workers.remove(worker)
+        self._retired.append(worker)
+        self._encoders.pop(worker.rank, None)
+
     def _replenish(self) -> None:
         """Retire workers that died between steps and respawn within budget."""
         for worker in [w for w in self._workers if not w.process.is_alive()]:
-            self._workers.remove(worker)
-            self._retired.append(worker)
+            self._retire(worker)
         while len(self._workers) < self._n_workers and self._budget.try_respawn():
             self._workers.append(self._spawn_worker())
+            self._count_pool_event("respawn")
 
-    def _run_pooled(self, payloads: list[dict]) -> list[dict]:
+    def _run_pooled(self, specs: list[dict]) -> list[dict]:
         self._replenish()
         pending: dict[int, dict] = {}
         assigned: dict[int, _TrainWorker] = {}
         results: dict[int, dict] = {}
-        task_shard: dict[int, int] = {}
-        for shard_index, payload in enumerate(payloads):
+        task_order: dict[int, int] = {}
+        resync_counts: dict[int, int] = {}
+        for spec_index, spec in enumerate(specs):
             task_id = self._task_counter
             self._task_counter += 1
-            pending[task_id] = payload
-            task_shard[task_id] = shard_index
-            assigned[task_id] = self._dispatch(task_id, payload)
+            pending[task_id] = spec
+            task_order[task_id] = spec_index
+            assigned[task_id] = self._dispatch(task_id, spec)
         deadline = time.monotonic() + self._step_timeout
         try:
             while pending:
                 if time.monotonic() > deadline:
                     raise DistributedStepError(
                         f"step did not complete within {self._step_timeout}s; "
-                        f"{len(pending)} shard task(s) still outstanding"
+                        f"{len(pending)} task(s) still outstanding"
                     )
                 try:
                     message = self._result_queue.get(timeout=_LIVENESS_POLL_S)
@@ -409,10 +703,23 @@ class DistributedBackend:
                         worker.assigned.discard(key)
                         del pending[key]
                         self._budget.forget(key)
+                elif kind == "resync":
+                    if key in pending:
+                        resync_counts[key] = resync_counts.get(key, 0) + 1
+                        if resync_counts[key] > _MAX_TASK_RESYNCS:
+                            raise DistributedStepError(
+                                f"task {key} required more than "
+                                f"{_MAX_TASK_RESYNCS} delta resyncs; the "
+                                "state transport is broken"
+                            )
+                        self._note_resync((payload or {}).get("rank"))
+                        worker = assigned.pop(key)
+                        worker.assigned.discard(key)
+                        assigned[key] = self._dispatch(key, pending[key])
                 elif kind == "error":
                     if key in pending:
                         raise DistributedStepError(
-                            f"shard task failed in worker:\n{payload}"
+                            f"task failed in worker:\n{payload}"
                         )
         except DistributedStepError:
             # release this step's bookkeeping before propagating so a caller
@@ -425,19 +732,20 @@ class DistributedBackend:
             raise
         return [
             results[task_id]
-            for task_id in sorted(results, key=lambda t: task_shard[t])
+            for task_id in sorted(results, key=lambda t: task_order[t])
         ]
 
     def _recover_dead(
         self, pending: dict[int, dict], assigned: dict[int, _TrainWorker]
     ) -> None:
-        """Re-dispatch the shard tasks of dead workers (bounded, deterministic).
+        """Re-dispatch the tasks of dead workers (bounded, deterministic).
 
         Called when the result queue went quiet: any task whose worker is no
-        longer alive at this point was lost mid-execution.  The task is
-        re-queued unchanged -- its payload fully determines its bits -- onto
-        a surviving worker, or onto a freshly spawned replacement when none
-        survives and the respawn budget allows one.
+        longer alive at this point was lost mid-execution.  The task's spec
+        is re-encoded for its new target -- the spec fully determines the
+        task's bits; only the delta framing is per-worker -- and re-queued
+        onto a surviving worker, or onto a freshly spawned replacement when
+        none survives and the respawn budget allows one.
         """
         orphaned = [
             task_id
@@ -449,15 +757,15 @@ class DistributedBackend:
         # retire dead workers first so dispatch never targets them
         dead = {assigned[task_id].rank for task_id in orphaned}
         for worker in [w for w in self._workers if w.rank in dead]:
-            self._workers.remove(worker)
-            self._retired.append(worker)
+            self._retire(worker)
         # keep the pool at strength within the respawn budget
         while len(self._workers) < self._n_workers and self._budget.try_respawn():
             self._workers.append(self._spawn_worker())
+            self._count_pool_event("respawn")
         for task_id in orphaned:
             if not self._budget.try_retry(task_id):
                 raise DistributedStepError(
-                    f"shard task {task_id} lost its worker more than "
+                    f"task {task_id} lost its worker more than "
                     f"{self._budget.policy.max_task_retries} time(s)"
                 )
             assigned[task_id] = self._dispatch(task_id, pending[task_id])

@@ -1,19 +1,37 @@
-"""Shard planning: partition the ``S`` Monte-Carlo samples across workers.
+"""Shard planning: partition one step's work across workers, in 2-D.
 
-A training step's FW/BW/GC work is embarrassingly parallel along the sample
-axis; the planner cuts the canonical sample range ``0 .. S-1`` into
-contiguous, balanced shards.  Contiguity is a convenience (shards print
-nicely and keep cache-friendly slice semantics on the coordinator), not a
-correctness requirement -- the reduction is performed per canonical sample
-index, so *any* partition of the samples produces a bit-identical parameter
-trajectory.
+A training step's FW/BW/GC work is embarrassingly parallel along the
+Monte-Carlo **sample** axis; the classic planner (:func:`plan_shards`) cuts
+the canonical sample range ``0 .. S-1`` into contiguous, balanced shards.
+Contiguity is a convenience (shards print nicely and keep cache-friendly
+slice semantics on the coordinator), not a correctness requirement -- the
+reduction is performed per canonical sample index, so *any* partition of
+the samples produces a bit-identical parameter trajectory.
+
+:func:`plan_step` adds a second axis: the minibatch **rows**.  A
+:class:`StepPlan` crosses the sample shards with a fixed set of contiguous
+row blocks; each ``(shard, row-block)`` cell is one independently
+dispatchable task, so parallelism is no longer capped at ``S``.  The row
+blocking is part of the step's *canonical semantics*, not of its schedule:
+float sums over split row ranges do not recombine into the unsplit sums
+bit-exactly, so the canonical trajectory is defined **per row-block
+structure** -- the reducer replays gradient contributions in canonical
+``(sample, row-block)`` order, which makes the bits independent of worker
+count, shard partition and task placement, and ``n_row_blocks=1`` (the
+default) is exactly the classic single-block trajectory.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["ShardPlan", "plan_shards"]
+__all__ = [
+    "ShardPlan",
+    "StepPlan",
+    "plan_shards",
+    "plan_row_blocks",
+    "plan_step",
+]
 
 
 @dataclass(frozen=True)
@@ -50,6 +68,67 @@ class ShardPlan:
         raise KeyError(f"sample {sample_index} is in no shard")
 
 
+@dataclass(frozen=True)
+class StepPlan:
+    """One step's 2-D ``(sample-shard, row-block)`` task grid.
+
+    ``row_blocks`` is a contiguous partition of the minibatch rows
+    ``0 .. n_rows-1`` as ``(start, stop)`` half-open ranges.  Tasks are the
+    cross product ``shards x row_blocks``, enumerated shard-major
+    (``task_index = shard_index * n_row_blocks + block_index``).  The block
+    structure is canonical-trajectory-defining (see the module docstring);
+    the shard partition is not.
+    """
+
+    samples: ShardPlan
+    n_rows: int
+    row_blocks: tuple[tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        if self.n_rows < 1:
+            raise ValueError("a step plan needs at least one minibatch row")
+        cursor = 0
+        for start, stop in self.row_blocks:
+            if start != cursor or stop <= start:
+                raise ValueError(
+                    f"row blocks {self.row_blocks} are not a contiguous "
+                    f"partition of 0..{self.n_rows - 1}"
+                )
+            cursor = stop
+        if cursor != self.n_rows:
+            raise ValueError(
+                f"row blocks {self.row_blocks} do not cover {self.n_rows} rows"
+            )
+
+    @property
+    def n_samples(self) -> int:
+        return self.samples.n_samples
+
+    @property
+    def n_row_blocks(self) -> int:
+        return len(self.row_blocks)
+
+    @property
+    def n_tasks(self) -> int:
+        return self.samples.n_shards * self.n_row_blocks
+
+    @property
+    def tasks(self) -> tuple[tuple[int, int], ...]:
+        """All ``(shard_index, block_index)`` cells, shard-major."""
+        return tuple(
+            (shard_index, block_index)
+            for shard_index in range(self.samples.n_shards)
+            for block_index in range(self.n_row_blocks)
+        )
+
+    def task_of(self, sample_index: int, block_index: int) -> tuple[int, int]:
+        """``(task_index, local_sample_index)`` owning one ``(s, b)`` cell."""
+        if not 0 <= block_index < self.n_row_blocks:
+            raise KeyError(f"row block {block_index} is not in the plan")
+        shard_index, local_index = self.samples.owner_of(sample_index)
+        return shard_index * self.n_row_blocks + block_index, local_index
+
+
 def plan_shards(n_samples: int, n_shards: int) -> ShardPlan:
     """Cut ``0 .. n_samples-1`` into at most ``n_shards`` contiguous shards.
 
@@ -70,3 +149,40 @@ def plan_shards(n_samples: int, n_shards: int) -> ShardPlan:
         shards.append(tuple(range(start, start + size)))
         start += size
     return ShardPlan(n_samples=n_samples, shards=tuple(shards))
+
+
+def plan_row_blocks(n_rows: int, n_row_blocks: int) -> tuple[tuple[int, int], ...]:
+    """Cut ``0 .. n_rows-1`` into at most ``n_row_blocks`` contiguous ranges.
+
+    Balanced like :func:`plan_shards`: block sizes differ by at most one and
+    surplus blocks are not created.  **Changing the block structure changes
+    the canonical trajectory** (float sums over rows are replayed per
+    block), so callers must hold it fixed for the lifetime of a fit.
+    """
+    if n_rows < 1:
+        raise ValueError("n_rows must be at least 1")
+    if n_row_blocks < 1:
+        raise ValueError("n_row_blocks must be at least 1")
+    n_row_blocks = min(n_row_blocks, n_rows)
+    base, extra = divmod(n_rows, n_row_blocks)
+    blocks: list[tuple[int, int]] = []
+    start = 0
+    for block_index in range(n_row_blocks):
+        size = base + (1 if block_index < extra else 0)
+        blocks.append((start, start + size))
+        start += size
+    return tuple(blocks)
+
+
+def plan_step(
+    n_samples: int,
+    n_shards: int,
+    n_rows: int,
+    n_row_blocks: int = 1,
+) -> StepPlan:
+    """Plan one step: sample shards crossed with minibatch row blocks."""
+    return StepPlan(
+        samples=plan_shards(n_samples, n_shards),
+        n_rows=n_rows,
+        row_blocks=plan_row_blocks(n_rows, n_row_blocks),
+    )

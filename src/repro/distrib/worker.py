@@ -1,14 +1,17 @@
 """Shard execution engine and worker-process loop for distributed training.
 
-A :class:`ShardEngine` executes one step's FW/BW/GC work for a *shard* of
-the canonical Monte-Carlo samples.  It is deliberately **stateless between
-steps**: everything that determines the step's bits arrives in the task
-payload -- the current parameter values, the shard's canonical generator
-snapshots, the minibatch and the loss weights.  The engine's own model
-replica and cached shard banks are pure performance caches; re-executing a
-payload on a freshly-built engine (e.g. on a respawned worker after a
-crash) produces byte-identical results, which is what makes the
-coordinator's retry-on-death recovery deterministic.
+A :class:`ShardEngine` executes one task's FW/BW/GC work for a cell of the
+step's :class:`~repro.distrib.plan.StepPlan` -- a *shard* of the canonical
+Monte-Carlo samples crossed with one contiguous *row block* of the
+minibatch.  It is deliberately **stateless between steps**: everything that
+determines the task's bits arrives in the task payload -- the current
+parameter values and minibatch rows (resolved through the content-addressed
+:class:`~repro.distrib.delta.DeltaCache`, a pure transport optimisation),
+the shard's canonical generator snapshots and the loss weights.  The
+engine's model replica, delta cache and cached shard banks are performance
+caches only; re-executing a payload on a freshly-built engine (e.g. on a
+respawned worker after a crash) produces byte-identical results, which is
+what makes the coordinator's retry-on-death recovery deterministic.
 
 Bit-exactness contract (the Fig. 9 property, extended across processes):
 
@@ -16,7 +19,10 @@ Bit-exactness contract (the Fig. 9 property, extended across processes):
   shard's rows, seeded as the canonical samples would be
   (``sample_indices=shard``) and rewound onto the coordinator's canonical
   generator states before the pass -- epsilon bits never depend on which
-  worker runs the shard, or on anything the worker did earlier.
+  worker runs the task, or on anything the worker did earlier.  Weight
+  epsilons do not depend on minibatch rows, so every row block of a sample
+  draws identical epsilons; snapshots and traffic deltas are reported by
+  row block 0 alone.
 * The per-sample forward/backward arithmetic is shard-size independent by
   construction (per-sample matmuls / im2col; element-wise ops broadcast per
   row), so sample ``s`` computes the same bits whether it is folded with
@@ -24,7 +30,9 @@ Bit-exactness contract (the Fig. 9 property, extended across processes):
 * Gradients are not accumulated locally: a
   :class:`~repro.bnn.grad_tape.SampleGradientTape` captures every
   parameter's per-sample contribution stack, and the coordinator replays
-  the additions in canonical sample order across shards.
+  the additions in canonical ``(sample, row-block)`` order across tasks.
+  KL/prior (and entropy) terms are row-count independent, so they enter
+  through row block 0 only (other blocks run with ``kl_weight=0``).
 """
 
 from __future__ import annotations
@@ -39,6 +47,7 @@ from ..core.checkpoint import StreamBank
 from ..nn.losses import loss_probabilities
 from ..nn.quantization import QuantizationConfig
 from ..bnn.grad_tape import SampleGradientTape
+from .delta import DeltaCache, DeltaResyncRequired
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from ..bnn.model import BayesianNetwork
@@ -47,20 +56,32 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
 
 __all__ = ["ShardEngine"]
 
+#: Slot-name prefixes of the delta-shipped state (see ``distrib.delta``).
+PARAM_SLOT_PREFIX = "param/"
+
+
+def data_slots(block_index: int) -> tuple[str, str]:
+    """The ``(x, y)`` slot names of one row block's minibatch data."""
+    return f"data/x/{block_index}", f"data/y/{block_index}"
+
 
 class ShardEngine:
-    """Executes shard tasks against a private model replica.
+    """Executes ``(shard, row-block)`` tasks against a private model replica.
 
     One engine lives in each worker process (and one serves the inline
     ``n_workers=0`` path on the coordinator).  Shard banks are cached per
     ``(shard, bank-config)`` key; their generator registers are overwritten
-    from the payload's canonical snapshots at every step, so the cache can
-    never leak state into the results.
+    from the payload's canonical snapshots at every task, so the cache can
+    never leak state into the results.  The delta cache resolves the
+    payload's content-addressed state message; on any mismatch it raises
+    :class:`~repro.distrib.delta.DeltaResyncRequired`, which the worker
+    loop reports for a coordinator-driven full resync.
     """
 
     def __init__(self, model: "BayesianNetwork", loss: "Loss") -> None:
         self.model = model
         self.loss = loss
+        self.delta_cache = DeltaCache()
         self._parameters = {param.name: param for param in model.parameters()}
         self._banks: dict[tuple, StreamBank] = {}
         self._applied_quantization: object = None
@@ -116,17 +137,43 @@ class ShardEngine:
         self.model.quantization = config
         self._applied_quantization = quantization_bits
 
+    def _resolve_state(
+        self, payload: dict
+    ) -> tuple[dict[str, np.ndarray], np.ndarray, np.ndarray]:
+        """Resolve the task's ``(params, x, y)`` from its state message.
+
+        Payloads may also carry the pre-delta direct keys (``params`` /
+        ``x`` / ``y``) -- the form unit tests and external callers use; the
+        coordinator always ships the content-addressed ``state`` message.
+        """
+        state = payload.get("state")
+        if state is None:
+            return payload["params"], payload["x"], payload["y"]
+        resolved = self.delta_cache.apply(state)
+        params = {
+            slot[len(PARAM_SLOT_PREFIX):]: array
+            for slot, array in resolved.items()
+            if slot.startswith(PARAM_SLOT_PREFIX)
+        }
+        x_slot, y_slot = data_slots(payload.get("row_block", 0))
+        return params, resolved[x_slot], resolved[y_slot]
+
     # ------------------------------------------------------------------
     def run_step(self, payload: dict) -> dict:
-        """Execute one shard task; returns the wire-format result payload.
+        """Execute one task; returns the wire-format result payload.
 
         The result carries the per-sample gradient contribution stacks, the
-        per-sample loss terms and predictive probabilities, the post-step
-        generator snapshots and the step's traffic-counter deltas -- in the
-        shard's local sample order (the coordinator owns canonical order).
+        per-sample loss terms and predictive probabilities of the task's
+        row block -- in the shard's local sample order (the coordinator owns
+        canonical order) -- plus, for row block 0, the post-step generator
+        snapshots and the step's traffic-counter deltas.
         """
         shard: tuple[int, ...] = tuple(payload["shard"])
-        self._load_parameters(payload["params"])
+        block_index: int = payload.get("row_block", 0)
+        total_rows: int | None = payload.get("total_rows")
+        row_normalised: bool = payload.get("row_normalised", False)
+        params, x, y = self._resolve_state(payload)
+        self._load_parameters(params)
         self._apply_quantization(payload.get("quantization_bits"))
         bank = self._bank_for(shard, payload["bank"])
         # adopt the coordinator's canonical generator states and zero the
@@ -134,8 +181,6 @@ class ShardEngine:
         bank.load_generator_states(payload["snapshots"])
         bank.reset_usage()
 
-        x: np.ndarray = payload["x"]
-        y: np.ndarray = payload["y"]
         model = self.model
         model.train()
         model.zero_grad()
@@ -146,11 +191,19 @@ class ShardEngine:
             probabilities = np.empty_like(logits)
             grad_logits = np.empty_like(logits)
             for local_index in range(len(shard)):
-                nlls.append(self.loss.forward(logits[local_index], y))
+                if row_normalised:
+                    nlls.append(
+                        self.loss.forward_rows(logits[local_index], y, total_rows)
+                    )
+                else:
+                    nlls.append(self.loss.forward(logits[local_index], y))
                 probabilities[local_index] = loss_probabilities(
                     self.loss, logits[local_index]
                 )
-                grad_logits[local_index] = self.loss.backward()
+                if row_normalised:
+                    grad_logits[local_index] = self.loss.backward_rows()
+                else:
+                    grad_logits[local_index] = self.loss.backward()
             model.backward_samples(
                 grad_logits,
                 sampler,
@@ -163,13 +216,20 @@ class ShardEngine:
             raise RuntimeError(
                 f"no per-sample contributions captured for {sorted(missing)}"
             )
+        first_block = block_index == 0
         return {
             "shard": shard,
+            "row_block": block_index,
+            "rows": payload.get("rows"),
             "contributions": tape.contributions,
             "nlls": nlls,
             "probabilities": probabilities,
-            "snapshots": bank.snapshots(),
-            "usage": bank.usage_state_dicts(),
+            # every row block of a sample draws identical weight epsilons
+            # (they do not depend on minibatch rows), so block 0 speaks for
+            # the sample: one snapshot, one traffic delta -- exactly the
+            # accounting of the single-process run
+            "snapshots": bank.snapshots() if first_block else None,
+            "usage": bank.usage_state_dicts() if first_block else None,
         }
 
 
@@ -180,12 +240,15 @@ def _worker_main(
     task_queue,
     result_queue,
 ) -> None:
-    """Training-worker process body: build the replica, then serve shard tasks.
+    """Training-worker process body: build the replica, then serve tasks.
 
     The wire protocol mirrors the serving pool's: a ``("ready", rank, None)``
     handshake after construction, then ``("done" | "error", task_id,
     payload)`` per task, with exceptions crossing the process boundary as
-    formatted tracebacks.  A ``None`` task shuts the worker down.
+    formatted tracebacks.  A delta-cache mismatch is not an error: the
+    worker answers ``("resync", task_id, {"rank": ...})`` and the
+    coordinator re-ships the task full.  A ``None`` task shuts the worker
+    down.
     """
     try:
         engine = ShardEngine(replica.build(), loss)
@@ -205,5 +268,9 @@ def _worker_main(
             os._exit(1)
         try:
             result_queue.put(("done", task_id, engine.run_step(payload)))
+        except DeltaResyncRequired as exc:
+            result_queue.put(
+                ("resync", task_id, {"rank": rank, "detail": str(exc)})
+            )
         except BaseException:
             result_queue.put(("error", task_id, traceback.format_exc()))

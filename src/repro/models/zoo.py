@@ -435,10 +435,11 @@ class ReplicaSpec:
         """A replica recipe carrying only the structure, no trained state.
 
         The distributed *training* workers rebuild from this: the coordinator
-        ships the current parameter values with every step, so capturing a
-        parameter snapshot here would be dead weight -- only the layer
-        structure (and the build seed, for any structural randomness) must
-        match the coordinator's model.
+        ships the current parameter values with every step (as
+        content-addressed deltas against the worker's cache, or full on a
+        cold start), so capturing a parameter snapshot here would be dead
+        weight -- only the layer structure (and the build seed, for any
+        structural randomness) must match the coordinator's model.
         """
         return cls(
             spec=spec,

@@ -35,13 +35,36 @@ def loss_probabilities(loss: "Loss", logits: np.ndarray) -> np.ndarray:
 
 
 class Loss:
-    """Base class: ``forward`` returns a scalar, ``backward`` the logit gradient."""
+    """Base class: ``forward`` returns a scalar, ``backward`` the logit gradient.
+
+    Losses that can be decomposed across a row-partitioned minibatch (the
+    distributed trainer's batch-axis sharding) additionally implement
+    :meth:`forward_rows` / :meth:`backward_rows`: the same arithmetic as
+    ``forward`` / ``backward`` but normalised by the *full* minibatch row
+    count instead of by the rows present, so per-row-block results sum to a
+    deterministic whole.  Losses without the pair still work everywhere a
+    single row block is used.
+    """
 
     def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
         raise NotImplementedError
 
     def backward(self) -> np.ndarray:
         raise NotImplementedError
+
+    def forward_rows(
+        self, predictions: np.ndarray, targets: np.ndarray, total_rows: int
+    ) -> float:
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support row-block decomposition "
+            "(implement forward_rows/backward_rows, or run with n_row_blocks=1)"
+        )
+
+    def backward_rows(self) -> np.ndarray:
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support row-block decomposition "
+            "(implement forward_rows/backward_rows, or run with n_row_blocks=1)"
+        )
 
     def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> float:
         return self.forward(predictions, targets)
@@ -56,6 +79,7 @@ class SoftmaxCrossEntropy(Loss):
 
     def __init__(self) -> None:
         self._cache: tuple[np.ndarray, np.ndarray] | None = None
+        self._rows_norm: int | None = None
 
     def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
         if predictions.ndim != 2:
@@ -71,6 +95,36 @@ class SoftmaxCrossEntropy(Loss):
             raise RuntimeError("backward called before forward")
         probabilities, encoded = self._cache
         return (probabilities - encoded) / probabilities.shape[0]
+
+    def forward_rows(
+        self, predictions: np.ndarray, targets: np.ndarray, total_rows: int
+    ) -> float:
+        """Cross-entropy of a row block, normalised by the full batch size.
+
+        ``predictions``/``targets`` hold one contiguous block of the
+        minibatch's rows; ``total_rows`` is the unsplit minibatch row count.
+        Per-row arithmetic (softmax, one-hot, log) is identical to
+        :meth:`forward`; only the normaliser differs, so with a single
+        block covering all rows this *is* ``forward`` bit for bit.
+        """
+        if predictions.ndim != 2:
+            raise ValueError(f"logits must be 2-D, got shape {predictions.shape}")
+        if total_rows < predictions.shape[0]:
+            raise ValueError(
+                f"total_rows {total_rows} < block rows {predictions.shape[0]}"
+            )
+        probabilities = softmax(predictions)
+        encoded = one_hot(np.asarray(targets), predictions.shape[1])
+        self._cache = (probabilities, encoded)
+        self._rows_norm = total_rows
+        clipped = np.clip(probabilities, 1e-12, 1.0)
+        return float(-(encoded * np.log(clipped)).sum() / total_rows)
+
+    def backward_rows(self) -> np.ndarray:
+        if self._cache is None or self._rows_norm is None:
+            raise RuntimeError("backward_rows called before forward_rows")
+        probabilities, encoded = self._cache
+        return (probabilities - encoded) / self._rows_norm
 
     @property
     def probabilities(self) -> np.ndarray:
@@ -90,6 +144,7 @@ class MeanSquaredError(Loss):
 
     def __init__(self) -> None:
         self._cache: tuple[np.ndarray, np.ndarray] | None = None
+        self._size_norm: int | None = None
 
     def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
         targets = np.asarray(targets, dtype=np.float64)
@@ -105,3 +160,27 @@ class MeanSquaredError(Loss):
             raise RuntimeError("backward called before forward")
         predictions, targets = self._cache
         return 2.0 * (predictions - targets) / predictions.size
+
+    def forward_rows(
+        self, predictions: np.ndarray, targets: np.ndarray, total_rows: int
+    ) -> float:
+        """Squared error of a row block, normalised by the full batch's size."""
+        targets = np.asarray(targets, dtype=np.float64)
+        if predictions.shape != targets.shape:
+            raise ValueError(
+                f"prediction shape {predictions.shape} != target shape {targets.shape}"
+            )
+        if predictions.ndim < 1 or total_rows < predictions.shape[0]:
+            raise ValueError(
+                f"total_rows {total_rows} < block rows of {predictions.shape}"
+            )
+        per_row = predictions[0].size if predictions.shape[0] else 0
+        self._cache = (predictions, targets)
+        self._size_norm = total_rows * max(per_row, 1)
+        return float(((predictions - targets) ** 2).sum() / self._size_norm)
+
+    def backward_rows(self) -> np.ndarray:
+        if self._cache is None or self._size_norm is None:
+            raise RuntimeError("backward_rows called before forward_rows")
+        predictions, targets = self._cache
+        return 2.0 * (predictions - targets) / self._size_norm

@@ -14,7 +14,7 @@
 body: predict wire bytes are identical with tracing on, off, or sampled.
 """
 
-from .adapters import bind_serving_collectors
+from .adapters import bind_distrib_collectors, bind_serving_collectors
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS_MS,
     Counter,
@@ -35,6 +35,7 @@ __all__ = [
     "StageRecorder",
     "TraceHandle",
     "Tracer",
+    "bind_distrib_collectors",
     "bind_serving_collectors",
     "default_registry",
     "obs_enabled",

@@ -5,7 +5,10 @@ scrape time, loads absolute totals from ``ServerStats.snapshot()``, the
 ``AdmissionController`` snapshots, the microbatcher flush counters, and the
 kernel-backend dispatch counters.  The serving hot path never touches the
 registry -- only the scrape does -- so ``/v1/metrics`` costs nothing between
-scrapes.
+scrapes.  :func:`bind_distrib_collectors` does the same for the distributed
+training backend's elastic-pool and delta-cache gauges (its counters --
+bytes shipped, resyncs, replans, pool events -- are pushed by the
+coordinator itself, since they change at most once per step).
 """
 
 from __future__ import annotations
@@ -14,7 +17,44 @@ from typing import Callable
 
 from .metrics import DEFAULT_LATENCY_BUCKETS_MS, MetricsRegistry
 
-__all__ = ["bind_serving_collectors"]
+__all__ = ["bind_serving_collectors", "bind_distrib_collectors"]
+
+
+def bind_distrib_collectors(
+    registry: MetricsRegistry, backend
+) -> Callable[[], None]:
+    """Register scrape-time gauges for a :class:`DistributedBackend`.
+
+    Returns the collector so the backend can unregister it at close time.
+    All reads are plain attribute lookups on the coordinator -- safe to
+    scrape mid-step and free between scrapes.
+    """
+
+    workers = registry.gauge(
+        "repro_distrib_pool_workers",
+        "Worker processes currently alive in the elastic training pool.",
+    )
+    joins = registry.gauge(
+        "repro_distrib_pool_pending_joins",
+        "Join requests queued for the next step boundary.",
+    )
+    leaves = registry.gauge(
+        "repro_distrib_pool_pending_leaves",
+        "Leave requests queued for the next step boundary.",
+    )
+    mirror = registry.gauge(
+        "repro_distrib_delta_mirror_entries",
+        "Tensors tracked across the coordinator's per-worker delta mirrors.",
+    )
+
+    def collect() -> None:
+        workers.set(backend.alive_workers)
+        joins.set(backend.pending_joins)
+        leaves.set(backend.pending_leaves)
+        mirror.set(backend.delta_mirror_entries)
+
+    registry.register_collector(collect)
+    return collect
 
 
 def bind_serving_collectors(

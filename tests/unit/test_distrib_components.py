@@ -1,8 +1,11 @@
 """Unit tests for the distributed-training building blocks.
 
-Covers the shard planner, the respawn budget, the per-sample gradient tape
-(including the trainable-deterministic-layer capture path), the canonical
-order reducer's validation, and the shard-aware ``StreamBank`` seeding.
+Covers the shard planner (1-D and the 2-D step plan), the delta-shipping
+transport (cache/encoder lockstep, wire-format versioning, resync
+triggers), the row-decomposed losses, the respawn budget, the per-sample
+gradient tape (including the trainable-deterministic-layer capture path),
+the canonical order reducer's validation, and the shard-aware
+``StreamBank`` seeding.
 """
 
 from __future__ import annotations
@@ -12,14 +15,22 @@ import pytest
 
 from repro.bnn import BNNTrainer, SampleGradientTape, TrainerConfig
 from repro.bnn.grad_tape import active_tape
+from repro.bnn.serialization import state_fingerprint, tensor_fingerprint
 from repro.core.checkpoint import StreamBank
 from repro.core.streams import StreamUsage
 from repro.distrib import (
+    DeltaCache,
+    DeltaEncoder,
+    DeltaProtocolError,
+    DeltaResyncRequired,
     DistributedReductionError,
     RespawnBudget,
     RespawnPolicy,
     ShardPlan,
+    StepPlan,
+    plan_row_blocks,
     plan_shards,
+    plan_step,
     reduce_step_outputs,
 )
 from repro.models import get_model
@@ -58,6 +69,232 @@ class TestShardPlanner:
             ShardPlan(n_samples=3, shards=((0, 1),))  # sample 2 unowned
         with pytest.raises(ValueError):
             ShardPlan(n_samples=2, shards=((0, 1), ()))
+
+
+class TestStepPlanner:
+    def test_row_blocks_balanced_and_contiguous(self):
+        assert plan_row_blocks(10, 3) == ((0, 4), (4, 7), (7, 10))
+        assert plan_row_blocks(4, 1) == ((0, 4),)
+
+    def test_more_blocks_than_rows_drops_empties(self):
+        assert plan_row_blocks(2, 5) == ((0, 1), (1, 2))
+
+    def test_invalid_blocking_rejected(self):
+        with pytest.raises(ValueError):
+            plan_row_blocks(0, 1)
+        with pytest.raises(ValueError):
+            plan_row_blocks(4, 0)
+        with pytest.raises(ValueError):
+            StepPlan(
+                samples=plan_shards(2, 1), n_rows=4, row_blocks=((0, 2),)
+            )  # rows 2..3 uncovered
+        with pytest.raises(ValueError):
+            StepPlan(
+                samples=plan_shards(2, 1),
+                n_rows=4,
+                row_blocks=((0, 2), (3, 4)),  # gap at row 2
+            )
+
+    def test_task_grid_shard_major(self):
+        plan = plan_step(n_samples=4, n_shards=2, n_rows=8, n_row_blocks=2)
+        assert plan.n_tasks == 4
+        assert plan.tasks == ((0, 0), (0, 1), (1, 0), (1, 1))
+
+    def test_task_of_resolves_cells(self):
+        plan = plan_step(n_samples=5, n_shards=2, n_rows=6, n_row_blocks=3)
+        # sample 3 lives in shard 1 at local index 0
+        assert plan.task_of(3, 2) == (1 * 3 + 2, 0)
+        with pytest.raises(KeyError):
+            plan.task_of(0, 3)
+
+    def test_single_block_plan_is_the_legacy_plan(self):
+        plan = plan_step(n_samples=4, n_shards=2, n_rows=16)
+        assert plan.n_row_blocks == 1
+        assert plan.samples == plan_shards(4, 2)
+        assert plan.row_blocks == ((0, 16),)
+
+
+class TestContentFingerprints:
+    def test_fingerprint_covers_dtype_shape_and_bytes(self):
+        a = np.arange(6, dtype=np.float64)
+        assert tensor_fingerprint(a) == tensor_fingerprint(a.copy())
+        assert tensor_fingerprint(a) != tensor_fingerprint(a.reshape(2, 3))
+        assert tensor_fingerprint(a) != tensor_fingerprint(a.astype(np.float32))
+        b = a.copy()
+        b[0] += 1.0
+        assert tensor_fingerprint(a) != tensor_fingerprint(b)
+
+    def test_fingerprint_is_layout_independent(self):
+        a = np.arange(12, dtype=np.float64).reshape(3, 4)
+        assert tensor_fingerprint(a) == tensor_fingerprint(
+            np.asfortranarray(a)
+        )
+
+    def test_state_fingerprint_is_order_independent(self):
+        entries = [("param/w", "aa"), ("data/x/0", "bb")]
+        assert state_fingerprint(entries) == state_fingerprint(entries[::-1])
+        assert state_fingerprint(entries) != state_fingerprint(entries[:1])
+
+
+class TestDeltaShipping:
+    def _slots(self, rng, n=3):
+        return {
+            f"param/p{i}": rng.normal(size=(4, 4)) for i in range(n)
+        }
+
+    def test_cold_encoder_ships_full_and_cache_applies_it(self):
+        rng = np.random.default_rng(0)
+        slots = self._slots(rng)
+        encoder, cache = DeltaEncoder(), DeltaCache()
+        encoded = encoder.encode(slots)
+        assert encoded.message["kind"] == "full"
+        assert encoded.shipped_bytes == encoded.total_bytes > 0
+        resolved = cache.apply(encoded.message)
+        assert set(resolved) == set(slots)
+        for slot, array in slots.items():
+            assert np.array_equal(resolved[slot], array)
+
+    def test_unchanged_tensors_ship_as_references(self):
+        rng = np.random.default_rng(1)
+        slots = self._slots(rng)
+        encoder, cache = DeltaEncoder(), DeltaCache()
+        cache.apply(encoder.encode(slots).message)
+        slots["param/p1"] = rng.normal(size=(4, 4))  # one tensor changes
+        encoded = encoder.encode(slots)
+        assert encoded.message["kind"] == "delta"
+        one_tensor = slots["param/p1"].nbytes
+        assert encoded.shipped_bytes == one_tensor
+        assert encoded.total_bytes == 3 * one_tensor
+        resolved = cache.apply(encoded.message)
+        for slot, array in slots.items():
+            assert np.array_equal(resolved[slot], array)
+
+    def test_cache_miss_raises_resync_and_full_reship_recovers(self):
+        rng = np.random.default_rng(2)
+        slots = self._slots(rng)
+        encoder, cache = DeltaEncoder(), DeltaCache()
+        cache.apply(encoder.encode(slots).message)
+        cache2 = DeltaCache()  # a fresh worker that never saw the full message
+        delta = encoder.encode(slots)
+        assert delta.message["kind"] == "delta"
+        with pytest.raises(DeltaResyncRequired):
+            cache2.apply(delta.message)
+        encoder.mark_cold()
+        full = encoder.encode(slots)
+        assert full.message["kind"] == "full"
+        resolved = cache2.apply(full.message)
+        assert set(resolved) == set(slots)
+
+    def test_corrupted_tensor_fingerprint_raises_resync(self):
+        rng = np.random.default_rng(3)
+        slots = self._slots(rng)
+        message = DeltaEncoder().encode(slots).message
+        slot, fingerprint, _ = message["entries"][0]
+        message["entries"][0] = (slot, fingerprint, rng.normal(size=(4, 4)))
+        with pytest.raises(DeltaResyncRequired):
+            DeltaCache().apply(message)
+
+    def test_corrupted_state_fingerprint_raises_resync(self):
+        rng = np.random.default_rng(4)
+        message = DeltaEncoder().encode(self._slots(rng)).message
+        message["state_fp"] = "0" * 64
+        with pytest.raises(DeltaResyncRequired):
+            DeltaCache().apply(message)
+
+    def test_wire_version_mismatch_is_a_protocol_error(self):
+        rng = np.random.default_rng(5)
+        message = DeltaEncoder().encode(self._slots(rng)).message
+        message["version"] = 999
+        with pytest.raises(DeltaProtocolError):
+            DeltaCache().apply(message)
+
+    def test_lru_eviction_stays_in_lockstep(self):
+        """Mirror and cache evict identically, so references never dangle."""
+        rng = np.random.default_rng(6)
+        encoder = DeltaEncoder(capacity=4)
+        cache = DeltaCache()  # enforces the capacity carried by each message
+        tensors = [rng.normal(size=(2, 2)) for _ in range(6)]
+        for step in range(6):
+            # a sliding window of 3 slots forces continuous eviction
+            slots = {
+                f"param/p{(step + i) % 6}": tensors[(step + i) % 6]
+                for i in range(3)
+            }
+            resolved = cache.apply(encoder.encode(slots).message)
+            for slot, array in slots.items():
+                assert np.array_equal(resolved[slot], array)
+            assert list(cache.fingerprints) == list(encoder.mirror)
+
+    def test_baseline_mode_always_ships_full(self):
+        rng = np.random.default_rng(7)
+        slots = self._slots(rng)
+        encoder, cache = DeltaEncoder(delta_shipping=False), DeltaCache()
+        for _ in range(3):
+            encoded = encoder.encode(slots)
+            assert encoded.message["kind"] == "full"
+            assert encoded.shipped_bytes == encoded.total_bytes
+            cache.apply(encoded.message)
+
+    def test_full_message_rebaselines_the_cache(self):
+        """A full shipment clears stale cache state so both sides converge."""
+        rng = np.random.default_rng(8)
+        slots = self._slots(rng)
+        encoder, cache = DeltaEncoder(), DeltaCache()
+        cache.apply(encoder.encode(slots).message)
+        stale = len(cache)
+        encoder.mark_cold()
+        cache.apply(encoder.encode(slots).message)
+        assert len(cache) == stale  # re-baselined, not doubled
+        assert list(cache.fingerprints) == list(encoder.mirror)
+
+
+class TestRowDecomposedLosses:
+    def test_sce_full_block_matches_forward_bit_for_bit(self):
+        from repro.nn.losses import SoftmaxCrossEntropy
+
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(8, 5))
+        y = rng.integers(0, 5, size=8)
+        a, b = SoftmaxCrossEntropy(), SoftmaxCrossEntropy()
+        assert a.forward(logits, y) == b.forward_rows(logits, y, 8)
+        assert np.array_equal(a.backward(), b.backward_rows())
+
+    def test_sce_blocks_are_normalised_by_total_rows(self):
+        from repro.nn.losses import SoftmaxCrossEntropy
+
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(8, 5))
+        y = rng.integers(0, 5, size=8)
+        loss = SoftmaxCrossEntropy()
+        whole = loss.forward_rows(logits, y, 8)
+        parts = [
+            loss.forward_rows(logits[s:e], y[s:e], 8) for s, e in [(0, 5), (5, 8)]
+        ]
+        assert np.isclose(sum(parts), whole)
+        with pytest.raises(ValueError):
+            loss.forward_rows(logits, y, 4)  # total smaller than the block
+
+    def test_mse_blocks_are_normalised_by_total_size(self):
+        from repro.nn.losses import MeanSquaredError
+
+        rng = np.random.default_rng(2)
+        pred = rng.normal(size=(6, 3))
+        target = rng.normal(size=(6, 3))
+        loss = MeanSquaredError()
+        whole = loss.forward(pred, target)
+        parts = [
+            loss.forward_rows(pred[s:e], target[s:e], 6)
+            for s, e in [(0, 2), (2, 6)]
+        ]
+        assert np.isclose(sum(parts), whole)
+        grad = loss.backward_rows()
+        assert grad.shape == (4, 3)
+
+    def test_losses_without_row_support_fail_loudly(self):
+        from repro.nn.losses import Loss
+
+        with pytest.raises(NotImplementedError, match="n_row_blocks=1"):
+            Loss().forward_rows(np.zeros((2, 2)), np.zeros(2), 4)
 
 
 class TestRespawnBudget:
